@@ -1,0 +1,167 @@
+//! Anomaly auto-correction.
+//!
+//! “AGOCS was modified to auto-correct event timings (e.g., offsetting
+//! updates after creation) and synchronize task marker removal with
+//! collection events, ensuring terminated collections deleted associated
+//! task markers.” (§III)
+//!
+//! [`correct_stream`] performs the timing correction as a pre-pass over
+//! the raw stream; the marker synchronisation is enforced by the replayer
+//! (which sweeps markers at `CollectionFinish`), and this module reports
+//! how many tasks needed it.
+
+use std::collections::{HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use ctlm_trace::{EventPayload, TraceEvent};
+
+/// What the corrector had to fix.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorrectionReport {
+    /// `TaskUpdate` events whose timestamp preceded their task's
+    /// submission, offset to just after creation.
+    pub mistimed_updates_fixed: usize,
+    /// Tasks with no termination event whose markers must be swept when
+    /// their collection finishes.
+    pub tasks_missing_termination: usize,
+    /// Updates referencing tasks that were never submitted (dropped).
+    pub orphan_updates_dropped: usize,
+}
+
+/// Corrects a time-sorted event stream, returning the fixed stream
+/// (re-sorted) and the report.
+pub fn correct_stream(events: &[TraceEvent]) -> (Vec<TraceEvent>, CorrectionReport) {
+    // Pass 1: index task submissions and terminations.
+    let mut submit_time: HashMap<u64, u64> = HashMap::new();
+    let mut has_termination: HashSet<u64> = HashSet::new();
+    for ev in events {
+        match &ev.payload {
+            EventPayload::TaskSubmit(task) => {
+                submit_time.insert(task.id, ev.time);
+            }
+            EventPayload::TaskTerminate { task, .. } => {
+                has_termination.insert(*task);
+            }
+            _ => {}
+        }
+    }
+
+    let mut report = CorrectionReport {
+        tasks_missing_termination: submit_time
+            .keys()
+            .filter(|t| !has_termination.contains(t))
+            .count(),
+        ..CorrectionReport::default()
+    };
+
+    // Pass 2: rebuild with corrected update timestamps.
+    let mut out = Vec::with_capacity(events.len());
+    for ev in events {
+        match &ev.payload {
+            EventPayload::TaskUpdate { task, .. } => match submit_time.get(task) {
+                Some(&t_sub) => {
+                    if ev.time < t_sub {
+                        // The paper's fix: offset the update to after
+                        // creation.
+                        report.mistimed_updates_fixed += 1;
+                        out.push(TraceEvent::new(t_sub + 1, ev.payload.clone()));
+                    } else {
+                        out.push(ev.clone());
+                    }
+                }
+                None => {
+                    report.orphan_updates_dropped += 1;
+                }
+            },
+            _ => out.push(ev.clone()),
+        }
+    }
+    out.sort_by_key(|e| e.time);
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctlm_trace::{Task, TerminationReason};
+
+    fn submit(time: u64, id: u64, collection: u64) -> TraceEvent {
+        TraceEvent::new(
+            time,
+            EventPayload::TaskSubmit(Task {
+                id,
+                collection,
+                cpu: 0.1,
+                memory: 0.1,
+                priority: 0,
+                constraints: vec![],
+            }),
+        )
+    }
+
+    fn update(time: u64, task: u64) -> TraceEvent {
+        TraceEvent::new(time, EventPayload::TaskUpdate { task, cpu: 0.2, memory: 0.2 })
+    }
+
+    fn terminate(time: u64, task: u64) -> TraceEvent {
+        TraceEvent::new(
+            time,
+            EventPayload::TaskTerminate { task, reason: TerminationReason::Complete },
+        )
+    }
+
+    #[test]
+    fn well_formed_stream_passes_through() {
+        let events = vec![submit(10, 1, 1), update(20, 1), terminate(30, 1)];
+        let (out, report) = correct_stream(&events);
+        assert_eq!(out, events);
+        assert_eq!(report.mistimed_updates_fixed, 0);
+        assert_eq!(report.tasks_missing_termination, 0);
+    }
+
+    #[test]
+    fn mistimed_update_offsets_after_creation() {
+        let events = vec![update(5, 1), submit(10, 1, 1), terminate(30, 1)];
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.time);
+        let (out, report) = correct_stream(&sorted);
+        assert_eq!(report.mistimed_updates_fixed, 1);
+        // The update now sits just after the submission.
+        let idx_submit = out
+            .iter()
+            .position(|e| matches!(e.payload, EventPayload::TaskSubmit(_)))
+            .unwrap();
+        let idx_update = out
+            .iter()
+            .position(|e| matches!(e.payload, EventPayload::TaskUpdate { .. }))
+            .unwrap();
+        assert!(idx_update > idx_submit);
+        assert_eq!(out[idx_update].time, 11);
+    }
+
+    #[test]
+    fn missing_termination_is_counted_not_dropped() {
+        let events = vec![submit(10, 1, 1), submit(10, 2, 1), terminate(30, 2)];
+        let (out, report) = correct_stream(&events);
+        assert_eq!(report.tasks_missing_termination, 1);
+        assert_eq!(out.len(), 3, "stream itself unchanged");
+    }
+
+    #[test]
+    fn orphan_update_dropped() {
+        let events = vec![submit(10, 1, 1), update(20, 99), terminate(30, 1)];
+        let (out, report) = correct_stream(&events);
+        assert_eq!(report.orphan_updates_dropped, 1);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn output_is_sorted() {
+        let events = vec![update(5, 1), submit(100, 1, 1)];
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| e.time);
+        let (out, _) = correct_stream(&sorted);
+        assert!(out.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+}

@@ -1,0 +1,31 @@
+//! # ctlm-agocs — the AGOCS-style cluster-scheduling simulator
+//!
+//! The paper's experimental substrate is AGOCS (“Accurate Google Cloud
+//! Simulator”), which parses GCD traces and replays scheduler operations.
+//! This crate reimplements the behaviours §III describes:
+//!
+//! * **event replay** over a time-sorted trace ([`replay`]);
+//! * **cluster state** tracking machines, attributes, and task markers
+//!   ([`state`]);
+//! * **constraint matching** — counting the machines suitable for a task
+//!   ([`matcher`]), which provides the ground-truth group labels;
+//! * **anomaly auto-correction** ([`corrector`]) — offsetting mis-timed
+//!   task updates to after creation, and deleting task markers when their
+//!   terminated collection finishes;
+//! * **dataset generation** ([`replay`]) — emitting cumulative CO-VV and
+//!   CO-EL dataset snapshots at every feature-array extension (the
+//!   “steps” of Table XI);
+//! * **workload statistics** ([`stats`]) — the tasks-with-CO ratios of
+//!   Table IX.
+
+pub mod corrector;
+pub mod matcher;
+pub mod replay;
+pub mod state;
+pub mod stats;
+
+pub use corrector::{correct_stream, CorrectionReport};
+pub use matcher::count_suitable;
+pub use replay::{DatasetStep, ReplayConfig, ReplayOutput, Replayer};
+pub use state::ClusterState;
+pub use stats::{CoDistribution, CoStatsCollector};

@@ -1,0 +1,450 @@
+//! Event replay and dataset generation (paper Fig. 1).
+//!
+//! The replayer walks the corrected event stream, maintains the cluster
+//! state, computes each constrained task's ground-truth suitable-node
+//! group via the [`matcher`](crate::matcher), and encodes CO-VV / CO-EL
+//! dataset rows. Whenever the attribute-value vocabulary grows — the
+//! feature array is *extended* — it emits a [`DatasetStep`] snapshot:
+//! exactly the retraining points Table XI tabulates.
+
+use serde::{Deserialize, Serialize};
+
+use ctlm_data::dataset::{group_for_count, Dataset, DatasetBuilder, NUM_GROUPS};
+use ctlm_data::encode::co_el::CoElEncoder;
+use ctlm_data::encode::co_vv::CoVvEncoder;
+use ctlm_data::vocab::ValueVocab;
+use ctlm_trace::event::format_day_hour_minute;
+use ctlm_trace::{EventPayload, GeneratedTrace, Micros};
+
+use crate::corrector::{correct_stream, CorrectionReport};
+use crate::matcher::count_suitable;
+use crate::state::ClusterState;
+use crate::stats::{CoDistribution, CoStatsCollector};
+
+/// Replay tuning knobs.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ReplayConfig {
+    /// Rows required before step 0 (the initial model training) is
+    /// emitted.
+    pub min_rows_for_step0: usize,
+    /// Vocabulary growths closer together than this merge into a single
+    /// step (the generator emits e.g. a machine batch and a kernel rollout
+    /// a microsecond apart; the paper's steps are minutes apart).
+    pub step_merge_window: Micros,
+    /// Whether to build the CO-EL dataset alongside CO-VV.
+    pub build_co_el: bool,
+}
+
+impl Default for ReplayConfig {
+    fn default() -> Self {
+        Self {
+            min_rows_for_step0: 30,
+            step_merge_window: 30 * 60 * 1_000_000, // 30 simulated minutes
+            build_co_el: true,
+        }
+    }
+}
+
+/// One feature-array-extension step: the cumulative datasets as of the
+/// extension, plus the bookkeeping Table XI reports per step.
+#[derive(Clone, Debug)]
+pub struct DatasetStep {
+    /// Step number (0 = initial training).
+    pub index: usize,
+    /// Simulation time of the extension.
+    pub time: Micros,
+    /// Table XI-style `day HH:MM` label.
+    pub label: String,
+    /// CO-VV feature-array width at this step.
+    pub features_count: usize,
+    /// Columns added since the previous step.
+    pub new_features: usize,
+    /// Cumulative CO-VV dataset (rows so far, widened to
+    /// `features_count`).
+    pub vv: Dataset,
+    /// Cumulative CO-EL dataset, when enabled.
+    pub el: Option<Dataset>,
+}
+
+/// Everything a replay produces.
+#[derive(Debug)]
+pub struct ReplayOutput {
+    /// The retraining steps, in time order.
+    pub steps: Vec<DatasetStep>,
+    /// Table IX statistics for this trace.
+    pub stats: CoDistribution,
+    /// What the corrector fixed.
+    pub correction: CorrectionReport,
+    /// Group width used for labelling.
+    pub group_width: usize,
+    /// Constrained tasks skipped because their constraints contradict
+    /// (the paper: rare, logged, ignored).
+    pub skipped_contradictions: usize,
+    /// Constrained tasks skipped because no machine currently matches
+    /// (transiently unschedulable during churn).
+    pub skipped_unschedulable: usize,
+    /// Rows labelled Group 0 across the whole trace.
+    pub group0_rows: usize,
+    /// Total dataset rows (constrained tasks encoded).
+    pub total_rows: usize,
+    /// Task markers swept by collection termination instead of their own
+    /// termination event (anomaly (ii) healing).
+    pub markers_swept_by_collection: usize,
+    /// Task markers left alive after the full replay (should be 0).
+    pub markers_leaked: usize,
+    /// Final CO-VV vocabulary.
+    pub vocab: ValueVocab,
+}
+
+/// The replayer. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct Replayer {
+    config: ReplayConfig,
+}
+
+impl Replayer {
+    /// A replayer with custom configuration.
+    pub fn new(config: ReplayConfig) -> Self {
+        Self { config }
+    }
+
+    /// Replays a generated trace into dataset steps and statistics.
+    pub fn replay(&self, trace: &GeneratedTrace) -> ReplayOutput {
+        let (events, correction) = correct_stream(&trace.events);
+        let cfg = &self.config;
+
+        let mut state = ClusterState::new();
+        let mut vocab = ValueVocab::new();
+        let vv_encoder = CoVvEncoder;
+        let mut el_encoder = CoElEncoder::new();
+        let mut vv_builder = DatasetBuilder::new(0, NUM_GROUPS);
+        let mut el_builder = DatasetBuilder::new(0, NUM_GROUPS);
+        let mut stats = CoStatsCollector::daily();
+
+        let mut steps: Vec<DatasetStep> = Vec::new();
+        let mut width_at_last_step = 0usize;
+        let mut rows_at_last_step = 0usize;
+        let mut growth_pending_since: Option<Micros> = None;
+        let mut step0_emitted = false;
+
+        let mut skipped_contradictions = 0usize;
+        let mut skipped_unschedulable = 0usize;
+        let mut group0_rows = 0usize;
+        let mut markers_swept = 0usize;
+
+        let emit_step = |time: Micros,
+                             vocab: &ValueVocab,
+                             vv_builder: &mut DatasetBuilder,
+                             el_builder: &mut DatasetBuilder,
+                             el_encoder: &CoElEncoder,
+                             steps: &mut Vec<DatasetStep>,
+                             width_at_last_step: &mut usize,
+                             rows_at_last_step: &mut usize| {
+            let width = vocab.len();
+            vv_builder.widen(width);
+            el_builder.widen(el_encoder.len().max(el_builder.cols()));
+            let vv = vv_builder.snapshot(width);
+            let el = if cfg.build_co_el {
+                Some(el_builder.snapshot(el_encoder.len()))
+            } else {
+                None
+            };
+            steps.push(DatasetStep {
+                index: steps.len(),
+                time,
+                label: format_day_hour_minute(time),
+                features_count: width,
+                new_features: width - *width_at_last_step,
+                vv,
+                el,
+            });
+            *width_at_last_step = width;
+            *rows_at_last_step = vv_builder.len();
+        };
+
+        for ev in &events {
+            // Flush a pending growth step once the merge window elapses
+            // and the initial model exists.
+            if let Some(t0) = growth_pending_since {
+                if step0_emitted
+                    && ev.time > t0 + cfg.step_merge_window
+                    && vv_builder.len() > rows_at_last_step
+                {
+                    emit_step(
+                        t0,
+                        &vocab,
+                        &mut vv_builder,
+                        &mut el_builder,
+                        &el_encoder,
+                        &mut steps,
+                        &mut width_at_last_step,
+                        &mut rows_at_last_step,
+                    );
+                    growth_pending_since = None;
+                }
+            }
+
+            match &ev.payload {
+                EventPayload::MachineAdd(m) => {
+                    let before = vocab.len();
+                    for (attr, value) in &m.attributes {
+                        vocab.observe(*attr, value);
+                    }
+                    state.add_machine(m.clone());
+                    if ev.time > 0 && vocab.len() > before && growth_pending_since.is_none() {
+                        growth_pending_since = Some(ev.time);
+                    }
+                }
+                EventPayload::MachineRemove(id) => {
+                    state.remove_machine(*id);
+                }
+                EventPayload::MachineAttrUpdate { machine, attr, value } => {
+                    if state.update_attr(*machine, *attr, value.clone()) {
+                        if let Some(v) = value {
+                            let before = vocab.len();
+                            vocab.observe(*attr, v);
+                            if vocab.len() > before && growth_pending_since.is_none() {
+                                growth_pending_since = Some(ev.time);
+                            }
+                        }
+                    }
+                }
+                EventPayload::CollectionSubmit(_) => {}
+                EventPayload::CollectionFinish(id) => {
+                    markers_swept += state.sweep_collection(*id);
+                }
+                EventPayload::TaskSubmit(task) => {
+                    stats.record(ev.time, task.cpu, task.memory, task.has_constraints());
+                    state.add_task_marker(task.id, task.collection);
+                    if !task.has_constraints() {
+                        continue;
+                    }
+                    let reqs = match ctlm_data::compaction::collapse(&task.constraints) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            // The paper: contradictions are logged and the
+                            // task is ignored by the simulation.
+                            skipped_contradictions += 1;
+                            continue;
+                        }
+                    };
+                    let suitable = count_suitable(&state, &reqs);
+                    if suitable == 0 {
+                        skipped_unschedulable += 1;
+                        continue;
+                    }
+                    let label = group_for_count(suitable, trace.group_width);
+                    if label == 0 {
+                        group0_rows += 1;
+                    }
+                    vv_builder.widen(vocab.len());
+                    let vv_row = vv_encoder.encode_requirements(&reqs, &vocab);
+                    vv_builder.push(vv_row, label);
+                    if cfg.build_co_el {
+                        let el_row = el_encoder.encode_requirements(&reqs);
+                        el_builder.widen(el_encoder.len());
+                        el_builder.push(el_row, label);
+                    }
+                    // Step 0 fires once enough rows exist for the initial
+                    // training.
+                    if !step0_emitted && vv_builder.len() >= cfg.min_rows_for_step0 {
+                        emit_step(
+                            ev.time,
+                            &vocab,
+                            &mut vv_builder,
+                            &mut el_builder,
+                            &el_encoder,
+                            &mut steps,
+                            &mut width_at_last_step,
+                            &mut rows_at_last_step,
+                        );
+                        step0_emitted = true;
+                        growth_pending_since = None;
+                    }
+                }
+                EventPayload::TaskUpdate { .. } => {
+                    // Resource updates do not change constraints; markers
+                    // stay.
+                }
+                EventPayload::TaskTerminate { task, .. } => {
+                    state.remove_task_marker(*task);
+                }
+            }
+        }
+
+        // Final step: flush trailing growth / rows so the last extension
+        // is evaluated too.
+        if vv_builder.len() > rows_at_last_step || vocab.len() > width_at_last_step {
+            let t = events.last().map(|e| e.time).unwrap_or(0);
+            emit_step(
+                t,
+                &vocab,
+                &mut vv_builder,
+                &mut el_builder,
+                &el_encoder,
+                &mut steps,
+                &mut width_at_last_step,
+                &mut rows_at_last_step,
+            );
+        }
+
+        ReplayOutput {
+            stats: stats.distribution(),
+            correction,
+            group_width: trace.group_width,
+            skipped_contradictions,
+            skipped_unschedulable,
+            group0_rows,
+            total_rows: vv_builder.len(),
+            markers_swept_by_collection: markers_swept,
+            markers_leaked: state.live_task_markers(),
+            vocab,
+            steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctlm_trace::{CellSet, Scale, TraceGenerator};
+
+    fn replay_cell(cell: CellSet, seed: u64) -> ReplayOutput {
+        let trace = TraceGenerator::generate_cell(
+            cell,
+            Scale { machines: 130, collections: 400, seed },
+        );
+        Replayer::default().replay(&trace)
+    }
+
+    #[test]
+    fn steps_are_ordered_and_widths_monotonic() {
+        let out = replay_cell(CellSet::C2019c, 5);
+        assert!(out.steps.len() >= 3, "expected several steps, got {}", out.steps.len());
+        for w in out.steps.windows(2) {
+            assert!(w[0].time <= w[1].time);
+            assert!(w[0].features_count <= w[1].features_count);
+            assert!(w[0].vv.len() <= w[1].vv.len());
+        }
+    }
+
+    #[test]
+    fn step_zero_holds_most_of_the_vocabulary() {
+        // Table XI: "most attribute values defined in step zero".
+        let out = replay_cell(CellSet::C2019c, 5);
+        let first = out.steps.first().unwrap().features_count;
+        let last = out.steps.last().unwrap().features_count;
+        assert!(
+            first as f64 >= 0.55 * last as f64,
+            "step 0 width {first} vs final {last}"
+        );
+    }
+
+    #[test]
+    fn later_steps_add_bounded_feature_batches() {
+        // §VI: adding over 40–50 features at once degrades the model; the
+        // generator caps per-step growth, and merged steps stay bounded.
+        let out = replay_cell(CellSet::C2019c, 5);
+        for s in &out.steps[1..] {
+            assert!(
+                s.new_features <= 2 * 50,
+                "step {} added {} features",
+                s.index,
+                s.new_features
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_valid_groups_and_group0_appears() {
+        let trace = TraceGenerator::generate_cell(
+            CellSet::C2019a,
+            Scale { machines: 130, collections: 1_500, seed: 7 },
+        );
+        let out = Replayer::default().replay(&trace);
+        let last = out.steps.last().unwrap();
+        assert!(last.vv.y.iter().all(|&y| (y as usize) < NUM_GROUPS));
+        assert!(out.group0_rows > 0, "2019a's group0 share should produce rows");
+        // Group 0 is rare — the class imbalance the paper highlights.
+        let g0_frac = out.group0_rows as f64 / out.total_rows as f64;
+        assert!(g0_frac < 0.06, "group0 fraction {g0_frac} suspiciously high");
+    }
+
+    #[test]
+    fn co_el_and_co_vv_have_same_rows_and_labels() {
+        let out = replay_cell(CellSet::C2011, 3);
+        let last = out.steps.last().unwrap();
+        let el = last.el.as_ref().unwrap();
+        assert_eq!(el.len(), last.vv.len());
+        assert_eq!(el.y, last.vv.y);
+        assert!(el.features_count() < last.vv.features_count(),
+            "CO-EL label space is denser than CO-VV value space at this scale");
+    }
+
+    #[test]
+    fn corrections_match_injected_anomalies() {
+        let trace = TraceGenerator::generate_cell(
+            CellSet::C2019c,
+            Scale { machines: 130, collections: 600, seed: 9 },
+        );
+        let out = Replayer::default().replay(&trace);
+        let injected_mistimed =
+            trace.anomalies.count(ctlm_trace::anomaly::AnomalyKind::MistimedUpdate);
+        let injected_missing =
+            trace.anomalies.count(ctlm_trace::anomaly::AnomalyKind::MissingTermination);
+        assert_eq!(out.correction.mistimed_updates_fixed, injected_mistimed);
+        assert_eq!(out.correction.tasks_missing_termination, injected_missing);
+        // Anomaly (ii) healing: those tasks' markers are swept via their
+        // collection.
+        assert!(out.markers_swept_by_collection >= injected_missing);
+    }
+
+    #[test]
+    fn no_task_markers_leak() {
+        let out = replay_cell(CellSet::C2019d, 2);
+        assert_eq!(out.markers_leaked, 0, "collection sweep must clean every marker");
+    }
+
+    #[test]
+    fn stats_land_near_profile_targets() {
+        let out = replay_cell(CellSet::C2019a, 11);
+        let avg = out.stats.by_volume.avg;
+        let profile_avg = CellSet::C2019a.profile().co_volume_avg;
+        assert!(
+            (avg - profile_avg).abs() < 0.12,
+            "volume avg {avg:.3} vs profile {profile_avg:.3}"
+        );
+        assert!(out.stats.by_volume.min < avg);
+        assert!(out.stats.by_volume.max > avg);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let a = replay_cell(CellSet::C2019c, 13);
+        let b = replay_cell(CellSet::C2019c, 13);
+        assert_eq!(a.steps.len(), b.steps.len());
+        assert_eq!(a.total_rows, b.total_rows);
+        let (la, lb) = (a.steps.last().unwrap(), b.steps.last().unwrap());
+        assert_eq!(la.vv.y, lb.vv.y);
+        assert_eq!(la.features_count, lb.features_count);
+    }
+
+    #[test]
+    fn contradictions_are_rare() {
+        let out = replay_cell(CellSet::C2019c, 5);
+        // The paper: fewer than twenty across all datasets. Our generator
+        // does not intentionally produce contradictions at all.
+        assert!(out.skipped_contradictions < 20);
+    }
+
+    #[test]
+    fn vv_rows_are_sparse() {
+        let out = replay_cell(CellSet::C2019c, 5);
+        let last = out.steps.last().unwrap();
+        let density = last.vv.x.density();
+        // The CO-VV encoding marks unacceptable values; constrained tasks
+        // at this scale mark well under half the array on average.
+        assert!(density < 0.5, "density {density}");
+        assert!(density > 0.0);
+    }
+}

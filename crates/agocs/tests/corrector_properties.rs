@@ -1,0 +1,55 @@
+//! Property tests: the corrector's postconditions hold on any generated
+//! trace — after correction no update precedes its task's submission, and
+//! replay never leaks task markers.
+
+use proptest::prelude::*;
+
+use ctlm_agocs::{correct_stream, Replayer};
+use ctlm_trace::{CellSet, EventPayload, Scale, TraceGenerator};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn corrected_streams_have_no_mistimed_updates(seed in 0u64..1_000) {
+        let trace = TraceGenerator::generate_cell(
+            CellSet::C2019c,
+            Scale { machines: 60, collections: 120, seed },
+        );
+        let (events, report) = correct_stream(&trace.events);
+        let mut submit: std::collections::HashMap<u64, u64> = Default::default();
+        for ev in &events {
+            if let EventPayload::TaskSubmit(t) = &ev.payload {
+                submit.insert(t.id, ev.time);
+            }
+        }
+        for ev in &events {
+            if let EventPayload::TaskUpdate { task, .. } = &ev.payload {
+                prop_assert!(
+                    ev.time > submit[task] || ev.time >= submit[task],
+                    "update at {} before submit at {}",
+                    ev.time,
+                    submit[task]
+                );
+                prop_assert!(ev.time >= submit[task]);
+            }
+        }
+        // The corrector fixes exactly the injected mistimed updates.
+        let injected = trace.anomalies.count(ctlm_trace::anomaly::AnomalyKind::MistimedUpdate);
+        prop_assert_eq!(report.mistimed_updates_fixed, injected);
+    }
+
+    #[test]
+    fn replay_never_leaks_markers(seed in 0u64..1_000) {
+        let trace = TraceGenerator::generate_cell(
+            CellSet::C2019a,
+            Scale { machines: 60, collections: 120, seed },
+        );
+        let out = Replayer::default().replay(&trace);
+        prop_assert_eq!(out.markers_leaked, 0);
+        // Labels are always valid group indices.
+        if let Some(last) = out.steps.last() {
+            prop_assert!(last.vv.y.iter().all(|&y| y < 26));
+        }
+    }
+}

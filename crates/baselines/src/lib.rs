@@ -1,0 +1,89 @@
+//! # ctlm-baselines — the SciKit-learn baseline stand-ins
+//!
+//! §V compares the paper's models against four scikit-learn classifiers
+//! chosen for their handling of large sparse datasets. Each is
+//! reimplemented from its defining algorithm:
+//!
+//! * [`MlpClassifier`] — `sklearn.neural_network.MLPClassifier` with the
+//!   paper's configuration: 30 hidden units, ReLU, Adam.
+//! * [`RidgeClassifier`] — `sklearn.linear_model.RidgeClassifier`:
+//!   one-vs-rest ridge regression on ±1 targets, solved by conjugate
+//!   gradient on the normal equations (never materialising `XᵀX`).
+//! * [`SgdClassifier`] — `sklearn.linear_model.SGDClassifier`: a linear
+//!   SVM (hinge loss, L2 penalty) trained with per-sample SGD.
+//! * [`VotingClassifier`] — `sklearn.ensemble.VotingClassifier` with hard
+//!   voting (“as some models lacked the `predict_proba` method needed for
+//!   soft voting”).
+//!
+//! All baselines implement [`Classifier`], the interface the evaluation
+//! pipeline consumes.
+
+pub mod mlp;
+pub mod ridge;
+pub mod sgd_svm;
+pub mod voting;
+
+pub use mlp::MlpClassifier;
+pub use ridge::RidgeClassifier;
+pub use sgd_svm::SgdClassifier;
+pub use voting::VotingClassifier;
+
+use ctlm_tensor::Csr;
+
+/// Training outcome metadata.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FitReport {
+    /// Training epochs (passes over the data) actually run. Zero for
+    /// closed-form / non-iterative models where the notion is vacuous.
+    pub epochs: usize,
+    /// Whether the model's own convergence criterion fired (as opposed to
+    /// hitting the iteration cap).
+    pub converged: bool,
+}
+
+/// The common classifier interface (scikit-learn's `fit`/`predict`).
+pub trait Classifier {
+    /// Trains on a sparse feature matrix and labels.
+    fn fit(&mut self, x: &Csr, y: &[u8]) -> FitReport;
+    /// Predicts a label per row.
+    fn predict(&self, x: &Csr) -> Vec<u8>;
+    /// Display name (matches the paper's terminology).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use ctlm_tensor::{Csr, CsrBuilder};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A noisy linearly separable multi-class problem: class c marks
+    /// feature 2c always and feature 2c+1 half the time, plus a random
+    /// noise feature.
+    pub fn toy_problem(n: usize, classes: usize, seed: u64) -> (Csr, Vec<u8>) {
+        let d = classes * 2 + 4;
+        let mut b = CsrBuilder::new(d);
+        let mut y = Vec::with_capacity(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..n {
+            let c = i % classes;
+            let mut row = vec![(c * 2, 1.0f32)];
+            if rng.gen_bool(0.5) {
+                row.push((c * 2 + 1, 1.0));
+            }
+            row.push((classes * 2 + rng.gen_range(0..4), 1.0));
+            b.push_row(row);
+            y.push(c as u8);
+        }
+        (b.finish(), y)
+    }
+
+    /// Accuracy helper for baseline smoke tests.
+    pub fn train_accuracy(clf: &mut dyn super::Classifier, n: usize, classes: usize) -> f64 {
+        let (x, y) = toy_problem(n, classes, 42);
+        clf.fit(&x, &y);
+        let pred = clf.predict(&x);
+        let correct = pred.iter().zip(y.iter()).filter(|(a, b)| a == b).count();
+        correct as f64 / n as f64
+    }
+}

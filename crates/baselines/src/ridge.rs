@@ -1,0 +1,206 @@
+//! `sklearn.linear_model.RidgeClassifier` stand-in.
+//!
+//! “Uses Ridge Regression, which adds an L2 regularization penalty …
+//! computationally efficient, interpretable, and effective for datasets
+//! with many features or correlated variables.”
+//!
+//! One-vs-rest: each class regresses ±1 targets with an L2 penalty. The
+//! normal equations `(XᵀX + αI) w = Xᵀ t` are solved by conjugate
+//! gradient with the matrix applied implicitly through the sparse matrix
+//! (`v ↦ Xᵀ(Xv) + αv`) — `XᵀX` is never materialised, which is what
+//! keeps the solver viable at the paper's ~16k feature widths. The
+//! intercept is fit via an implicit all-ones column.
+
+use rayon::prelude::*;
+
+use ctlm_tensor::{ops, Csr};
+
+use crate::{Classifier, FitReport};
+
+/// Ridge regression one-vs-rest classifier.
+#[derive(Clone, Debug)]
+pub struct RidgeClassifier {
+    /// L2 penalty (sklearn default 1.0).
+    pub alpha: f32,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// CG iteration cap.
+    pub max_cg_iter: usize,
+    /// CG residual tolerance.
+    pub tol: f32,
+    /// Learned weights, one row per class, `d + 1` columns (last =
+    /// intercept).
+    weights: Option<Vec<Vec<f32>>>,
+}
+
+impl RidgeClassifier {
+    /// Defaults matching scikit-learn.
+    pub fn new(n_classes: usize) -> Self {
+        Self { alpha: 1.0, n_classes, max_cg_iter: 200, tol: 1e-5, weights: None }
+    }
+
+    /// Decision score of class `c` for a sample given as sparse entries.
+    fn score_row(w: &[f32], entries: impl Iterator<Item = (usize, f32)>) -> f32 {
+        let d = w.len() - 1;
+        let mut s = w[d]; // intercept
+        for (j, v) in entries {
+            s += w[j] * v;
+        }
+        s
+    }
+
+    /// Applies `v ↦ Xᵀ(Xv) + αv` with the implicit intercept column
+    /// (index `d`, all ones, not penalised — sklearn does not penalise the
+    /// intercept).
+    fn normal_op(x: &Csr, alpha: f32, v: &[f32]) -> Vec<f32> {
+        let d = x.cols();
+        // Xv with augmented column: Xv + v[d] * 1
+        let mut xv = ops::csr_matvec(x, &v[..d]);
+        for e in xv.iter_mut() {
+            *e += v[d];
+        }
+        // Xᵀ(Xv) augmented: [Xᵀ xv ; Σ xv]
+        let mut out = ops::csr_tmatvec(x, &xv);
+        let ones_dot: f32 = xv.iter().sum();
+        out.push(ones_dot);
+        for (i, o) in out.iter_mut().enumerate() {
+            if i < d {
+                *o += alpha * v[i];
+            }
+        }
+        out
+    }
+
+    /// CG solve of the (symmetric positive definite) normal equations.
+    fn cg_solve(x: &Csr, alpha: f32, b: &[f32], max_iter: usize, tol: f32) -> (Vec<f32>, bool) {
+        let n = b.len();
+        let mut w = vec![0.0f32; n];
+        let mut r = b.to_vec();
+        let mut p = r.clone();
+        let mut rs: f32 = r.iter().map(|v| v * v).sum();
+        let b_norm = rs.sqrt().max(1e-12);
+        for _ in 0..max_iter {
+            if rs.sqrt() / b_norm < tol {
+                return (w, true);
+            }
+            let ap = Self::normal_op(x, alpha, &p);
+            let pap: f32 = p.iter().zip(ap.iter()).map(|(a, b)| a * b).sum();
+            if pap.abs() < 1e-20 {
+                break;
+            }
+            let step = rs / pap;
+            for i in 0..n {
+                w[i] += step * p[i];
+                r[i] -= step * ap[i];
+            }
+            let rs_new: f32 = r.iter().map(|v| v * v).sum();
+            let beta = rs_new / rs;
+            rs = rs_new;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+        }
+        let converged = rs.sqrt() / b_norm < tol;
+        (w, converged)
+    }
+}
+
+impl Classifier for RidgeClassifier {
+    fn fit(&mut self, x: &Csr, y: &[u8]) -> FitReport {
+        assert_eq!(x.rows(), y.len(), "sample count mismatch");
+        let d = x.cols();
+        let classes: Vec<usize> = (0..self.n_classes).collect();
+        // One CG solve per class — independent, so run them in parallel
+        // (the paper notes baseline training dominated by exactly this).
+        let results: Vec<(Vec<f32>, bool)> = classes
+            .par_iter()
+            .map(|&c| {
+                // targets ±1
+                let t: Vec<f32> =
+                    y.iter().map(|&label| if label as usize == c { 1.0 } else { -1.0 }).collect();
+                // b = Xᵀt augmented with Σt.
+                let mut b = ops::csr_tmatvec(x, &t);
+                b.push(t.iter().sum());
+                debug_assert_eq!(b.len(), d + 1);
+                Self::cg_solve(x, self.alpha, &b, self.max_cg_iter, self.tol)
+            })
+            .collect();
+        let converged = results.iter().all(|(_, ok)| *ok);
+        self.weights = Some(results.into_iter().map(|(w, _)| w).collect());
+        FitReport { epochs: 0, converged }
+    }
+
+    fn predict(&self, x: &Csr) -> Vec<u8> {
+        let weights = self.weights.as_ref().expect("fit before predict");
+        (0..x.rows())
+            .map(|r| {
+                let mut best = 0usize;
+                let mut best_score = f32::NEG_INFINITY;
+                for (c, w) in weights.iter().enumerate() {
+                    let s = Self::score_row(w, x.row_entries(r));
+                    if s > best_score {
+                        best_score = s;
+                        best = c;
+                    }
+                }
+                best as u8
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Ridge Classifier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::train_accuracy;
+
+    #[test]
+    fn learns_separable_problem() {
+        let mut clf = RidgeClassifier::new(4);
+        let acc = train_accuracy(&mut clf, 200, 4);
+        assert!(acc > 0.9, "Ridge training accuracy {acc}");
+    }
+
+    #[test]
+    fn cg_converges_on_small_problem() {
+        let (x, y) = crate::test_support::toy_problem(80, 3, 3);
+        let mut clf = RidgeClassifier::new(3);
+        let report = clf.fit(&x, &y);
+        assert!(report.converged, "CG should converge within the cap");
+    }
+
+    #[test]
+    fn stronger_regularisation_shrinks_weights() {
+        let (x, y) = crate::test_support::toy_problem(100, 3, 4);
+        let mut weak = RidgeClassifier::new(3);
+        weak.alpha = 0.01;
+        weak.fit(&x, &y);
+        let mut strong = RidgeClassifier::new(3);
+        strong.alpha = 100.0;
+        strong.fit(&x, &y);
+        let norm = |c: &RidgeClassifier| -> f32 {
+            c.weights
+                .as_ref()
+                .unwrap()
+                .iter()
+                .flat_map(|w| w[..w.len() - 1].iter())
+                .map(|v| v * v)
+                .sum()
+        };
+        assert!(norm(&strong) < norm(&weak) * 0.5, "L2 penalty must shrink coefficients");
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = crate::test_support::toy_problem(60, 3, 5);
+        let mut a = RidgeClassifier::new(3);
+        let mut b = RidgeClassifier::new(3);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+}

@@ -1,0 +1,192 @@
+//! `sklearn.linear_model.SGDClassifier` stand-in.
+//!
+//! “Implements a Linear SVM trained with Stochastic Gradient Descent,
+//! optimizing weights incrementally for each data point. This approach is
+//! fast, memory-efficient, and suitable for high-dimensional problems.”
+//!
+//! One-vs-rest hinge loss with L2 penalty, per-sample updates, and
+//! scikit-learn's `optimal` learning-rate schedule
+//! `η_t = 1 / (α (t + t₀))`, plus the tol-based early stop.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use ctlm_tensor::Csr;
+
+use crate::{Classifier, FitReport};
+
+/// Linear SVM via SGD, one-vs-rest.
+#[derive(Clone, Debug)]
+pub struct SgdClassifier {
+    /// L2 regularisation strength (sklearn default 1e-4).
+    pub alpha: f32,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Epoch cap (sklearn default 1000; far fewer needed here).
+    pub max_iter: usize,
+    /// Early-stop tolerance on the epoch hinge objective.
+    pub tol: f32,
+    /// Early-stop patience in epochs (sklearn `n_iter_no_change`).
+    pub n_iter_no_change: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// `(weights, intercept)` per class.
+    weights: Option<Vec<(Vec<f32>, f32)>>,
+}
+
+impl SgdClassifier {
+    /// Defaults close to scikit-learn's.
+    pub fn new(n_classes: usize, seed: u64) -> Self {
+        Self {
+            alpha: 1e-4,
+            n_classes,
+            max_iter: 100,
+            tol: 1e-3,
+            n_iter_no_change: 5,
+            seed,
+            weights: None,
+        }
+    }
+
+    fn margin(w: &[f32], b: f32, entries: impl Iterator<Item = (usize, f32)>) -> f32 {
+        let mut s = b;
+        for (j, v) in entries {
+            s += w[j] * v;
+        }
+        s
+    }
+}
+
+impl Classifier for SgdClassifier {
+    fn fit(&mut self, x: &Csr, y: &[u8]) -> FitReport {
+        assert_eq!(x.rows(), y.len(), "sample count mismatch");
+        let d = x.cols();
+        let n = x.rows();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x56D_C1A5);
+        let mut weights: Vec<(Vec<f32>, f32)> =
+            (0..self.n_classes).map(|_| (vec![0.0f32; d], 0.0f32)).collect();
+        // sklearn's "optimal" schedule t0 heuristic (Bottou): we use a
+        // fixed pragmatic value; the schedule shape is what matters.
+        let t0 = 1.0f32 / (self.alpha.max(1e-8));
+        let mut t: f32 = 1.0;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut best_obj = f32::INFINITY;
+        let mut since_best = 0usize;
+        let mut epochs = 0usize;
+        let mut converged = false;
+
+        for _ in 0..self.max_iter {
+            epochs += 1;
+            order.shuffle(&mut rng);
+            let mut hinge_sum = 0.0f32;
+            for &i in &order {
+                let eta = 1.0 / (self.alpha * (t + t0));
+                t += 1.0;
+                for (c, (w, b)) in weights.iter_mut().enumerate() {
+                    let target = if y[i] as usize == c { 1.0f32 } else { -1.0 };
+                    let m = target * Self::margin(w, *b, x.row_entries(i));
+                    // L2 shrink (applied multiplicatively, as in sklearn's
+                    // sparse implementation).
+                    let shrink = 1.0 - eta * self.alpha;
+                    if shrink > 0.0 {
+                        for v in w.iter_mut() {
+                            *v *= shrink;
+                        }
+                    }
+                    if m < 1.0 {
+                        hinge_sum += 1.0 - m;
+                        for (j, v) in x.row_entries(i) {
+                            w[j] += eta * target * v;
+                        }
+                        *b += eta * target;
+                    }
+                }
+            }
+            let obj = hinge_sum / n as f32;
+            if obj < best_obj - self.tol {
+                best_obj = obj;
+                since_best = 0;
+            } else {
+                since_best += 1;
+                if since_best >= self.n_iter_no_change {
+                    converged = true;
+                    break;
+                }
+            }
+        }
+        self.weights = Some(weights);
+        FitReport { epochs, converged }
+    }
+
+    fn predict(&self, x: &Csr) -> Vec<u8> {
+        let weights = self.weights.as_ref().expect("fit before predict");
+        (0..x.rows())
+            .map(|r| {
+                let mut best = 0usize;
+                let mut best_s = f32::NEG_INFINITY;
+                for (c, (w, b)) in weights.iter().enumerate() {
+                    let s = Self::margin(w, *b, x.row_entries(r));
+                    if s > best_s {
+                        best_s = s;
+                        best = c;
+                    }
+                }
+                best as u8
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "SGD Classifier"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::train_accuracy;
+
+    #[test]
+    fn learns_separable_problem() {
+        let mut clf = SgdClassifier::new(4, 3);
+        let acc = train_accuracy(&mut clf, 200, 4);
+        assert!(acc > 0.9, "SGD-SVM training accuracy {acc}");
+    }
+
+    #[test]
+    fn early_stops_before_cap() {
+        let (x, y) = crate::test_support::toy_problem(150, 3, 8);
+        let mut clf = SgdClassifier::new(3, 8);
+        let report = clf.fit(&x, &y);
+        assert!(report.epochs < clf.max_iter, "expected early stop, ran {}", report.epochs);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = crate::test_support::toy_problem(80, 3, 2);
+        let mut a = SgdClassifier::new(3, 5);
+        let mut b = SgdClassifier::new(3, 5);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn heavier_regularisation_shrinks_weights() {
+        let (x, y) = crate::test_support::toy_problem(100, 3, 4);
+        let norm = |alpha: f32| -> f32 {
+            let mut clf = SgdClassifier::new(3, 4);
+            clf.alpha = alpha;
+            clf.fit(&x, &y);
+            clf.weights
+                .as_ref()
+                .unwrap()
+                .iter()
+                .flat_map(|(w, _)| w.iter())
+                .map(|v| v * v)
+                .sum()
+        };
+        assert!(norm(0.1) < norm(1e-5), "larger alpha must shrink weights");
+    }
+}

@@ -1,0 +1,148 @@
+//! `sklearn.ensemble.VotingClassifier` stand-in (hard voting).
+//!
+//! “Combines predictions from the baseline models using hard voting, as
+//! some models lacked the `predict_proba` method needed for soft voting.”
+//! Ties resolve to the lowest class index, matching scikit-learn's
+//! `argmax` over vote counts.
+
+use ctlm_tensor::Csr;
+
+use crate::{Classifier, FitReport};
+
+/// Hard-voting ensemble over boxed classifiers.
+pub struct VotingClassifier {
+    members: Vec<Box<dyn Classifier + Send>>,
+    n_classes: usize,
+}
+
+impl VotingClassifier {
+    /// An ensemble over the given members.
+    ///
+    /// # Panics
+    /// Panics when `members` is empty.
+    pub fn new(members: Vec<Box<dyn Classifier + Send>>, n_classes: usize) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        Self { members, n_classes }
+    }
+
+    /// The paper's ensemble: MLP + Ridge + SGD.
+    pub fn paper_default(n_classes: usize, seed: u64) -> Self {
+        Self::new(
+            vec![
+                Box::new(crate::MlpClassifier::paper_default(n_classes, seed)),
+                Box::new(crate::RidgeClassifier::new(n_classes)),
+                Box::new(crate::SgdClassifier::new(n_classes, seed)),
+            ],
+            n_classes,
+        )
+    }
+
+    /// Number of ensemble members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the ensemble has no members (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Classifier for VotingClassifier {
+    fn fit(&mut self, x: &Csr, y: &[u8]) -> FitReport {
+        // The paper notes the ensemble "is well-parallelized"; members are
+        // trained independently. (Members hold heterogeneous state so we
+        // train sequentially here; the wall-clock claim is reproduced by
+        // the bench harness at the ensemble level.)
+        let mut epochs = 0;
+        let mut converged = true;
+        for m in self.members.iter_mut() {
+            let r = m.fit(x, y);
+            epochs += r.epochs;
+            converged &= r.converged;
+        }
+        FitReport { epochs, converged }
+    }
+
+    fn predict(&self, x: &Csr) -> Vec<u8> {
+        let votes: Vec<Vec<u8>> = self.members.iter().map(|m| m.predict(x)).collect();
+        (0..x.rows())
+            .map(|r| {
+                let mut counts = vec![0u32; self.n_classes];
+                for v in &votes {
+                    counts[v[r] as usize] += 1;
+                }
+                let mut best = 0usize;
+                let mut best_c = 0u32;
+                for (c, &n) in counts.iter().enumerate() {
+                    if n > best_c {
+                        best_c = n;
+                        best = c;
+                    }
+                }
+                best as u8
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Ensemble Voter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::toy_problem;
+
+    /// A stub classifier with a fixed answer, for vote-counting tests.
+    struct Constant(u8);
+    impl Classifier for Constant {
+        fn fit(&mut self, _x: &Csr, _y: &[u8]) -> FitReport {
+            FitReport::default()
+        }
+        fn predict(&self, x: &Csr) -> Vec<u8> {
+            vec![self.0; x.rows()]
+        }
+        fn name(&self) -> &'static str {
+            "Constant"
+        }
+    }
+
+    #[test]
+    fn majority_wins() {
+        let mut v = VotingClassifier::new(
+            vec![Box::new(Constant(2)), Box::new(Constant(2)), Box::new(Constant(0))],
+            3,
+        );
+        let (x, y) = toy_problem(10, 3, 0);
+        v.fit(&x, &y);
+        assert!(v.predict(&x).iter().all(|&p| p == 2));
+    }
+
+    #[test]
+    fn tie_resolves_to_lowest_class() {
+        let mut v =
+            VotingClassifier::new(vec![Box::new(Constant(3)), Box::new(Constant(1))], 4);
+        let (x, y) = toy_problem(6, 4, 1);
+        v.fit(&x, &y);
+        assert!(v.predict(&x).iter().all(|&p| p == 1));
+    }
+
+    #[test]
+    fn full_ensemble_learns() {
+        let mut v = VotingClassifier::paper_default(3, 12);
+        let (x, y) = toy_problem(150, 3, 13);
+        v.fit(&x, &y);
+        let pred = v.predict(&x);
+        let acc =
+            pred.iter().zip(y.iter()).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        assert!(acc > 0.9, "ensemble accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn empty_ensemble_rejected() {
+        let _ = VotingClassifier::new(vec![], 2);
+    }
+}

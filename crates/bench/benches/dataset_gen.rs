@@ -1,0 +1,45 @@
+//! Dataset-generation throughput (paper Fig. 1 pipeline).
+//!
+//! Measures full trace replay (event handling + matching + encoding) and
+//! the CO-VV row encoder in isolation at a paper-scale feature width.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ctlm_agocs::Replayer;
+use ctlm_data::compaction::collapse;
+use ctlm_data::encode::co_vv::CoVvEncoder;
+use ctlm_data::vocab::ValueVocab;
+use ctlm_trace::{AttrValue, CellSet, ConstraintOp, Scale, TaskConstraint, TraceGenerator};
+
+fn bench_dataset_gen(c: &mut Criterion) {
+    let trace = TraceGenerator::generate_cell(
+        CellSet::C2019c,
+        Scale { machines: 120, collections: 500, seed: 79 },
+    );
+    let mut group = c.benchmark_group("dataset_gen");
+    group.sample_size(10);
+    group.bench_function("replay_small_trace", |b| {
+        b.iter(|| Replayer::default().replay(std::hint::black_box(&trace)))
+    });
+
+    // Row encoding against a paper-scale vocabulary (~16k columns).
+    let mut vocab = ValueVocab::new();
+    for v in 0..12_000 {
+        vocab.observe(0, &AttrValue::Int(v));
+    }
+    for v in 0..4_000 {
+        vocab.observe(1, &AttrValue::Int(v));
+    }
+    let reqs = collapse(&[
+        TaskConstraint::new(0, ConstraintOp::GreaterThanEqual(100)),
+        TaskConstraint::new(0, ConstraintOp::LessThan(700)),
+    ])
+    .unwrap();
+    group.bench_function("co_vv_encode_16k_columns", |b| {
+        b.iter(|| CoVvEncoder.encode_requirements(std::hint::black_box(&reqs), &vocab))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataset_gen);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Constraint-matching throughput — the AGOCS replay hot loop.
+//!
+//! Ground-truth labels require counting suitable machines per constrained
+//! task; this bench measures that count at increasing cluster sizes
+//! (sequential below the Rayon threshold, parallel above).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ctlm_agocs::{count_suitable, ClusterState};
+use ctlm_data::compaction::collapse;
+use ctlm_trace::{AttrValue, ConstraintOp, Machine, TaskConstraint};
+
+fn cluster(n: usize) -> ClusterState {
+    let mut s = ClusterState::new();
+    for i in 0..n as u64 {
+        let mut m = Machine::new(i, 0.5, 0.5);
+        m.set_attr(0, AttrValue::Int(i as i64));
+        m.set_attr(1, AttrValue::Int((i % 40) as i64));
+        m.set_attr(2, AttrValue::Str(format!("k{}", i % 7)));
+        s.add_machine(m);
+    }
+    s
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching");
+    for n in [100usize, 1_000, 12_600] {
+        let state = cluster(n);
+        let reqs = collapse(&[
+            TaskConstraint::new(0, ConstraintOp::GreaterThanEqual(5)),
+            TaskConstraint::new(0, ConstraintOp::LessThan(n as i64 / 2)),
+            TaskConstraint::new(2, ConstraintOp::NotEqual(AttrValue::from("k3"))),
+        ])
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("count_suitable", n), &n, |b, _| {
+            b.iter(|| count_suitable(std::hint::black_box(&state), std::hint::black_box(&reqs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! §V timing claim: per-step (re)training cost.
+//!
+//! The paper reports per-step wall times: Growing 1–6 min vs 7–42 min for
+//! the from-scratch models (order-of-magnitude gap). This bench measures
+//! one retraining step for each strategy on an identical dataset step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use ctlm_agocs::Replayer;
+use ctlm_baselines::{Classifier, MlpClassifier, RidgeClassifier, SgdClassifier};
+use ctlm_core::{FullRetrainModel, GrowingModel, TrainConfig};
+use ctlm_data::dataset::{Dataset, NUM_GROUPS};
+use ctlm_trace::{CellSet, Scale, TraceGenerator};
+
+fn steps() -> (Dataset, Dataset) {
+    let trace = TraceGenerator::generate_cell(
+        CellSet::C2019c,
+        Scale { machines: 150, collections: 900, seed: 77 },
+    );
+    let out = Replayer::default().replay(&trace);
+    let first = out.steps.first().expect("steps").vv.clone();
+    let last = out.steps.last().expect("steps").vv.clone();
+    (first, last)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (first, last) = steps();
+    let cfg = TrainConfig { epochs_limit: 40, max_attempts: 2, ..TrainConfig::default() };
+
+    let mut group = c.benchmark_group("training_step");
+    group.sample_size(10);
+
+    // Growing: warm-started on the first step, measured on the last.
+    group.bench_function("growing_transfer", |b| {
+        let mut warm = GrowingModel::new(cfg);
+        warm.step(&first, 1);
+        b.iter_batched(
+            || warm.clone(),
+            |mut m| m.step(&last, 2),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("fully_retrain", |b| {
+        b.iter_batched(
+            || FullRetrainModel::new(cfg),
+            |mut m| m.step(&last, 2),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("ridge_fit", |b| {
+        b.iter_batched(
+            || RidgeClassifier::new(NUM_GROUPS),
+            |mut m| m.fit(&last.x, &last.y),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("sgd_fit", |b| {
+        b.iter_batched(
+            || {
+                let mut s = SgdClassifier::new(NUM_GROUPS, 3);
+                s.max_iter = 30;
+                s
+            },
+            |mut m| m.fit(&last.x, &last.y),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("mlp_fit", |b| {
+        b.iter_batched(
+            || {
+                let mut m = MlpClassifier::paper_default(NUM_GROUPS, 3);
+                m.max_iter = 40;
+                m
+            },
+            |mut m| m.fit(&last.x, &last.y),
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

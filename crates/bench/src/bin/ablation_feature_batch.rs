@@ -1,0 +1,64 @@
+//! Ablation — feature-batch size per extension step.
+//!
+//! The paper (§VI): “Adding new features to the ANN should be done
+//! gradually. Experimentation showed that adding over 40–50 features at
+//! once often reduces accuracy and forces full model retraining.”
+//!
+//! Controlled setup: a CO-VV-like synthetic problem whose label signal is
+//! spread across the full feature range. Step A trains on a truncated
+//! feature array; step B widens it by `batch` columns whose signal must
+//! be learned through the transfer path. Larger batches mean more signal
+//! concentrated in fresh zero-initialised columns.
+
+use ctlm_bench::{rule, Cli};
+use ctlm_core::{GrowingModel, TrainConfig};
+use ctlm_data::dataset::{Dataset, DatasetBuilder, NUM_GROUPS};
+use rand::Rng;
+
+/// Builds the synthetic problem at a given visible width: labels depend
+/// on how many of the first `full_width` columns are marked, but only the
+/// first `visible` columns are encoded.
+fn dataset(n: usize, full_width: usize, visible: usize, seed: u64) -> Dataset {
+    let mut rng = ctlm_tensor::init::seeded_rng(seed);
+    let mut b = DatasetBuilder::new(visible, NUM_GROUPS);
+    for _ in 0..n {
+        let group: u8 =
+            if rng.gen_bool(0.03) { 0 } else { rng.gen_range(1..NUM_GROUPS as u8) };
+        let marks = 2 + (group as usize * (full_width - 4)) / NUM_GROUPS;
+        let entries: Vec<(usize, f32)> =
+            (0..marks).filter(|&c| c < visible).map(|c| (c, 1.0)).collect();
+        b.push(entries, group);
+    }
+    b.snapshot(visible)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    println!("ABLATION: FEATURES ADDED PER EXTENSION STEP (paper guidance: stay under 40-50)\n");
+    let full = 180usize;
+    println!(
+        "{:>7} {:>10} {:>10} {:>8} {:>9} {:>13}",
+        "batch", "acc A", "acc B", "epochs B", "accepted", "fell back"
+    );
+    rule(64);
+    for batch in [10usize, 25, 40, 60, 100] {
+        let visible_a = full - batch;
+        let cfg = TrainConfig::default();
+        let mut model = GrowingModel::new(cfg);
+        let ds_a = dataset(2_000, full, visible_a, cli.seed);
+        let out_a = model.step(&ds_a, cli.seed);
+        let ds_b = dataset(2_000, full, full, cli.seed + 1);
+        let out_b = model.step(&ds_b, cli.seed + 1);
+        println!(
+            "{:>7} {:>10.5} {:>10.5} {:>8} {:>9} {:>13}",
+            batch,
+            out_a.evaluation.accuracy,
+            out_b.evaluation.accuracy,
+            out_b.epochs,
+            out_b.accepted,
+            !out_b.used_transfer || out_b.attempts > 1,
+        );
+    }
+    println!("\nshape target: small batches keep the transfer cheap; large batches need");
+    println!("more epochs or fall back to full retraining (extra attempts).");
+}

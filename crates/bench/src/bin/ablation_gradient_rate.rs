@@ -1,0 +1,46 @@
+//! Ablation — the pre-trained gradient rate (Listing 3's 0.1).
+//!
+//! The paper: “a scaling factor above 20–30 % negated training effects,
+//! while zeroing gradients for pre-trained weights reduced model
+//! accuracy.” This sweep retrains the Growing model across the same
+//! dataset steps under different `pretrained_gradient_rate` values and
+//! reports accuracy and epoch totals.
+
+use ctlm_bench::{opt_f1, replay_cell, rule, Cli};
+use ctlm_core::pipeline::{run_model_over_steps, ModelKind};
+use ctlm_core::TrainConfig;
+use ctlm_trace::CellSet;
+
+fn main() {
+    let cli = Cli::parse();
+    println!("ABLATION: PRETRAINED_GRADIENT_RATE SWEEP (paper value: 0.1)\n");
+    let out = replay_cell(&cli, CellSet::C2019c);
+    println!(
+        "{:>6} {:>10} {:>11} {:>8} {:>9}",
+        "rate", "avg acc", "avg G0 F1", "epochs", "accepted"
+    );
+    rule(50);
+    for rate in [0.0f32, 0.05, 0.1, 0.2, 0.3, 0.5, 1.0] {
+        let cfg = TrainConfig { pretrained_gradient_rate: rate, ..TrainConfig::default() };
+        let run = run_model_over_steps(ModelKind::Growing, &out.steps, cfg, cli.seed);
+        let accepted = run
+            .steps
+            .iter()
+            .filter(|s| s.evaluation.accuracy > cfg.accepted_accuracy)
+            .count();
+        println!(
+            "{:>6.2} {:>10.5} {:>11} {:>8} {:>6}/{}",
+            rate,
+            run.avg_accuracy,
+            opt_f1(run.avg_group0_f1),
+            run.epochs_total,
+            accepted,
+            run.steps.len()
+        );
+    }
+    println!("\nshape target: rate 0 (frozen pre-trained weights) blows up the epoch");
+    println!("count and loses Group-0 F1 — the paper's \"zeroing gradients reduced");
+    println!("model accuracy\". Rates ≥ 0.05 form a shallow basin around the paper's");
+    println!("0.1; the paper's sharper degradation above 0.2–0.3 depends on how far");
+    println!("successive steps drift, which is milder in the synthetic traces.");
+}

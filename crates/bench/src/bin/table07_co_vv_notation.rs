@@ -1,0 +1,54 @@
+//! Table VII — the reversed 0/1 CO-VV notation.
+//!
+//! Regenerates the exact table: attribute `AM` with observed values 0–9,
+//! four sample constraint sets, `1` marking unacceptable values.
+
+use ctlm_data::encode::co_vv::CoVvEncoder;
+use ctlm_data::vocab::ValueVocab;
+use ctlm_trace::{AttrValue, ConstraintOp as Op, TaskConstraint};
+
+fn main() {
+    println!("TABLE VII. THE REVERSED '0/1' NOTATION OF CO AND MATCHED ATTRIBUTE VALUES\n");
+    let mut vocab = ValueVocab::new();
+    for v in 0..10 {
+        vocab.observe(0, &AttrValue::Int(v));
+    }
+    let header: Vec<String> = std::iter::once("(none)".to_string())
+        .chain((0..10).map(|v| format!("AM:{v}")))
+        .collect();
+    println!("{:<22} {}", "CO", header.join(" "));
+
+    let rows: Vec<(&str, Vec<TaskConstraint>)> = vec![
+        ("${AM} >= 5", vec![TaskConstraint::new(0, Op::GreaterThanEqual(5))]),
+        (
+            "3 > ${AM} > 0",
+            vec![
+                TaskConstraint::new(0, Op::LessThan(3)),
+                TaskConstraint::new(0, Op::GreaterThan(0)),
+            ],
+        ),
+        (
+            "${AM} <> 0; 7; 8",
+            vec![
+                TaskConstraint::new(0, Op::NotEqual(AttrValue::Int(0))),
+                TaskConstraint::new(0, Op::NotEqual(AttrValue::Int(7))),
+                TaskConstraint::new(0, Op::NotEqual(AttrValue::Int(8))),
+            ],
+        ),
+        ("${AM} > 0", vec![TaskConstraint::new(0, Op::GreaterThan(0))]),
+    ];
+
+    for (label, cs) in rows {
+        let entries = CoVvEncoder.encode(&cs, &vocab).expect("no contradictions here");
+        let mut dense = vec![0u8; vocab.len()];
+        for (c, v) in entries {
+            dense[c] = v as u8;
+        }
+        let cells: Vec<String> = dense
+            .iter()
+            .zip(header.iter())
+            .map(|(v, h)| format!("{v:>width$}", width = h.len()))
+            .collect();
+        println!("{label:<22} {}", cells.join(" "));
+    }
+}

@@ -1,0 +1,246 @@
+//! Expiring unused attributes (paper §VI, future work 2).
+//!
+//! “While this wasn't an issue in the thirty-one-day simulation, more
+//! active cluster configurations may face challenges if unused attribute
+//! values accumulate over time. Introducing a process to retire obsolete
+//! features will keep the model efficient and scalable.”
+//!
+//! [`UsageTracker`] records, per feature column, when a machine last held
+//! the value and when a task last referenced it. [`retire`] compacts the
+//! vocabulary and the trained model together, dropping columns idle for
+//! longer than a horizon — the exact inverse of the growing mechanism, so
+//! the model's behaviour on surviving columns is untouched.
+
+use serde::{Deserialize, Serialize};
+
+use ctlm_data::vocab::{ValueKey, ValueVocab};
+use ctlm_nn::state_dict::select_input_columns;
+use ctlm_nn::StateDict;
+use ctlm_trace::Micros;
+
+/// Per-column liveness tracking.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct UsageTracker {
+    /// Last time the column's value was observed on any machine, indexed
+    /// by column. `None` = never (column allocated but value gone before
+    /// tracking started).
+    machine_seen: Vec<Option<Micros>>,
+    /// Last time any task's encoding touched the column.
+    task_seen: Vec<Option<Micros>>,
+}
+
+impl UsageTracker {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, col: usize) {
+        if col >= self.machine_seen.len() {
+            self.machine_seen.resize(col + 1, None);
+            self.task_seen.resize(col + 1, None);
+        }
+    }
+
+    /// Notes that a machine currently holds the column's value.
+    pub fn touch_machine(&mut self, col: usize, now: Micros) {
+        self.ensure(col);
+        self.machine_seen[col] = Some(now);
+    }
+
+    /// Notes that a task's encoding referenced the column.
+    pub fn touch_task(&mut self, col: usize, now: Micros) {
+        self.ensure(col);
+        self.task_seen[col] = Some(now);
+    }
+
+    /// Most recent activity of either kind.
+    pub fn last_activity(&self, col: usize) -> Option<Micros> {
+        let m = self.machine_seen.get(col).copied().flatten();
+        let t = self.task_seen.get(col).copied().flatten();
+        match (m, t) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Columns idle since before `cutoff` (never-seen columns count as
+    /// idle).
+    pub fn idle_columns(&self, width: usize, cutoff: Micros) -> Vec<usize> {
+        (0..width)
+            .filter(|&c| match self.last_activity(c) {
+                Some(t) => t < cutoff,
+                None => true,
+            })
+            .collect()
+    }
+}
+
+/// Outcome of a retirement pass.
+#[derive(Clone, Debug)]
+pub struct Retirement {
+    /// The compacted vocabulary.
+    pub vocab: ValueVocab,
+    /// Old-column → new-column mapping (`None` = retired).
+    pub remap: Vec<Option<usize>>,
+    /// Number of columns removed.
+    pub retired: usize,
+}
+
+/// Retires idle feature columns from a (vocab, model) pair.
+///
+/// Policy guards, matching the paper's caution:
+/// * `(none)` pseudo-columns are never retired (presence constraints need
+///   them as long as the attribute exists);
+/// * at most `max_fraction` of the array is retired per pass (mirroring
+///   the grow-side 40–50-column guidance — large jumps destabilise).
+///
+/// The model's `fc1.weight` columns are compacted with the same remap, so
+/// predictions on tasks not referencing retired values are bit-identical.
+pub fn retire(
+    vocab: &ValueVocab,
+    state: &mut StateDict,
+    tracker: &UsageTracker,
+    cutoff: Micros,
+    max_fraction: f64,
+) -> Result<Retirement, ctlm_nn::StateDictError> {
+    let width = vocab.len();
+    let mut idle: Vec<usize> = tracker
+        .idle_columns(width, cutoff)
+        .into_iter()
+        .filter(|&c| {
+            !matches!(vocab.key_at(c), Some((_, ValueKey::Absent)))
+        })
+        .collect();
+    let cap = ((width as f64) * max_fraction).floor() as usize;
+    idle.truncate(cap);
+    let retired_set: std::collections::BTreeSet<usize> = idle.iter().copied().collect();
+    let keep: Vec<usize> = (0..width).filter(|c| !retired_set.contains(c)).collect();
+    select_input_columns(state, "fc1.weight", &keep)?;
+    let (new_vocab, remap) = vocab.rebuild_keeping(&keep);
+    Ok(Retirement { vocab: new_vocab, remap, retired: retired_set.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::growing::GrowingModel;
+    use crate::trainer::{fresh_two_layer, TrainConfig};
+    use ctlm_data::dataset::{DatasetBuilder, NUM_GROUPS};
+    use ctlm_tensor::CsrBuilder;
+    use ctlm_trace::AttrValue;
+
+    fn vocab_n(n: i64) -> ValueVocab {
+        let mut v = ValueVocab::new();
+        for i in 0..n {
+            v.observe(0, &AttrValue::Int(i));
+        }
+        v
+    }
+
+    #[test]
+    fn tracker_reports_idleness() {
+        let mut t = UsageTracker::new();
+        t.touch_machine(0, 100);
+        t.touch_task(1, 50);
+        t.touch_task(0, 30);
+        assert_eq!(t.last_activity(0), Some(100));
+        assert_eq!(t.last_activity(1), Some(50));
+        assert_eq!(t.last_activity(7), None);
+        assert_eq!(t.idle_columns(3, 60), vec![1, 2]);
+    }
+
+    #[test]
+    fn retire_compacts_vocab_and_model_consistently() {
+        let vocab = vocab_n(10); // 11 columns: (none) + 0..9
+        let cfg = TrainConfig { epochs_limit: 30, ..TrainConfig::default() };
+
+        // Train on rows that only ever touch the first 6 value columns.
+        let enc = ctlm_data::encode::co_vv::CoVvEncoder;
+        let mut b = DatasetBuilder::new(vocab.len(), NUM_GROUPS);
+        for k in 1..6i64 {
+            for _ in 0..40 {
+                let cs = vec![ctlm_trace::TaskConstraint::new(
+                    0,
+                    ctlm_trace::ConstraintOp::LessThan(k),
+                )];
+                let reqs = ctlm_data::compaction::collapse(&cs).unwrap();
+                b.push(
+                    enc.encode_requirements(&reqs, &vocab),
+                    ctlm_data::dataset::group_for_count(k as usize, 1),
+                );
+            }
+        }
+        let ds = b.snapshot(vocab.len());
+        let mut model = GrowingModel::new(cfg);
+        model.step(&ds, 1);
+
+        // Mark columns for values 0..6 live; 7..9 idle.
+        let mut tracker = UsageTracker::new();
+        for c in 0..8 {
+            tracker.touch_machine(c, 1_000);
+        }
+        let mut sd = model.state_dict().unwrap().clone();
+        let r = retire(&vocab, &mut sd, &tracker, 500, 0.5).unwrap();
+        assert_eq!(r.retired, 3, "value columns 8,9,10 idle");
+        assert_eq!(r.vocab.len(), 8);
+
+        // Predictions on rows that avoid retired columns are identical.
+        let old_net = model.to_net();
+        let mut new_net = fresh_two_layer(8, model.config(), 0);
+        new_net.load_state_dict(&sd).unwrap();
+        let mut bo = CsrBuilder::new(11);
+        let mut bn = CsrBuilder::new(8);
+        // Row marking (none) + values 0..3 (columns 0..=4 survive as-is).
+        bo.push_row((0..5).map(|c| (c, 1.0)));
+        bn.push_row((0..5).map(|c| (c, 1.0)));
+        let po = old_net.forward(&bo.finish());
+        let pn = new_net.forward(&bn.finish());
+        assert!(po.max_abs_diff(&pn) < 1e-6, "retirement changed surviving behaviour");
+    }
+
+    #[test]
+    fn absent_columns_survive_retirement() {
+        let vocab = vocab_n(4);
+        let cfg = TrainConfig::default();
+        let net = fresh_two_layer(vocab.len(), &cfg, 1);
+        let mut sd = net.state_dict();
+        let tracker = UsageTracker::new(); // everything idle
+        let r = retire(&vocab, &mut sd, &tracker, u64::MAX, 1.0).unwrap();
+        // All 4 value columns go; the (none) column stays.
+        assert_eq!(r.vocab.len(), 1);
+        assert!(matches!(r.vocab.key_at(0), Some((_, ValueKey::Absent))));
+    }
+
+    #[test]
+    fn max_fraction_caps_a_pass() {
+        let vocab = vocab_n(10);
+        let cfg = TrainConfig::default();
+        let net = fresh_two_layer(vocab.len(), &cfg, 2);
+        let mut sd = net.state_dict();
+        let tracker = UsageTracker::new();
+        let r = retire(&vocab, &mut sd, &tracker, u64::MAX, 0.2).unwrap();
+        assert!(r.retired <= 2, "20% of 11 columns is 2, retired {}", r.retired);
+    }
+
+    #[test]
+    fn growing_continues_after_retirement() {
+        // Retire, then keep growing: the full lifecycle.
+        let vocab = vocab_n(10);
+        let cfg = TrainConfig { epochs_limit: 20, max_attempts: 2, ..TrainConfig::default() };
+        let net = fresh_two_layer(vocab.len(), &cfg, 3);
+        let mut sd = net.state_dict();
+        let mut tracker = UsageTracker::new();
+        for c in 0..6 {
+            tracker.touch_machine(c, 10);
+        }
+        let r = retire(&vocab, &mut sd, &tracker, 5, 0.6).unwrap();
+        let new_width = r.vocab.len();
+        // Grow again by padding — the standard Listing-2 path applies to
+        // the compacted dict unchanged.
+        ctlm_nn::state_dict::pad_input_weight(&mut sd, "fc1.weight", new_width + 4).unwrap();
+        let mut net2 = fresh_two_layer(new_width + 4, &cfg, 4);
+        net2.load_state_dict(&sd).unwrap();
+        assert_eq!(net2.in_features(), new_width + 4);
+    }
+}

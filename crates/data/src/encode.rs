@@ -1,0 +1,4 @@
+//! The two dataset encodings the paper compares (§III.C–D).
+
+pub mod co_el;
+pub mod co_vv;

@@ -1,0 +1,163 @@
+//! Multi-format dataset export.
+//!
+//! “After the AGOCS tool modifications, its features were extended to
+//! generate datasets in various formats simultaneously for use in ML
+//! frameworks. This allowed for rapid testing and comparison of multiple
+//! methods.” (§III)
+//!
+//! Three formats cover the ecosystems the paper touches:
+//!
+//! * **CSV** — dense rows, pandas/scikit-learn style (header + label
+//!   column last);
+//! * **JSONL** — one object per row with sparse `cols` (PyTorch-loader
+//!   friendly);
+//! * **svmlight/libsvm** — `label col:val …`, the sparse interchange
+//!   format scikit-learn's `load_svmlight_file` consumes.
+
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::dataset::Dataset;
+
+/// Supported export formats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExportFormat {
+    /// Dense CSV with header; label column last.
+    Csv,
+    /// One JSON object per line: `{"y":g,"cols":[..],"vals":[..]}`.
+    Jsonl,
+    /// svmlight/libsvm sparse rows: `label col:val …` (1-based columns).
+    SvmLight,
+}
+
+/// Writes a dataset in the chosen format.
+///
+/// # Errors
+/// Propagates I/O errors from the writer.
+pub fn export(ds: &Dataset, format: ExportFormat, out: &mut impl Write) -> io::Result<()> {
+    match format {
+        ExportFormat::Csv => export_csv(ds, out),
+        ExportFormat::Jsonl => export_jsonl(ds, out),
+        ExportFormat::SvmLight => export_svmlight(ds, out),
+    }
+}
+
+/// Renders to an in-memory string (convenience for tests and examples).
+pub fn export_string(ds: &Dataset, format: ExportFormat) -> String {
+    let mut buf = Vec::new();
+    export(ds, format, &mut buf).expect("in-memory write cannot fail");
+    String::from_utf8(buf).expect("exports are ASCII")
+}
+
+fn export_csv(ds: &Dataset, out: &mut impl Write) -> io::Result<()> {
+    let d = ds.features_count();
+    let mut line = String::new();
+    for c in 0..d {
+        write!(line, "f{c},").expect("string write");
+    }
+    line.push_str("label\n");
+    out.write_all(line.as_bytes())?;
+    for r in 0..ds.len() {
+        line.clear();
+        let mut dense = vec![0u8; d];
+        for (c, v) in ds.x.row_entries(r) {
+            dense[c] = v as u8;
+        }
+        for v in &dense {
+            write!(line, "{v},").expect("string write");
+        }
+        writeln!(line, "{}", ds.y[r]).expect("string write");
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn export_jsonl(ds: &Dataset, out: &mut impl Write) -> io::Result<()> {
+    let mut line = String::new();
+    for r in 0..ds.len() {
+        line.clear();
+        let cols: Vec<String> = ds.x.row_entries(r).map(|(c, _)| c.to_string()).collect();
+        let vals: Vec<String> = ds.x.row_entries(r).map(|(_, v)| format!("{v}")).collect();
+        writeln!(
+            line,
+            "{{\"y\":{},\"cols\":[{}],\"vals\":[{}]}}",
+            ds.y[r],
+            cols.join(","),
+            vals.join(",")
+        )
+        .expect("string write");
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn export_svmlight(ds: &Dataset, out: &mut impl Write) -> io::Result<()> {
+    let mut line = String::new();
+    for r in 0..ds.len() {
+        line.clear();
+        write!(line, "{}", ds.y[r]).expect("string write");
+        for (c, v) in ds.x.row_entries(r) {
+            // svmlight columns are 1-based.
+            write!(line, " {}:{v}", c + 1).expect("string write");
+        }
+        line.push('\n');
+        out.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn sample() -> Dataset {
+        let mut b = DatasetBuilder::new(4, 26);
+        b.push([(0, 1.0), (2, 1.0)], 3);
+        b.push([], 25);
+        b.push([(3, 1.0)], 0);
+        b.snapshot(4)
+    }
+
+    #[test]
+    fn csv_has_header_and_dense_rows() {
+        let s = export_string(&sample(), ExportFormat::Csv);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "f0,f1,f2,f3,label");
+        assert_eq!(lines[1], "1,0,1,0,3");
+        assert_eq!(lines[2], "0,0,0,0,25");
+        assert_eq!(lines[3], "0,0,0,1,0");
+    }
+
+    #[test]
+    fn jsonl_rows_parse_back() {
+        let s = export_string(&sample(), ExportFormat::Jsonl);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let v: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(v["y"], 3);
+        assert_eq!(v["cols"], serde_json::json!([0, 2]));
+        let empty: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+        assert_eq!(empty["cols"], serde_json::json!([]));
+    }
+
+    #[test]
+    fn svmlight_is_one_based_sparse() {
+        let s = export_string(&sample(), ExportFormat::SvmLight);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "3 1:1 3:1");
+        assert_eq!(lines[1], "25");
+        assert_eq!(lines[2], "0 4:1");
+    }
+
+    #[test]
+    fn all_formats_cover_every_row() {
+        let ds = sample();
+        for f in [ExportFormat::Csv, ExportFormat::Jsonl, ExportFormat::SvmLight] {
+            let s = export_string(&ds, f);
+            let expected = ds.len() + usize::from(f == ExportFormat::Csv);
+            assert_eq!(s.lines().count(), expected, "{f:?}");
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests over the dataset encodings.
+
+use proptest::prelude::*;
+
+use ctlm_data::compaction::collapse;
+use ctlm_data::encode::co_vv::CoVvEncoder;
+use ctlm_data::vocab::{ValueKey, ValueVocab};
+use ctlm_trace::{AttrValue, ConstraintOp as Op, TaskConstraint};
+
+fn arb_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        (-3i64..12).prop_map(AttrValue::Int),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(AttrValue::from),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_value().prop_map(|v| Op::Equal(Some(v))),
+        arb_value().prop_map(Op::NotEqual),
+        (-3i64..12).prop_map(Op::LessThan),
+        (-3i64..12).prop_map(Op::GreaterThan),
+        (-3i64..12).prop_map(Op::LessThanEqual),
+        (-3i64..12).prop_map(Op::GreaterThanEqual),
+        Just(Op::Present),
+        Just(Op::NotPresent),
+    ]
+}
+
+fn vocab_10() -> ValueVocab {
+    let mut v = ValueVocab::new();
+    for n in 0..10 {
+        v.observe(0, &AttrValue::Int(n));
+    }
+    for s in ["a", "b", "c"] {
+        v.observe(1, &AttrValue::from(s));
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// CO-VV ground truth: a column is marked 1 exactly when the
+    /// collapsed requirement rejects that column's value (or absence) —
+    /// for arbitrary constraint sets.
+    #[test]
+    fn covv_marks_exactly_the_rejected_values(
+        ops in prop::collection::vec(arb_op(), 1..4),
+        attr in 0u32..2,
+    ) {
+        let cs: Vec<TaskConstraint> =
+            ops.into_iter().map(|op| TaskConstraint::new(attr, op)).collect();
+        let vocab = vocab_10();
+        if let Ok(reqs) = collapse(&cs) {
+            let entries = CoVvEncoder.encode_requirements(&reqs, &vocab);
+            let marked: std::collections::BTreeSet<usize> =
+                entries.iter().map(|&(c, _)| c).collect();
+            let req = &reqs[0];
+            for (col, key) in vocab.attr_columns(attr) {
+                let state = match key {
+                    ValueKey::Absent => None,
+                    ValueKey::Value(v) => Some(v),
+                };
+                let rejected = !req.accepts(state);
+                prop_assert_eq!(
+                    marked.contains(&col),
+                    rejected,
+                    "column {} (key {:?}) marked={} rejected={}",
+                    col, key, marked.contains(&col), rejected
+                );
+            }
+            // Nothing outside the constrained attribute is marked.
+            for &(c, v) in &entries {
+                prop_assert_eq!(v, 1.0);
+                prop_assert_eq!(vocab.key_at(c).unwrap().0, attr);
+            }
+        }
+    }
+
+    /// Widening the vocabulary never changes the encoding of an existing
+    /// constraint on the old columns (append-only stability).
+    #[test]
+    fn covv_is_stable_under_vocab_growth(
+        ops in prop::collection::vec(arb_op(), 1..4),
+        extra in 1i64..8,
+    ) {
+        let cs: Vec<TaskConstraint> =
+            ops.into_iter().map(|op| TaskConstraint::new(0, op)).collect();
+        let mut vocab = vocab_10();
+        if let Ok(before) = CoVvEncoder.encode(&cs, &vocab) {
+            for n in 0..extra {
+                vocab.observe(0, &AttrValue::Int(100 + n));
+            }
+            let after = CoVvEncoder.encode(&cs, &vocab).unwrap();
+            let old_cols = 11; // (none) + 10 values of attr 0... attr1 cols unaffected
+            let before_old: Vec<_> =
+                before.iter().filter(|&&(c, _)| c < old_cols).collect();
+            let after_old: Vec<_> =
+                after.iter().filter(|&&(c, _)| c < old_cols).collect();
+            prop_assert_eq!(before_old, after_old);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Mini-batch iteration (the `train_loader` of Listing 3).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Yields shuffled index batches, reshuffling each epoch — equivalent to
+/// `DataLoader(shuffle=True)`.
+#[derive(Clone, Debug)]
+pub struct BatchIter {
+    n: usize,
+    batch_size: usize,
+    rng: StdRng,
+}
+
+impl BatchIter {
+    /// Iterator over `n` samples in batches of `batch_size`.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn new(n: usize, batch_size: usize, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self { n, batch_size, rng: StdRng::seed_from_u64(seed ^ 0xBA7C_17E8) }
+    }
+
+    /// One epoch's batches (freshly shuffled).
+    pub fn epoch(&mut self) -> Vec<Vec<usize>> {
+        let mut idx: Vec<usize> = (0..self.n).collect();
+        idx.shuffle(&mut self.rng);
+        idx.chunks(self.batch_size).map(|c| c.to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_covers_every_index_once() {
+        let mut it = BatchIter::new(25, 8, 1);
+        let batches = it.epoch();
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_sizes_are_respected() {
+        let mut it = BatchIter::new(25, 8, 2);
+        let batches = it.epoch();
+        assert_eq!(batches.len(), 4);
+        assert!(batches[..3].iter().all(|b| b.len() == 8));
+        assert_eq!(batches[3].len(), 1);
+    }
+
+    #[test]
+    fn epochs_reshuffle() {
+        let mut it = BatchIter::new(100, 100, 3);
+        let a = it.epoch();
+        let b = it.epoch();
+        assert_ne!(a, b, "consecutive epochs should differ");
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_batches() {
+        let mut it = BatchIter::new(0, 8, 4);
+        assert!(it.epoch().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_rejected() {
+        let _ = BatchIter::new(10, 0, 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! The Listing-3 gradient-multiplier mechanism.
+//!
+//! After backpropagation, the growing model multiplies the gradient of the
+//! *pre-trained* `fc1.weight` columns by `PRETRAINED_GRADIENT_RATE` (0.1
+//! in the paper) while the freshly padded columns keep their full
+//! gradient:
+//!
+//! ```text
+//! multiplier = [0.1, 0.1, …, 0.1,   1, 1, …, 1]
+//!               └ pretrained cols ┘ └ new cols ┘
+//! param.grad.mul_(multiplier)   # in-place, per row
+//! ```
+//!
+//! “A scaling factor above 20–30 % negated training effects, while zeroing
+//! gradients for pre-trained weights reduced model accuracy” — the
+//! ablation bench sweeps this rate to reproduce that observation.
+
+use crate::layer::Linear;
+
+/// The per-column multiplier tensor of Listing 3, built once and applied
+/// in place each step (mirroring the paper's device-resident
+/// `multiplier_tensor` with `requires_grad=False`).
+#[derive(Clone, Debug)]
+pub struct ColumnGradScale {
+    multiplier: Vec<f32>,
+}
+
+impl ColumnGradScale {
+    /// `[rate; pretrained_cols] ++ [1.0; total_cols - pretrained_cols]`.
+    ///
+    /// # Panics
+    /// Panics if `pretrained_cols > total_cols`.
+    pub fn new(pretrained_cols: usize, total_cols: usize, rate: f32) -> Self {
+        assert!(pretrained_cols <= total_cols, "pretrained boundary beyond width");
+        let mut multiplier = vec![rate; pretrained_cols];
+        multiplier.resize(total_cols, 1.0);
+        Self { multiplier }
+    }
+
+    /// The raw multiplier vector.
+    pub fn multiplier(&self) -> &[f32] {
+        &self.multiplier
+    }
+
+    /// Applies the multiplier to a layer's accumulated weight gradient,
+    /// row by row — the in-place `param_grad.mul_(multiplier_tensor)` of
+    /// Listing 3.
+    ///
+    /// # Panics
+    /// Panics if the layer width does not match the multiplier length.
+    pub fn apply(&self, layer: &mut Linear) {
+        assert_eq!(
+            layer.in_features(),
+            self.multiplier.len(),
+            "multiplier width must match fc1 input width"
+        );
+        let cols = self.multiplier.len();
+        let g = layer.grad_weight.as_mut_slice();
+        for row in g.chunks_mut(cols) {
+            for (v, &m) in row.iter_mut().zip(self.multiplier.iter()) {
+                *v *= m;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctlm_tensor::init::seeded_rng;
+    use ctlm_tensor::Matrix;
+
+    #[test]
+    fn multiplier_layout_matches_listing3() {
+        let s = ColumnGradScale::new(3, 5, 0.1);
+        assert_eq!(s.multiplier(), &[0.1, 0.1, 0.1, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn apply_scales_only_pretrained_columns() {
+        let mut rng = seeded_rng(1);
+        let mut l = crate::layer::Linear::new(4, 2, &mut rng);
+        l.grad_weight = Matrix::full(2, 4, 10.0);
+        ColumnGradScale::new(2, 4, 0.1).apply(&mut l);
+        assert_eq!(l.grad_weight.row(0), &[1.0, 1.0, 10.0, 10.0]);
+        assert_eq!(l.grad_weight.row(1), &[1.0, 1.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn zero_pretrained_boundary_is_identity() {
+        let mut rng = seeded_rng(2);
+        let mut l = crate::layer::Linear::new(3, 1, &mut rng);
+        l.grad_weight = Matrix::full(1, 3, 2.0);
+        ColumnGradScale::new(0, 3, 0.1).apply(&mut l);
+        assert_eq!(l.grad_weight.row(0), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn full_boundary_scales_everything() {
+        let mut rng = seeded_rng(3);
+        let mut l = crate::layer::Linear::new(3, 1, &mut rng);
+        l.grad_weight = Matrix::full(1, 3, 2.0);
+        ColumnGradScale::new(3, 3, 0.5).apply(&mut l);
+        assert_eq!(l.grad_weight.row(0), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond width")]
+    fn rejects_bad_boundary() {
+        let _ = ColumnGradScale::new(6, 5, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match fc1 input width")]
+    fn rejects_mismatched_layer() {
+        let mut rng = seeded_rng(4);
+        let mut l = crate::layer::Linear::new(4, 2, &mut rng);
+        ColumnGradScale::new(2, 5, 0.1).apply(&mut l);
+    }
+}

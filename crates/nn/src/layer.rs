@@ -1,0 +1,240 @@
+//! Linear layers and activations.
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use ctlm_tensor::{init, ops, Csr, Matrix};
+
+/// A fully-connected layer storing its weight PyTorch-style as
+/// `(out_features × in_features)`, with per-tensor `requires_grad` flags —
+/// the freezing mechanism of the paper's Listing 1
+/// (`param.requires_grad = False`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix `(out, in)`.
+    pub weight: Matrix,
+    /// Bias vector, length `out`.
+    pub bias: Vec<f32>,
+    /// Accumulated weight gradient, same shape as `weight`.
+    pub grad_weight: Matrix,
+    /// Accumulated bias gradient.
+    pub grad_bias: Vec<f32>,
+    /// When false the optimizer skips the weight (frozen).
+    pub weight_requires_grad: bool,
+    /// When false the optimizer skips the bias (frozen).
+    pub bias_requires_grad: bool,
+}
+
+impl Linear {
+    /// A layer with PyTorch-default initialisation.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        Self {
+            weight: init::linear_weight(out_features, in_features, rng),
+            bias: init::linear_bias(out_features, in_features, rng),
+            grad_weight: Matrix::zeros(out_features, in_features),
+            grad_bias: vec![0.0; out_features],
+            weight_requires_grad: true,
+            bias_requires_grad: true,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// `y = x Wᵀ + b` over a sparse batch.
+    pub fn forward_sparse(&self, x: &Csr) -> Matrix {
+        let mut y = ops::csr_matmul_bt(x, &self.weight);
+        ops::add_bias(&mut y, &self.bias);
+        y
+    }
+
+    /// `y = x Wᵀ + b` over a dense batch.
+    pub fn forward_dense(&self, x: &Matrix) -> Matrix {
+        let mut y = ops::matmul_bt(x, &self.weight);
+        ops::add_bias(&mut y, &self.bias);
+        y
+    }
+
+    /// Accumulates gradients for a sparse input batch. Input gradients are
+    /// not produced (the sparse layer is always the first layer).
+    pub fn backward_sparse(&mut self, x: &Csr, grad_out: &Matrix) {
+        if self.weight_requires_grad {
+            let gw = ops::csr_grad_weight(grad_out, x);
+            self.grad_weight.add_assign(&gw);
+        }
+        if self.bias_requires_grad {
+            for (gb, g) in self.grad_bias.iter_mut().zip(ops::col_sums(grad_out)) {
+                *gb += g;
+            }
+        }
+    }
+
+    /// Accumulates gradients for a dense input batch and returns the
+    /// gradient w.r.t. the input (`grad_in = grad_out · W`).
+    pub fn backward_dense(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
+        if self.weight_requires_grad {
+            let gw = ops::matmul_at(grad_out, x);
+            self.grad_weight.add_assign(&gw);
+        }
+        if self.bias_requires_grad {
+            for (gb, g) in self.grad_bias.iter_mut().zip(ops::col_sums(grad_out)) {
+                *gb += g;
+            }
+        }
+        ops::matmul(grad_out, &self.weight)
+    }
+
+    /// Zeroes accumulated gradients (`optimizer.zero_grad()`).
+    pub fn zero_grad(&mut self) {
+        self.grad_weight.zero();
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Freezes both tensors (Listing 1's base-layer freeze).
+    pub fn freeze(&mut self) {
+        self.weight_requires_grad = false;
+        self.bias_requires_grad = false;
+    }
+
+    /// Unfreezes both tensors.
+    pub fn unfreeze(&mut self) {
+        self.weight_requires_grad = true;
+        self.bias_requires_grad = true;
+    }
+}
+
+/// A network layer: linear or ReLU. The paper's own model is two bare
+/// linear layers (Listing 1 has no activation); the MLP baseline inserts
+/// a ReLU, matching scikit-learn's `MLPClassifier` default.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully-connected layer.
+    Linear(Linear),
+    /// Rectified linear unit.
+    Relu,
+}
+
+impl Layer {
+    /// Applies the layer forward (dense path).
+    pub fn forward_dense(&self, x: &Matrix) -> Matrix {
+        match self {
+            Layer::Linear(l) => l.forward_dense(x),
+            Layer::Relu => relu(x),
+        }
+    }
+}
+
+/// Element-wise ReLU.
+pub fn relu(x: &Matrix) -> Matrix {
+    let mut y = x.clone();
+    y.as_mut_slice().iter_mut().for_each(|v| {
+        if *v < 0.0 {
+            *v = 0.0;
+        }
+    });
+    y
+}
+
+/// Backward of ReLU: passes gradient where the forward input was > 0.
+pub fn relu_backward(x: &Matrix, grad_out: &Matrix) -> Matrix {
+    assert_eq!(x.shape(), grad_out.shape());
+    let mut g = grad_out.clone();
+    for (gv, &xv) in g.as_mut_slice().iter_mut().zip(x.as_slice()) {
+        if xv <= 0.0 {
+            *gv = 0.0;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctlm_tensor::init::seeded_rng;
+    use ctlm_tensor::CsrBuilder;
+
+    #[test]
+    fn forward_sparse_matches_dense() {
+        let mut rng = seeded_rng(1);
+        let l = Linear::new(6, 3, &mut rng);
+        let mut b = CsrBuilder::new(6);
+        b.push_row([(0, 1.0), (4, 1.0)]);
+        b.push_row([(2, 1.0)]);
+        let x = b.finish();
+        let ys = l.forward_sparse(&x);
+        let yd = l.forward_dense(&x.to_dense());
+        assert!(ys.max_abs_diff(&yd) < 1e-5);
+    }
+
+    #[test]
+    fn frozen_layer_accumulates_no_gradient() {
+        let mut rng = seeded_rng(2);
+        let mut l = Linear::new(4, 2, &mut rng);
+        l.freeze();
+        let x = Matrix::from_fn(3, 4, |r, c| (r + c) as f32);
+        let go = Matrix::full(3, 2, 1.0);
+        let _ = l.backward_dense(&x, &go);
+        assert_eq!(l.grad_weight, Matrix::zeros(2, 4));
+        assert!(l.grad_bias.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn backward_dense_weight_grad_matches_manual() {
+        let mut rng = seeded_rng(3);
+        let mut l = Linear::new(2, 1, &mut rng);
+        let x = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let go = Matrix::from_vec(2, 1, vec![1.0, 1.0]);
+        let _ = l.backward_dense(&x, &go);
+        // grad_W[0][j] = sum_i go[i] * x[i][j] = [1+3, 2+4]
+        assert_eq!(l.grad_weight.row(0), &[4.0, 6.0]);
+        assert_eq!(l.grad_bias, vec![2.0]);
+    }
+
+    #[test]
+    fn backward_sparse_matches_dense_backward() {
+        let mut rng = seeded_rng(4);
+        let mut ls = Linear::new(5, 3, &mut rng);
+        let mut ld = ls.clone();
+        let mut b = CsrBuilder::new(5);
+        b.push_row([(1, 1.0)]);
+        b.push_row([(0, 2.0), (4, 1.0)]);
+        let x = b.finish();
+        let go = Matrix::from_fn(2, 3, |r, c| (r as f32 + 1.0) * (c as f32 - 1.0));
+        ls.backward_sparse(&x, &go);
+        let _ = ld.backward_dense(&x.to_dense(), &go);
+        assert!(ls.grad_weight.max_abs_diff(&ld.grad_weight) < 1e-5);
+        for (a, b) in ls.grad_bias.iter().zip(ld.grad_bias.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut rng = seeded_rng(5);
+        let mut l = Linear::new(2, 1, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let go = Matrix::from_vec(1, 1, vec![1.0]);
+        let _ = l.backward_dense(&x, &go);
+        let _ = l.backward_dense(&x, &go);
+        assert_eq!(l.grad_weight.row(0), &[2.0, 2.0]);
+        l.zero_grad();
+        assert_eq!(l.grad_weight.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_and_its_backward() {
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -0.5]);
+        let y = relu(&x);
+        assert_eq!(y.row(0), &[0.0, 0.0, 2.0, 0.0]);
+        let go = Matrix::full(1, 4, 1.0);
+        let gx = relu_backward(&x, &go);
+        assert_eq!(gx.row(0), &[0.0, 0.0, 1.0, 0.0]);
+    }
+}

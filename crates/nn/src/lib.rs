@@ -1,0 +1,31 @@
+//! # ctlm-nn — the neural-network substrate (PyTorch stand-in)
+//!
+//! The paper's models need a narrow slice of PyTorch, which this crate
+//! implements natively:
+//!
+//! * [`Linear`] layers with `(out_features × in_features)` weights and the
+//!   `requires_grad` freezing semantics of Listing 1;
+//! * [`Net`] — an `nn.Sequential` equivalent with named layers
+//!   (`fc1`, `fc2`, …) and explicit forward/backward over sparse inputs;
+//! * [`CrossEntropyLoss`] with per-class weights (the paper boosts
+//!   Group 0 by 200×);
+//! * [`Adam`] (lr 0.05 in the paper) and plain [`Sgd`];
+//! * [`StateDict`] save/load plus the Listing-2 input-weight zero-padding;
+//! * [`grad_scale`] — the Listing-3 in-place gradient-multiplier trick
+//!   that trains pre-trained input columns at 10 % rate while new columns
+//!   train at full rate.
+
+pub mod batch;
+pub mod grad_scale;
+pub mod layer;
+pub mod loss;
+pub mod net;
+pub mod optim;
+pub mod state_dict;
+
+pub use batch::BatchIter;
+pub use layer::{Layer, Linear};
+pub use loss::CrossEntropyLoss;
+pub use net::Net;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use state_dict::{pad_input_weight, StateDict, StateDictError, TensorData};

@@ -1,0 +1,169 @@
+//! Weighted cross-entropy loss.
+//!
+//! `torch.nn.CrossEntropyLoss(weight=class_weights)` with mean reduction:
+//! softmax over logits, negative log-likelihood weighted per class, and
+//! the weighted-mean convention PyTorch uses (divide by the *sum of the
+//! selected samples' weights*, not the batch size). The paper sets the
+//! Group 0 weight to 200 and all others to 1.
+
+use ctlm_tensor::{ops, Matrix};
+
+/// Cross-entropy with per-class weights.
+#[derive(Clone, Debug)]
+pub struct CrossEntropyLoss {
+    weights: Vec<f32>,
+}
+
+impl CrossEntropyLoss {
+    /// Uniform weights over `n_classes`.
+    pub fn uniform(n_classes: usize) -> Self {
+        Self { weights: vec![1.0; n_classes] }
+    }
+
+    /// Explicit per-class weights.
+    ///
+    /// # Panics
+    /// Panics if any weight is non-positive.
+    pub fn with_weights(weights: Vec<f32>) -> Self {
+        assert!(weights.iter().all(|&w| w > 0.0), "class weights must be positive");
+        Self { weights }
+    }
+
+    /// The paper's weighting: `[GROUP_0_CLASS_WEIGHT] + [1] * 25`.
+    pub fn group0_boosted(n_classes: usize, group0_weight: f32) -> Self {
+        let mut w = vec![1.0; n_classes];
+        w[0] = group0_weight;
+        Self { weights: w }
+    }
+
+    /// The weight vector.
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Computes `(loss, grad_logits)` for a batch.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or out-of-range targets.
+    pub fn forward(&self, logits: &Matrix, targets: &[u8]) -> (f32, Matrix) {
+        assert_eq!(logits.rows(), targets.len(), "batch size mismatch");
+        assert_eq!(logits.cols(), self.weights.len(), "class count mismatch");
+        let probs = ops::softmax_rows(logits);
+        let mut loss = 0.0f64;
+        let mut weight_sum = 0.0f64;
+        for (i, &t) in targets.iter().enumerate() {
+            let t = t as usize;
+            assert!(t < self.weights.len(), "target {t} out of range");
+            let w = self.weights[t] as f64;
+            let p = probs.get(i, t).max(1e-12) as f64;
+            loss -= w * p.ln();
+            weight_sum += w;
+        }
+        let loss = (loss / weight_sum) as f32;
+
+        // grad wrt logits: w[y_i] * (softmax - onehot) / Σ w[y_i]
+        let mut grad = probs;
+        let inv = 1.0 / weight_sum as f32;
+        for (i, &t) in targets.iter().enumerate() {
+            let w = self.weights[t as usize];
+            let row = grad.row_mut(i);
+            for v in row.iter_mut() {
+                *v *= w * inv;
+            }
+            row[t as usize] -= w * inv;
+        }
+        (loss, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_loss_matches_manual_nll() {
+        let loss_fn = CrossEntropyLoss::uniform(2);
+        // Logits [0, 0] → p = 0.5 → loss = ln 2.
+        let logits = Matrix::zeros(1, 2);
+        let (l, _) = loss_fn.forward(&logits, &[0]);
+        assert!((l - std::f32::consts::LN_2).abs() < 1e-5);
+    }
+
+    #[test]
+    fn confident_correct_prediction_has_low_loss() {
+        let loss_fn = CrossEntropyLoss::uniform(3);
+        let logits = Matrix::from_vec(1, 3, vec![10.0, -10.0, -10.0]);
+        let (l, _) = loss_fn.forward(&logits, &[0]);
+        assert!(l < 1e-3);
+        let (l_wrong, _) = loss_fn.forward(&logits, &[1]);
+        assert!(l_wrong > 5.0, "incorrect confident prediction heavily penalised");
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        // Σ_c grad[i][c] = w (Σ softmax - 1) / Σw = 0 per row.
+        let loss_fn = CrossEntropyLoss::group0_boosted(4, 200.0);
+        let logits = Matrix::from_vec(2, 4, vec![1.0, 2.0, 0.5, -1.0, 0.0, 0.0, 3.0, 1.0]);
+        let (_, g) = loss_fn.forward(&logits, &[0, 2]);
+        for r in 0..2 {
+            let s: f32 = g.row(r).iter().sum();
+            assert!(s.abs() < 1e-5, "row {r} grad sum {s}");
+        }
+    }
+
+    #[test]
+    fn group0_weight_amplifies_group0_gradient() {
+        let uniform = CrossEntropyLoss::uniform(2);
+        let boosted = CrossEntropyLoss::group0_boosted(2, 200.0);
+        let logits = Matrix::from_vec(2, 2, vec![0.0, 0.0, 0.0, 0.0]);
+        // Batch with one sample of each class.
+        let (_, gu) = uniform.forward(&logits, &[0, 1]);
+        let (_, gb) = boosted.forward(&logits, &[0, 1]);
+        // Relative contribution of the class-0 sample grows under boosting.
+        let ratio_u = gu.get(0, 0).abs() / gu.get(1, 1).abs();
+        let ratio_b = gb.get(0, 0).abs() / gb.get(1, 1).abs();
+        assert!((ratio_u - 1.0).abs() < 1e-4);
+        assert!((ratio_b - 200.0).abs() < 0.5, "boost ratio {ratio_b}");
+    }
+
+    #[test]
+    fn weighted_mean_uses_weight_sum_denominator() {
+        // PyTorch semantics: loss = Σ w_i * nll_i / Σ w_i. With all
+        // samples in one class, the weight cancels exactly.
+        let boosted = CrossEntropyLoss::group0_boosted(2, 200.0);
+        let uniform = CrossEntropyLoss::uniform(2);
+        let logits = Matrix::from_vec(2, 2, vec![0.3, -0.2, 1.0, 0.1]);
+        let (lb, _) = boosted.forward(&logits, &[0, 0]);
+        let (lu, _) = uniform.forward(&logits, &[0, 0]);
+        assert!((lb - lu).abs() < 1e-6);
+    }
+
+    #[test]
+    fn numeric_gradient_of_loss() {
+        let loss_fn = CrossEntropyLoss::with_weights(vec![2.0, 1.0, 5.0]);
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.1, 0.2, 1.0, 0.0, -1.0]);
+        let targets = [2u8, 0];
+        let (_, g) = loss_fn.forward(&logits, &targets);
+        let eps = 1e-3;
+        for (r, c) in [(0usize, 0usize), (0, 2), (1, 1)] {
+            let mut lp = logits.clone();
+            lp.set(r, c, lp.get(r, c) + eps);
+            let mut lm = logits.clone();
+            lm.set(r, c, lm.get(r, c) - eps);
+            let (fp, _) = loss_fn.forward(&lp, &targets);
+            let (fm, _) = loss_fn.forward(&lm, &targets);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (g.get(r, c) - numeric).abs() < 1e-3,
+                "grad[{r}][{c}] analytic {} vs numeric {numeric}",
+                g.get(r, c)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_weights() {
+        let _ = CrossEntropyLoss::with_weights(vec![1.0, 0.0]);
+    }
+}

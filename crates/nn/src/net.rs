@@ -1,0 +1,404 @@
+//! The `nn.Sequential` equivalent.
+//!
+//! A [`Net`] is an ordered stack of [`Layer`]s whose first layer consumes
+//! a sparse batch. Linear layers are named `fc1`, `fc2`, … in order, so
+//! state dicts carry the exact keys the paper's listings manipulate
+//! (`fc1.weight`, `fc1.bias`, `fc2.weight`, `fc2.bias`).
+
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+use ctlm_tensor::{Csr, Matrix};
+
+use crate::layer::{relu_backward, Layer, Linear};
+use crate::state_dict::{StateDict, StateDictError, TensorData};
+
+/// A sequential network over sparse input batches.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Net {
+    layers: Vec<Layer>,
+}
+
+/// Cached activations from a training forward pass, consumed by
+/// [`Net::backward`]. `inputs[i]` is the dense input to layer `i+1`
+/// (layer 0's input is the sparse batch itself).
+pub struct ForwardCache {
+    inputs: Vec<Matrix>,
+    /// The network output (logits).
+    pub logits: Matrix,
+}
+
+impl Net {
+    /// Builds the paper's model (Listing 1): two bare linear layers,
+    /// `fc1: in → hidden`, `fc2: hidden → classes`, no activation.
+    pub fn two_layer(in_features: usize, hidden: usize, classes: usize, rng: &mut StdRng) -> Self {
+        Self {
+            layers: vec![
+                Layer::Linear(Linear::new(in_features, hidden, rng)),
+                Layer::Linear(Linear::new(hidden, classes, rng)),
+            ],
+        }
+    }
+
+    /// Builds an MLP with one ReLU hidden layer (the scikit-learn
+    /// `MLPClassifier` architecture used as a baseline).
+    pub fn mlp(in_features: usize, hidden: usize, classes: usize, rng: &mut StdRng) -> Self {
+        Self {
+            layers: vec![
+                Layer::Linear(Linear::new(in_features, hidden, rng)),
+                Layer::Relu,
+                Layer::Linear(Linear::new(hidden, classes, rng)),
+            ],
+        }
+    }
+
+    /// Builds from an explicit layer stack.
+    ///
+    /// # Panics
+    /// Panics unless the first layer is linear.
+    pub fn from_layers(layers: Vec<Layer>) -> Self {
+        assert!(
+            matches!(layers.first(), Some(Layer::Linear(_))),
+            "first layer must be linear (it consumes the sparse batch)"
+        );
+        Self { layers }
+    }
+
+    /// The layer stack (read-only).
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable layer access (freezing, ablation surgery).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Input feature width of the network.
+    pub fn in_features(&self) -> usize {
+        match &self.layers[0] {
+            Layer::Linear(l) => l.in_features(),
+            Layer::Relu => unreachable!("first layer is linear by construction"),
+        }
+    }
+
+    /// Output width (class count).
+    pub fn out_features(&self) -> usize {
+        self.layers
+            .iter()
+            .rev()
+            .find_map(|l| match l {
+                Layer::Linear(lin) => Some(lin.out_features()),
+                Layer::Relu => None,
+            })
+            .expect("network has at least one linear layer")
+    }
+
+    /// The first linear layer — the paper's `fc1`, target of all the
+    /// growing-model surgery.
+    pub fn input_layer_mut(&mut self) -> &mut Linear {
+        match &mut self.layers[0] {
+            Layer::Linear(l) => l,
+            Layer::Relu => unreachable!("first layer is linear by construction"),
+        }
+    }
+
+    /// Immutable access to `fc1`.
+    pub fn input_layer(&self) -> &Linear {
+        match &self.layers[0] {
+            Layer::Linear(l) => l,
+            Layer::Relu => unreachable!("first layer is linear by construction"),
+        }
+    }
+
+    /// Inference forward pass.
+    pub fn forward(&self, x: &Csr) -> Matrix {
+        let mut h = match &self.layers[0] {
+            Layer::Linear(l) => l.forward_sparse(x),
+            Layer::Relu => unreachable!(),
+        };
+        for layer in &self.layers[1..] {
+            h = layer.forward_dense(&h);
+        }
+        h
+    }
+
+    /// Predicted class per row.
+    pub fn predict(&self, x: &Csr) -> Vec<u8> {
+        self.forward(x).argmax_rows().into_iter().map(|c| c as u8).collect()
+    }
+
+    /// Training forward pass, caching the activations backward needs.
+    pub fn forward_train(&self, x: &Csr) -> ForwardCache {
+        let mut inputs = Vec::with_capacity(self.layers.len().saturating_sub(1));
+        let mut h = match &self.layers[0] {
+            Layer::Linear(l) => l.forward_sparse(x),
+            Layer::Relu => unreachable!(),
+        };
+        for layer in &self.layers[1..] {
+            inputs.push(h.clone());
+            h = layer.forward_dense(&h);
+        }
+        ForwardCache { inputs, logits: h }
+    }
+
+    /// Backpropagates `grad_logits`, accumulating parameter gradients.
+    pub fn backward(&mut self, x: &Csr, cache: &ForwardCache, grad_logits: &Matrix) {
+        let mut grad = grad_logits.clone();
+        // Walk layers in reverse; layer i>0 reads cache.inputs[i-1].
+        for i in (1..self.layers.len()).rev() {
+            let input = &cache.inputs[i - 1];
+            grad = match &mut self.layers[i] {
+                Layer::Linear(l) => l.backward_dense(input, &grad),
+                Layer::Relu => relu_backward(input, &grad),
+            };
+        }
+        match &mut self.layers[0] {
+            Layer::Linear(l) => l.backward_sparse(x, &grad),
+            Layer::Relu => unreachable!(),
+        }
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        for layer in &mut self.layers {
+            if let Layer::Linear(l) = layer {
+                l.zero_grad();
+            }
+        }
+    }
+
+    /// Visits every parameter tensor as `(name, data, grad, requires_grad)`.
+    /// Names follow the PyTorch convention of the listings: `fcN.weight`,
+    /// `fcN.bias` with N counting linear layers from 1.
+    pub fn visit_params_mut(
+        &mut self,
+        mut f: impl FnMut(&str, &mut [f32], &[f32], bool),
+    ) {
+        let mut n = 0;
+        for layer in &mut self.layers {
+            if let Layer::Linear(l) = layer {
+                n += 1;
+                let wname = format!("fc{n}.weight");
+                let bname = format!("fc{n}.bias");
+                f(
+                    &wname,
+                    l.weight.as_mut_slice(),
+                    l.grad_weight.as_slice(),
+                    l.weight_requires_grad,
+                );
+                f(&bname, &mut l.bias, &l.grad_bias, l.bias_requires_grad);
+            }
+        }
+    }
+
+    /// Extracts the model's state dict (PyTorch `model.state_dict()`).
+    pub fn state_dict(&self) -> StateDict {
+        let mut sd = StateDict::new();
+        let mut n = 0;
+        for layer in &self.layers {
+            if let Layer::Linear(l) = layer {
+                n += 1;
+                sd.insert(
+                    format!("fc{n}.weight"),
+                    TensorData {
+                        shape: vec![l.weight.rows(), l.weight.cols()],
+                        data: l.weight.as_slice().to_vec(),
+                    },
+                );
+                sd.insert(
+                    format!("fc{n}.bias"),
+                    TensorData { shape: vec![l.bias.len()], data: l.bias.clone() },
+                );
+            }
+        }
+        sd
+    }
+
+    /// Restores parameters from a state dict (PyTorch
+    /// `model.load_state_dict()`): strict shape checking, all keys
+    /// required.
+    pub fn load_state_dict(&mut self, sd: &StateDict) -> Result<(), StateDictError> {
+        let mut n = 0;
+        for layer in &mut self.layers {
+            if let Layer::Linear(l) = layer {
+                n += 1;
+                let wname = format!("fc{n}.weight");
+                let bname = format!("fc{n}.bias");
+                let w = sd.get(&wname).ok_or_else(|| StateDictError::MissingKey(wname.clone()))?;
+                let expect = vec![l.weight.rows(), l.weight.cols()];
+                if w.shape != expect {
+                    return Err(StateDictError::ShapeMismatch {
+                        key: wname,
+                        expected: expect,
+                        found: w.shape.clone(),
+                    });
+                }
+                l.weight =
+                    Matrix::from_vec(w.shape[0], w.shape[1], w.data.clone());
+                let b = sd.get(&bname).ok_or_else(|| StateDictError::MissingKey(bname.clone()))?;
+                if b.shape != vec![l.bias.len()] {
+                    return Err(StateDictError::ShapeMismatch {
+                        key: bname,
+                        expected: vec![l.bias.len()],
+                        found: b.shape.clone(),
+                    });
+                }
+                l.bias = b.data.clone();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::CrossEntropyLoss;
+    use ctlm_tensor::init::seeded_rng;
+    use ctlm_tensor::CsrBuilder;
+
+    fn toy_batch(d: usize) -> (Csr, Vec<u8>) {
+        let mut b = CsrBuilder::new(d);
+        b.push_row([(0, 1.0), (2, 1.0)]);
+        b.push_row([(1, 1.0)]);
+        b.push_row([(3, 1.0), (4, 1.0)]);
+        (b.finish(), vec![0, 1, 2])
+    }
+
+    #[test]
+    fn two_layer_shapes() {
+        let mut rng = seeded_rng(1);
+        let net = Net::two_layer(10, 30, 26, &mut rng);
+        assert_eq!(net.in_features(), 10);
+        assert_eq!(net.out_features(), 26);
+        let (x, _) = toy_batch(10);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), (3, 26));
+    }
+
+    #[test]
+    fn state_dict_roundtrip() {
+        let mut rng = seeded_rng(2);
+        let net = Net::two_layer(8, 5, 3, &mut rng);
+        let sd = net.state_dict();
+        assert!(sd.contains_key("fc1.weight"));
+        assert!(sd.contains_key("fc2.bias"));
+        let mut net2 = Net::two_layer(8, 5, 3, &mut seeded_rng(99));
+        net2.load_state_dict(&sd).unwrap();
+        let (x, _) = toy_batch(8);
+        assert!(net.forward(&x).max_abs_diff(&net2.forward(&x)) < 1e-6);
+    }
+
+    #[test]
+    fn load_state_dict_rejects_shape_mismatch() {
+        let mut rng = seeded_rng(3);
+        let net = Net::two_layer(8, 5, 3, &mut rng);
+        let sd = net.state_dict();
+        let mut bigger = Net::two_layer(9, 5, 3, &mut rng);
+        let err = bigger.load_state_dict(&sd).unwrap_err();
+        assert!(matches!(err, StateDictError::ShapeMismatch { .. }));
+    }
+
+    /// Finite-difference gradient check on the full two-layer network,
+    /// weighted loss included — validates the entire backward path.
+    #[test]
+    fn numeric_gradient_check() {
+        let mut rng = seeded_rng(4);
+        let mut net = Net::two_layer(5, 4, 3, &mut rng);
+        let (x, y) = toy_batch(5);
+        let loss_fn = CrossEntropyLoss::with_weights(vec![3.0, 1.0, 1.0]);
+
+        // Analytic gradients.
+        net.zero_grad();
+        let cache = net.forward_train(&x);
+        let (_, grad_logits) = loss_fn.forward(&cache.logits, &y);
+        net.backward(&x, &cache, &grad_logits);
+
+        let eps = 1e-3f32;
+        // Check a sample of fc1.weight entries numerically.
+        for (r, c) in [(0usize, 0usize), (1, 2), (3, 4)] {
+            let analytic = net.input_layer().grad_weight.get(r, c);
+            let orig = net.input_layer().weight.get(r, c);
+            net.input_layer_mut().weight.set(r, c, orig + eps);
+            let (lp, _) = loss_fn.forward(&net.forward(&x), &y);
+            net.input_layer_mut().weight.set(r, c, orig - eps);
+            let (lm, _) = loss_fn.forward(&net.forward(&x), &y);
+            net.input_layer_mut().weight.set(r, c, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 2e-2_f32.max(0.05 * numeric.abs()),
+                "fc1.weight[{r}][{c}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_gradient_check_through_relu() {
+        let mut rng = seeded_rng(5);
+        let mut net = Net::mlp(5, 6, 3, &mut rng);
+        let (x, y) = toy_batch(5);
+        let loss_fn = CrossEntropyLoss::uniform(3);
+        net.zero_grad();
+        let cache = net.forward_train(&x);
+        let (_, grad_logits) = loss_fn.forward(&cache.logits, &y);
+        net.backward(&x, &cache, &grad_logits);
+        let eps = 1e-3f32;
+        // Check one entry of the *second* linear layer (fc2).
+        let (r, c) = (1usize, 3usize);
+        let analytic = match &net.layers()[2] {
+            Layer::Linear(l) => l.grad_weight.get(r, c),
+            _ => unreachable!(),
+        };
+        let get_set = |net: &mut Net, v: Option<f32>| -> f32 {
+            match &mut net.layers[2] {
+                Layer::Linear(l) => {
+                    let old = l.weight.get(r, c);
+                    if let Some(v) = v {
+                        l.weight.set(r, c, v);
+                    }
+                    old
+                }
+                _ => unreachable!(),
+            }
+        };
+        let orig = get_set(&mut net, None);
+        get_set(&mut net, Some(orig + eps));
+        let (lp, _) = loss_fn.forward(&net.forward(&x), &y);
+        get_set(&mut net, Some(orig - eps));
+        let (lm, _) = loss_fn.forward(&net.forward(&x), &y);
+        get_set(&mut net, Some(orig));
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (analytic - numeric).abs() < 2e-2_f32.max(0.05 * numeric.abs()),
+            "fc2.weight[{r}][{c}]: analytic {analytic} vs numeric {numeric}"
+        );
+    }
+
+    #[test]
+    fn visit_params_yields_pytorch_names() {
+        let mut rng = seeded_rng(6);
+        let mut net = Net::two_layer(4, 3, 2, &mut rng);
+        let mut names = Vec::new();
+        net.visit_params_mut(|name, _, _, _| names.push(name.to_string()));
+        assert_eq!(names, vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]);
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let mut rng = seeded_rng(7);
+        let net = Net::two_layer(5, 4, 3, &mut rng);
+        let (x, _) = toy_batch(5);
+        let logits = net.forward(&x);
+        let pred = net.predict(&x);
+        for (i, &p) in pred.iter().enumerate() {
+            assert_eq!(p as usize, logits.argmax_rows()[i]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "first layer must be linear")]
+    fn from_layers_rejects_relu_first() {
+        let _ = Net::from_layers(vec![Layer::Relu]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Machine capacity accounting for the scheduler.
+
+use std::collections::HashMap;
+
+use ctlm_data::compaction::AttrRequirement;
+use ctlm_trace::{Machine, MachineId, TaskId};
+
+/// A machine's live allocation state.
+#[derive(Clone, Debug)]
+struct Alloc {
+    cpu_used: f64,
+    mem_used: f64,
+    /// Tasks placed here with their reservations and priority.
+    tasks: HashMap<TaskId, (f64, f64, u8)>,
+}
+
+/// The scheduler's view of the cluster: trace machines plus usage.
+#[derive(Clone, Debug, Default)]
+pub struct SchedCluster {
+    machines: HashMap<MachineId, (Machine, Alloc)>,
+}
+
+impl SchedCluster {
+    /// Empty cluster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a machine list.
+    pub fn from_machines(machines: impl IntoIterator<Item = Machine>) -> Self {
+        let mut c = Self::new();
+        for m in machines {
+            c.add_machine(m);
+        }
+        c
+    }
+
+    /// Adds a machine.
+    pub fn add_machine(&mut self, m: Machine) {
+        self.machines
+            .insert(m.id, (m, Alloc { cpu_used: 0.0, mem_used: 0.0, tasks: HashMap::new() }));
+    }
+
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// True when the cluster has no machines.
+    pub fn is_empty(&self) -> bool {
+        self.machines.is_empty()
+    }
+
+    /// Free CPU on a machine.
+    pub fn free_cpu(&self, id: MachineId) -> f64 {
+        let (m, a) = &self.machines[&id];
+        m.cpu - a.cpu_used
+    }
+
+    /// Free memory on a machine.
+    pub fn free_mem(&self, id: MachineId) -> f64 {
+        let (m, a) = &self.machines[&id];
+        m.memory - a.mem_used
+    }
+
+    /// Machines satisfying the requirements (constraint feasibility only,
+    /// not capacity).
+    pub fn suitable(&self, reqs: &[AttrRequirement]) -> Vec<MachineId> {
+        let mut ids: Vec<MachineId> = self
+            .machines
+            .values()
+            .filter(|(m, _)| reqs.iter().all(|r| r.accepts(m.attr(r.attr))))
+            .map(|(m, _)| m.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// True when the machine can hold the request right now.
+    pub fn fits(&self, id: MachineId, cpu: f64, mem: f64) -> bool {
+        self.free_cpu(id) >= cpu && self.free_mem(id) >= mem
+    }
+
+    /// Reserves capacity for a task.
+    ///
+    /// # Panics
+    /// Panics if the reservation does not fit (callers check `fits`).
+    pub fn place(&mut self, id: MachineId, task: TaskId, cpu: f64, mem: f64, priority: u8) {
+        assert!(self.fits(id, cpu, mem), "placement must fit");
+        let (_, a) = self.machines.get_mut(&id).expect("machine exists");
+        a.cpu_used += cpu;
+        a.mem_used += mem;
+        a.tasks.insert(task, (cpu, mem, priority));
+    }
+
+    /// Releases a task's reservation. Returns true if it was present.
+    pub fn release(&mut self, id: MachineId, task: TaskId) -> bool {
+        if let Some((_, a)) = self.machines.get_mut(&id) {
+            if let Some((cpu, mem, _)) = a.tasks.remove(&task) {
+                a.cpu_used -= cpu;
+                a.mem_used -= mem;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Tasks on a machine with priority strictly below `priority`, sorted
+    /// lowest-priority first — the Kubernetes preemption candidate order.
+    pub fn preemption_candidates(&self, id: MachineId, priority: u8) -> Vec<(TaskId, f64, f64, u8)> {
+        let (_, a) = &self.machines[&id];
+        let mut out: Vec<(TaskId, f64, f64, u8)> = a
+            .tasks
+            .iter()
+            .filter(|(_, (_, _, p))| *p < priority)
+            .map(|(&t, &(c, m, p))| (t, c, m, p))
+            .collect();
+        out.sort_by_key(|&(t, _, _, p)| (p, t));
+        out
+    }
+
+    /// One machine's attribute value (soft-affinity scoring needs direct
+    /// attribute access).
+    pub fn machine_attr(&self, id: MachineId, attr: ctlm_trace::AttrId) -> Option<&ctlm_trace::AttrValue> {
+        self.machines.get(&id).and_then(|(m, _)| m.attr(attr))
+    }
+
+    /// Total CPU utilisation across the cluster (0..1).
+    pub fn cpu_utilisation(&self) -> f64 {
+        let (used, cap) = self
+            .machines
+            .values()
+            .fold((0.0, 0.0), |(u, c), (m, a)| (u + a.cpu_used, c + m.cpu));
+        if cap == 0.0 {
+            0.0
+        } else {
+            used / cap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctlm_trace::AttrValue;
+
+    fn cluster3() -> SchedCluster {
+        let mut ms = Vec::new();
+        for i in 0..3u64 {
+            let mut m = Machine::new(i, 1.0, 1.0);
+            m.set_attr(0, AttrValue::Int(i as i64));
+            ms.push(m);
+        }
+        SchedCluster::from_machines(ms)
+    }
+
+    #[test]
+    fn place_and_release_roundtrip() {
+        let mut c = cluster3();
+        assert!(c.fits(0, 0.6, 0.6));
+        c.place(0, 100, 0.6, 0.6, 5);
+        assert!(!c.fits(0, 0.6, 0.6));
+        assert!((c.free_cpu(0) - 0.4).abs() < 1e-9);
+        assert!(c.release(0, 100));
+        assert!(!c.release(0, 100));
+        assert!(c.fits(0, 0.6, 0.6));
+    }
+
+    #[test]
+    fn suitable_filters_by_requirements() {
+        use ctlm_data::compaction::collapse;
+        use ctlm_trace::{ConstraintOp as Op, TaskConstraint};
+        let c = cluster3();
+        let reqs = collapse(&[TaskConstraint::new(0, Op::LessThan(2))]).unwrap();
+        assert_eq!(c.suitable(&reqs), vec![0, 1]);
+    }
+
+    #[test]
+    fn preemption_candidates_sorted_by_priority() {
+        let mut c = cluster3();
+        c.place(1, 10, 0.2, 0.2, 3);
+        c.place(1, 11, 0.2, 0.2, 1);
+        c.place(1, 12, 0.2, 0.2, 9);
+        let cands = c.preemption_candidates(1, 5);
+        assert_eq!(cands.iter().map(|&(t, ..)| t).collect::<Vec<_>>(), vec![11, 10]);
+    }
+
+    #[test]
+    fn utilisation_tracks_placements() {
+        let mut c = cluster3();
+        assert_eq!(c.cpu_utilisation(), 0.0);
+        c.place(0, 1, 1.0, 0.5, 0);
+        assert!((c.cpu_utilisation() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "placement must fit")]
+    fn oversized_placement_panics() {
+        let mut c = cluster3();
+        c.place(0, 1, 1.5, 0.1, 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Gang grouping.
+//!
+//! “This approach works well with gang scheduling, where tasks in the
+//! same job are grouped by their CO and scheduled together.” Tasks of one
+//! collection sharing identical collapsed constraints form a *gang*; the
+//! engine can be configured to place gangs all-or-nothing.
+
+use std::collections::HashMap;
+
+use ctlm_trace::CollectionId;
+
+use crate::queue::PendingTask;
+
+/// Key identifying a gang: the collection plus a fingerprint of the
+/// collapsed constraints.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct GangKey {
+    /// The collection the tasks belong to.
+    pub collection: CollectionId,
+    /// Display fingerprint of the constraint set.
+    pub co_fingerprint: String,
+}
+
+/// Groups pending tasks into gangs (collection × CO set).
+pub fn group_into_gangs(tasks: Vec<PendingTask>) -> Vec<(GangKey, Vec<PendingTask>)> {
+    let mut map: HashMap<GangKey, Vec<PendingTask>> = HashMap::new();
+    let mut order: Vec<GangKey> = Vec::new();
+    for t in tasks {
+        let fp = t.reqs.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(" && ");
+        let key = GangKey { collection: t.collection, co_fingerprint: fp };
+        if !map.contains_key(&key) {
+            order.push(key.clone());
+        }
+        map.entry(key).or_default().push(t);
+    }
+    order.into_iter().map(|k| {
+        let v = map.remove(&k).expect("key inserted above");
+        (k, v)
+    }).collect()
+}
+
+/// All-or-nothing gang placement: reserves machines for *every* task of
+/// the gang or places nothing. Returns the `(task, machine)` assignments
+/// on success; on failure the cluster is left untouched.
+///
+/// Greedy best-fit per member with rollback — sufficient for the paper's
+/// usage (“tasks in the same job are grouped by their CO and scheduled
+/// together”), where gang members share one constraint set.
+pub fn place_gang(
+    cluster: &mut crate::cluster::SchedCluster,
+    gang: &[PendingTask],
+) -> Option<Vec<(u64, u64)>> {
+    let mut placed: Vec<(u64, u64)> = Vec::with_capacity(gang.len());
+    for t in gang {
+        match crate::placement::best_fit(cluster, t) {
+            crate::placement::Placement::Placed(m) => {
+                cluster.place(m, t.id, t.cpu, t.memory, t.priority);
+                placed.push((t.id, m));
+            }
+            _ => {
+                // Roll back everything reserved so far.
+                for &(task, machine) in &placed {
+                    cluster.release(machine, task);
+                }
+                return None;
+            }
+        }
+    }
+    Some(placed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctlm_data::compaction::collapse;
+    use ctlm_trace::{ConstraintOp as Op, TaskConstraint};
+
+    fn task(id: u64, collection: u64, lt: Option<i64>) -> PendingTask {
+        let reqs = match lt {
+            Some(v) => collapse(&[TaskConstraint::new(0, Op::LessThan(v))]).unwrap(),
+            None => vec![],
+        };
+        PendingTask {
+            id,
+            collection,
+            cpu: 0.1,
+            memory: 0.1,
+            priority: 0,
+            reqs,
+            arrival: 0,
+            truth_group: 25,
+        }
+    }
+
+    #[test]
+    fn same_collection_same_co_groups_together() {
+        let gangs = group_into_gangs(vec![task(1, 7, Some(3)), task(2, 7, Some(3))]);
+        assert_eq!(gangs.len(), 1);
+        assert_eq!(gangs[0].1.len(), 2);
+    }
+
+    #[test]
+    fn different_co_splits_the_gang() {
+        let gangs = group_into_gangs(vec![task(1, 7, Some(3)), task(2, 7, Some(9))]);
+        assert_eq!(gangs.len(), 2);
+    }
+
+    #[test]
+    fn different_collections_never_merge() {
+        let gangs = group_into_gangs(vec![task(1, 7, None), task(2, 8, None)]);
+        assert_eq!(gangs.len(), 2);
+    }
+
+    #[test]
+    fn gang_places_all_or_nothing() {
+        use crate::cluster::SchedCluster;
+        use ctlm_trace::{AttrValue, Machine};
+        let mut ms = Vec::new();
+        for i in 0..2u64 {
+            let mut m = Machine::new(i, 1.0, 1.0);
+            m.set_attr(0, AttrValue::Int(i as i64));
+            ms.push(m);
+        }
+        let mut cluster = SchedCluster::from_machines(ms);
+
+        // A 3-member gang needing 0.8 CPU each on 2 machines: only two
+        // fit, so nothing must be reserved.
+        let gang: Vec<PendingTask> = (0..3)
+            .map(|i| PendingTask { cpu: 0.8, memory: 0.1, ..task(100 + i, 5, None) })
+            .collect();
+        assert!(place_gang(&mut cluster, &gang).is_none());
+        assert!(
+            (cluster.cpu_utilisation()).abs() < 1e-9,
+            "failed gang must leave no reservations behind"
+        );
+
+        // A 2-member gang fits and reserves both slots.
+        let ok = place_gang(&mut cluster, &gang[..2].to_vec()).expect("2 members fit");
+        assert_eq!(ok.len(), 2);
+        assert!(cluster.cpu_utilisation() > 0.0);
+    }
+
+    #[test]
+    fn insertion_order_is_preserved() {
+        let gangs =
+            group_into_gangs(vec![task(1, 9, None), task(2, 7, Some(1)), task(3, 9, None)]);
+        assert_eq!(gangs[0].0.collection, 9);
+        assert_eq!(gangs[0].1.len(), 2);
+        assert_eq!(gangs[1].0.collection, 7);
+    }
+}

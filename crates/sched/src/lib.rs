@@ -1,0 +1,39 @@
+//! # ctlm-sched — enhanced cluster job scheduling (paper Fig. 3)
+//!
+//! The deployment architecture the paper proposes around the CTLM model:
+//!
+//! ```text
+//!            ┌────────────────────┐   group ≤ 0   ┌────────────────────────┐
+//! tasks ───▶ │  Task CO Analyzer  │ ────────────▶ │ High-Priority Scheduler │──┐
+//!            │  (ctlm-core)       │               └────────────────────────┘  │
+//!            └─────────┬──────────┘                                           ▼
+//!                      │ otherwise  ┌────────────────────────┐           ┌─────────┐
+//!                      └──────────▶ │ Main Cluster Scheduler │ ────────▶ │ cluster │
+//!                                   └────────────────────────┘           └─────────┘
+//! ```
+//!
+//! * [`cluster`] — machines with capacity accounting;
+//! * [`queue`] — the pending job queue(s);
+//! * [`placement`] — best-fit placement and the Kubernetes-style
+//!   preemption fallback;
+//! * [`gang`] — gang grouping (“tasks in the same job are grouped by
+//!   their CO and scheduled together”);
+//! * [`engine`] — the discrete-event simulation that measures scheduling
+//!   latency per suitable-node group, with and without the analyzer;
+//! * [`updater`] — the background model-update thread (“updating ML model
+//!   runs in parallel and won't block or slow down the main cluster
+//!   scheduler”);
+//! * [`latency`] — latency statistics.
+
+pub mod cluster;
+pub mod engine;
+pub mod gang;
+pub mod latency;
+pub mod placement;
+pub mod queue;
+pub mod updater;
+
+pub use cluster::SchedCluster;
+pub use engine::{Policy, SimConfig, SimResult, Simulator};
+pub use latency::LatencyStats;
+pub use queue::{PendingQueue, PendingTask};

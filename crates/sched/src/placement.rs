@@ -1,0 +1,283 @@
+//! Placement strategies: best-fit, and the preemption fallback.
+//!
+//! The main scheduler uses best-fit over suitable machines (Borg moved to
+//! “a hybrid fairness and best-fit model to reduce fragmentation”). The
+//! high-priority scheduler adds a Kubernetes-style preemption fallback:
+//! when no suitable machine has room, lower-priority tasks are evicted to
+//! make room — the mechanism the paper contrasts its approach with.
+
+use ctlm_trace::{MachineId, TaskId};
+
+use crate::cluster::SchedCluster;
+use crate::queue::PendingTask;
+
+/// Outcome of a placement attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Placement {
+    /// Placed on the machine.
+    Placed(MachineId),
+    /// Placed after evicting these tasks from the machine.
+    PlacedWithPreemption(MachineId, Vec<TaskId>),
+    /// No suitable machine exists at all (affinity-infeasible).
+    Infeasible,
+    /// Suitable machines exist but none has capacity (and preemption was
+    /// not allowed or not sufficient).
+    NoCapacity,
+}
+
+/// Best-fit placement: among suitable machines with room, pick the one
+/// whose remaining CPU after placement is smallest (ties: lowest id).
+pub fn best_fit(cluster: &SchedCluster, task: &PendingTask) -> Placement {
+    let suitable = cluster.suitable(&task.reqs);
+    if suitable.is_empty() {
+        return Placement::Infeasible;
+    }
+    let mut best: Option<(f64, MachineId)> = None;
+    for id in suitable {
+        if cluster.fits(id, task.cpu, task.memory) {
+            let rem = cluster.free_cpu(id) - task.cpu;
+            let better = match best {
+                None => true,
+                Some((b, _)) => rem < b,
+            };
+            if better {
+                best = Some((rem, id));
+            }
+        }
+    }
+    match best {
+        Some((_, id)) => Placement::Placed(id),
+        None => Placement::NoCapacity,
+    }
+}
+
+/// Best-fit with Kubernetes-style *soft* node affinity (paper §VI, future
+/// work 5: “Kubernetes' 'soft' node-affinity adds complexity to
+/// scheduling, necessitating further research”).
+///
+/// `soft` requirements never exclude a machine; among suitable machines
+/// with capacity, the one satisfying the most soft requirements wins,
+/// with best-fit (smallest CPU remainder) as the tie-break.
+pub fn best_fit_soft(
+    cluster: &SchedCluster,
+    task: &PendingTask,
+    soft: &[ctlm_data::compaction::AttrRequirement],
+) -> Placement {
+    let suitable = cluster.suitable(&task.reqs);
+    if suitable.is_empty() {
+        return Placement::Infeasible;
+    }
+    let mut best: Option<(usize, f64, MachineId)> = None;
+    for id in suitable {
+        if !cluster.fits(id, task.cpu, task.memory) {
+            continue;
+        }
+        let score = soft
+            .iter()
+            .filter(|r| r.accepts(cluster.machine_attr(id, r.attr)))
+            .count();
+        let rem = cluster.free_cpu(id) - task.cpu;
+        let better = match best {
+            None => true,
+            Some((bs, br, _)) => score > bs || (score == bs && rem < br),
+        };
+        if better {
+            best = Some((score, rem, id));
+        }
+    }
+    match best {
+        Some((_, _, id)) => Placement::Placed(id),
+        None => Placement::NoCapacity,
+    }
+}
+
+/// Best-fit with a preemption fallback (the high-priority path).
+///
+/// When no suitable machine has free room, the suitable machine where the
+/// fewest / lowest-priority evictions suffice is chosen; the evicted task
+/// ids are returned so the engine can requeue them (Kubernetes reschedules
+/// preempted pods).
+pub fn best_fit_with_preemption(cluster: &SchedCluster, task: &PendingTask) -> Placement {
+    match best_fit(cluster, task) {
+        Placement::NoCapacity => {}
+        other => return other,
+    }
+    let suitable = cluster.suitable(&task.reqs);
+    let mut best: Option<(usize, MachineId, Vec<TaskId>)> = None;
+    for id in suitable {
+        let mut free_cpu = cluster.free_cpu(id);
+        let mut free_mem = cluster.free_mem(id);
+        let mut evictions = Vec::new();
+        for (victim, vc, vm, _p) in cluster.preemption_candidates(id, task.priority) {
+            if free_cpu >= task.cpu && free_mem >= task.memory {
+                break;
+            }
+            free_cpu += vc;
+            free_mem += vm;
+            evictions.push(victim);
+        }
+        if free_cpu >= task.cpu && free_mem >= task.memory && !evictions.is_empty() {
+            let better = match &best {
+                None => true,
+                Some((n, _, _)) => evictions.len() < *n,
+            };
+            if better {
+                best = Some((evictions.len(), id, evictions));
+            }
+        }
+    }
+    match best {
+        Some((_, id, evictions)) => Placement::PlacedWithPreemption(id, evictions),
+        None => Placement::NoCapacity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctlm_data::compaction::collapse;
+    use ctlm_trace::{AttrValue, ConstraintOp as Op, Machine, TaskConstraint};
+
+    fn cluster() -> SchedCluster {
+        let mut ms = Vec::new();
+        for i in 0..4u64 {
+            let mut m = Machine::new(i, 1.0, 1.0);
+            m.set_attr(0, AttrValue::Int(i as i64));
+            ms.push(m);
+        }
+        SchedCluster::from_machines(ms)
+    }
+
+    fn task(id: u64, cpu: f64, prio: u8, lt: Option<i64>) -> PendingTask {
+        let reqs = match lt {
+            Some(v) => collapse(&[TaskConstraint::new(0, Op::LessThan(v))]).unwrap(),
+            None => vec![],
+        };
+        PendingTask {
+            id,
+            collection: 0,
+            cpu,
+            memory: cpu,
+            priority: prio,
+            reqs,
+            arrival: 0,
+            truth_group: 25,
+        }
+    }
+
+    #[test]
+    fn best_fit_prefers_tightest_machine() {
+        let mut c = cluster();
+        c.place(2, 99, 0.7, 0.7, 0); // machine 2 has least room that still fits 0.2
+        let p = best_fit(&c, &task(1, 0.2, 0, None));
+        assert_eq!(p, Placement::Placed(2));
+    }
+
+    #[test]
+    fn constraint_restricts_candidates() {
+        let c = cluster();
+        let p = best_fit(&c, &task(1, 0.2, 0, Some(1)));
+        assert_eq!(p, Placement::Placed(0));
+    }
+
+    #[test]
+    fn infeasible_when_no_machine_matches() {
+        let c = cluster();
+        let reqs = collapse(&[TaskConstraint::new(
+            0,
+            Op::Equal(Some(AttrValue::Int(99))),
+        )])
+        .unwrap();
+        let t = PendingTask { reqs, ..task(1, 0.1, 0, None) };
+        assert_eq!(best_fit(&c, &t), Placement::Infeasible);
+    }
+
+    #[test]
+    fn no_capacity_without_preemption() {
+        let mut c = cluster();
+        for i in 0..4u64 {
+            c.place(i, 100 + i, 0.95, 0.95, 5);
+        }
+        assert_eq!(best_fit(&c, &task(1, 0.2, 9, None)), Placement::NoCapacity);
+    }
+
+    #[test]
+    fn soft_affinity_prefers_matching_machines_without_excluding() {
+        let c = cluster();
+        // Soft preference: node_index < 2 (machines 0, 1).
+        let soft = collapse(&[TaskConstraint::new(0, Op::LessThan(2))]).unwrap();
+        let t = task(1, 0.2, 0, None);
+        match best_fit_soft(&c, &t, &soft) {
+            Placement::Placed(id) => assert!(id < 2, "soft preference ignored (got {id})"),
+            other => panic!("expected placement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn soft_affinity_degrades_gracefully_when_unsatisfiable() {
+        let mut c = cluster();
+        // Fill the preferred machines; the task must still place
+        // elsewhere (soft ≠ hard).
+        c.place(0, 90, 0.95, 0.95, 0);
+        c.place(1, 91, 0.95, 0.95, 0);
+        let soft = collapse(&[TaskConstraint::new(0, Op::LessThan(2))]).unwrap();
+        let t = task(1, 0.2, 0, None);
+        match best_fit_soft(&c, &t, &soft) {
+            Placement::Placed(id) => assert!(id >= 2, "must fall back to non-preferred"),
+            other => panic!("expected placement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn soft_affinity_respects_hard_constraints_first() {
+        let c = cluster();
+        // Hard: node < 2. Soft: node >= 3 (impossible within hard set).
+        let soft = collapse(&[TaskConstraint::new(0, Op::GreaterThanEqual(3))]).unwrap();
+        let t = task(1, 0.2, 0, Some(2));
+        match best_fit_soft(&c, &t, &soft) {
+            Placement::Placed(id) => assert!(id < 2, "hard constraint violated"),
+            other => panic!("expected placement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn soft_ties_break_by_best_fit() {
+        let mut c = cluster();
+        c.place(1, 90, 0.6, 0.6, 0); // machine 1 tighter but same soft score
+        let soft = collapse(&[TaskConstraint::new(0, Op::LessThan(2))]).unwrap();
+        let t = task(1, 0.2, 0, None);
+        match best_fit_soft(&c, &t, &soft) {
+            Placement::Placed(id) => assert_eq!(id, 1, "tie must break best-fit"),
+            other => panic!("expected placement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preemption_evicts_lower_priority() {
+        let mut c = cluster();
+        for i in 0..4u64 {
+            c.place(i, 100 + i, 0.95, 0.95, if i == 2 { 1 } else { 8 });
+        }
+        let p = best_fit_with_preemption(&c, &task(1, 0.2, 5, None));
+        match p {
+            Placement::PlacedWithPreemption(id, evicted) => {
+                assert_eq!(id, 2, "only machine 2 holds a preemptible task");
+                assert_eq!(evicted, vec![102]);
+            }
+            other => panic!("expected preemption, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn preemption_cannot_evict_higher_priority() {
+        let mut c = cluster();
+        for i in 0..4u64 {
+            c.place(i, 100 + i, 0.95, 0.95, 9);
+        }
+        assert_eq!(
+            best_fit_with_preemption(&c, &task(1, 0.2, 5, None)),
+            Placement::NoCapacity,
+            "Kubernetes-style preemption only evicts lower priority"
+        );
+    }
+}

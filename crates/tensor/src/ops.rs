@@ -1,0 +1,373 @@
+//! Linear-algebra kernels.
+//!
+//! The layer shapes in the paper are tiny (hidden width 30, 26 classes) but
+//! batches and feature widths are large (tens of thousands of samples,
+//! ~16k features), so the kernels parallelise over samples with Rayon —
+//! the idiom the HPC guides prescribe: `par_iter` over independent rows,
+//! no shared mutable state.
+
+use rayon::prelude::*;
+
+use crate::dense::Matrix;
+use crate::sparse::Csr;
+
+/// Minimum row count before kernels switch to the parallel path. Tiny
+/// batches are faster sequentially (thread-pool dispatch dominates).
+const PAR_THRESHOLD: usize = 64;
+
+/// Dense GEMM: `a (n×k) · b (k×m) → (n×m)`.
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
+    let (n, k) = a.shape();
+    let m = b.cols();
+    let mut out = Matrix::zeros(n, m);
+    let b_data = b.as_slice();
+    let body = |(r, out_row): (usize, &mut [f32])| {
+        let a_row = a.row(r);
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av != 0.0 {
+                let b_row = &b_data[kk * m..(kk + 1) * m];
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    };
+    if n >= PAR_THRESHOLD {
+        out.as_mut_slice().par_chunks_mut(m).enumerate().for_each(body);
+    } else {
+        out.as_mut_slice().chunks_mut(m).enumerate().for_each(body);
+    }
+    let _ = k;
+    out
+}
+
+/// `a (n×k) · bᵀ` where `b` is `(m×k)` — the PyTorch `x @ W.T` used in
+/// `nn.Linear.forward` with `W` stored as `(out_features, in_features)`.
+pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_bt inner dimension mismatch");
+    let n = a.rows();
+    let m = b.rows();
+    let mut out = Matrix::zeros(n, m);
+    let body = |(r, out_row): (usize, &mut [f32])| {
+        let a_row = a.row(r);
+        for (c, o) in out_row.iter_mut().enumerate() {
+            let b_row = b.row(c);
+            let mut acc = 0.0f32;
+            for (&x, &w) in a_row.iter().zip(b_row.iter()) {
+                acc += x * w;
+            }
+            *o = acc;
+        }
+    };
+    if n >= PAR_THRESHOLD {
+        out.as_mut_slice().par_chunks_mut(m).enumerate().for_each(body);
+    } else {
+        out.as_mut_slice().chunks_mut(m).enumerate().for_each(body);
+    }
+    out
+}
+
+/// `aᵀ (k×n) · b (n×m) → (k×m)` without materialising the transpose —
+/// the weight-gradient product `grad_W = grad_outᵀ · x` for dense inputs.
+pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_at sample-count mismatch");
+    let k = a.cols();
+    let m = b.cols();
+    let n = a.rows();
+    // Parallelise over output rows (columns of `a`): each owns a disjoint
+    // out row, no accumulation races.
+    let mut out = Matrix::zeros(k, m);
+    let body = |(c, out_row): (usize, &mut [f32])| {
+        for r in 0..n {
+            let av = a.get(r, c);
+            if av != 0.0 {
+                let b_row = b.row(r);
+                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+    };
+    if k >= PAR_THRESHOLD {
+        out.as_mut_slice().par_chunks_mut(m).enumerate().for_each(body);
+    } else {
+        out.as_mut_slice().chunks_mut(m).enumerate().for_each(body);
+    }
+    out
+}
+
+/// Sparse × dense-transposed product: `x (n×d, CSR) · Wᵀ` with `W (out×d)`.
+///
+/// This is the input-layer forward pass on CO-VV/CO-EL batches; cost is
+/// `O(nnz · out)` rather than `O(n · d · out)`.
+pub fn csr_matmul_bt(x: &Csr, w: &Matrix) -> Matrix {
+    assert_eq!(x.cols(), w.cols(), "csr_matmul_bt inner dimension mismatch");
+    let n = x.rows();
+    let out_f = w.rows();
+    let mut out = Matrix::zeros(n, out_f);
+    let body = |(r, out_row): (usize, &mut [f32])| {
+        for (j, v) in x.row_entries(r) {
+            for (o, out_v) in out_row.iter_mut().enumerate() {
+                *out_v += v * w.get(o, j);
+            }
+        }
+    };
+    if n >= PAR_THRESHOLD {
+        out.as_mut_slice().par_chunks_mut(out_f).enumerate().for_each(body);
+    } else {
+        out.as_mut_slice().chunks_mut(out_f).enumerate().for_each(body);
+    }
+    out
+}
+
+/// Sparse weight-gradient product: `grad_W (out×d) = grad_outᵀ (out×n) · x (n×d, CSR)`.
+///
+/// Parallelises over output neurons so each thread owns one `grad_W` row.
+pub fn csr_grad_weight(grad_out: &Matrix, x: &Csr) -> Matrix {
+    assert_eq!(grad_out.rows(), x.rows(), "csr_grad_weight sample-count mismatch");
+    let out_f = grad_out.cols();
+    let d = x.cols();
+    let n = x.rows();
+    let mut gw = Matrix::zeros(out_f, d);
+    let body = |(o, gw_row): (usize, &mut [f32])| {
+        for r in 0..n {
+            let g = grad_out.get(r, o);
+            if g != 0.0 {
+                for (j, v) in x.row_entries(r) {
+                    gw_row[j] += g * v;
+                }
+            }
+        }
+    };
+    if out_f >= 8 && n >= PAR_THRESHOLD {
+        gw.as_mut_slice().par_chunks_mut(d).enumerate().for_each(body);
+    } else {
+        gw.as_mut_slice().chunks_mut(d).enumerate().for_each(body);
+    }
+    gw
+}
+
+/// Sparse matrix–vector product `x (n×d) · v (d) → (n)`.
+pub fn csr_matvec(x: &Csr, v: &[f32]) -> Vec<f32> {
+    assert_eq!(x.cols(), v.len(), "csr_matvec dimension mismatch");
+    let n = x.rows();
+    let body = |r: usize| -> f32 { x.row_entries(r).map(|(j, xv)| xv * v[j]).sum() };
+    if n >= PAR_THRESHOLD {
+        (0..n).into_par_iter().map(body).collect()
+    } else {
+        (0..n).map(body).collect()
+    }
+}
+
+/// Transposed sparse matrix–vector product `xᵀ (d×n) · u (n) → (d)`.
+pub fn csr_tmatvec(x: &Csr, u: &[f32]) -> Vec<f32> {
+    assert_eq!(x.rows(), u.len(), "csr_tmatvec dimension mismatch");
+    let mut out = vec![0.0f32; x.cols()];
+    for (r, &s) in u.iter().enumerate() {
+        if s != 0.0 {
+            for (j, v) in x.row_entries(r) {
+                out[j] += s * v;
+            }
+        }
+    }
+    out
+}
+
+/// Adds `bias` (length m) to every row of `a (n×m)` in place.
+pub fn add_bias(a: &mut Matrix, bias: &[f32]) {
+    assert_eq!(a.cols(), bias.len(), "bias length mismatch");
+    let m = a.cols();
+    a.as_mut_slice().chunks_mut(m).for_each(|row| {
+        for (v, &b) in row.iter_mut().zip(bias.iter()) {
+            *v += b;
+        }
+    });
+}
+
+/// Column sums of `a` — the bias gradient `Σ_samples grad_out`.
+pub fn col_sums(a: &Matrix) -> Vec<f32> {
+    let m = a.cols();
+    let mut out = vec![0.0f32; m];
+    for r in 0..a.rows() {
+        for (o, &v) in out.iter_mut().zip(a.row(r).iter()) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Row-wise softmax, numerically stabilised by max subtraction.
+pub fn softmax_rows(logits: &Matrix) -> Matrix {
+    let m = logits.cols();
+    let mut out = logits.clone();
+    let body = |row: &mut [f32]| {
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    };
+    if logits.rows() >= PAR_THRESHOLD {
+        out.as_mut_slice().par_chunks_mut(m).for_each(body);
+    } else {
+        out.as_mut_slice().chunks_mut(m).for_each(body);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrBuilder;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for r in 0..a.rows() {
+            for c in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(r, k) * b.get(k, c);
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Matrix::from_fn(7, 5, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32 * 0.25);
+        assert!(matmul(&a, &b).max_abs_diff(&naive_matmul(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_parallel_path_matches_naive() {
+        let a = Matrix::from_fn(130, 9, |r, c| ((r * 7 + c) % 11) as f32 - 5.0);
+        let b = Matrix::from_fn(9, 4, |r, c| ((r + c) % 3) as f32);
+        assert!(matmul(&a, &b).max_abs_diff(&naive_matmul(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_bt_equals_matmul_with_transpose() {
+        let a = Matrix::from_fn(6, 4, |r, c| (r + 2 * c) as f32);
+        let w = Matrix::from_fn(3, 4, |r, c| (r as f32 + 1.0) * (c as f32 - 1.5));
+        assert!(matmul_bt(&a, &w).max_abs_diff(&matmul(&a, &w.transpose())) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_at_equals_transpose_then_matmul() {
+        let a = Matrix::from_fn(8, 3, |r, c| ((r * c) % 5) as f32 - 2.0);
+        let b = Matrix::from_fn(8, 6, |r, c| ((r + c) % 4) as f32);
+        assert!(matmul_at(&a, &b).max_abs_diff(&matmul(&a.transpose(), &b)) < 1e-4);
+    }
+
+    #[test]
+    fn csr_matmul_bt_matches_dense() {
+        let mut b = CsrBuilder::new(10);
+        for r in 0..9 {
+            b.push_row([(r % 10, 1.0), ((r * 3 + 1) % 10, 0.5)]);
+        }
+        let x = b.finish();
+        let w = Matrix::from_fn(4, 10, |r, c| (r as f32 + 1.0) * 0.1 * (c as f32 - 4.0));
+        let sparse_out = csr_matmul_bt(&x, &w);
+        let dense_out = matmul_bt(&x.to_dense(), &w);
+        assert!(sparse_out.max_abs_diff(&dense_out) < 1e-4);
+    }
+
+    #[test]
+    fn csr_grad_weight_matches_dense() {
+        let mut b = CsrBuilder::new(12);
+        for r in 0..20 {
+            b.push_row([((r * 5) % 12, 1.0)]);
+        }
+        let x = b.finish();
+        let go = Matrix::from_fn(20, 3, |r, c| ((r + c) % 7) as f32 * 0.3 - 0.9);
+        let sparse_gw = csr_grad_weight(&go, &x);
+        let dense_gw = matmul_at(&go, &x.to_dense());
+        assert!(sparse_gw.max_abs_diff(&dense_gw) < 1e-4);
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense() {
+        let mut b = CsrBuilder::new(6);
+        b.push_row([(0, 1.0), (5, 2.0)]);
+        b.push_row([(3, -1.0)]);
+        let x = b.finish();
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let got = csr_matvec(&x, &v);
+        assert_eq!(got, vec![13.0, -4.0]);
+    }
+
+    #[test]
+    fn csr_tmatvec_matches_dense_transpose() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row([(0, 1.0), (2, 1.0)]);
+        b.push_row([(2, 3.0)]);
+        b.push_row([(3, -2.0)]);
+        let x = b.finish();
+        let u = [1.0, 2.0, 0.5];
+        let got = csr_tmatvec(&x, &u);
+        // column sums: col0: 1*1, col1: 0, col2: 1*1+3*2, col3: -2*0.5
+        assert_eq!(got, vec![1.0, 0.0, 7.0, -1.0]);
+    }
+
+    #[test]
+    fn csr_matvec_tmatvec_adjoint_identity() {
+        // <Xv, u> == <v, Xᵀu> — the property CG relies on.
+        let mut b = CsrBuilder::new(5);
+        for r in 0..7 {
+            b.push_row([((r * 2) % 5, 1.0), ((r + 3) % 5, 0.5)]);
+        }
+        let x = b.finish();
+        let v: Vec<f32> = (0..5).map(|i| i as f32 - 2.0).collect();
+        let u: Vec<f32> = (0..7).map(|i| (i as f32) * 0.3).collect();
+        let xv = csr_matvec(&x, &v);
+        let xtu = csr_tmatvec(&x, &u);
+        let lhs: f32 = xv.iter().zip(u.iter()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = v.iter().zip(xtu.iter()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn add_bias_adds_rowwise() {
+        let mut a = Matrix::zeros(2, 3);
+        add_bias(&mut a, &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn col_sums_matches_manual() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(col_sums(&a), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, -1.0, -1.0]);
+        let p = softmax_rows(&logits);
+        for r in 0..2 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+        assert!(p.get(0, 2) > p.get(0, 1));
+        assert!((p.get(1, 0) - 1.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![101.0, 102.0, 103.0]);
+        assert!(softmax_rows(&a).max_abs_diff(&softmax_rows(&b)) < 1e-5);
+    }
+}

@@ -1,0 +1,336 @@
+//! Compressed-sparse-row matrix for the constraint-operator datasets.
+//!
+//! Both dataset encodings the paper studies (CO-EL one-hot labels and CO-VV
+//! value vectors, §III) are extremely sparse — the paper reports non-zero
+//! densities below 0.01 % at full feature width (~16k columns). A CSR layout
+//! keeps dataset memory proportional to the number of set bits and makes the
+//! input-layer products in `ctlm-nn` O(nnz) instead of O(n·d).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dense::Matrix;
+
+/// Immutable CSR matrix of `f32`.
+///
+/// Row `i` owns entries `indptr[i]..indptr[i+1]` of `indices`/`values`.
+/// Column indices within a row are strictly increasing.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<u32>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// An empty matrix with the given shape and no stored entries.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (the feature-array width in dataset terms).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fraction of entries stored; the paper's density claim is testable
+    /// through this.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// The `(column, value)` pairs of one row.
+    #[inline]
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let lo = self.indptr[r] as usize;
+        let hi = self.indptr[r + 1] as usize;
+        self.indices[lo..hi]
+            .iter()
+            .zip(self.values[lo..hi].iter())
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Number of stored entries in one row.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        (self.indptr[r + 1] - self.indptr[r]) as usize
+    }
+
+    /// Value at `(r, c)`; zero when not stored. O(log row_nnz).
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        let lo = self.indptr[r] as usize;
+        let hi = self.indptr[r + 1] as usize;
+        match self.indices[lo..hi].binary_search(&(c as u32)) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Widens the matrix to `new_cols` columns without touching stored
+    /// entries. This is the dataset-side half of the paper's growing
+    /// mechanism: when the attribute vocabulary gains values, older samples
+    /// simply have implicit zeros in the appended columns.
+    ///
+    /// # Panics
+    /// Panics if `new_cols < self.cols()`.
+    pub fn widen(&mut self, new_cols: usize) {
+        assert!(new_cols >= self.cols, "widen cannot shrink a matrix");
+        self.cols = new_cols;
+    }
+
+    /// Materialises the matrix (or a row subset) densely. Intended for tests
+    /// and small examples; dataset-scale matrices should stay sparse.
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    /// Builds a new CSR containing only the given rows, in the given order.
+    /// Used by the stratified train/test splitter.
+    pub fn select_rows(&self, rows: &[usize]) -> Csr {
+        let mut b = CsrBuilder::new(self.cols);
+        for &r in rows {
+            assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
+            b.push_row(self.row_entries(r));
+        }
+        b.finish()
+    }
+
+    /// Vertically stacks two matrices with the same column count.
+    ///
+    /// # Panics
+    /// Panics if column counts differ.
+    pub fn vstack(&self, other: &Csr) -> Csr {
+        assert_eq!(self.cols, other.cols, "vstack column mismatch");
+        let mut b = CsrBuilder::new(self.cols);
+        for r in 0..self.rows {
+            b.push_row(self.row_entries(r));
+        }
+        for r in 0..other.rows {
+            b.push_row(other.row_entries(r));
+        }
+        b.finish()
+    }
+}
+
+/// Incremental row-by-row CSR builder.
+///
+/// The AGOCS dataset generator appends one row per task submission; columns
+/// may keep growing while rows are appended (vocabulary growth), so the
+/// builder tracks the maximum column seen and the caller fixes the final
+/// width via [`CsrBuilder::finish_with_cols`] or lets [`CsrBuilder::finish`]
+/// use the declared width.
+#[derive(Clone, Debug)]
+pub struct CsrBuilder {
+    cols: usize,
+    indptr: Vec<u32>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrBuilder {
+    /// A builder for matrices with (at least) `cols` columns.
+    pub fn new(cols: usize) -> Self {
+        Self { cols, indptr: vec![0], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Number of rows pushed so far.
+    pub fn rows(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Current column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Widens the declared column count (monotonic).
+    pub fn widen(&mut self, new_cols: usize) {
+        assert!(new_cols >= self.cols, "builder cannot shrink");
+        self.cols = new_cols;
+    }
+
+    /// Appends a row given `(column, value)` pairs. Pairs need not be
+    /// sorted; they are sorted here. Zero values are dropped; duplicate
+    /// columns keep the last value.
+    ///
+    /// # Panics
+    /// Panics if any column index is `>= cols()`.
+    pub fn push_row(&mut self, entries: impl IntoIterator<Item = (usize, f32)>) {
+        let start = self.indices.len();
+        for (c, v) in entries {
+            assert!(c < self.cols, "column {c} out of bounds ({})", self.cols);
+            if v != 0.0 {
+                self.indices.push(c as u32);
+                self.values.push(v);
+            }
+        }
+        // Sort the freshly appended slice by column and de-duplicate
+        // (keeping the last write, matching dense overwrite semantics).
+        let tail_idx = &mut self.indices[start..];
+        let tail_val = &mut self.values[start..];
+        let mut perm: Vec<usize> = (0..tail_idx.len()).collect();
+        perm.sort_by_key(|&i| tail_idx[i]);
+        let sorted_idx: Vec<u32> = perm.iter().map(|&i| tail_idx[i]).collect();
+        let sorted_val: Vec<f32> = perm.iter().map(|&i| tail_val[i]).collect();
+        tail_idx.copy_from_slice(&sorted_idx);
+        tail_val.copy_from_slice(&sorted_val);
+        // Deduplicate in place.
+        let mut write = start;
+        let mut read = start;
+        while read < self.indices.len() {
+            let col = self.indices[read];
+            let mut val = self.values[read];
+            read += 1;
+            while read < self.indices.len() && self.indices[read] == col {
+                val = self.values[read];
+                read += 1;
+            }
+            self.indices[write] = col;
+            self.values[write] = val;
+            write += 1;
+        }
+        self.indices.truncate(write);
+        self.values.truncate(write);
+        self.indptr.push(self.indices.len() as u32);
+    }
+
+    /// Finishes with the builder's current column count.
+    pub fn finish(self) -> Csr {
+        Csr {
+            rows: self.indptr.len() - 1,
+            cols: self.cols,
+            indptr: self.indptr,
+            indices: self.indices,
+            values: self.values,
+        }
+    }
+
+    /// Finishes, widening to `cols` first (useful when the vocabulary kept
+    /// growing after the last row was pushed).
+    pub fn finish_with_cols(mut self, cols: usize) -> Csr {
+        self.widen(cols);
+        self.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        let mut b = CsrBuilder::new(5);
+        b.push_row([(1, 1.0), (3, 1.0)]);
+        b.push_row([]);
+        b.push_row([(0, 2.0), (4, -1.0)]);
+        b.finish()
+    }
+
+    #[test]
+    fn builder_produces_expected_entries() {
+        let m = sample();
+        assert_eq!(m.shape(), (3, 5));
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(0, 2), 0.0);
+        assert_eq!(m.get(2, 4), -1.0);
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn push_row_sorts_unsorted_entries() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row([(3, 1.0), (0, 2.0), (2, 3.0)]);
+        let m = b.finish();
+        let entries: Vec<_> = m.row_entries(0).collect();
+        assert_eq!(entries, vec![(0, 2.0), (2, 3.0), (3, 1.0)]);
+    }
+
+    #[test]
+    fn push_row_drops_zeros_and_dedups_keeping_last() {
+        let mut b = CsrBuilder::new(4);
+        b.push_row([(1, 0.0), (2, 1.0), (2, 5.0)]);
+        let m = b.finish();
+        let entries: Vec<_> = m.row_entries(0).collect();
+        assert_eq!(entries, vec![(2, 5.0)]);
+    }
+
+    #[test]
+    fn widen_preserves_entries() {
+        let mut m = sample();
+        m.widen(9);
+        assert_eq!(m.cols(), 9);
+        assert_eq!(m.get(2, 0), 2.0);
+        assert_eq!(m.get(0, 8), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn widen_rejects_shrink() {
+        sample().widen(2);
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        for r in 0..3 {
+            for c in 0..5 {
+                assert_eq!(d.get(r, c), m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let m = sample();
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.get(0, 0), 2.0);
+        assert_eq!(s.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let m = sample();
+        let v = m.vstack(&m);
+        assert_eq!(v.rows(), 6);
+        assert_eq!(v.get(3, 1), 1.0);
+        assert_eq!(v.nnz(), 8);
+    }
+
+    #[test]
+    fn density_counts_nnz() {
+        let m = sample();
+        assert!((m.density() - 4.0 / 15.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Trace anomalies.
+//!
+//! §III of the paper reports that the clusterdata-2019 traces contain
+//! “(i) inaccurate event timings, where task updates occurred before
+//! terminations (e.g., eviction, failure, completion), and (ii) tasks
+//! missing eviction or failure events, complicating task removal”, and
+//! that AGOCS had to be modified to auto-correct them. The generator
+//! injects both classes at the profile's configured rates, and records
+//! what it injected so tests can verify the corrector heals exactly the
+//! injected set.
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::TaskId;
+
+/// The two anomaly classes of §III.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AnomalyKind {
+    /// A `TaskUpdate` carries a timestamp earlier than the task's
+    /// submission — the "inaccurate event timings" class. The corrector
+    /// must offset the update to just after creation.
+    MistimedUpdate,
+    /// The task's termination event is absent from the stream. The
+    /// corrector must delete the task marker when its owning collection
+    /// finishes.
+    MissingTermination,
+}
+
+/// A record of one injected anomaly.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedAnomaly {
+    /// The affected task.
+    pub task: TaskId,
+    /// Which anomaly class was injected.
+    pub kind: AnomalyKind,
+}
+
+/// The generator's anomaly ledger, consumed by corrector tests.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnomalyLog {
+    /// Every injected anomaly, in injection order.
+    pub injected: Vec<InjectedAnomaly>,
+}
+
+impl AnomalyLog {
+    /// Records one anomaly.
+    pub fn record(&mut self, task: TaskId, kind: AnomalyKind) {
+        self.injected.push(InjectedAnomaly { task, kind });
+    }
+
+    /// Number of injected anomalies of a given kind.
+    pub fn count(&self, kind: AnomalyKind) -> usize {
+        self.injected.iter().filter(|a| a.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_counts_by_kind() {
+        let mut log = AnomalyLog::default();
+        log.record(1, AnomalyKind::MistimedUpdate);
+        log.record(2, AnomalyKind::MissingTermination);
+        log.record(3, AnomalyKind::MistimedUpdate);
+        assert_eq!(log.count(AnomalyKind::MistimedUpdate), 2);
+        assert_eq!(log.count(AnomalyKind::MissingTermination), 1);
+    }
+}

@@ -1,0 +1,48 @@
+//! Collections (GCD 2019 terminology for jobs / alloc sets).
+
+use serde::{Deserialize, Serialize};
+
+/// Collection identifier, unique within a cell trace.
+pub type CollectionId = u64;
+
+/// A collection groups tasks submitted together (a job). The 2019 traces
+/// add two structural features the paper calls out: parent–child
+/// dependencies between collections, and *alloc sets* — collections that
+/// reserve resources into which other collections' tasks are placed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Collection {
+    /// Unique collection id.
+    pub id: CollectionId,
+    /// Parent collection (2019 traces only).
+    pub parent: Option<CollectionId>,
+    /// True when this collection is an alloc set (2019 traces only).
+    pub is_alloc_set: bool,
+    /// Number of tasks the collection was submitted with.
+    pub task_count: u32,
+}
+
+impl Collection {
+    /// A plain 2011-style job.
+    pub fn job(id: CollectionId, task_count: u32) -> Self {
+        Self { id, parent: None, is_alloc_set: false, task_count }
+    }
+
+    /// A 2019-style child collection.
+    pub fn child(id: CollectionId, parent: CollectionId, task_count: u32) -> Self {
+        Self { id, parent: Some(parent), is_alloc_set: false, task_count }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_lineage() {
+        let j = Collection::job(1, 10);
+        assert_eq!(j.parent, None);
+        let c = Collection::child(2, 1, 4);
+        assert_eq!(c.parent, Some(1));
+        assert!(!c.is_alloc_set);
+    }
+}

@@ -1,0 +1,208 @@
+//! Constraint operators (COs).
+//!
+//! §III.A of the paper enumerates the four logical operators of the 2011
+//! traces (Equal, Not-Equal, Less-Than, Greater-Than) and the four added by
+//! the 2019 traces (Less-Than-Equal, Greater-Than-Equal, Present,
+//! Not-Present), together with their matching semantics against a node's
+//! attribute map. This module implements exactly those semantics.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::attr::{AttrId, AttrValue};
+
+/// The eight GCD constraint operators, with the numeric codes the traces
+/// use.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConstraintOp {
+    /// The node's attribute must match the value, or — when no value is
+    /// specified (`Equal(None)`) — the attribute must remain empty.
+    /// Applies to numeric and non-numeric values.  (2011, code 0)
+    Equal(Option<AttrValue>),
+    /// The attribute must be absent or differ from the value.
+    /// Applies to numeric and non-numeric values.  (2011, code 1)
+    NotEqual(AttrValue),
+    /// Numeric only: the attribute must be present and `< value`.
+    /// (2011, code 2)
+    LessThan(i64),
+    /// Numeric only: the attribute must be present and `> value`.
+    /// (2011, code 3)
+    GreaterThan(i64),
+    /// Numeric only: the attribute must be present and `<= value`.
+    /// (2019, code 4)
+    LessThanEqual(i64),
+    /// Numeric only: the attribute must be present and `>= value`.
+    /// (2019, code 5)
+    GreaterThanEqual(i64),
+    /// The attribute must be defined and non-blank.  (2019, code 6)
+    Present,
+    /// The attribute must be undefined.  (2019, code 7)
+    NotPresent,
+}
+
+impl ConstraintOp {
+    /// Numeric code matching the GCD trace encoding.
+    pub fn code(&self) -> u8 {
+        match self {
+            ConstraintOp::Equal(_) => 0,
+            ConstraintOp::NotEqual(_) => 1,
+            ConstraintOp::LessThan(_) => 2,
+            ConstraintOp::GreaterThan(_) => 3,
+            ConstraintOp::LessThanEqual(_) => 4,
+            ConstraintOp::GreaterThanEqual(_) => 5,
+            ConstraintOp::Present => 6,
+            ConstraintOp::NotPresent => 7,
+        }
+    }
+
+    /// True for operators introduced by the clusterdata-2019 format.
+    pub fn is_2019_only(&self) -> bool {
+        self.code() >= 4
+    }
+
+    /// Evaluates the operator against an attribute that is either absent
+    /// (`None`) or has the given value. This is the single source of truth
+    /// for matching semantics across the workspace.
+    pub fn matches(&self, attr: Option<&AttrValue>) -> bool {
+        match self {
+            ConstraintOp::Equal(Some(v)) => attr == Some(v),
+            // "or remain empty if no value is specified"
+            ConstraintOp::Equal(None) => attr.is_none(),
+            ConstraintOp::NotEqual(v) => attr != Some(v),
+            ConstraintOp::LessThan(v) => matches!(attr.and_then(AttrValue::as_int), Some(a) if a < *v),
+            ConstraintOp::GreaterThan(v) => {
+                matches!(attr.and_then(AttrValue::as_int), Some(a) if a > *v)
+            }
+            ConstraintOp::LessThanEqual(v) => {
+                matches!(attr.and_then(AttrValue::as_int), Some(a) if a <= *v)
+            }
+            ConstraintOp::GreaterThanEqual(v) => {
+                matches!(attr.and_then(AttrValue::as_int), Some(a) if a >= *v)
+            }
+            ConstraintOp::Present => attr.is_some(),
+            ConstraintOp::NotPresent => attr.is_none(),
+        }
+    }
+}
+
+impl fmt::Display for ConstraintOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintOp::Equal(Some(v)) => write!(f, "= {v}"),
+            ConstraintOp::Equal(None) => write!(f, "= (none)"),
+            ConstraintOp::NotEqual(v) => write!(f, "<> {v}"),
+            ConstraintOp::LessThan(v) => write!(f, "< {v}"),
+            ConstraintOp::GreaterThan(v) => write!(f, "> {v}"),
+            ConstraintOp::LessThanEqual(v) => write!(f, "<= {v}"),
+            ConstraintOp::GreaterThanEqual(v) => write!(f, ">= {v}"),
+            ConstraintOp::Present => write!(f, "present"),
+            ConstraintOp::NotPresent => write!(f, "not-present"),
+        }
+    }
+}
+
+/// One task constraint: an operator applied to a named node attribute.
+/// A task may carry several constraints, all of which must hold on a node
+/// for the node to be *suitable*.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TaskConstraint {
+    /// The attribute the constraint applies to.
+    pub attr: AttrId,
+    /// The operator and its comparison value.
+    pub op: ConstraintOp,
+}
+
+impl TaskConstraint {
+    /// Convenience constructor.
+    pub fn new(attr: AttrId, op: ConstraintOp) -> Self {
+        Self { attr, op }
+    }
+}
+
+impl fmt::Display for TaskConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${{{}}} {}", self.attr, self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(v: i64) -> AttrValue {
+        AttrValue::Int(v)
+    }
+
+    #[test]
+    fn equal_matches_value_or_requires_absence() {
+        assert!(ConstraintOp::Equal(Some(iv(3))).matches(Some(&iv(3))));
+        assert!(!ConstraintOp::Equal(Some(iv(3))).matches(Some(&iv(4))));
+        assert!(!ConstraintOp::Equal(Some(iv(3))).matches(None));
+        // "or remain empty if no value is specified"
+        assert!(ConstraintOp::Equal(None).matches(None));
+        assert!(!ConstraintOp::Equal(None).matches(Some(&iv(0))));
+    }
+
+    #[test]
+    fn equal_works_on_strings() {
+        let c = AttrValue::from("c");
+        assert!(ConstraintOp::Equal(Some(c.clone())).matches(Some(&c)));
+        assert!(!ConstraintOp::Equal(Some(c)).matches(Some(&AttrValue::from("a"))));
+    }
+
+    #[test]
+    fn not_equal_accepts_absent_attribute() {
+        // "The attribute must be absent or differ from the specified constraint"
+        assert!(ConstraintOp::NotEqual(iv(1)).matches(None));
+        assert!(ConstraintOp::NotEqual(iv(1)).matches(Some(&iv(2))));
+        assert!(!ConstraintOp::NotEqual(iv(1)).matches(Some(&iv(1))));
+    }
+
+    #[test]
+    fn ordering_ops_require_present_numeric() {
+        for op in [
+            ConstraintOp::LessThan(5),
+            ConstraintOp::GreaterThan(5),
+            ConstraintOp::LessThanEqual(5),
+            ConstraintOp::GreaterThanEqual(5),
+        ] {
+            assert!(!op.matches(None), "{op} must not match absent attribute");
+            assert!(!op.matches(Some(&AttrValue::from("5"))), "{op} must not match strings");
+        }
+        assert!(ConstraintOp::LessThan(5).matches(Some(&iv(4))));
+        assert!(!ConstraintOp::LessThan(5).matches(Some(&iv(5))));
+        assert!(ConstraintOp::LessThanEqual(5).matches(Some(&iv(5))));
+        assert!(!ConstraintOp::LessThanEqual(5).matches(Some(&iv(6))));
+        assert!(ConstraintOp::GreaterThan(5).matches(Some(&iv(6))));
+        assert!(!ConstraintOp::GreaterThan(5).matches(Some(&iv(5))));
+        assert!(ConstraintOp::GreaterThanEqual(5).matches(Some(&iv(5))));
+        assert!(!ConstraintOp::GreaterThanEqual(5).matches(Some(&iv(4))));
+    }
+
+    #[test]
+    fn presence_ops() {
+        assert!(ConstraintOp::Present.matches(Some(&iv(0))));
+        assert!(!ConstraintOp::Present.matches(None));
+        assert!(ConstraintOp::NotPresent.matches(None));
+        assert!(!ConstraintOp::NotPresent.matches(Some(&AttrValue::from("x"))));
+    }
+
+    #[test]
+    fn codes_match_trace_encoding_and_2019_split() {
+        assert_eq!(ConstraintOp::Equal(None).code(), 0);
+        assert_eq!(ConstraintOp::NotPresent.code(), 7);
+        assert!(!ConstraintOp::GreaterThan(1).is_2019_only());
+        assert!(ConstraintOp::Present.is_2019_only());
+        assert!(ConstraintOp::LessThanEqual(1).is_2019_only());
+    }
+
+    #[test]
+    fn le_equals_lt_of_successor_on_integers() {
+        // The compaction logic relies on <=v ≡ <v+1 for integer attributes.
+        for a in -3..8 {
+            let le = ConstraintOp::LessThanEqual(4).matches(Some(&iv(a)));
+            let lt = ConstraintOp::LessThan(5).matches(Some(&iv(a)));
+            assert_eq!(le, lt, "mismatch at {a}");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # ctlm-trace — synthetic Google-Cluster-Data-like workload traces
+//!
+//! The paper evaluates on the Google Cluster Data (GCD) archives
+//! (clusterdata-2011 and three cells of clusterdata-2019). Those traces are
+//! proprietary-scale (~2.4 TB in BigQuery) and not redistributable, so this
+//! crate provides the closest synthetic equivalent: a deterministic
+//! generator that emits an event stream with the same *structure* and the
+//! same *published statistics* the paper depends on:
+//!
+//! * machines with attribute maps, machine add/remove/update events;
+//! * collections (jobs) with parent–child links (2019) and task gangs;
+//! * tasks with constraint operators — the four 2011 operators plus the
+//!   four added in the 2019 traces (§III.A of the paper);
+//! * tasks-with-CO volume / CPU / memory ratios matching Table IX per cell;
+//! * heavy-tailed (bounded-Pareto) task resource requests — the paper cites
+//!   “top 1 % of tasks consume over 99 % of resources”;
+//! * an attribute vocabulary that keeps growing during the trace horizon,
+//!   driving the feature-array extensions of Table XI;
+//! * the two anomaly classes §III describes (mis-timed task updates, and
+//!   missing termination events), which `ctlm-agocs` must auto-correct.
+//!
+//! All randomness flows from a single `u64` seed.
+
+pub mod anomaly;
+pub mod attr;
+pub mod collection;
+pub mod constraint;
+pub mod event;
+pub mod generator;
+pub mod machine;
+pub mod pareto;
+pub mod profile;
+pub mod task;
+
+pub use attr::{AttrCatalog, AttrId, AttrValue};
+pub use collection::{Collection, CollectionId};
+pub use constraint::{ConstraintOp, TaskConstraint};
+pub use event::{EventPayload, Micros, TerminationReason, TraceEvent};
+pub use generator::{GeneratedTrace, TraceGenerator};
+pub use machine::{Machine, MachineId};
+pub use profile::{CellProfile, CellSet, Scale};
+pub use task::{Task, TaskId};

@@ -1,0 +1,102 @@
+//! Cluster machines (GCD "machine records").
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::attr::{AttrId, AttrValue};
+use crate::constraint::TaskConstraint;
+
+/// Machine identifier, unique within a cell trace.
+pub type MachineId = u64;
+
+/// A cluster machine: capacities plus an attribute map.
+///
+/// Capacities follow the 2019 traces' normalised convention (Borg reports
+/// abstract compute units scaled to the largest machine), so `cpu` and
+/// `memory` are fractions of the largest machine in the cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Unique machine id.
+    pub id: MachineId,
+    /// Normalised CPU capacity (0, 1].
+    pub cpu: f64,
+    /// Normalised memory capacity (0, 1].
+    pub memory: f64,
+    /// The node attribute map that constraint operators test against.
+    pub attributes: BTreeMap<AttrId, AttrValue>,
+}
+
+impl Machine {
+    /// A machine with given capacities and no attributes.
+    pub fn new(id: MachineId, cpu: f64, memory: f64) -> Self {
+        Self { id, cpu, memory, attributes: BTreeMap::new() }
+    }
+
+    /// Value of one attribute, if set.
+    pub fn attr(&self, id: AttrId) -> Option<&AttrValue> {
+        self.attributes.get(&id)
+    }
+
+    /// Sets (or replaces) an attribute value. Returns the previous value.
+    pub fn set_attr(&mut self, id: AttrId, value: AttrValue) -> Option<AttrValue> {
+        self.attributes.insert(id, value)
+    }
+
+    /// Removes an attribute. Returns the removed value.
+    pub fn remove_attr(&mut self, id: AttrId) -> Option<AttrValue> {
+        self.attributes.remove(&id)
+    }
+
+    /// True when this machine satisfies *every* constraint in the slice —
+    /// the node-suitability predicate at the heart of the paper.
+    pub fn satisfies_all(&self, constraints: &[TaskConstraint]) -> bool {
+        constraints.iter().all(|c| c.op.matches(self.attr(c.attr)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintOp;
+
+    fn machine_with(attrs: &[(AttrId, AttrValue)]) -> Machine {
+        let mut m = Machine::new(1, 0.5, 0.5);
+        for (id, v) in attrs {
+            m.set_attr(*id, v.clone());
+        }
+        m
+    }
+
+    #[test]
+    fn satisfies_all_requires_every_constraint() {
+        let m = machine_with(&[(0, AttrValue::Int(3)), (1, AttrValue::from("ssd"))]);
+        let ok = vec![
+            TaskConstraint::new(0, ConstraintOp::GreaterThan(2)),
+            TaskConstraint::new(1, ConstraintOp::Equal(Some(AttrValue::from("ssd")))),
+        ];
+        assert!(m.satisfies_all(&ok));
+        let bad = vec![
+            TaskConstraint::new(0, ConstraintOp::GreaterThan(2)),
+            TaskConstraint::new(1, ConstraintOp::NotPresent),
+        ];
+        assert!(!m.satisfies_all(&bad));
+    }
+
+    #[test]
+    fn empty_constraint_list_always_satisfied() {
+        let m = Machine::new(7, 1.0, 1.0);
+        assert!(m.satisfies_all(&[]));
+    }
+
+    #[test]
+    fn attribute_updates_change_matching() {
+        let mut m = machine_with(&[(0, AttrValue::Int(1))]);
+        let c = vec![TaskConstraint::new(0, ConstraintOp::Equal(Some(AttrValue::Int(2))))];
+        assert!(!m.satisfies_all(&c));
+        m.set_attr(0, AttrValue::Int(2));
+        assert!(m.satisfies_all(&c));
+        m.remove_attr(0);
+        assert!(!m.satisfies_all(&c));
+    }
+}

@@ -1,0 +1,284 @@
+//! Per-cell calibration profiles and the scale knob.
+//!
+//! The paper evaluates four computing cells: clusterdata-2011 and cells
+//! A, C, D of clusterdata-2019. Each [`CellProfile`] encodes the published
+//! facts about that cell — size, trace format, horizon, the Table IX
+//! constrained-task ratios, Group-0 prevalence — so that the synthetic
+//! generator reproduces the paper's workload statistics per cell.
+//!
+//! [`Scale`] shrinks a profile to laptop/CI size while preserving all the
+//! *ratios* (group widths, CO shares, vocabulary-growth proportions).
+
+use serde::{Deserialize, Serialize};
+
+/// The four evaluated cells.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellSet {
+    /// clusterdata-2011 (single cell, 12.5k machines, 4 constraint ops).
+    C2011,
+    /// clusterdata-2019 cell A (9.4k machines — the small cell; the paper
+    /// groups its tasks every 360 nodes instead of 500).
+    C2019a,
+    /// clusterdata-2019 cell C (12.6k machines).
+    C2019c,
+    /// clusterdata-2019 cell D (12.1k machines).
+    C2019d,
+}
+
+impl CellSet {
+    /// All four cells in paper order.
+    pub fn all() -> [CellSet; 4] {
+        [CellSet::C2011, CellSet::C2019a, CellSet::C2019c, CellSet::C2019d]
+    }
+
+    /// The calibrated profile for this cell.
+    pub fn profile(self) -> CellProfile {
+        match self {
+            CellSet::C2011 => CellProfile {
+                cell: self,
+                name: "clusterdata-2011",
+                full_machines: 12_500,
+                full_group_width: 500,
+                format_2019: false,
+                horizon_days: 29.0,
+                // Table IX row 1: volume 8.1/41.3/20.5 %.
+                co_volume_avg: 0.205,
+                co_volume_amplitude: 0.14,
+                co_cpu_bias: 1.35,
+                co_mem_bias: 1.10,
+                group0_share: 0.0060,
+                pareto_alpha: 0.9,
+                collections_per_day_full: 4_000.0,
+                vocab_initial_fraction: 0.975,
+                vocab_extension_steps: 11,
+                max_new_features_per_step: 40,
+                anomaly_mistimed_rate: 0.0,
+                anomaly_missing_term_rate: 0.0,
+                constraint_noise: 0.10,
+            },
+            CellSet::C2019a => CellProfile {
+                cell: self,
+                name: "clusterdata-2019a",
+                full_machines: 9_400,
+                full_group_width: 360,
+                format_2019: true,
+                horizon_days: 31.0,
+                // Table IX row 2: volume 16.6/62.6/41.8 %.
+                co_volume_avg: 0.418,
+                co_volume_amplitude: 0.20,
+                co_cpu_bias: 0.92,
+                co_mem_bias: 1.18,
+                group0_share: 0.0110,
+                pareto_alpha: 0.65,
+                collections_per_day_full: 14_800.0,
+                vocab_initial_fraction: 0.955,
+                vocab_extension_steps: 14,
+                max_new_features_per_step: 45,
+                anomaly_mistimed_rate: 0.015,
+                anomaly_missing_term_rate: 0.010,
+                constraint_noise: 0.18,
+            },
+            CellSet::C2019c => CellProfile {
+                cell: self,
+                name: "clusterdata-2019c",
+                full_machines: 12_600,
+                full_group_width: 500,
+                format_2019: true,
+                horizon_days: 31.0,
+                // Table IX row 3: volume 11.3/49.3/22.0 %.
+                co_volume_avg: 0.220,
+                co_volume_amplitude: 0.17,
+                co_cpu_bias: 1.00,
+                co_mem_bias: 1.04,
+                group0_share: 0.0100,
+                pareto_alpha: 0.65,
+                collections_per_day_full: 14_800.0,
+                vocab_initial_fraction: 0.950,
+                vocab_extension_steps: 15,
+                max_new_features_per_step: 45,
+                anomaly_mistimed_rate: 0.015,
+                anomaly_missing_term_rate: 0.010,
+                constraint_noise: 0.20,
+            },
+            CellSet::C2019d => CellProfile {
+                cell: self,
+                name: "clusterdata-2019d",
+                full_machines: 12_100,
+                full_group_width: 500,
+                format_2019: true,
+                horizon_days: 31.0,
+                // Table IX row 4: volume 8.2/33.9/13.6 %.
+                co_volume_avg: 0.136,
+                co_volume_amplitude: 0.11,
+                co_cpu_bias: 1.17,
+                co_mem_bias: 1.10,
+                group0_share: 0.0120,
+                pareto_alpha: 0.65,
+                collections_per_day_full: 14_800.0,
+                vocab_initial_fraction: 0.960,
+                vocab_extension_steps: 13,
+                max_new_features_per_step: 45,
+                anomaly_mistimed_rate: 0.015,
+                anomaly_missing_term_rate: 0.010,
+                constraint_noise: 0.15,
+            },
+        }
+    }
+}
+
+/// Calibrated facts about one computing cell (see [`CellSet::profile`]).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CellProfile {
+    /// Which cell this profiles.
+    pub cell: CellSet,
+    /// Archive name as the paper spells it.
+    pub name: &'static str,
+    /// Machine count at full scale.
+    pub full_machines: usize,
+    /// Suitable-node group width at full scale (500, or 360 for 2019a).
+    pub full_group_width: usize,
+    /// True for the 2019 trace format (8 constraint ops, alloc sets,
+    /// parent-child collections, anomalies).
+    pub format_2019: bool,
+    /// Trace horizon in days (29 for 2011, 31 for 2019).
+    pub horizon_days: f64,
+    /// Mean fraction of tasks carrying constraints (Table IX “Avg”).
+    pub co_volume_avg: f64,
+    /// Seasonal swing of that fraction (drives Table IX min/max).
+    pub co_volume_amplitude: f64,
+    /// CPU-request multiplier for constrained tasks relative to the fleet.
+    pub co_cpu_bias: f64,
+    /// Memory-request multiplier for constrained tasks.
+    pub co_mem_bias: f64,
+    /// Fraction of constrained tasks targeting Group 0 (single node);
+    /// the paper reports 0.03 %–1.17 % of *total* tasks.
+    pub group0_share: f64,
+    /// Bounded-Pareto shape for resource requests (smaller = heavier tail;
+    /// the 2019 traces are markedly heavier-tailed).
+    pub pareto_alpha: f64,
+    /// Collection submission rate at full scale (the paper notes a 3.7×
+    /// rate increase from 2011 to 2019).
+    pub collections_per_day_full: f64,
+    /// Share of the final attribute-value vocabulary already present at
+    /// step 0 (Table XI: “most attribute values defined in step zero”).
+    pub vocab_initial_fraction: f64,
+    /// Number of mid-trace vocabulary-extension steps (Table XI rows).
+    pub vocab_extension_steps: usize,
+    /// Cap on new feature columns per step (§VI: adding more than 40–50
+    /// at once degrades the growing model).
+    pub max_new_features_per_step: usize,
+    /// Fraction of tasks whose update events carry corrupted timestamps
+    /// (2019 anomaly (i)).
+    pub anomaly_mistimed_rate: f64,
+    /// Fraction of tasks missing their termination event (2019 anomaly
+    /// (ii)).
+    pub anomaly_missing_term_rate: f64,
+    /// Probability that a constrained task carries extra decorative
+    /// constraints beyond the ones that pin its suitable-node count.
+    pub constraint_noise: f64,
+}
+
+/// Shrinks a cell to a runnable size while preserving ratios.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Scale {
+    /// Number of machines to generate.
+    pub machines: usize,
+    /// Number of collections to submit over the horizon.
+    pub collections: usize,
+    /// Master seed for all randomness.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The default CI/test scale: a few hundred machines, a few thousand
+    /// tasks — small enough for `cargo test`, large enough that every
+    /// group and every constraint style appears.
+    pub fn small(seed: u64) -> Self {
+        Self { machines: 260, collections: 900, seed }
+    }
+
+    /// A medium scale for examples and benches.
+    pub fn medium(seed: u64) -> Self {
+        Self { machines: 1_000, collections: 4_000, seed }
+    }
+
+    /// Paper scale. Slow; used by `--full` bench runs only.
+    pub fn full(profile: &CellProfile, seed: u64) -> Self {
+        Self {
+            machines: profile.full_machines,
+            collections: (profile.collections_per_day_full * profile.horizon_days) as usize,
+            seed,
+        }
+    }
+
+    /// The scaled suitable-node group width: proportional to the paper's
+    /// width at full scale, minimum 1.
+    pub fn group_width(&self, profile: &CellProfile) -> usize {
+        let w = (profile.full_group_width as f64 * self.machines as f64
+            / profile.full_machines as f64)
+            .round() as usize;
+        w.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_cell_sizes() {
+        assert_eq!(CellSet::C2011.profile().full_machines, 12_500);
+        assert_eq!(CellSet::C2019a.profile().full_machines, 9_400);
+        assert_eq!(CellSet::C2019c.profile().full_machines, 12_600);
+        assert_eq!(CellSet::C2019d.profile().full_machines, 12_100);
+    }
+
+    #[test]
+    fn group_width_is_360_for_2019a_at_full_scale() {
+        let p = CellSet::C2019a.profile();
+        let s = Scale::full(&p, 0);
+        assert_eq!(s.group_width(&p), 360);
+        let p11 = CellSet::C2011.profile();
+        assert_eq!(Scale::full(&p11, 0).group_width(&p11), 500);
+    }
+
+    #[test]
+    fn group_width_scales_proportionally() {
+        let p = CellSet::C2011.profile();
+        let s = Scale::small(0);
+        let w = s.group_width(&p);
+        assert!((8..=12).contains(&w), "got width {w}");
+    }
+
+    #[test]
+    fn only_2011_uses_the_4_op_format() {
+        assert!(!CellSet::C2011.profile().format_2019);
+        for c in [CellSet::C2019a, CellSet::C2019c, CellSet::C2019d] {
+            assert!(c.profile().format_2019);
+        }
+    }
+
+    #[test]
+    fn co_volume_swing_stays_in_unit_interval() {
+        for c in CellSet::all() {
+            let p = c.profile();
+            assert!(p.co_volume_avg + p.co_volume_amplitude < 1.0);
+            assert!(p.co_volume_avg - p.co_volume_amplitude > 0.0);
+        }
+    }
+
+    #[test]
+    fn submission_rate_grew_about_3_7x_between_archives() {
+        let r2011 = CellSet::C2011.profile().collections_per_day_full;
+        let r2019 = CellSet::C2019c.profile().collections_per_day_full;
+        let ratio = r2019 / r2011;
+        assert!((3.4..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn feature_step_cap_respects_paper_limit() {
+        for c in CellSet::all() {
+            assert!(c.profile().max_new_features_per_step <= 50);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Tasks (GCD "task records").
+
+use serde::{Deserialize, Serialize};
+
+use crate::collection::CollectionId;
+use crate::constraint::TaskConstraint;
+
+/// Task identifier, unique within a cell trace.
+pub type TaskId = u64;
+
+/// A schedulable task. Resource requests are normalised to the largest
+/// machine, GCD-style.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Unique task id.
+    pub id: TaskId,
+    /// Owning collection (job).
+    pub collection: CollectionId,
+    /// Normalised CPU request.
+    pub cpu: f64,
+    /// Normalised memory request.
+    pub memory: f64,
+    /// Scheduling priority (higher wins), mirroring GCD priority bands.
+    pub priority: u8,
+    /// Node-affinity constraints; empty for unconstrained tasks.
+    pub constraints: Vec<TaskConstraint>,
+}
+
+impl Task {
+    /// True when the task carries at least one constraint operator —
+    /// the population Table IX measures.
+    pub fn has_constraints(&self) -> bool {
+        !self.constraints.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintOp;
+
+    #[test]
+    fn has_constraints_reflects_vector() {
+        let mut t = Task {
+            id: 1,
+            collection: 2,
+            cpu: 0.1,
+            memory: 0.1,
+            priority: 0,
+            constraints: vec![],
+        };
+        assert!(!t.has_constraints());
+        t.constraints.push(TaskConstraint::new(0, ConstraintOp::Present));
+        assert!(t.has_constraints());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests over the trace generator: structural invariants that
+//! must hold for any cell, scale and seed.
+
+use proptest::prelude::*;
+
+use ctlm_trace::{CellSet, EventPayload, Scale, TraceGenerator};
+
+fn arb_cell() -> impl Strategy<Value = CellSet> {
+    prop_oneof![
+        Just(CellSet::C2011),
+        Just(CellSet::C2019a),
+        Just(CellSet::C2019c),
+        Just(CellSet::C2019d),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Events are time-sorted; every task submit precedes its
+    /// termination; every collection finishes exactly once.
+    #[test]
+    fn stream_is_well_formed(
+        cell in arb_cell(),
+        machines in 40usize..120,
+        collections in 30usize..150,
+        seed in 0u64..1_000,
+    ) {
+        let t = TraceGenerator::generate_cell(cell, Scale { machines, collections, seed });
+        prop_assert!(t.events.windows(2).all(|w| w[0].time <= w[1].time));
+
+        let mut submit: std::collections::HashMap<u64, u64> = Default::default();
+        let mut finished: std::collections::HashSet<u64> = Default::default();
+        for ev in &t.events {
+            match &ev.payload {
+                EventPayload::TaskSubmit(task) => {
+                    prop_assert!(submit.insert(task.id, ev.time).is_none(), "duplicate submit");
+                    prop_assert!(task.cpu > 0.0 && task.cpu <= 1.0);
+                    prop_assert!(task.memory > 0.0 && task.memory <= 1.0);
+                }
+                EventPayload::TaskTerminate { task, .. } => {
+                    let sub = submit.get(task);
+                    prop_assert!(sub.is_some(), "termination for unknown task {task}");
+                    prop_assert!(ev.time >= *sub.unwrap(), "terminate before submit");
+                }
+                EventPayload::CollectionFinish(id) => {
+                    prop_assert!(finished.insert(*id), "collection {id} finished twice");
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(t.total_tasks, submit.len());
+    }
+
+    /// The trace horizon bounds every event, and counts are consistent.
+    #[test]
+    fn horizon_and_counts(
+        cell in arb_cell(),
+        seed in 0u64..1_000,
+    ) {
+        let t = TraceGenerator::generate_cell(
+            cell,
+            Scale { machines: 60, collections: 60, seed },
+        );
+        prop_assert!(t.events.iter().all(|e| e.time < t.horizon));
+        prop_assert!(t.constrained_tasks <= t.total_tasks);
+        prop_assert!(t.group_width >= 1);
+        // 2011 traces never carry anomalies.
+        if cell == CellSet::C2011 {
+            prop_assert!(t.anomalies.injected.is_empty());
+        }
+    }
+
+    /// Constraint operators respect the trace format: the 2019-only
+    /// operators never appear in a 2011 trace.
+    #[test]
+    fn format_discipline(seed in 0u64..1_000) {
+        let t = TraceGenerator::generate_cell(
+            CellSet::C2011,
+            Scale { machines: 60, collections: 80, seed },
+        );
+        for ev in &t.events {
+            if let EventPayload::TaskSubmit(task) = &ev.payload {
+                for c in &task.constraints {
+                    prop_assert!(!c.op.is_2019_only(), "2019 op in 2011 trace: {:?}", c.op);
+                }
+            }
+        }
+    }
+}

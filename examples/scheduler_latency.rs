@@ -1,0 +1,78 @@
+//! The Fig. 3 deployment: Task CO Analyzer + High-Priority Scheduler,
+//! with the model updated by a *background thread* while the schedulers
+//! keep running — the paper's "updating ML model runs in parallel and
+//! won't block or slow down the main cluster scheduler".
+//!
+//! ```text
+//! cargo run --release --example scheduler_latency
+//! ```
+
+use std::sync::Arc;
+
+use ctlm::prelude::*;
+use ctlm::sched::updater::ModelUpdater;
+
+fn main() {
+    let cell = CellSet::C2019c;
+    let trace = TraceGenerator::generate_cell(
+        cell,
+        Scale { machines: 150, collections: 900, seed: 13 },
+    );
+    let replay = Replayer::default().replay(&trace);
+
+    // Background model updates through the registry (hot swap).
+    let registry = ModelRegistry::new();
+    let updater = ModelUpdater::spawn(registry.clone(), TrainConfig::default());
+    for (i, step) in replay.steps.iter().enumerate() {
+        updater.submit(step.vv.clone(), replay.vocab.clone(), i as u64);
+    }
+    // The scheduler thread would keep serving here; we wait for the
+    // updater to finish all steps before measuring.
+    let steps_done = updater.shutdown();
+    let analyzer = registry.get().expect("analyzer installed");
+    println!(
+        "background updater completed {steps_done} training steps; analyzer at width {}",
+        analyzer.features()
+    );
+
+    // Identical arrivals under both policies, compressed onto a loaded
+    // 15-minute window so queueing pressure exists.
+    let (cluster, mut arrivals) = arrivals_from_trace(&trace, 5_000);
+    ctlm::sched::engine::compress_timeline(&mut arrivals, 15 * 60 * 1_000_000);
+    println!("simulating {} arrivals on {} machines\n", arrivals.len(), cluster.len());
+    let sim = Simulator::new(SimConfig {
+        cycle: 1_000_000,
+        attempts_per_cycle: 4,
+        mean_runtime: 60_000_000,
+        horizon: 3_600_000_000,
+        seed: 13,
+    });
+    let base = sim.run(cluster.clone(), &arrivals, &Policy::MainOnly);
+    let enhanced = sim.run(
+        cluster.clone(),
+        &arrivals,
+        &Policy::Enhanced(Arc::new(analyzer.as_ref().clone())),
+    );
+
+    for (name, r) in [("main-only", &base), ("enhanced (Fig. 3)", &enhanced)] {
+        println!("policy: {name}");
+        match r.group0_latency() {
+            Some(s) => println!(
+                "  Group 0 tasks: n={} mean={:.1} ms p95={} ms",
+                s.count,
+                s.mean / 1000.0,
+                s.p95 / 1000
+            ),
+            None => println!("  Group 0 tasks: none placed"),
+        }
+        if let Some(s) = r.other_latency() {
+            println!(
+                "  other tasks:   n={} mean={:.1} ms p95={} ms",
+                s.count,
+                s.mean / 1000.0,
+                s.p95 / 1000
+            );
+        }
+        println!("  preemptions: {}, unplaced: {}\n", r.preemptions, r.unplaced);
+    }
+}
