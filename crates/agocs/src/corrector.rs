@@ -101,13 +101,23 @@ mod tests {
     }
 
     fn update(time: u64, task: u64) -> TraceEvent {
-        TraceEvent::new(time, EventPayload::TaskUpdate { task, cpu: 0.2, memory: 0.2 })
+        TraceEvent::new(
+            time,
+            EventPayload::TaskUpdate {
+                task,
+                cpu: 0.2,
+                memory: 0.2,
+            },
+        )
     }
 
     fn terminate(time: u64, task: u64) -> TraceEvent {
         TraceEvent::new(
             time,
-            EventPayload::TaskTerminate { task, reason: TerminationReason::Complete },
+            EventPayload::TaskTerminate {
+                task,
+                reason: TerminationReason::Complete,
+            },
         )
     }
 

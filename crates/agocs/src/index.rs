@@ -1,0 +1,346 @@
+//! Inverted attribute index for constraint matching.
+//!
+//! `count_suitable` is the AGOCS hot loop: every constrained task asks
+//! "how many machines satisfy these requirements" against the whole
+//! cluster, and the seed implementation re-scanned every machine per
+//! task. This index inverts the cluster: for every attribute it keeps
+//!
+//! * `present` — which machines define the attribute,
+//! * `by_value` — exact-value postings (`value → machines`),
+//! * `by_int` — an ordered map over numeric values for range queries,
+//! * `value_of` — each machine's current value (O(1) requirement
+//!   re-checks without touching the `Machine` itself),
+//!
+//! plus the set of all live machines. A query materialises candidates
+//! from its most selective requirement — equality and range postings are
+//! usually tiny — and verifies the remaining requirements via `value_of`
+//! lookups, so matching cost scales with the answer size rather than the
+//! cluster size. All-negative queries (not-present / not-equal only)
+//! still walk the full machine set once, exactly like the linear scan
+//! they replace.
+//!
+//! The index is maintained incrementally by
+//! [`ClusterState`](crate::state::ClusterState) and
+//! `ctlm_sched::SchedCluster` on machine add/remove and attribute
+//! updates; `tests/index_properties.rs` pins it to the retained linear
+//! scan over randomized clusters and constraint sets.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use ctlm_data::compaction::{AttrRequirement, Presence};
+use ctlm_trace::{AttrId, AttrValue, Machine, MachineId};
+
+/// Per-attribute postings.
+#[derive(Clone, Debug, Default)]
+struct AttrPostings {
+    /// Machines that define this attribute.
+    present: BTreeSet<MachineId>,
+    /// Exact-value postings.
+    by_value: HashMap<AttrValue, BTreeSet<MachineId>>,
+    /// Numeric-value postings ordered for range queries.
+    by_int: BTreeMap<i64, BTreeSet<MachineId>>,
+    /// Current value per machine (requirement re-checks).
+    value_of: HashMap<MachineId, AttrValue>,
+}
+
+impl AttrPostings {
+    fn insert(&mut self, id: MachineId, value: &AttrValue) {
+        self.present.insert(id);
+        self.by_value.entry(value.clone()).or_default().insert(id);
+        if let Some(n) = value.as_int() {
+            self.by_int.entry(n).or_default().insert(id);
+        }
+        self.value_of.insert(id, value.clone());
+    }
+
+    fn remove(&mut self, id: MachineId) {
+        let Some(value) = self.value_of.remove(&id) else {
+            return;
+        };
+        self.present.remove(&id);
+        if let Some(set) = self.by_value.get_mut(&value) {
+            set.remove(&id);
+            if set.is_empty() {
+                self.by_value.remove(&value);
+            }
+        }
+        if let Some(n) = value.as_int() {
+            if let Some(set) = self.by_int.get_mut(&n) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.by_int.remove(&n);
+                }
+            }
+        }
+    }
+}
+
+/// The inverted index over a live cluster. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct AttrIndex {
+    all: BTreeSet<MachineId>,
+    attrs: HashMap<AttrId, AttrPostings>,
+}
+
+impl AttrIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed machines.
+    pub fn machine_count(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Indexes a machine's attributes. The machine must not already be
+    /// indexed (callers re-indexing an id remove it first).
+    pub fn add_machine(&mut self, m: &Machine) {
+        debug_assert!(!self.all.contains(&m.id), "machine {} double-indexed", m.id);
+        self.all.insert(m.id);
+        for (attr, value) in &m.attributes {
+            self.attrs.entry(*attr).or_default().insert(m.id, value);
+        }
+    }
+
+    /// Removes a machine from every posting.
+    pub fn remove_machine(&mut self, id: MachineId) {
+        if !self.all.remove(&id) {
+            return;
+        }
+        for postings in self.attrs.values_mut() {
+            postings.remove(id);
+        }
+    }
+
+    /// Applies one attribute update (`None` clears the attribute).
+    pub fn update_attr(&mut self, id: MachineId, attr: AttrId, value: Option<&AttrValue>) {
+        let postings = self.attrs.entry(attr).or_default();
+        postings.remove(id);
+        if let Some(v) = value {
+            postings.insert(id, v);
+        }
+    }
+
+    /// The attribute state the index holds for `(machine, attr)`.
+    fn state_of(&self, id: MachineId, attr: AttrId) -> Option<&AttrValue> {
+        self.attrs.get(&attr).and_then(|p| p.value_of.get(&id))
+    }
+
+    /// Estimated candidate count for one requirement (cheap, used to pick
+    /// the seed requirement for a query).
+    fn selectivity(&self, req: &AttrRequirement) -> usize {
+        let Some(postings) = self.attrs.get(&req.attr) else {
+            // Unindexed attribute: no machine defines it.
+            return match req.presence {
+                Presence::Forbidden => self.all.len(),
+                _ if req.equal.is_none() && req.lo.is_none() && req.hi.is_none() => {
+                    // Pure exclusions on an undefined attribute match all.
+                    self.all.len()
+                }
+                _ => 0,
+            };
+        };
+        if let Some(eq) = &req.equal {
+            return postings.by_value.get(eq).map_or(0, BTreeSet::len);
+        }
+        if req.lo.is_some() || req.hi.is_some() {
+            let lo = req.lo.unwrap_or(i64::MIN);
+            let hi = req.hi.unwrap_or(i64::MAX);
+            return postings.by_int.range(lo..=hi).map(|(_, s)| s.len()).sum();
+        }
+        match req.presence {
+            Presence::Required => postings.present.len(),
+            Presence::Forbidden => self.all.len() - postings.present.len(),
+            Presence::Any => self.all.len(),
+        }
+    }
+
+    /// Materialises the sorted candidate list for one requirement.
+    fn candidates(&self, req: &AttrRequirement, out: &mut Vec<MachineId>) {
+        out.clear();
+        let postings = self.attrs.get(&req.attr);
+        if let Some(eq) = &req.equal {
+            if let Some(set) = postings.and_then(|p| p.by_value.get(eq)) {
+                out.extend(set.iter().copied());
+            }
+            return;
+        }
+        if req.lo.is_some() || req.hi.is_some() {
+            let Some(p) = postings else { return };
+            let lo = req.lo.unwrap_or(i64::MIN);
+            let hi = req.hi.unwrap_or(i64::MAX);
+            for (n, set) in p.by_int.range(lo..=hi) {
+                if !req.excluded.contains(&AttrValue::Int(*n)) {
+                    out.extend(set.iter().copied());
+                }
+            }
+            out.sort_unstable();
+            return;
+        }
+        match req.presence {
+            Presence::Required => {
+                if let Some(p) = postings {
+                    out.extend(
+                        p.present.iter().copied().filter(|id| {
+                            p.value_of.get(id).is_none_or(|v| !req.excluded.contains(v))
+                        }),
+                    );
+                }
+            }
+            Presence::Forbidden => match postings {
+                Some(p) => out.extend(self.all.difference(&p.present).copied()),
+                None => out.extend(self.all.iter().copied()),
+            },
+            Presence::Any => {
+                // Exclusion-only requirement: everything except the
+                // machines holding an excluded value.
+                out.extend(self.all.iter().copied().filter(|id| {
+                    self.state_of(*id, req.attr)
+                        .is_none_or(|v| !req.excluded.contains(v))
+                }));
+            }
+        }
+    }
+
+    /// Sorted ids of machines satisfying every requirement.
+    pub fn matching(&self, reqs: &[AttrRequirement]) -> Vec<MachineId> {
+        let mut out = Vec::new();
+        self.matching_into(reqs, &mut out);
+        out
+    }
+
+    /// [`AttrIndex::matching`] into a caller-provided buffer (the
+    /// scheduler's placement loop runs this per task).
+    pub fn matching_into(&self, reqs: &[AttrRequirement], out: &mut Vec<MachineId>) {
+        out.clear();
+        if reqs.is_empty() {
+            out.extend(self.all.iter().copied());
+            return;
+        }
+        // Seed with the most selective requirement, verify the rest.
+        let seed = reqs
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| self.selectivity(r))
+            .map(|(i, _)| i)
+            .expect("non-empty requirements");
+        self.candidates(&reqs[seed], out);
+        out.retain(|&id| {
+            reqs.iter()
+                .enumerate()
+                .all(|(i, r)| i == seed || r.accepts(self.state_of(id, r.attr)))
+        });
+    }
+
+    /// Number of machines satisfying every requirement.
+    pub fn count_matching(&self, reqs: &[AttrRequirement]) -> usize {
+        if reqs.is_empty() {
+            return self.all.len();
+        }
+        let mut buf = Vec::new();
+        self.matching_into(reqs, &mut buf);
+        buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctlm_data::compaction::collapse;
+    use ctlm_trace::{ConstraintOp as Op, TaskConstraint};
+
+    fn indexed_cluster() -> (AttrIndex, Vec<Machine>) {
+        let mut index = AttrIndex::new();
+        let mut machines = Vec::new();
+        for i in 0..12u64 {
+            let mut m = Machine::new(i, 0.5, 0.5);
+            m.set_attr(0, AttrValue::Int(i as i64));
+            if i % 2 == 0 {
+                m.set_attr(1, AttrValue::Int(1));
+            }
+            m.set_attr(2, AttrValue::from(["a", "b", "c"][(i % 3) as usize]));
+            index.add_machine(&m);
+            machines.push(m);
+        }
+        (index, machines)
+    }
+
+    fn reqs(cs: &[TaskConstraint]) -> Vec<AttrRequirement> {
+        collapse(cs).unwrap()
+    }
+
+    #[test]
+    fn equality_and_range_queries_match_scan() {
+        let (index, machines) = indexed_cluster();
+        for cs in [
+            vec![TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(4))))],
+            vec![
+                TaskConstraint::new(0, Op::GreaterThanEqual(3)),
+                TaskConstraint::new(0, Op::LessThan(9)),
+            ],
+            vec![TaskConstraint::new(1, Op::Present)],
+            vec![TaskConstraint::new(1, Op::NotPresent)],
+            vec![TaskConstraint::new(2, Op::NotEqual(AttrValue::from("b")))],
+            vec![
+                TaskConstraint::new(0, Op::LessThan(8)),
+                TaskConstraint::new(1, Op::Present),
+                TaskConstraint::new(2, Op::Equal(Some(AttrValue::from("a")))),
+            ],
+        ] {
+            let r = reqs(&cs);
+            let scan: Vec<MachineId> = machines
+                .iter()
+                .filter(|m| r.iter().all(|req| req.accepts(m.attr(req.attr))))
+                .map(|m| m.id)
+                .collect();
+            assert_eq!(index.matching(&r), scan, "constraints {cs:?}");
+            assert_eq!(index.count_matching(&r), scan.len());
+        }
+    }
+
+    #[test]
+    fn empty_requirements_match_every_machine() {
+        let (index, machines) = indexed_cluster();
+        assert_eq!(index.count_matching(&[]), machines.len());
+    }
+
+    #[test]
+    fn removal_and_update_stay_consistent() {
+        let (mut index, _) = indexed_cluster();
+        let window = reqs(&[TaskConstraint::new(0, Op::LessThan(6))]);
+        assert_eq!(index.count_matching(&window), 6);
+        index.remove_machine(3);
+        assert_eq!(index.count_matching(&window), 5);
+        // Move machine 5's node index out of the window.
+        index.update_attr(5, 0, Some(&AttrValue::Int(50)));
+        assert_eq!(index.count_matching(&window), 4);
+        // Clear it entirely: ranges imply presence, so it cannot match.
+        index.update_attr(5, 0, None);
+        assert_eq!(index.count_matching(&window), 4);
+        assert_eq!(index.machine_count(), 11);
+    }
+
+    #[test]
+    fn unindexed_attribute_behaves_as_absent_everywhere() {
+        let (index, machines) = indexed_cluster();
+        let absent = reqs(&[TaskConstraint::new(9, Op::NotPresent)]);
+        assert_eq!(index.count_matching(&absent), machines.len());
+        let present = reqs(&[TaskConstraint::new(9, Op::Present)]);
+        assert_eq!(index.count_matching(&present), 0);
+        let excl = reqs(&[TaskConstraint::new(9, Op::NotEqual(AttrValue::Int(1)))]);
+        assert_eq!(index.count_matching(&excl), machines.len());
+    }
+
+    #[test]
+    fn range_with_interior_exclusion_skips_the_posting() {
+        let (index, _) = indexed_cluster();
+        // 2 ≤ node < 7 excluding 4 → {2, 3, 5, 6}.
+        let r = reqs(&[
+            TaskConstraint::new(0, Op::GreaterThanEqual(2)),
+            TaskConstraint::new(0, Op::LessThan(7)),
+            TaskConstraint::new(0, Op::NotEqual(AttrValue::Int(4))),
+        ]);
+        assert_eq!(index.matching(&r), vec![2, 3, 5, 6]);
+    }
+}

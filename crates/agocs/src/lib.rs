@@ -8,7 +8,8 @@
 //! * **cluster state** tracking machines, attributes, and task markers
 //!   ([`state`]);
 //! * **constraint matching** — counting the machines suitable for a task
-//!   ([`matcher`]), which provides the ground-truth group labels;
+//!   ([`matcher`]), which provides the ground-truth group labels, served
+//!   by an incrementally maintained inverted attribute index ([`index`]);
 //! * **anomaly auto-correction** ([`corrector`]) — offsetting mis-timed
 //!   task updates to after creation, and deleting task markers when their
 //!   terminated collection finishes;
@@ -19,13 +20,15 @@
 //!   Table IX.
 
 pub mod corrector;
+pub mod index;
 pub mod matcher;
 pub mod replay;
 pub mod state;
 pub mod stats;
 
 pub use corrector::{correct_stream, CorrectionReport};
-pub use matcher::count_suitable;
+pub use index::AttrIndex;
+pub use matcher::{count_suitable, count_suitable_linear, suitable_machines};
 pub use replay::{DatasetStep, ReplayConfig, ReplayOutput, Replayer};
 pub use state::ClusterState;
 pub use stats::{CoDistribution, CoStatsCollector};

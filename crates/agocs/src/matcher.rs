@@ -12,31 +12,58 @@ use ctlm_trace::Machine;
 
 use crate::state::ClusterState;
 
-/// Machines below this population are counted sequentially; above it the
-/// scan parallelises with Rayon (the per-machine predicate is pure).
-const PAR_THRESHOLD: usize = 1024;
+/// Machines below this population are scanned sequentially by the
+/// *linear* reference path; above it that scan parallelises with Rayon
+/// (the per-machine predicate is pure). Deliberately higher than
+/// `ctlm_tensor::ops::PAR_THRESHOLD` (64): a constraint check is a few
+/// nanoseconds per machine, so thread dispatch amortises much later than
+/// for a GEMM row. The production path ([`count_suitable`]) uses the
+/// inverted [`crate::index::AttrIndex`] instead and has no threshold —
+/// its cost scales with the answer, not the cluster.
+pub const PAR_THRESHOLD: usize = 1024;
 
 /// Evaluates collapsed requirements against one machine.
 pub fn machine_suitable(machine: &Machine, reqs: &[AttrRequirement]) -> bool {
     reqs.iter().all(|r| r.accepts(machine.attr(r.attr)))
 }
 
-/// Counts the machines in the cluster satisfying every requirement.
+/// Counts the machines in the cluster satisfying every requirement,
+/// answering from the cluster's inverted attribute index.
 pub fn count_suitable(state: &ClusterState, reqs: &[AttrRequirement]) -> usize {
+    state.index().count_matching(reqs)
+}
+
+/// Lists the ids of suitable machines in ascending order (used by the
+/// scheduler crate, which needs the actual candidate set, not just its
+/// size).
+pub fn suitable_machines(state: &ClusterState, reqs: &[AttrRequirement]) -> Vec<u64> {
+    state.index().matching(reqs)
+}
+
+/// Pre-index reference: counts suitable machines by scanning the fleet.
+/// Retained as the equivalence oracle for the index property tests and
+/// the `matching` bench (measured against [`count_suitable`] in the same
+/// run).
+pub fn count_suitable_linear(state: &ClusterState, reqs: &[AttrRequirement]) -> usize {
     if reqs.is_empty() {
         return state.machine_count();
     }
     let machines = state.machines_vec();
     if machines.len() >= PAR_THRESHOLD {
-        machines.par_iter().filter(|m| machine_suitable(m, reqs)).count()
+        machines
+            .par_iter()
+            .filter(|m| machine_suitable(m, reqs))
+            .count()
     } else {
-        machines.iter().filter(|m| machine_suitable(m, reqs)).count()
+        machines
+            .iter()
+            .filter(|m| machine_suitable(m, reqs))
+            .count()
     }
 }
 
-/// Lists the ids of suitable machines (used by the scheduler crate, which
-/// needs the actual candidate set, not just its size).
-pub fn suitable_machines(state: &ClusterState, reqs: &[AttrRequirement]) -> Vec<u64> {
+/// Pre-index reference for [`suitable_machines`] (ascending ids).
+pub fn suitable_machines_linear(state: &ClusterState, reqs: &[AttrRequirement]) -> Vec<u64> {
     state
         .machines()
         .filter(|m| machine_suitable(m, reqs))

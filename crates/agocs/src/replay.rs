@@ -133,13 +133,13 @@ impl Replayer {
         let mut markers_swept = 0usize;
 
         let emit_step = |time: Micros,
-                             vocab: &ValueVocab,
-                             vv_builder: &mut DatasetBuilder,
-                             el_builder: &mut DatasetBuilder,
-                             el_encoder: &CoElEncoder,
-                             steps: &mut Vec<DatasetStep>,
-                             width_at_last_step: &mut usize,
-                             rows_at_last_step: &mut usize| {
+                         vocab: &ValueVocab,
+                         vv_builder: &mut DatasetBuilder,
+                         el_builder: &mut DatasetBuilder,
+                         el_encoder: &CoElEncoder,
+                         steps: &mut Vec<DatasetStep>,
+                         width_at_last_step: &mut usize,
+                         rows_at_last_step: &mut usize| {
             let width = vocab.len();
             vv_builder.widen(width);
             el_builder.widen(el_encoder.len().max(el_builder.cols()));
@@ -198,7 +198,11 @@ impl Replayer {
                 EventPayload::MachineRemove(id) => {
                     state.remove_machine(*id);
                 }
-                EventPayload::MachineAttrUpdate { machine, attr, value } => {
+                EventPayload::MachineAttrUpdate {
+                    machine,
+                    attr,
+                    value,
+                } => {
                     if state.update_attr(*machine, *attr, value.clone()) {
                         if let Some(v) = value {
                             let before = vocab.len();
@@ -312,7 +316,11 @@ mod tests {
     fn replay_cell(cell: CellSet, seed: u64) -> ReplayOutput {
         let trace = TraceGenerator::generate_cell(
             cell,
-            Scale { machines: 130, collections: 400, seed },
+            Scale {
+                machines: 130,
+                collections: 400,
+                seed,
+            },
         );
         Replayer::default().replay(&trace)
     }
@@ -320,7 +328,11 @@ mod tests {
     #[test]
     fn steps_are_ordered_and_widths_monotonic() {
         let out = replay_cell(CellSet::C2019c, 5);
-        assert!(out.steps.len() >= 3, "expected several steps, got {}", out.steps.len());
+        assert!(
+            out.steps.len() >= 3,
+            "expected several steps, got {}",
+            out.steps.len()
+        );
         for w in out.steps.windows(2) {
             assert!(w[0].time <= w[1].time);
             assert!(w[0].features_count <= w[1].features_count);
@@ -359,15 +371,25 @@ mod tests {
     fn labels_are_valid_groups_and_group0_appears() {
         let trace = TraceGenerator::generate_cell(
             CellSet::C2019a,
-            Scale { machines: 130, collections: 1_500, seed: 7 },
+            Scale {
+                machines: 130,
+                collections: 1_500,
+                seed: 7,
+            },
         );
         let out = Replayer::default().replay(&trace);
         let last = out.steps.last().unwrap();
         assert!(last.vv.y.iter().all(|&y| (y as usize) < NUM_GROUPS));
-        assert!(out.group0_rows > 0, "2019a's group0 share should produce rows");
+        assert!(
+            out.group0_rows > 0,
+            "2019a's group0 share should produce rows"
+        );
         // Group 0 is rare — the class imbalance the paper highlights.
         let g0_frac = out.group0_rows as f64 / out.total_rows as f64;
-        assert!(g0_frac < 0.06, "group0 fraction {g0_frac} suspiciously high");
+        assert!(
+            g0_frac < 0.06,
+            "group0 fraction {g0_frac} suspiciously high"
+        );
     }
 
     #[test]
@@ -377,21 +399,29 @@ mod tests {
         let el = last.el.as_ref().unwrap();
         assert_eq!(el.len(), last.vv.len());
         assert_eq!(el.y, last.vv.y);
-        assert!(el.features_count() < last.vv.features_count(),
-            "CO-EL label space is denser than CO-VV value space at this scale");
+        assert!(
+            el.features_count() < last.vv.features_count(),
+            "CO-EL label space is denser than CO-VV value space at this scale"
+        );
     }
 
     #[test]
     fn corrections_match_injected_anomalies() {
         let trace = TraceGenerator::generate_cell(
             CellSet::C2019c,
-            Scale { machines: 130, collections: 600, seed: 9 },
+            Scale {
+                machines: 130,
+                collections: 600,
+                seed: 9,
+            },
         );
         let out = Replayer::default().replay(&trace);
-        let injected_mistimed =
-            trace.anomalies.count(ctlm_trace::anomaly::AnomalyKind::MistimedUpdate);
-        let injected_missing =
-            trace.anomalies.count(ctlm_trace::anomaly::AnomalyKind::MissingTermination);
+        let injected_mistimed = trace
+            .anomalies
+            .count(ctlm_trace::anomaly::AnomalyKind::MistimedUpdate);
+        let injected_missing = trace
+            .anomalies
+            .count(ctlm_trace::anomaly::AnomalyKind::MissingTermination);
         assert_eq!(out.correction.mistimed_updates_fixed, injected_mistimed);
         assert_eq!(out.correction.tasks_missing_termination, injected_missing);
         // Anomaly (ii) healing: those tasks' markers are swept via their
@@ -402,7 +432,10 @@ mod tests {
     #[test]
     fn no_task_markers_leak() {
         let out = replay_cell(CellSet::C2019d, 2);
-        assert_eq!(out.markers_leaked, 0, "collection sweep must clean every marker");
+        assert_eq!(
+            out.markers_leaked, 0,
+            "collection sweep must clean every marker"
+        );
     }
 
     #[test]

@@ -4,12 +4,17 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use ctlm_trace::{AttrId, AttrValue, CollectionId, Machine, MachineId, TaskId};
 
+use crate::index::AttrIndex;
+
 /// The live cluster: machines with their attribute maps, plus the task
 /// markers AGOCS tracks (which tasks are known to the cell, grouped by
-/// collection so collection termination can clean them up).
+/// collection so collection termination can clean them up). An
+/// [`AttrIndex`] is maintained incrementally alongside the machine map,
+/// so constraint matching never has to scan the fleet.
 #[derive(Clone, Debug, Default)]
 pub struct ClusterState {
     machines: BTreeMap<MachineId, Machine>,
+    index: AttrIndex,
     /// Task markers per collection — the structures the paper's corrector
     /// deletes when a terminated collection finishes.
     tasks_by_collection: HashMap<CollectionId, BTreeSet<TaskId>>,
@@ -42,14 +47,27 @@ impl ClusterState {
         self.machines.get(&id)
     }
 
+    /// The incrementally maintained inverted attribute index.
+    pub fn index(&self) -> &AttrIndex {
+        &self.index
+    }
+
     /// Adds (or replaces) a machine.
     pub fn add_machine(&mut self, m: Machine) {
+        if self.machines.contains_key(&m.id) {
+            self.index.remove_machine(m.id);
+        }
+        self.index.add_machine(&m);
         self.machines.insert(m.id, m);
     }
 
     /// Removes a machine; returns it if present.
     pub fn remove_machine(&mut self, id: MachineId) -> Option<Machine> {
-        self.machines.remove(&id)
+        let removed = self.machines.remove(&id);
+        if removed.is_some() {
+            self.index.remove_machine(id);
+        }
+        removed
     }
 
     /// Applies an attribute update; returns false when the machine is
@@ -59,9 +77,11 @@ impl ClusterState {
             Some(m) => {
                 match value {
                     Some(v) => {
+                        self.index.update_attr(id, attr, Some(&v));
                         m.set_attr(attr, v);
                     }
                     None => {
+                        self.index.update_attr(id, attr, None);
                         m.remove_attr(attr);
                     }
                 }
@@ -73,7 +93,10 @@ impl ClusterState {
 
     /// Registers a task marker.
     pub fn add_task_marker(&mut self, task: TaskId, collection: CollectionId) {
-        self.tasks_by_collection.entry(collection).or_default().insert(task);
+        self.tasks_by_collection
+            .entry(collection)
+            .or_default()
+            .insert(task);
         self.task_owner.insert(task, collection);
     }
 

@@ -62,7 +62,10 @@ impl CoStatsCollector {
     /// Panics if `window_len == 0`.
     pub fn with_window(window_len: Micros) -> Self {
         assert!(window_len > 0, "window length must be positive");
-        Self { window_len, windows: Vec::new() }
+        Self {
+            window_len,
+            windows: Vec::new(),
+        }
     }
 
     /// Records one task submission.
@@ -110,7 +113,11 @@ impl CoStatsCollector {
                 num_total += num(w);
                 den_total += d;
             }
-            MinMaxAvg { min, max, avg: num_total / den_total }
+            MinMaxAvg {
+                min,
+                max,
+                avg: num_total / den_total,
+            }
         };
         CoDistribution {
             by_volume: agg(|w| w.co_tasks as f64, |w| w.tasks as f64),

@@ -71,7 +71,7 @@ pub(crate) mod test_support {
             if rng.gen_bool(0.5) {
                 row.push((c * 2 + 1, 1.0));
             }
-            row.push((classes * 2 + rng.gen_range(0..4), 1.0));
+            row.push((classes * 2 + rng.gen_range(0usize..4), 1.0));
             b.push_row(row);
             y.push(c as u8);
         }

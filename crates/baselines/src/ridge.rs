@@ -36,7 +36,13 @@ pub struct RidgeClassifier {
 impl RidgeClassifier {
     /// Defaults matching scikit-learn.
     pub fn new(n_classes: usize) -> Self {
-        Self { alpha: 1.0, n_classes, max_cg_iter: 200, tol: 1e-5, weights: None }
+        Self {
+            alpha: 1.0,
+            n_classes,
+            max_cg_iter: 200,
+            tol: 1e-5,
+            weights: None,
+        }
     }
 
     /// Decision score of class `c` for a sample given as sparse entries.
@@ -116,8 +122,10 @@ impl Classifier for RidgeClassifier {
             .par_iter()
             .map(|&c| {
                 // targets ±1
-                let t: Vec<f32> =
-                    y.iter().map(|&label| if label as usize == c { 1.0 } else { -1.0 }).collect();
+                let t: Vec<f32> = y
+                    .iter()
+                    .map(|&label| if label as usize == c { 1.0 } else { -1.0 })
+                    .collect();
                 // b = Xᵀt augmented with Σt.
                 let mut b = ops::csr_tmatvec(x, &t);
                 b.push(t.iter().sum());
@@ -127,7 +135,10 @@ impl Classifier for RidgeClassifier {
             .collect();
         let converged = results.iter().all(|(_, ok)| *ok);
         self.weights = Some(results.into_iter().map(|(w, _)| w).collect());
-        FitReport { epochs: 0, converged }
+        FitReport {
+            epochs: 0,
+            converged,
+        }
     }
 
     fn predict(&self, x: &Csr) -> Vec<u8> {
@@ -191,7 +202,10 @@ mod tests {
                 .map(|v| v * v)
                 .sum()
         };
-        assert!(norm(&strong) < norm(&weak) * 0.5, "L2 penalty must shrink coefficients");
+        assert!(
+            norm(&strong) < norm(&weak) * 0.5,
+            "L2 penalty must shrink coefficients"
+        );
     }
 
     #[test]

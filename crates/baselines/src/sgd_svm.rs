@@ -64,8 +64,9 @@ impl Classifier for SgdClassifier {
         let d = x.cols();
         let n = x.rows();
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x56D_C1A5);
-        let mut weights: Vec<(Vec<f32>, f32)> =
-            (0..self.n_classes).map(|_| (vec![0.0f32; d], 0.0f32)).collect();
+        let mut weights: Vec<(Vec<f32>, f32)> = (0..self.n_classes)
+            .map(|_| (vec![0.0f32; d], 0.0f32))
+            .collect();
         // sklearn's "optimal" schedule t0 heuristic (Bottou): we use a
         // fixed pragmatic value; the schedule shape is what matters.
         let t0 = 1.0f32 / (self.alpha.max(1e-8));
@@ -159,7 +160,11 @@ mod tests {
         let (x, y) = crate::test_support::toy_problem(150, 3, 8);
         let mut clf = SgdClassifier::new(3, 8);
         let report = clf.fit(&x, &y);
-        assert!(report.epochs < clf.max_iter, "expected early stop, ran {}", report.epochs);
+        assert!(
+            report.epochs < clf.max_iter,
+            "expected early stop, ran {}",
+            report.epochs
+        );
     }
 
     #[test]

@@ -112,7 +112,11 @@ mod tests {
     #[test]
     fn majority_wins() {
         let mut v = VotingClassifier::new(
-            vec![Box::new(Constant(2)), Box::new(Constant(2)), Box::new(Constant(0))],
+            vec![
+                Box::new(Constant(2)),
+                Box::new(Constant(2)),
+                Box::new(Constant(0)),
+            ],
             3,
         );
         let (x, y) = toy_problem(10, 3, 0);
@@ -122,8 +126,7 @@ mod tests {
 
     #[test]
     fn tie_resolves_to_lowest_class() {
-        let mut v =
-            VotingClassifier::new(vec![Box::new(Constant(3)), Box::new(Constant(1))], 4);
+        let mut v = VotingClassifier::new(vec![Box::new(Constant(3)), Box::new(Constant(1))], 4);
         let (x, y) = toy_problem(6, 4, 1);
         v.fit(&x, &y);
         assert!(v.predict(&x).iter().all(|&p| p == 1));
@@ -135,8 +138,7 @@ mod tests {
         let (x, y) = toy_problem(150, 3, 13);
         v.fit(&x, &y);
         let pred = v.predict(&x);
-        let acc =
-            pred.iter().zip(y.iter()).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
+        let acc = pred.iter().zip(y.iter()).filter(|(a, b)| a == b).count() as f64 / y.len() as f64;
         assert!(acc > 0.9, "ensemble accuracy {acc}");
     }
 

@@ -14,7 +14,11 @@ use ctlm_trace::{AttrValue, CellSet, ConstraintOp, Scale, TaskConstraint, TraceG
 fn bench_dataset_gen(c: &mut Criterion) {
     let trace = TraceGenerator::generate_cell(
         CellSet::C2019c,
-        Scale { machines: 120, collections: 500, seed: 79 },
+        Scale {
+            machines: 120,
+            collections: 500,
+            seed: 79,
+        },
     );
     let mut group = c.benchmark_group("dataset_gen");
     group.sample_size(10);

@@ -13,10 +13,18 @@ use ctlm_trace::{AttrValue, CellSet, ConstraintOp, Scale, TaskConstraint, TraceG
 fn bench_inference(c: &mut Criterion) {
     let trace = TraceGenerator::generate_cell(
         CellSet::C2019c,
-        Scale { machines: 150, collections: 900, seed: 78 },
+        Scale {
+            machines: 150,
+            collections: 900,
+            seed: 78,
+        },
     );
     let out = Replayer::default().replay(&trace);
-    let cfg = TrainConfig { epochs_limit: 40, max_attempts: 2, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs_limit: 40,
+        max_attempts: 2,
+        ..TrainConfig::default()
+    };
     let mut model = GrowingModel::new(cfg);
     for (i, s) in out.steps.iter().enumerate() {
         model.step(&s.vv, i as u64);
@@ -34,10 +42,18 @@ fn bench_inference(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("inference");
     group.bench_function("predict_group_window_task", |b| {
-        b.iter(|| analyzer.predict_group(std::hint::black_box(&constraints)).unwrap())
+        b.iter(|| {
+            analyzer
+                .predict_group(std::hint::black_box(&constraints))
+                .unwrap()
+        })
     });
     group.bench_function("predict_group_single_node_task", |b| {
-        b.iter(|| analyzer.predict_group(std::hint::black_box(&single)).unwrap())
+        b.iter(|| {
+            analyzer
+                .predict_group(std::hint::black_box(&single))
+                .unwrap()
+        })
     });
     let last = &out.steps.last().expect("steps").vv;
     group.bench_function("batch_predict_full_dataset", |b| {

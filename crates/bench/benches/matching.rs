@@ -1,11 +1,14 @@
 //! Constraint-matching throughput — the AGOCS replay hot loop.
 //!
 //! Ground-truth labels require counting suitable machines per constrained
-//! task; this bench measures that count at increasing cluster sizes
-//! (sequential below the Rayon threshold, parallel above).
+//! task. This bench measures the inverted-index path (`count_suitable`)
+//! against the retained linear scan (`count_suitable_linear`) at
+//! increasing cluster sizes, in the same run — the `BENCH_PR1.json`
+//! speedup target (≥5× at 10k machines) reads straight off these ids.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use ctlm_agocs::matcher::count_suitable_linear;
 use ctlm_agocs::{count_suitable, ClusterState};
 use ctlm_data::compaction::collapse;
 use ctlm_trace::{AttrValue, ConstraintOp, Machine, TaskConstraint};
@@ -24,16 +27,47 @@ fn cluster(n: usize) -> ClusterState {
 
 fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("matching");
-    for n in [100usize, 1_000, 12_600] {
+    for n in [100usize, 1_000, 10_000] {
         let state = cluster(n);
-        let reqs = collapse(&[
+        // A selective window plus a negative string constraint — the mix
+        // real constrained tasks carry after compaction.
+        let window = collapse(&[
             TaskConstraint::new(0, ConstraintOp::GreaterThanEqual(5)),
-            TaskConstraint::new(0, ConstraintOp::LessThan(n as i64 / 2)),
+            TaskConstraint::new(0, ConstraintOp::LessThan(5 + n as i64 / 50)),
             TaskConstraint::new(2, ConstraintOp::NotEqual(AttrValue::from("k3"))),
         ])
         .unwrap();
-        group.bench_with_input(BenchmarkId::new("count_suitable", n), &n, |b, _| {
-            b.iter(|| count_suitable(std::hint::black_box(&state), std::hint::black_box(&reqs)))
+        // A single-machine pin — the Group 0 shape the paper's analyzer
+        // exists to catch.
+        let pin = collapse(&[TaskConstraint::new(
+            0,
+            ConstraintOp::Equal(Some(AttrValue::Int(n as i64 / 2))),
+        )])
+        .unwrap();
+        assert_eq!(
+            count_suitable(&state, &window),
+            count_suitable_linear(&state, &window)
+        );
+        assert_eq!(
+            count_suitable(&state, &pin),
+            count_suitable_linear(&state, &pin)
+        );
+
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| count_suitable(std::hint::black_box(&state), std::hint::black_box(&window)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            b.iter(|| {
+                count_suitable_linear(std::hint::black_box(&state), std::hint::black_box(&window))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("indexed_pin", n), &n, |b, _| {
+            b.iter(|| count_suitable(std::hint::black_box(&state), std::hint::black_box(&pin)))
+        });
+        group.bench_with_input(BenchmarkId::new("linear_pin", n), &n, |b, _| {
+            b.iter(|| {
+                count_suitable_linear(std::hint::black_box(&state), std::hint::black_box(&pin))
+            })
         });
     }
     group.finish();

@@ -22,11 +22,16 @@ fn dataset(n: usize, full_width: usize, visible: usize, seed: u64) -> Dataset {
     let mut rng = ctlm_tensor::init::seeded_rng(seed);
     let mut b = DatasetBuilder::new(visible, NUM_GROUPS);
     for _ in 0..n {
-        let group: u8 =
-            if rng.gen_bool(0.03) { 0 } else { rng.gen_range(1..NUM_GROUPS as u8) };
+        let group: u8 = if rng.gen_bool(0.03) {
+            0
+        } else {
+            rng.gen_range(1..NUM_GROUPS as u8)
+        };
         let marks = 2 + (group as usize * (full_width - 4)) / NUM_GROUPS;
-        let entries: Vec<(usize, f32)> =
-            (0..marks).filter(|&c| c < visible).map(|c| (c, 1.0)).collect();
+        let entries: Vec<(usize, f32)> = (0..marks)
+            .filter(|&c| c < visible)
+            .map(|c| (c, 1.0))
+            .collect();
         b.push(entries, group);
     }
     b.snapshot(visible)

@@ -21,7 +21,10 @@ fn main() {
     );
     rule(50);
     for rate in [0.0f32, 0.05, 0.1, 0.2, 0.3, 0.5, 1.0] {
-        let cfg = TrainConfig { pretrained_gradient_rate: rate, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            pretrained_gradient_rate: rate,
+            ..TrainConfig::default()
+        };
         let run = run_model_over_steps(ModelKind::Growing, &out.steps, cfg, cli.seed);
         let accepted = run
             .steps

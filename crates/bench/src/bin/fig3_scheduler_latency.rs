@@ -63,7 +63,11 @@ fn main() {
         seed: cli.seed,
     });
     let base = sim.run(cluster.clone(), &arrivals, &Policy::MainOnly);
-    let enhanced = sim.run(cluster.clone(), &arrivals, &Policy::Enhanced(Arc::new(analyzer)));
+    let enhanced = sim.run(
+        cluster.clone(),
+        &arrivals,
+        &Policy::Enhanced(Arc::new(analyzer)),
+    );
     let oracle = sim.run(cluster, &arrivals, &Policy::OracleEnhanced);
 
     println!(

@@ -25,8 +25,9 @@ fn main() {
     let header: Vec<String> = (0..cols).map(|c| format!("L{c:02}")).collect();
     println!("row   {}  group", header.join(" "));
     for r in 0..el.len().min(12) {
-        let cells: Vec<String> =
-            (0..cols).map(|c| format!("{:>3}", el.x.get(r, c) as u8)).collect();
+        let cells: Vec<String> = (0..cols)
+            .map(|c| format!("{:>3}", el.x.get(r, c) as u8))
+            .collect();
         println!("{r:<5} {}  {}", cells.join(" "), el.y[r]);
     }
     println!("\n(ones mark which collapsed-CO labels a task carries; the label");

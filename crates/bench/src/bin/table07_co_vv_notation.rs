@@ -19,7 +19,10 @@ fn main() {
     println!("{:<22} {}", "CO", header.join(" "));
 
     let rows: Vec<(&str, Vec<TaskConstraint>)> = vec![
-        ("${AM} >= 5", vec![TaskConstraint::new(0, Op::GreaterThanEqual(5))]),
+        (
+            "${AM} >= 5",
+            vec![TaskConstraint::new(0, Op::GreaterThanEqual(5))],
+        ),
         (
             "3 > ${AM} > 0",
             vec![
@@ -35,11 +38,16 @@ fn main() {
                 TaskConstraint::new(0, Op::NotEqual(AttrValue::Int(8))),
             ],
         ),
-        ("${AM} > 0", vec![TaskConstraint::new(0, Op::GreaterThan(0))]),
+        (
+            "${AM} > 0",
+            vec![TaskConstraint::new(0, Op::GreaterThan(0))],
+        ),
     ];
 
     for (label, cs) in rows {
-        let entries = CoVvEncoder.encode(&cs, &vocab).expect("no contradictions here");
+        let entries = CoVvEncoder
+            .encode(&cs, &vocab)
+            .expect("no contradictions here");
         let mut dense = vec![0u8; vocab.len()];
         for (c, v) in entries {
             dense[c] = v as u8;

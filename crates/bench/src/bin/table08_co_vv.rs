@@ -24,8 +24,7 @@ fn main() {
     // Sparse row listing: column indices marked 1 per row.
     println!("row   group  marked columns (value unacceptable)");
     for r in 0..vv.len().min(12) {
-        let marked: Vec<String> =
-            vv.x.row_entries(r).map(|(c, _)| c.to_string()).collect();
+        let marked: Vec<String> = vv.x.row_entries(r).map(|(c, _)| c.to_string()).collect();
         let shown = if marked.len() > 14 {
             format!("{} … ({} total)", marked[..14].join(","), marked.len())
         } else {

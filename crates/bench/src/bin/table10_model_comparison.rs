@@ -25,7 +25,11 @@ fn row(cell: &str, r: &RunSummary, epochs: bool) {
         r.model,
         r.avg_accuracy,
         opt_f1(r.avg_group0_f1),
-        if epochs { r.epochs_total.to_string() } else { "—".into() },
+        if epochs {
+            r.epochs_total.to_string()
+        } else {
+            "—".into()
+        },
         r.wall_time_total,
     );
 }
@@ -43,11 +47,23 @@ fn main() {
         let out = replay_cell(&cli, cell);
         let steps = &out.steps;
         let name = cell.profile().name;
-        row(name, &run_model_over_steps(ModelKind::Growing, steps, cfg, cli.seed), true);
-        row(name, &run_model_over_steps(ModelKind::FullyRetrain, steps, cfg, cli.seed), true);
+        row(
+            name,
+            &run_model_over_steps(ModelKind::Growing, steps, cfg, cli.seed),
+            true,
+        );
+        row(
+            name,
+            &run_model_over_steps(ModelKind::FullyRetrain, steps, cfg, cli.seed),
+            true,
+        );
         for kind in BaselineKind::all() {
             let epochs = kind == BaselineKind::Mlp || kind == BaselineKind::Ensemble;
-            row(name, &run_baseline_over_steps(kind, steps, 0.25, cli.seed), epochs);
+            row(
+                name,
+                &run_baseline_over_steps(kind, steps, 0.25, cli.seed),
+                epochs,
+            );
         }
         rule(80);
     }

@@ -19,8 +19,17 @@ fn main() {
 
     println!(
         "{:<5} {:<9} {:>8} {:>5} {:>6} | {:>9} {:>9} {:>6} | {:>9} {:>9} {:>6}",
-        "step", "time", "features", "new", "rows", "G acc", "G G0-F1", "G ep", "FR acc",
-        "FR G0-F1", "FR ep"
+        "step",
+        "time",
+        "features",
+        "new",
+        "rows",
+        "G acc",
+        "G G0-F1",
+        "G ep",
+        "FR acc",
+        "FR G0-F1",
+        "FR ep"
     );
     println!("{:<43} | {:^26} | {:^26}", "", "Growing", "Fully Retrain");
     rule(100);
@@ -43,7 +52,9 @@ fn main() {
     rule(100);
     println!(
         "totals: Growing {} epochs / {:.2?} — Fully Retrain {} epochs / {:.2?}",
-        growing.epochs_total, growing.wall_time_total, retrain.epochs_total,
+        growing.epochs_total,
+        growing.wall_time_total,
+        retrain.epochs_total,
         retrain.wall_time_total
     );
     let saved = 100.0 * (1.0 - growing.epochs_total as f64 / retrain.epochs_total.max(1) as f64);

@@ -66,8 +66,16 @@ impl Cli {
     pub fn trace_scale(&self, cell: CellSet) -> Scale {
         let profile = cell.profile();
         match self.scale {
-            RunScale::Small => Scale { machines: 260, collections: 1_600, seed: self.seed },
-            RunScale::Medium => Scale { machines: 1_000, collections: 8_000, seed: self.seed },
+            RunScale::Small => Scale {
+                machines: 260,
+                collections: 1_600,
+                seed: self.seed,
+            },
+            RunScale::Medium => Scale {
+                machines: 1_000,
+                collections: 8_000,
+                seed: self.seed,
+            },
             RunScale::Full => Scale::full(&profile, self.seed),
         }
     }
@@ -115,9 +123,18 @@ mod tests {
 
     #[test]
     fn scales_grow_monotonically() {
-        let small = Cli { scale: RunScale::Small, seed: 1 };
-        let medium = Cli { scale: RunScale::Medium, seed: 1 };
-        let full = Cli { scale: RunScale::Full, seed: 1 };
+        let small = Cli {
+            scale: RunScale::Small,
+            seed: 1,
+        };
+        let medium = Cli {
+            scale: RunScale::Medium,
+            seed: 1,
+        };
+        let full = Cli {
+            scale: RunScale::Full,
+            seed: 1,
+        };
         let c = CellSet::C2019c;
         assert!(small.trace_scale(c).machines < medium.trace_scale(c).machines);
         assert!(medium.trace_scale(c).machines < full.trace_scale(c).machines);

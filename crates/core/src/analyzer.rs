@@ -13,7 +13,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use ctlm_data::compaction::{collapse, CompactionError};
 use ctlm_data::encode::co_vv::CoVvEncoder;
@@ -44,15 +44,16 @@ impl TaskCoAnalyzer {
             vocab.len(),
             "network width must match vocabulary width"
         );
-        Self { net: Arc::new(net), vocab, priority_threshold: 0 }
+        Self {
+            net: Arc::new(net),
+            vocab,
+            priority_threshold: 0,
+        }
     }
 
     /// Predicts the suitable-node group for a task's constraints.
     /// Unconstrained tasks score the top group without a model call.
-    pub fn predict_group(
-        &self,
-        constraints: &[TaskConstraint],
-    ) -> Result<u8, CompactionError> {
+    pub fn predict_group(&self, constraints: &[TaskConstraint]) -> Result<u8, CompactionError> {
         if constraints.is_empty() {
             return Ok((ctlm_data::dataset::NUM_GROUPS - 1) as u8);
         }
@@ -109,17 +110,20 @@ impl ModelRegistry {
 
     /// Installs a new analyzer; readers see it on their next lookup.
     pub fn install(&self, analyzer: TaskCoAnalyzer) {
-        *self.current.write() = Some(Arc::new(analyzer));
+        *self.current.write().expect("registry lock poisoned") = Some(Arc::new(analyzer));
     }
 
     /// The current analyzer, if any.
     pub fn get(&self) -> Option<Arc<TaskCoAnalyzer>> {
-        self.current.read().clone()
+        self.current.read().expect("registry lock poisoned").clone()
     }
 
     /// True once a model is installed.
     pub fn is_ready(&self) -> bool {
-        self.current.read().is_some()
+        self.current
+            .read()
+            .expect("registry lock poisoned")
+            .is_some()
     }
 }
 

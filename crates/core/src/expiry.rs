@@ -108,9 +108,7 @@ pub fn retire(
     let mut idle: Vec<usize> = tracker
         .idle_columns(width, cutoff)
         .into_iter()
-        .filter(|&c| {
-            !matches!(vocab.key_at(c), Some((_, ValueKey::Absent)))
-        })
+        .filter(|&c| !matches!(vocab.key_at(c), Some((_, ValueKey::Absent))))
         .collect();
     let cap = ((width as f64) * max_fraction).floor() as usize;
     idle.truncate(cap);
@@ -118,7 +116,11 @@ pub fn retire(
     let keep: Vec<usize> = (0..width).filter(|c| !retired_set.contains(c)).collect();
     select_input_columns(state, "fc1.weight", &keep)?;
     let (new_vocab, remap) = vocab.rebuild_keeping(&keep);
-    Ok(Retirement { vocab: new_vocab, remap, retired: retired_set.len() })
+    Ok(Retirement {
+        vocab: new_vocab,
+        remap,
+        retired: retired_set.len(),
+    })
 }
 
 #[cfg(test)]
@@ -153,7 +155,10 @@ mod tests {
     #[test]
     fn retire_compacts_vocab_and_model_consistently() {
         let vocab = vocab_n(10); // 11 columns: (none) + 0..9
-        let cfg = TrainConfig { epochs_limit: 30, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs_limit: 30,
+            ..TrainConfig::default()
+        };
 
         // Train on rows that only ever touch the first 6 value columns.
         let enc = ctlm_data::encode::co_vv::CoVvEncoder;
@@ -196,7 +201,10 @@ mod tests {
         bn.push_row((0..5).map(|c| (c, 1.0)));
         let po = old_net.forward(&bo.finish());
         let pn = new_net.forward(&bn.finish());
-        assert!(po.max_abs_diff(&pn) < 1e-6, "retirement changed surviving behaviour");
+        assert!(
+            po.max_abs_diff(&pn) < 1e-6,
+            "retirement changed surviving behaviour"
+        );
     }
 
     #[test]
@@ -220,14 +228,22 @@ mod tests {
         let mut sd = net.state_dict();
         let tracker = UsageTracker::new();
         let r = retire(&vocab, &mut sd, &tracker, u64::MAX, 0.2).unwrap();
-        assert!(r.retired <= 2, "20% of 11 columns is 2, retired {}", r.retired);
+        assert!(
+            r.retired <= 2,
+            "20% of 11 columns is 2, retired {}",
+            r.retired
+        );
     }
 
     #[test]
     fn growing_continues_after_retirement() {
         // Retire, then keep growing: the full lifecycle.
         let vocab = vocab_n(10);
-        let cfg = TrainConfig { epochs_limit: 20, max_attempts: 2, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs_limit: 20,
+            max_attempts: 2,
+            ..TrainConfig::default()
+        };
         let net = fresh_two_layer(vocab.len(), &cfg, 3);
         let mut sd = net.state_dict();
         let mut tracker = UsageTracker::new();

@@ -24,7 +24,11 @@ pub struct FullRetrainModel {
 impl FullRetrainModel {
     /// A new variant with the given configuration.
     pub fn new(config: TrainConfig) -> Self {
-        Self { config, state: None, features: 0 }
+        Self {
+            config,
+            state: None,
+            features: 0,
+        }
     }
 
     /// True once trained.
@@ -52,8 +56,9 @@ impl FullRetrainModel {
     pub fn step(&mut self, dataset: &Dataset, seed: u64) -> StepOutcome {
         let cfg = self.config;
         let width = dataset.features_count();
-        let (outcome, net) =
-            train_step(dataset, &cfg, seed, None, |s| fresh_two_layer(width, &cfg, s));
+        let (outcome, net) = train_step(dataset, &cfg, seed, None, |s| {
+            fresh_two_layer(width, &cfg, s)
+        });
         self.state = Some(net.state_dict());
         self.features = width;
         outcome
@@ -74,7 +79,10 @@ mod tests {
         let mut wide = ds.clone();
         wide.widen(46);
         let b = m.step(&wide, 2);
-        assert!(!b.used_transfer, "fully-retrain must always start from scratch");
+        assert!(
+            !b.used_transfer,
+            "fully-retrain must always start from scratch"
+        );
         assert!(b.accepted);
         assert_eq!(m.features(), 46);
     }

@@ -32,7 +32,11 @@ pub struct GrowingModel {
 impl GrowingModel {
     /// A new (untrained) growing model.
     pub fn new(config: TrainConfig) -> Self {
-        Self { config, state: None, features: 0 }
+        Self {
+            config,
+            state: None,
+            features: 0,
+        }
     }
 
     /// Feature width of the saved model (0 before first training).
@@ -79,7 +83,8 @@ impl GrowingModel {
         let mut padded = sd.clone();
         pad_input_weight(&mut padded, "fc1.weight", width).expect("own fc1.weight must pad");
         let mut net = fresh_two_layer(width, &self.config, 0);
-        net.load_state_dict(&padded).expect("padded state dict must load");
+        net.load_state_dict(&padded)
+            .expect("padded state dict must load");
         net
     }
 
@@ -95,7 +100,8 @@ impl GrowingModel {
                 let pretrained = pad_input_weight(&mut padded, "fc1.weight", w)
                     .expect("own fc1.weight must pad");
                 let mut net = fresh_two_layer(w, &self.config, seed);
-                net.load_state_dict(&padded).expect("padded state dict must load");
+                net.load_state_dict(&padded)
+                    .expect("padded state dict must load");
                 // Listing 1/3 freezing: every layer frozen except fc1
                 // (whose weight gets the multiplier and whose bias trains
                 // freely).
@@ -108,13 +114,19 @@ impl GrowingModel {
                         }
                     }
                 }
-                Some((net, Warmth::Transfer { pretrained_cols: pretrained }))
+                Some((
+                    net,
+                    Warmth::Transfer {
+                        pretrained_cols: pretrained,
+                    },
+                ))
             }
             _ => None,
         };
         let cfg = self.config;
-        let (outcome, net) =
-            train_step(dataset, &cfg, seed, warm, |s| fresh_two_layer(new_width, &cfg, s));
+        let (outcome, net) = train_step(dataset, &cfg, seed, warm, |s| {
+            fresh_two_layer(new_width, &cfg, s)
+        });
         self.state = Some(net.state_dict());
         self.features = new_width;
         outcome
@@ -128,7 +140,10 @@ mod tests {
     use ctlm_data::dataset::NUM_GROUPS;
 
     fn quick_config() -> TrainConfig {
-        TrainConfig { epochs_limit: 60, ..TrainConfig::default() }
+        TrainConfig {
+            epochs_limit: 60,
+            ..TrainConfig::default()
+        }
     }
 
     /// Widens a synthetic dataset by appending noise columns, keeping the
@@ -189,7 +204,10 @@ mod tests {
         net_after.load_state_dict(&padded).unwrap();
         let ds_wide = widened(&ds, 8);
         let pred_after = net_after.predict(&ds_wide.x);
-        assert_eq!(pred_before, pred_after, "zero padding changed old-prefix behaviour");
+        assert_eq!(
+            pred_before, pred_after,
+            "zero padding changed old-prefix behaviour"
+        );
     }
 
     #[test]

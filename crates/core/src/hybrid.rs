@@ -55,7 +55,10 @@ pub struct HybridAnalyzer {
 impl HybridAnalyzer {
     /// Wraps a model analyzer with the rule layer.
     pub fn new(model: TaskCoAnalyzer, unique_attrs: impl IntoIterator<Item = AttrId>) -> Self {
-        Self { model, unique_attrs: unique_attrs.into_iter().collect() }
+        Self {
+            model,
+            unique_attrs: unique_attrs.into_iter().collect(),
+        }
     }
 
     /// The wrapped model analyzer.
@@ -69,13 +72,16 @@ impl HybridAnalyzer {
         constraints: &[TaskConstraint],
     ) -> Result<HybridVerdict, CompactionError> {
         let reqs = collapse(constraints)?; // contradiction ⇒ Err, rule layer
-        // Rule: Equal on a unique-per-node attribute pins the task to at
-        // most one node ⇒ Group 0, regardless of what the model thinks.
+                                           // Rule: Equal on a unique-per-node attribute pins the task to at
+                                           // most one node ⇒ Group 0, regardless of what the model thinks.
         let pinned = reqs
             .iter()
             .any(|r| r.equal.is_some() && self.unique_attrs.contains(&r.attr));
         if pinned {
-            return Ok(HybridVerdict { group: 0, source: VerdictSource::Rule });
+            return Ok(HybridVerdict {
+                group: 0,
+                source: VerdictSource::Rule,
+            });
         }
         let model_group = self.model.predict_group(constraints)?;
         // Clamp: a range of width w on a unique attribute can match at
@@ -99,7 +105,10 @@ impl HybridAnalyzer {
                 });
             }
         }
-        Ok(HybridVerdict { group: model_group, source: VerdictSource::Model })
+        Ok(HybridVerdict {
+            group: model_group,
+            source: VerdictSource::Model,
+        })
     }
 
     /// The group width used for rule-side bucketing. Uses width 1 — the
@@ -142,8 +151,14 @@ mod tests {
         for k in 1..20i64 {
             let cs = vec![TaskConstraint::new(0, Op::LessThan(k))];
             let reqs = collapse(&cs).unwrap();
-            b.push(enc.encode_requirements(&reqs, &vocab), ctlm_data::dataset::group_for_count(k as usize, 1));
-            b.push(enc.encode_requirements(&reqs, &vocab), ctlm_data::dataset::group_for_count(k as usize, 1));
+            b.push(
+                enc.encode_requirements(&reqs, &vocab),
+                ctlm_data::dataset::group_for_count(k as usize, 1),
+            );
+            b.push(
+                enc.encode_requirements(&reqs, &vocab),
+                ctlm_data::dataset::group_for_count(k as usize, 1),
+            );
         }
         let ds = b.snapshot(width);
         let mut m = GrowingModel::new(TrainConfig {

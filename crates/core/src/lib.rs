@@ -33,5 +33,7 @@ pub use expiry::{retire, Retirement, UsageTracker};
 pub use full_retrain::FullRetrainModel;
 pub use growing::GrowingModel;
 pub use hybrid::{HybridAnalyzer, HybridVerdict, VerdictSource};
-pub use pipeline::{run_baseline_over_steps, run_model_over_steps, BaselineKind, RunSummary, StepRecord};
+pub use pipeline::{
+    run_baseline_over_steps, run_model_over_steps, BaselineKind, RunSummary, StepRecord,
+};
 pub use trainer::{StepOutcome, TrainConfig};

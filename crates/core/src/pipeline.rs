@@ -64,7 +64,10 @@ impl RunSummary {
         assert!(!steps.is_empty(), "a run needs at least one step");
         let avg_accuracy =
             steps.iter().map(|s| s.evaluation.accuracy).sum::<f64>() / steps.len() as f64;
-        let f1s: Vec<f64> = steps.iter().filter_map(|s| s.evaluation.group0_f1).collect();
+        let f1s: Vec<f64> = steps
+            .iter()
+            .filter_map(|s| s.evaluation.group0_f1)
+            .collect();
         let avg_group0_f1 = if f1s.is_empty() {
             None
         } else {
@@ -72,7 +75,14 @@ impl RunSummary {
         };
         let epochs_total = steps.iter().map(|s| s.epochs).sum();
         let wall_time_total = steps.iter().map(|s| s.wall_time).sum();
-        Self { model, avg_accuracy, avg_group0_f1, epochs_total, wall_time_total, steps }
+        Self {
+            model,
+            avg_accuracy,
+            avg_group0_f1,
+            epochs_total,
+            wall_time_total,
+            steps,
+        }
     }
 }
 
@@ -135,7 +145,12 @@ pub enum BaselineKind {
 impl BaselineKind {
     /// All four baselines in paper order.
     pub fn all() -> [BaselineKind; 4] {
-        [BaselineKind::Mlp, BaselineKind::Ridge, BaselineKind::Sgd, BaselineKind::Ensemble]
+        [
+            BaselineKind::Mlp,
+            BaselineKind::Ridge,
+            BaselineKind::Sgd,
+            BaselineKind::Ensemble,
+        ]
     }
 
     fn build(self, seed: u64) -> Box<dyn Classifier + Send> {
@@ -165,7 +180,10 @@ pub fn run_baseline_over_steps(
         let step_seed = seed.wrapping_add(i as u64);
         let (train_idx, test_idx) = stratified_split(
             &step.vv.y,
-            SplitConfig { test_fraction, seed: step_seed },
+            SplitConfig {
+                test_fraction,
+                seed: step_seed,
+            },
         );
         let train = step.vv.select(&train_idx);
         let test = step.vv.select(&test_idx);
@@ -200,7 +218,11 @@ mod tests {
         // transfer-vs-scratch epoch gap is observable.
         let trace = TraceGenerator::generate_cell(
             CellSet::C2019c,
-            Scale { machines: 260, collections: 1_600, seed: 42 },
+            Scale {
+                machines: 260,
+                collections: 1_600,
+                seed: 42,
+            },
         );
         Replayer::default().replay(&trace).steps
     }
@@ -208,7 +230,11 @@ mod tests {
     #[test]
     fn growing_pipeline_runs_and_scores_well() {
         let steps = small_steps();
-        let cfg = TrainConfig { epochs_limit: 100, max_attempts: 3, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs_limit: 100,
+            max_attempts: 3,
+            ..TrainConfig::default()
+        };
         let run = run_model_over_steps(ModelKind::Growing, &steps, cfg, 7);
         assert_eq!(run.steps.len(), steps.len());
         assert!(
@@ -223,7 +249,11 @@ mod tests {
     fn growing_uses_fewer_epochs_than_full_retrain() {
         // The paper's headline: 40–91 % fewer epochs.
         let steps = small_steps();
-        let cfg = TrainConfig { epochs_limit: 100, max_attempts: 3, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs_limit: 100,
+            max_attempts: 3,
+            ..TrainConfig::default()
+        };
         let g = run_model_over_steps(ModelKind::Growing, &steps, cfg, 7);
         let f = run_model_over_steps(ModelKind::FullyRetrain, &steps, cfg, 7);
         assert!(
@@ -243,7 +273,11 @@ mod tests {
         let run = run_baseline_over_steps(BaselineKind::Ridge, &steps, 0.25, 3);
         assert_eq!(run.model, "Ridge Classifier");
         assert_eq!(run.steps.len(), steps.len());
-        assert!(run.avg_accuracy > 0.7, "ridge accuracy {}", run.avg_accuracy);
+        assert!(
+            run.avg_accuracy > 0.7,
+            "ridge accuracy {}",
+            run.avg_accuracy
+        );
         assert_eq!(run.epochs_total, 0, "ridge reports no epochs");
     }
 }

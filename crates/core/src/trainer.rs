@@ -20,8 +20,9 @@ use ctlm_data::dataset::{Dataset, NUM_GROUPS};
 use ctlm_data::metrics::Evaluation;
 use ctlm_data::split::{stratified_split, SplitConfig};
 use ctlm_nn::grad_scale::ColumnGradScale;
-use ctlm_nn::{Adam, BatchIter, CrossEntropyLoss, Net, Optimizer};
+use ctlm_nn::{Adam, BatchIter, CrossEntropyLoss, Net, Optimizer, Workspace};
 use ctlm_tensor::init::seeded_rng;
+use ctlm_tensor::Csr;
 
 /// Hyper-parameters, defaulting to the paper's values.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -114,8 +115,13 @@ pub fn train_step(
     mut make_fresh: impl FnMut(u64) -> Net,
 ) -> (StepOutcome, Net) {
     let t_start = Instant::now();
-    let (train_idx, test_idx) =
-        stratified_split(&dataset.y, SplitConfig { test_fraction: config.test_fraction, seed });
+    let (train_idx, test_idx) = stratified_split(
+        &dataset.y,
+        SplitConfig {
+            test_fraction: config.test_fraction,
+            seed,
+        },
+    );
     let train = dataset.select(&train_idx);
     let test = dataset.select(&test_idx);
     let loss_fn = CrossEntropyLoss::group0_boosted(config.n_classes, config.group0_class_weight);
@@ -134,7 +140,10 @@ pub fn train_step(
                 used_transfer = matches!(w, Warmth::Transfer { .. });
                 (net, w)
             }
-            None => (make_fresh(seed.wrapping_add(attempts as u64 * 7919)), Warmth::Fresh),
+            None => (
+                make_fresh(seed.wrapping_add(attempts as u64 * 7919)),
+                Warmth::Fresh,
+            ),
         };
         let multiplier = match warmth {
             Warmth::Transfer { pretrained_cols } => Some(ColumnGradScale::new(
@@ -145,19 +154,27 @@ pub fn train_step(
             Warmth::Fresh => None,
         };
         let mut opt = Adam::new(config.lr);
-        let mut batches =
-            BatchIter::new(train.len(), config.batch_size, seed ^ attempts as u64);
+        let mut batches = BatchIter::new(train.len(), config.batch_size, seed ^ attempts as u64);
 
-        let mut eval = Evaluation { accuracy: 0.0, group0_f1: None };
+        // Steady-state buffers, reused across every batch and epoch of
+        // this attempt: the gathered mini-batch, its labels, and the
+        // forward/backward workspace. After the first batch warms their
+        // capacities, the whole train step runs without heap allocation.
+        let mut ws = Workspace::new();
+        let mut xb = Csr::empty(0, train.x.cols());
+        let mut yb: Vec<u8> = Vec::with_capacity(config.batch_size);
+
+        let mut eval = Evaluation {
+            accuracy: 0.0,
+            group0_f1: None,
+        };
         for _epoch in 0..config.epochs_limit {
             total_epochs += 1;
-            for batch in batches.epoch() {
-                let xb = train.x.select_rows(&batch);
-                let yb: Vec<u8> = batch.iter().map(|&i| train.y[i]).collect();
-                net.zero_grad();
-                let cache = net.forward_train(&xb);
-                let (_, grad) = loss_fn.forward(&cache.logits, &yb);
-                net.backward(&xb, &cache, &grad);
+            for batch in batches.batches() {
+                train.x.select_rows_into(batch, &mut xb);
+                yb.clear();
+                yb.extend(batch.iter().map(|&i| train.y[i]));
+                net.train_batch(&xb, &yb, &loss_fn, &mut ws);
                 if let Some(m) = &multiplier {
                     // Listing 3: scale pre-trained fc1.weight gradients in
                     // place before the optimizer step.
@@ -248,9 +265,13 @@ pub(crate) mod tests {
     #[test]
     fn fresh_training_reaches_acceptance() {
         let ds = synthetic_dataset(800, 60, 1);
-        let cfg = TrainConfig { epochs_limit: 60, ..TrainConfig::default() };
-        let (out, _net) =
-            train_step(&ds, &cfg, 1, None, |s| fresh_two_layer(ds.features_count(), &cfg, s));
+        let cfg = TrainConfig {
+            epochs_limit: 60,
+            ..TrainConfig::default()
+        };
+        let (out, _net) = train_step(&ds, &cfg, 1, None, |s| {
+            fresh_two_layer(ds.features_count(), &cfg, s)
+        });
         assert!(out.accepted, "training failed: acc {:?}", out.evaluation);
         assert!(out.evaluation.accuracy > 0.95);
         assert_eq!(out.features_count, 60);
@@ -261,8 +282,9 @@ pub(crate) mod tests {
     fn early_exit_keeps_epochs_low_on_easy_data() {
         let ds = synthetic_dataset(600, 40, 2);
         let cfg = TrainConfig::default();
-        let (out, _) =
-            train_step(&ds, &cfg, 2, None, |s| fresh_two_layer(ds.features_count(), &cfg, s));
+        let (out, _) = train_step(&ds, &cfg, 2, None, |s| {
+            fresh_two_layer(ds.features_count(), &cfg, s)
+        });
         assert!(out.accepted);
         assert!(
             out.epochs < cfg.epochs_limit,
@@ -286,8 +308,9 @@ pub(crate) mod tests {
             max_attempts: 3,
             ..TrainConfig::default()
         };
-        let (out, _) =
-            train_step(&ds, &cfg, 3, None, |s| fresh_two_layer(ds.features_count(), &cfg, s));
+        let (out, _) = train_step(&ds, &cfg, 3, None, |s| {
+            fresh_two_layer(ds.features_count(), &cfg, s)
+        });
         assert!(!out.accepted);
         assert_eq!(out.attempts, 3, "must stop after max_attempts");
         assert_eq!(out.epochs, 6, "2 epochs × 3 attempts");
@@ -296,11 +319,23 @@ pub(crate) mod tests {
     #[test]
     fn acceptance_predicate_handles_missing_group0() {
         let cfg = TrainConfig::default();
-        let ok = Evaluation { accuracy: 0.99, group0_f1: None };
-        assert!(accept(&ok, &cfg), "missing Group 0 must not block acceptance");
-        let bad_f1 = Evaluation { accuracy: 0.99, group0_f1: Some(0.5) };
+        let ok = Evaluation {
+            accuracy: 0.99,
+            group0_f1: None,
+        };
+        assert!(
+            accept(&ok, &cfg),
+            "missing Group 0 must not block acceptance"
+        );
+        let bad_f1 = Evaluation {
+            accuracy: 0.99,
+            group0_f1: Some(0.5),
+        };
         assert!(!accept(&bad_f1, &cfg));
-        let bad_acc = Evaluation { accuracy: 0.90, group0_f1: Some(1.0) };
+        let bad_acc = Evaluation {
+            accuracy: 0.90,
+            group0_f1: Some(1.0),
+        };
         assert!(!accept(&bad_acc, &cfg));
     }
 }

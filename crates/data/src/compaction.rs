@@ -203,7 +203,10 @@ pub fn collapse(constraints: &[TaskConstraint]) -> Result<Vec<AttrRequirement>, 
     for req in map.values_mut() {
         normalise(req)?;
     }
-    Ok(order.into_iter().map(|a| map.remove(&a).expect("ordered key")).collect())
+    Ok(order
+        .into_iter()
+        .map(|a| map.remove(&a).expect("ordered key"))
+        .collect())
 }
 
 /// Folds one operator into the running requirement.
@@ -430,34 +433,31 @@ mod tests {
     #[test]
     fn table5_row5_conflicting_equals_error() {
         // ${DC} = 1, ${DC} = 7 → logged error
-        let err = collapse(&[
-            c(0, Op::Equal(Some(iv(1)))),
-            c(0, Op::Equal(Some(iv(7)))),
-        ])
-        .unwrap_err();
-        assert!(matches!(err, CompactionError::Contradiction { attr: 0, .. }));
+        let err =
+            collapse(&[c(0, Op::Equal(Some(iv(1)))), c(0, Op::Equal(Some(iv(7))))]).unwrap_err();
+        assert!(matches!(
+            err,
+            CompactionError::Contradiction { attr: 0, .. }
+        ));
     }
 
     // --- Additional semantics --------------------------------------------
 
     #[test]
     fn equal_and_not_equal_same_value_is_contradiction() {
-        let err =
-            collapse(&[c(0, Op::Equal(Some(iv(2)))), c(0, Op::NotEqual(iv(2)))]).unwrap_err();
+        let err = collapse(&[c(0, Op::Equal(Some(iv(2)))), c(0, Op::NotEqual(iv(2)))]).unwrap_err();
         assert!(matches!(err, CompactionError::Contradiction { .. }));
     }
 
     #[test]
     fn equal_outside_range_is_contradiction() {
-        let err =
-            collapse(&[c(0, Op::GreaterThan(5)), c(0, Op::Equal(Some(iv(3))))]).unwrap_err();
+        let err = collapse(&[c(0, Op::GreaterThan(5)), c(0, Op::Equal(Some(iv(3))))]).unwrap_err();
         assert!(matches!(err, CompactionError::Contradiction { .. }));
     }
 
     #[test]
     fn equal_inside_range_dominates() {
-        let reqs =
-            collapse(&[c(0, Op::GreaterThan(5)), c(0, Op::Equal(Some(iv(7))))]).unwrap();
+        let reqs = collapse(&[c(0, Op::GreaterThan(5)), c(0, Op::Equal(Some(iv(7))))]).unwrap();
         assert_eq!(reqs[0].equal, Some(iv(7)));
         assert_eq!(reqs[0].lo, None);
     }
@@ -513,8 +513,7 @@ mod tests {
 
     #[test]
     fn duplicated_equal_is_fine() {
-        let reqs =
-            collapse(&[c(0, Op::Equal(Some(iv(1)))), c(0, Op::Equal(Some(iv(1))))]).unwrap();
+        let reqs = collapse(&[c(0, Op::Equal(Some(iv(1)))), c(0, Op::Equal(Some(iv(1))))]).unwrap();
         assert_eq!(reqs[0].equal, Some(iv(1)));
     }
 

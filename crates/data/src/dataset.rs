@@ -89,7 +89,11 @@ pub struct DatasetBuilder {
 impl DatasetBuilder {
     /// A builder with an initial feature width.
     pub fn new(cols: usize, n_classes: usize) -> Self {
-        Self { x: CsrBuilder::new(cols), y: Vec::new(), n_classes }
+        Self {
+            x: CsrBuilder::new(cols),
+            y: Vec::new(),
+            n_classes,
+        }
     }
 
     /// Rows pushed so far.
@@ -117,7 +121,10 @@ impl DatasetBuilder {
     /// # Panics
     /// Panics if the label is out of range.
     pub fn push(&mut self, entries: impl IntoIterator<Item = (usize, f32)>, label: u8) {
-        assert!((label as usize) < self.n_classes, "label {label} out of range");
+        assert!(
+            (label as usize) < self.n_classes,
+            "label {label} out of range"
+        );
         self.x.push_row(entries);
         self.y.push(label);
     }
@@ -126,7 +133,11 @@ impl DatasetBuilder {
     /// width (≥ the builder's current width).
     pub fn snapshot(&self, cols: usize) -> Dataset {
         let b = self.x.clone();
-        Dataset { x: b.finish_with_cols(cols), y: self.y.clone(), n_classes: self.n_classes }
+        Dataset {
+            x: b.finish_with_cols(cols),
+            y: self.y.clone(),
+            n_classes: self.n_classes,
+        }
     }
 }
 

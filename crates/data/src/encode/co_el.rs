@@ -110,8 +110,12 @@ mod tests {
     #[test]
     fn same_collapsed_constraint_reuses_column() {
         let mut e = CoElEncoder::new();
-        let r1 = e.encode(&[c(0, Op::Equal(Some(AttrValue::Int(1))))]).unwrap();
-        let r2 = e.encode(&[c(0, Op::Equal(Some(AttrValue::Int(1))))]).unwrap();
+        let r1 = e
+            .encode(&[c(0, Op::Equal(Some(AttrValue::Int(1))))])
+            .unwrap();
+        let r2 = e
+            .encode(&[c(0, Op::Equal(Some(AttrValue::Int(1))))])
+            .unwrap();
         assert_eq!(r1, r2);
         assert_eq!(e.len(), 1);
     }
@@ -119,8 +123,10 @@ mod tests {
     #[test]
     fn distinct_values_get_distinct_labels() {
         let mut e = CoElEncoder::new();
-        e.encode(&[c(0, Op::Equal(Some(AttrValue::Int(1))))]).unwrap();
-        e.encode(&[c(0, Op::Equal(Some(AttrValue::Int(2))))]).unwrap();
+        e.encode(&[c(0, Op::Equal(Some(AttrValue::Int(1))))])
+            .unwrap();
+        e.encode(&[c(0, Op::Equal(Some(AttrValue::Int(2))))])
+            .unwrap();
         assert_eq!(e.len(), 2, "CO-EL cannot share structure across values");
     }
 
@@ -129,7 +135,11 @@ mod tests {
         let mut e = CoElEncoder::new();
         // The Table V row-1 triple collapses to one Between label.
         let r = e
-            .encode(&[c(0, Op::LessThan(8)), c(0, Op::LessThan(3)), c(0, Op::GreaterThan(0))])
+            .encode(&[
+                c(0, Op::LessThan(8)),
+                c(0, Op::LessThan(3)),
+                c(0, Op::GreaterThan(0)),
+            ])
             .unwrap();
         assert_eq!(r.len(), 1);
         assert_eq!(e.label_at(0), Some("3 > ${0} > 0"));
@@ -148,8 +158,14 @@ mod tests {
     fn frozen_encoding_drops_unseen_labels() {
         let mut e = CoElEncoder::new();
         e.encode(&[c(0, Op::Present)]).unwrap();
-        let frozen = e.encode_frozen(&[c(0, Op::Present), c(2, Op::NotPresent)]).unwrap();
-        assert_eq!(frozen.len(), 1, "unseen CO must be invisible to a frozen CO-EL model");
+        let frozen = e
+            .encode_frozen(&[c(0, Op::Present), c(2, Op::NotPresent)])
+            .unwrap();
+        assert_eq!(
+            frozen.len(),
+            1,
+            "unseen CO must be invisible to a frozen CO-EL model"
+        );
         assert_eq!(e.len(), 1, "frozen encoding must not register labels");
     }
 
@@ -157,11 +173,14 @@ mod tests {
     fn label_space_grows_monotonically() {
         let mut e = CoElEncoder::new();
         for v in 0..10 {
-            e.encode(&[c(0, Op::Equal(Some(AttrValue::Int(v))))]).unwrap();
+            e.encode(&[c(0, Op::Equal(Some(AttrValue::Int(v))))])
+                .unwrap();
         }
         assert_eq!(e.len(), 10);
         for v in 0..10 {
-            let r = e.encode(&[c(0, Op::Equal(Some(AttrValue::Int(v))))]).unwrap();
+            let r = e
+                .encode(&[c(0, Op::Equal(Some(AttrValue::Int(v))))])
+                .unwrap();
             assert_eq!(r[0].0, v as usize, "columns must be stable");
         }
     }

@@ -80,8 +80,11 @@ mod tests {
 
     fn row(constraints: &[Op]) -> Vec<u8> {
         let v = table7_vocab();
-        let cs: Vec<TaskConstraint> =
-            constraints.iter().cloned().map(|op| TaskConstraint::new(0, op)).collect();
+        let cs: Vec<TaskConstraint> = constraints
+            .iter()
+            .cloned()
+            .map(|op| TaskConstraint::new(0, op))
+            .collect();
         let entries = CoVvEncoder.encode(&cs, &v).unwrap();
         let mut dense = vec![0u8; v.len()];
         for (c, val) in entries {
@@ -95,7 +98,10 @@ mod tests {
     #[test]
     fn table7_row1_ge_5() {
         // ${AM} >= 5 → 1 1 1 1 1 1 0 0 0 0 0
-        assert_eq!(row(&[Op::GreaterThanEqual(5)]), vec![1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            row(&[Op::GreaterThanEqual(5)]),
+            vec![1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0]
+        );
     }
 
     #[test]
@@ -111,7 +117,11 @@ mod tests {
     fn table7_row3_not_equal_array() {
         // ${AM} <> 0; 7; 8 → 0 1 0 0 0 0 0 0 1 1 0
         assert_eq!(
-            row(&[Op::NotEqual(0.into()), Op::NotEqual(7.into()), Op::NotEqual(8.into())]),
+            row(&[
+                Op::NotEqual(0.into()),
+                Op::NotEqual(7.into()),
+                Op::NotEqual(8.into())
+            ]),
             vec![0, 1, 0, 0, 0, 0, 0, 0, 1, 1, 0]
         );
     }
@@ -119,7 +129,10 @@ mod tests {
     #[test]
     fn table7_row4_greater_than_0() {
         // ${AM} > 0 → 1 1 0 0 0 0 0 0 0 0 0
-        assert_eq!(row(&[Op::GreaterThan(0)]), vec![1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0]);
+        assert_eq!(
+            row(&[Op::GreaterThan(0)]),
+            vec![1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+        );
     }
 
     // --- Structural properties -------------------------------------------
@@ -130,7 +143,10 @@ mod tests {
         v.observe(1, &AttrValue::from("x")); // second attribute
         let cs = vec![TaskConstraint::new(0, Op::GreaterThan(0))];
         let entries = CoVvEncoder.encode(&cs, &v).unwrap();
-        assert!(entries.iter().all(|&(c, _)| c < 11), "attr 1 columns must stay zero");
+        assert!(
+            entries.iter().all(|&(c, _)| c < 11),
+            "attr 1 columns must stay zero"
+        );
     }
 
     #[test]
@@ -154,7 +170,10 @@ mod tests {
         // A task rejecting 10 marks exactly the appended column.
         let cs2 = vec![TaskConstraint::new(0, Op::LessThan(10))];
         let r2 = CoVvEncoder.encode(&cs2, &v).unwrap();
-        assert!(r2.contains(&(11, 1.0)), "column 11 is the appended value-10 column");
+        assert!(
+            r2.contains(&(11, 1.0)),
+            "column 11 is the appended value-10 column"
+        );
     }
 
     #[test]
@@ -164,7 +183,10 @@ mod tests {
         let entries = CoVvEncoder.encode(&cs, &v).unwrap();
         // 10 of 11 columns marked: (none) and all values except 4.
         assert_eq!(entries.len(), 10);
-        assert!(!entries.iter().any(|&(c, _)| c == 5), "value-4 column must stay 0");
+        assert!(
+            !entries.iter().any(|&(c, _)| c == 5),
+            "value-4 column must stay 0"
+        );
     }
 
     #[test]
@@ -180,7 +202,10 @@ mod tests {
         let cs = vec![TaskConstraint::new(0, Op::NotPresent)];
         let entries = CoVvEncoder.encode(&cs, &v).unwrap();
         assert_eq!(entries.len(), 10);
-        assert!(!entries.iter().any(|&(c, _)| c == 0), "(none) column must stay 0");
+        assert!(
+            !entries.iter().any(|&(c, _)| c == 0),
+            "(none) column must stay 0"
+        );
     }
 
     #[test]

@@ -154,7 +154,11 @@ mod tests {
     #[test]
     fn all_formats_cover_every_row() {
         let ds = sample();
-        for f in [ExportFormat::Csv, ExportFormat::Jsonl, ExportFormat::SvmLight] {
+        for f in [
+            ExportFormat::Csv,
+            ExportFormat::Jsonl,
+            ExportFormat::SvmLight,
+        ] {
             let s = export_string(&ds, f);
             let expected = ds.len() + usize::from(f == ExportFormat::Csv);
             assert_eq!(s.lines().count(), expected, "{f:?}");

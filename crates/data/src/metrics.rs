@@ -14,7 +14,11 @@ use serde::{Deserialize, Serialize};
 pub fn accuracy(truth: &[u8], pred: &[u8]) -> f64 {
     assert_eq!(truth.len(), pred.len(), "length mismatch");
     assert!(!truth.is_empty(), "empty evaluation set");
-    let correct = truth.iter().zip(pred.iter()).filter(|(a, b)| a == b).count();
+    let correct = truth
+        .iter()
+        .zip(pred.iter())
+        .filter(|(a, b)| a == b)
+        .count();
     correct as f64 / truth.len() as f64
 }
 
@@ -43,8 +47,16 @@ pub fn f1_scores(truth: &[u8], pred: &[u8], n_classes: usize) -> Vec<Option<(f64
             if tp + fn_ + fp == 0 {
                 return None; // class absent everywhere
             }
-            let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-            let recall = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+            let precision = if tp + fp == 0 {
+                0.0
+            } else {
+                tp as f64 / (tp + fp) as f64
+            };
+            let recall = if tp + fn_ == 0 {
+                0.0
+            } else {
+                tp as f64 / (tp + fn_) as f64
+            };
             let f1 = if precision + recall == 0.0 {
                 0.0
             } else {
@@ -73,8 +85,15 @@ impl Evaluation {
         // The paper omits Group-0 F1 "when no Group 0 samples were present
         // in the test dataset": that is, when the *truth* has none.
         let group0_present = truth.contains(&0);
-        let group0_f1 = if group0_present { f1s[0].map(|(_, _, f1)| f1) } else { None };
-        Self { accuracy: acc, group0_f1 }
+        let group0_f1 = if group0_present {
+            f1s[0].map(|(_, _, f1)| f1)
+        } else {
+            None
+        };
+        Self {
+            accuracy: acc,
+            group0_f1,
+        }
     }
 }
 

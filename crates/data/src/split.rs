@@ -26,7 +26,10 @@ pub struct SplitConfig {
 
 impl Default for SplitConfig {
     fn default() -> Self {
-        Self { test_fraction: 0.25, seed: 0 }
+        Self {
+            test_fraction: 0.25,
+            seed: 0,
+        }
     }
 }
 
@@ -64,8 +67,8 @@ pub fn stratified_split(y: &[u8], config: SplitConfig) -> (Vec<usize>, Vec<usize
             continue;
         }
         // Proportional allocation with both sides non-empty.
-        let n_test =
-            ((bucket.len() as f64 * config.test_fraction).round() as usize).clamp(1, bucket.len() - 1);
+        let n_test = ((bucket.len() as f64 * config.test_fraction).round() as usize)
+            .clamp(1, bucket.len() - 1);
         test.extend_from_slice(&bucket[..n_test]);
         train.extend_from_slice(&bucket[n_test..]);
     }
@@ -137,7 +140,13 @@ mod tests {
     #[test]
     fn split_is_a_partition() {
         let y = labels(&[(0, 10), (1, 40), (2, 3)]);
-        let (train, test) = stratified_split(&y, SplitConfig { test_fraction: 0.25, seed: 1 });
+        let (train, test) = stratified_split(
+            &y,
+            SplitConfig {
+                test_fraction: 0.25,
+                seed: 1,
+            },
+        );
         let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..y.len()).collect::<Vec<_>>());
@@ -146,7 +155,13 @@ mod tests {
     #[test]
     fn class_proportions_preserved() {
         let y = labels(&[(0, 100), (1, 400)]);
-        let (_, test) = stratified_split(&y, SplitConfig { test_fraction: 0.2, seed: 2 });
+        let (_, test) = stratified_split(
+            &y,
+            SplitConfig {
+                test_fraction: 0.2,
+                seed: 2,
+            },
+        );
         let test_c0 = test.iter().filter(|&&i| y[i] == 0).count();
         let test_c1 = test.iter().filter(|&&i| y[i] == 1).count();
         assert_eq!(test_c0, 20);
@@ -156,17 +171,35 @@ mod tests {
     #[test]
     fn every_splittable_class_appears_on_both_sides() {
         let y = labels(&[(0, 2), (1, 2), (5, 30)]);
-        let (train, test) = stratified_split(&y, SplitConfig { test_fraction: 0.3, seed: 3 });
+        let (train, test) = stratified_split(
+            &y,
+            SplitConfig {
+                test_fraction: 0.3,
+                seed: 3,
+            },
+        );
         for class in [0u8, 1, 5] {
-            assert!(train.iter().any(|&i| y[i] == class), "class {class} missing in train");
-            assert!(test.iter().any(|&i| y[i] == class), "class {class} missing in test");
+            assert!(
+                train.iter().any(|&i| y[i] == class),
+                "class {class} missing in train"
+            );
+            assert!(
+                test.iter().any(|&i| y[i] == class),
+                "class {class} missing in test"
+            );
         }
     }
 
     #[test]
     fn singleton_classes_go_to_train() {
         let y = labels(&[(0, 1), (1, 20)]);
-        let (train, test) = stratified_split(&y, SplitConfig { test_fraction: 0.25, seed: 4 });
+        let (train, test) = stratified_split(
+            &y,
+            SplitConfig {
+                test_fraction: 0.25,
+                seed: 4,
+            },
+        );
         assert!(train.iter().any(|&i| y[i] == 0));
         assert!(!test.iter().any(|&i| y[i] == 0));
     }
@@ -174,10 +207,28 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let y = labels(&[(0, 13), (3, 29)]);
-        let a = stratified_split(&y, SplitConfig { test_fraction: 0.25, seed: 9 });
-        let b = stratified_split(&y, SplitConfig { test_fraction: 0.25, seed: 9 });
+        let a = stratified_split(
+            &y,
+            SplitConfig {
+                test_fraction: 0.25,
+                seed: 9,
+            },
+        );
+        let b = stratified_split(
+            &y,
+            SplitConfig {
+                test_fraction: 0.25,
+                seed: 9,
+            },
+        );
         assert_eq!(a, b);
-        let c = stratified_split(&y, SplitConfig { test_fraction: 0.25, seed: 10 });
+        let c = stratified_split(
+            &y,
+            SplitConfig {
+                test_fraction: 0.25,
+                seed: 10,
+            },
+        );
         assert_ne!(a, c);
     }
 
@@ -192,8 +243,7 @@ mod tests {
         let y = labels(&[(0, 9), (1, 17), (3, 4)]);
         let folds = stratified_k_fold(&y, 3, 7);
         assert_eq!(folds.len(), 3);
-        let mut all_test: Vec<usize> =
-            folds.iter().flat_map(|(_, t)| t.iter().copied()).collect();
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.iter().copied()).collect();
         all_test.sort_unstable();
         assert_eq!(all_test, (0..y.len()).collect::<Vec<_>>());
         for (train, test) in &folds {

@@ -113,7 +113,10 @@ impl ValueVocab {
         let mut remap = vec![None; self.columns.len()];
         let mut new = ValueVocab::new();
         for (new_col, &old_col) in keep.iter().enumerate() {
-            assert!(old_col < self.columns.len(), "column {old_col} out of range");
+            assert!(
+                old_col < self.columns.len(),
+                "column {old_col} out of range"
+            );
             assert!(remap[old_col].is_none(), "column {old_col} kept twice");
             let (attr, key) = self.columns[old_col].clone();
             new.columns.push((attr, key.clone()));
@@ -173,7 +176,10 @@ mod tests {
     fn key_at_roundtrips() {
         let mut v = ValueVocab::new();
         let col = v.observe(2, &AttrValue::from("gpu"));
-        assert_eq!(v.key_at(col), Some(&(2, ValueKey::Value(AttrValue::from("gpu")))));
+        assert_eq!(
+            v.key_at(col),
+            Some(&(2, ValueKey::Value(AttrValue::from("gpu"))))
+        );
         assert_eq!(v.key_at(99), None);
     }
 }

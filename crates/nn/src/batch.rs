@@ -5,12 +5,14 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Yields shuffled index batches, reshuffling each epoch — equivalent to
-/// `DataLoader(shuffle=True)`.
+/// `DataLoader(shuffle=True)`. The index order lives inside the iterator
+/// and is shuffled in place, so [`BatchIter::batches`] hands out slice
+/// batches without allocating per epoch.
 #[derive(Clone, Debug)]
 pub struct BatchIter {
-    n: usize,
     batch_size: usize,
     rng: StdRng,
+    order: Vec<usize>,
 }
 
 impl BatchIter {
@@ -20,14 +22,30 @@ impl BatchIter {
     /// Panics if `batch_size == 0`.
     pub fn new(n: usize, batch_size: usize, seed: u64) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        Self { n, batch_size, rng: StdRng::seed_from_u64(seed ^ 0xBA7C_17E8) }
+        Self {
+            batch_size,
+            rng: StdRng::seed_from_u64(seed ^ 0xBA7C_17E8),
+            order: (0..n).collect(),
+        }
     }
 
-    /// One epoch's batches (freshly shuffled).
+    /// One epoch's batches as borrowed slices (freshly shuffled,
+    /// allocation-free) — the hot-loop form `train_step` consumes.
+    pub fn batches(&mut self) -> std::slice::Chunks<'_, usize> {
+        // Reset to identity before shuffling so each epoch's permutation
+        // matches the original fresh-`(0..n)`-then-shuffle semantics
+        // (keeping training trajectories identical to the allocating
+        // implementation) without allocating.
+        for (i, slot) in self.order.iter_mut().enumerate() {
+            *slot = i;
+        }
+        self.order.shuffle(&mut self.rng);
+        self.order.chunks(self.batch_size)
+    }
+
+    /// One epoch's batches as owned vectors (freshly shuffled).
     pub fn epoch(&mut self) -> Vec<Vec<usize>> {
-        let mut idx: Vec<usize> = (0..self.n).collect();
-        idx.shuffle(&mut self.rng);
-        idx.chunks(self.batch_size).map(|c| c.to_vec()).collect()
+        self.batches().map(|c| c.to_vec()).collect()
     }
 }
 

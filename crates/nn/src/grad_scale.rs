@@ -31,7 +31,10 @@ impl ColumnGradScale {
     /// # Panics
     /// Panics if `pretrained_cols > total_cols`.
     pub fn new(pretrained_cols: usize, total_cols: usize, rate: f32) -> Self {
-        assert!(pretrained_cols <= total_cols, "pretrained boundary beyond width");
+        assert!(
+            pretrained_cols <= total_cols,
+            "pretrained boundary beyond width"
+        );
         let mut multiplier = vec![rate; pretrained_cols];
         multiplier.resize(total_cols, 1.0);
         Self { multiplier }

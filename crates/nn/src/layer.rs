@@ -50,45 +50,63 @@ impl Linear {
 
     /// `y = x Wᵀ + b` over a sparse batch.
     pub fn forward_sparse(&self, x: &Csr) -> Matrix {
-        let mut y = ops::csr_matmul_bt(x, &self.weight);
-        ops::add_bias(&mut y, &self.bias);
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_sparse_into(x, &mut y);
         y
+    }
+
+    /// [`Linear::forward_sparse`] into a caller-provided buffer
+    /// (allocation-free once the buffer has warmed up).
+    pub fn forward_sparse_into(&self, x: &Csr, out: &mut Matrix) {
+        ops::csr_matmul_bt_into(x, &self.weight, out);
+        ops::add_bias(out, &self.bias);
     }
 
     /// `y = x Wᵀ + b` over a dense batch.
     pub fn forward_dense(&self, x: &Matrix) -> Matrix {
-        let mut y = ops::matmul_bt(x, &self.weight);
-        ops::add_bias(&mut y, &self.bias);
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_dense_into(x, &mut y);
         y
+    }
+
+    /// [`Linear::forward_dense`] into a caller-provided buffer.
+    pub fn forward_dense_into(&self, x: &Matrix, out: &mut Matrix) {
+        ops::matmul_bt_into(x, &self.weight, out);
+        ops::add_bias(out, &self.bias);
     }
 
     /// Accumulates gradients for a sparse input batch. Input gradients are
     /// not produced (the sparse layer is always the first layer).
+    /// Allocation-free: gradients accumulate straight onto
+    /// `grad_weight`/`grad_bias`.
     pub fn backward_sparse(&mut self, x: &Csr, grad_out: &Matrix) {
         if self.weight_requires_grad {
-            let gw = ops::csr_grad_weight(grad_out, x);
-            self.grad_weight.add_assign(&gw);
+            ops::csr_grad_weight_acc(grad_out, x, &mut self.grad_weight);
         }
         if self.bias_requires_grad {
-            for (gb, g) in self.grad_bias.iter_mut().zip(ops::col_sums(grad_out)) {
-                *gb += g;
-            }
+            ops::col_sums_acc(grad_out, &mut self.grad_bias);
         }
     }
 
     /// Accumulates gradients for a dense input batch and returns the
     /// gradient w.r.t. the input (`grad_in = grad_out · W`).
     pub fn backward_dense(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_dense_into(x, grad_out, &mut grad_in);
+        grad_in
+    }
+
+    /// [`Linear::backward_dense`] with the input gradient written into a
+    /// caller-provided buffer; parameter gradients accumulate in place,
+    /// so the whole call is allocation-free on warmed buffers.
+    pub fn backward_dense_into(&mut self, x: &Matrix, grad_out: &Matrix, grad_in: &mut Matrix) {
         if self.weight_requires_grad {
-            let gw = ops::matmul_at(grad_out, x);
-            self.grad_weight.add_assign(&gw);
+            ops::matmul_at_acc(grad_out, x, &mut self.grad_weight);
         }
         if self.bias_requires_grad {
-            for (gb, g) in self.grad_bias.iter_mut().zip(ops::col_sums(grad_out)) {
-                *gb += g;
-            }
+            ops::col_sums_acc(grad_out, &mut self.grad_bias);
         }
-        ops::matmul(grad_out, &self.weight)
+        ops::matmul_into(grad_out, &self.weight, grad_in);
     }
 
     /// Zeroes accumulated gradients (`optimizer.zero_grad()`).
@@ -129,29 +147,49 @@ impl Layer {
             Layer::Relu => relu(x),
         }
     }
+
+    /// Applies the layer forward into a caller-provided buffer.
+    pub fn forward_dense_into(&self, x: &Matrix, out: &mut Matrix) {
+        match self {
+            Layer::Linear(l) => l.forward_dense_into(x, out),
+            Layer::Relu => relu_into(x, out),
+        }
+    }
 }
 
 /// Element-wise ReLU.
 pub fn relu(x: &Matrix) -> Matrix {
-    let mut y = x.clone();
-    y.as_mut_slice().iter_mut().for_each(|v| {
+    let mut y = Matrix::zeros(0, 0);
+    relu_into(x, &mut y);
+    y
+}
+
+/// [`relu`] into a caller-provided buffer.
+pub fn relu_into(x: &Matrix, out: &mut Matrix) {
+    out.copy_from(x);
+    out.as_mut_slice().iter_mut().for_each(|v| {
         if *v < 0.0 {
             *v = 0.0;
         }
     });
-    y
 }
 
 /// Backward of ReLU: passes gradient where the forward input was > 0.
 pub fn relu_backward(x: &Matrix, grad_out: &Matrix) -> Matrix {
+    let mut g = Matrix::zeros(0, 0);
+    relu_backward_into(x, grad_out, &mut g);
+    g
+}
+
+/// [`relu_backward`] into a caller-provided buffer.
+pub fn relu_backward_into(x: &Matrix, grad_out: &Matrix, out: &mut Matrix) {
     assert_eq!(x.shape(), grad_out.shape());
-    let mut g = grad_out.clone();
-    for (gv, &xv) in g.as_mut_slice().iter_mut().zip(x.as_slice()) {
+    out.copy_from(grad_out);
+    for (gv, &xv) in out.as_mut_slice().iter_mut().zip(x.as_slice()) {
         if xv <= 0.0 {
             *gv = 0.0;
         }
     }
-    g
 }
 
 #[cfg(test)]

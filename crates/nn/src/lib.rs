@@ -13,7 +13,9 @@
 //! * [`StateDict`] save/load plus the Listing-2 input-weight zero-padding;
 //! * [`grad_scale`] — the Listing-3 in-place gradient-multiplier trick
 //!   that trains pre-trained input columns at 10 % rate while new columns
-//!   train at full rate.
+//!   train at full rate;
+//! * [`Workspace`] — reusable forward/backward buffers making the
+//!   steady-state [`Net::train_batch`] step allocation-free.
 
 pub mod batch;
 pub mod grad_scale;
@@ -22,6 +24,7 @@ pub mod loss;
 pub mod net;
 pub mod optim;
 pub mod state_dict;
+pub mod workspace;
 
 pub use batch::BatchIter;
 pub use layer::{Layer, Linear};
@@ -29,3 +32,4 @@ pub use loss::CrossEntropyLoss;
 pub use net::Net;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use state_dict::{pad_input_weight, StateDict, StateDictError, TensorData};
+pub use workspace::Workspace;

@@ -17,7 +17,9 @@ pub struct CrossEntropyLoss {
 impl CrossEntropyLoss {
     /// Uniform weights over `n_classes`.
     pub fn uniform(n_classes: usize) -> Self {
-        Self { weights: vec![1.0; n_classes] }
+        Self {
+            weights: vec![1.0; n_classes],
+        }
     }
 
     /// Explicit per-class weights.
@@ -25,7 +27,10 @@ impl CrossEntropyLoss {
     /// # Panics
     /// Panics if any weight is non-positive.
     pub fn with_weights(weights: Vec<f32>) -> Self {
-        assert!(weights.iter().all(|&w| w > 0.0), "class weights must be positive");
+        assert!(
+            weights.iter().all(|&w| w > 0.0),
+            "class weights must be positive"
+        );
         Self { weights }
     }
 
@@ -46,23 +51,34 @@ impl CrossEntropyLoss {
     /// # Panics
     /// Panics on shape mismatch or out-of-range targets.
     pub fn forward(&self, logits: &Matrix, targets: &[u8]) -> (f32, Matrix) {
+        let mut grad = Matrix::zeros(0, 0);
+        let loss = self.forward_into(logits, targets, &mut grad);
+        (loss, grad)
+    }
+
+    /// [`CrossEntropyLoss::forward`] with the logit gradient written into
+    /// a caller-provided buffer: the softmax runs in place on `grad`, so
+    /// a warmed buffer makes the whole loss+gradient step allocation-free.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch or out-of-range targets.
+    pub fn forward_into(&self, logits: &Matrix, targets: &[u8], grad: &mut Matrix) -> f32 {
         assert_eq!(logits.rows(), targets.len(), "batch size mismatch");
         assert_eq!(logits.cols(), self.weights.len(), "class count mismatch");
-        let probs = ops::softmax_rows(logits);
+        grad.copy_from(logits);
+        ops::softmax_rows_inplace(grad);
         let mut loss = 0.0f64;
         let mut weight_sum = 0.0f64;
         for (i, &t) in targets.iter().enumerate() {
             let t = t as usize;
             assert!(t < self.weights.len(), "target {t} out of range");
             let w = self.weights[t] as f64;
-            let p = probs.get(i, t).max(1e-12) as f64;
+            let p = grad.get(i, t).max(1e-12) as f64;
             loss -= w * p.ln();
             weight_sum += w;
         }
-        let loss = (loss / weight_sum) as f32;
 
         // grad wrt logits: w[y_i] * (softmax - onehot) / Σ w[y_i]
-        let mut grad = probs;
         let inv = 1.0 / weight_sum as f32;
         for (i, &t) in targets.iter().enumerate() {
             let w = self.weights[t as usize];
@@ -72,7 +88,7 @@ impl CrossEntropyLoss {
             }
             row[t as usize] -= w * inv;
         }
-        (loss, grad)
+        (loss / weight_sum) as f32
     }
 }
 
@@ -96,7 +112,10 @@ mod tests {
         let (l, _) = loss_fn.forward(&logits, &[0]);
         assert!(l < 1e-3);
         let (l_wrong, _) = loss_fn.forward(&logits, &[1]);
-        assert!(l_wrong > 5.0, "incorrect confident prediction heavily penalised");
+        assert!(
+            l_wrong > 5.0,
+            "incorrect confident prediction heavily penalised"
+        );
     }
 
     #[test]

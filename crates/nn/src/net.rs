@@ -10,8 +10,10 @@ use serde::{Deserialize, Serialize};
 
 use ctlm_tensor::{Csr, Matrix};
 
-use crate::layer::{relu_backward, Layer, Linear};
+use crate::layer::{relu_backward, relu_backward_into, Layer, Linear};
+use crate::loss::CrossEntropyLoss;
 use crate::state_dict::{StateDict, StateDictError, TensorData};
+use crate::workspace::Workspace;
 
 /// A sequential network over sparse input batches.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -26,6 +28,24 @@ pub struct ForwardCache {
     inputs: Vec<Matrix>,
     /// The network output (logits).
     pub logits: Matrix,
+}
+
+/// Fixed-capacity formatter for `fcN.weight`/`fcN.bias` parameter names —
+/// keeps [`Net::visit_params_mut`] off the heap.
+#[derive(Default)]
+struct ParamName {
+    buf: [u8; 32],
+}
+
+impl ParamName {
+    fn format(&mut self, n: usize, suffix: &str) -> &str {
+        use std::io::Write as _;
+        let mut cursor = &mut self.buf[..];
+        write!(cursor, "fc{n}.{suffix}").expect("parameter name fits the buffer");
+        let remaining = cursor.len();
+        let len = self.buf.len() - remaining;
+        std::str::from_utf8(&self.buf[..len]).expect("ASCII parameter name")
+    }
 }
 
 impl Net {
@@ -125,10 +145,18 @@ impl Net {
 
     /// Predicted class per row.
     pub fn predict(&self, x: &Csr) -> Vec<u8> {
-        self.forward(x).argmax_rows().into_iter().map(|c| c as u8).collect()
+        self.forward(x)
+            .argmax_rows()
+            .into_iter()
+            .map(|c| c as u8)
+            .collect()
     }
 
     /// Training forward pass, caching the activations backward needs.
+    ///
+    /// Allocating convenience wrapper around the [`Workspace`] path —
+    /// training loops should prefer [`Net::train_batch`], which reuses
+    /// buffers across batches.
     pub fn forward_train(&self, x: &Csr) -> ForwardCache {
         let mut inputs = Vec::with_capacity(self.layers.len().saturating_sub(1));
         let mut h = match &self.layers[0] {
@@ -136,8 +164,8 @@ impl Net {
             Layer::Relu => unreachable!(),
         };
         for layer in &self.layers[1..] {
-            inputs.push(h.clone());
-            h = layer.forward_dense(&h);
+            let next = layer.forward_dense(&h);
+            inputs.push(std::mem::replace(&mut h, next));
         }
         ForwardCache { inputs, logits: h }
     }
@@ -159,6 +187,62 @@ impl Net {
         }
     }
 
+    /// Training forward pass into workspace buffers: `ws.acts[i]` receives
+    /// layer `i`'s output, `ws.logits()` the final logits. No allocation
+    /// once the workspace has warmed up to the batch shape.
+    pub fn forward_train_ws(&self, x: &Csr, ws: &mut Workspace) {
+        ws.ensure_layers(self.layers.len());
+        match &self.layers[0] {
+            Layer::Linear(l) => l.forward_sparse_into(x, &mut ws.acts[0]),
+            Layer::Relu => unreachable!("first layer is linear by construction"),
+        }
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            let (prev, rest) = ws.acts.split_at_mut(i);
+            layer.forward_dense_into(&prev[i - 1], &mut rest[0]);
+        }
+    }
+
+    /// Backward pass over workspace buffers. Expects `ws.grads` for the
+    /// last layer to hold `dL/dlogits` (as written by
+    /// [`CrossEntropyLoss::forward_into`]); parameter gradients accumulate
+    /// in place and intermediate gradients reuse `ws.grads`.
+    pub fn backward_ws(&mut self, x: &Csr, ws: &mut Workspace) {
+        for i in (1..self.layers.len()).rev() {
+            let input = &ws.acts[i - 1];
+            let (before, after) = ws.grads.split_at_mut(i);
+            let grad_out = &after[0];
+            let grad_in = &mut before[i - 1];
+            match &mut self.layers[i] {
+                Layer::Linear(l) => l.backward_dense_into(input, grad_out, grad_in),
+                Layer::Relu => relu_backward_into(input, grad_out, grad_in),
+            }
+        }
+        match &mut self.layers[0] {
+            Layer::Linear(l) => l.backward_sparse(x, &ws.grads[0]),
+            Layer::Relu => unreachable!("first layer is linear by construction"),
+        }
+    }
+
+    /// One full training step on a mini-batch — `zero_grad`, forward,
+    /// weighted cross-entropy, backward — returning the batch loss.
+    /// Steady-state calls perform zero heap allocations (see
+    /// [`Workspace`]); the caller applies gradient scaling and the
+    /// optimizer step.
+    pub fn train_batch(
+        &mut self,
+        x: &Csr,
+        targets: &[u8],
+        loss_fn: &CrossEntropyLoss,
+        ws: &mut Workspace,
+    ) -> f32 {
+        self.zero_grad();
+        self.forward_train_ws(x, ws);
+        let last = self.layers.len() - 1;
+        let loss = loss_fn.forward_into(&ws.acts[last], targets, &mut ws.grads[last]);
+        self.backward_ws(x, ws);
+        loss
+    }
+
     /// Zeroes all accumulated gradients.
     pub fn zero_grad(&mut self) {
         for layer in &mut self.layers {
@@ -170,24 +254,27 @@ impl Net {
 
     /// Visits every parameter tensor as `(name, data, grad, requires_grad)`.
     /// Names follow the PyTorch convention of the listings: `fcN.weight`,
-    /// `fcN.bias` with N counting linear layers from 1.
-    pub fn visit_params_mut(
-        &mut self,
-        mut f: impl FnMut(&str, &mut [f32], &[f32], bool),
-    ) {
+    /// `fcN.bias` with N counting linear layers from 1. Names are
+    /// formatted into a stack buffer, so visiting allocates nothing —
+    /// optimizers run this on every step.
+    pub fn visit_params_mut(&mut self, mut f: impl FnMut(&str, &mut [f32], &[f32], bool)) {
+        let mut name = ParamName::default();
         let mut n = 0;
         for layer in &mut self.layers {
             if let Layer::Linear(l) = layer {
                 n += 1;
-                let wname = format!("fc{n}.weight");
-                let bname = format!("fc{n}.bias");
                 f(
-                    &wname,
+                    name.format(n, "weight"),
                     l.weight.as_mut_slice(),
                     l.grad_weight.as_slice(),
                     l.weight_requires_grad,
                 );
-                f(&bname, &mut l.bias, &l.grad_bias, l.bias_requires_grad);
+                f(
+                    name.format(n, "bias"),
+                    &mut l.bias,
+                    &l.grad_bias,
+                    l.bias_requires_grad,
+                );
             }
         }
     }
@@ -208,7 +295,10 @@ impl Net {
                 );
                 sd.insert(
                     format!("fc{n}.bias"),
-                    TensorData { shape: vec![l.bias.len()], data: l.bias.clone() },
+                    TensorData {
+                        shape: vec![l.bias.len()],
+                        data: l.bias.clone(),
+                    },
                 );
             }
         }
@@ -225,7 +315,9 @@ impl Net {
                 n += 1;
                 let wname = format!("fc{n}.weight");
                 let bname = format!("fc{n}.bias");
-                let w = sd.get(&wname).ok_or_else(|| StateDictError::MissingKey(wname.clone()))?;
+                let w = sd
+                    .get(&wname)
+                    .ok_or_else(|| StateDictError::MissingKey(wname.clone()))?;
                 let expect = vec![l.weight.rows(), l.weight.cols()];
                 if w.shape != expect {
                     return Err(StateDictError::ShapeMismatch {
@@ -234,9 +326,13 @@ impl Net {
                         found: w.shape.clone(),
                     });
                 }
-                l.weight =
-                    Matrix::from_vec(w.shape[0], w.shape[1], w.data.clone());
-                let b = sd.get(&bname).ok_or_else(|| StateDictError::MissingKey(bname.clone()))?;
+                // Shapes verified equal: copy straight into the existing
+                // storage instead of cloning the tensor data into a fresh
+                // vector and dropping the old one.
+                l.weight.as_mut_slice().copy_from_slice(&w.data);
+                let b = sd
+                    .get(&bname)
+                    .ok_or_else(|| StateDictError::MissingKey(bname.clone()))?;
                 if b.shape != vec![l.bias.len()] {
                     return Err(StateDictError::ShapeMismatch {
                         key: bname,
@@ -244,7 +340,7 @@ impl Net {
                         found: b.shape.clone(),
                     });
                 }
-                l.bias = b.data.clone();
+                l.bias.copy_from_slice(&b.data);
             }
         }
         Ok(())
@@ -381,7 +477,10 @@ mod tests {
         let mut net = Net::two_layer(4, 3, 2, &mut rng);
         let mut names = Vec::new();
         net.visit_params_mut(|name, _, _, _| names.push(name.to_string()));
-        assert_eq!(names, vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]);
+        assert_eq!(
+            names,
+            vec!["fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"]
+        );
     }
 
     #[test]

@@ -33,7 +33,14 @@ pub struct Adam {
 impl Adam {
     /// Adam with the given learning rate and default betas.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, state: HashMap::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            state: HashMap::new(),
+        }
     }
 
     /// The paper's optimizer: `torch.optim.Adam(model.parameters(), lr=0.05)`.
@@ -59,14 +66,17 @@ impl Optimizer for Adam {
             if !requires_grad {
                 return;
             }
-            let entry = state.entry(name.to_string()).or_insert_with(|| {
-                (vec![0.0; data.len()], vec![0.0; data.len()])
-            });
-            if entry.0.len() != data.len() {
-                // Parameter was resized (grown input layer): reset moments.
-                *entry = (vec![0.0; data.len()], vec![0.0; data.len()]);
+            // Double lookup instead of `entry(name.to_string())`: the
+            // steady-state hit path must not allocate a key String.
+            if state.get(name).is_none_or(|e| e.0.len() != data.len()) {
+                // First sight, or parameter resized (grown input layer):
+                // fresh moments.
+                state.insert(
+                    name.to_string(),
+                    (vec![0.0; data.len()], vec![0.0; data.len()]),
+                );
             }
-            let (m, v) = entry;
+            let (m, v) = state.get_mut(name).expect("just inserted");
             for i in 0..data.len() {
                 let g = grad[i];
                 m[i] = b1 * m[i] + (1.0 - b1) * g;
@@ -90,12 +100,20 @@ pub struct Sgd {
 impl Sgd {
     /// SGD without momentum.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: HashMap::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: HashMap::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: HashMap::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
     }
 }
 
@@ -113,10 +131,10 @@ impl Optimizer for Sgd {
                 }
                 return;
             }
-            let v = velocity.entry(name.to_string()).or_insert_with(|| vec![0.0; data.len()]);
-            if v.len() != data.len() {
-                *v = vec![0.0; data.len()];
+            if velocity.get(name).is_none_or(|v| v.len() != data.len()) {
+                velocity.insert(name.to_string(), vec![0.0; data.len()]);
             }
+            let v = velocity.get_mut(name).expect("just inserted");
             for i in 0..data.len() {
                 v[i] = mu * v[i] + grad[i];
                 data[i] -= lr * v[i];
@@ -195,8 +213,14 @@ mod tests {
             opt.step(&mut net);
         }
         let after = net.state_dict();
-        assert_eq!(before["fc2.weight"], after["fc2.weight"], "frozen fc2 moved");
-        assert_ne!(before["fc1.weight"], after["fc1.weight"], "fc1 should train");
+        assert_eq!(
+            before["fc2.weight"], after["fc2.weight"],
+            "frozen fc2 moved"
+        );
+        assert_ne!(
+            before["fc1.weight"], after["fc1.weight"],
+            "fc1 should train"
+        );
     }
 
     #[test]

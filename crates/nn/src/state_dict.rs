@@ -52,8 +52,15 @@ impl fmt::Display for StateDictError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StateDictError::MissingKey(k) => write!(f, "state dict missing key {k:?}"),
-            StateDictError::ShapeMismatch { key, expected, found } => {
-                write!(f, "shape mismatch for {key:?}: expected {expected:?}, found {found:?}")
+            StateDictError::ShapeMismatch {
+                key,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "shape mismatch for {key:?}: expected {expected:?}, found {found:?}"
+                )
             }
             StateDictError::Io(e) => write!(f, "state dict I/O error: {e}"),
         }
@@ -76,7 +83,9 @@ pub fn pad_input_weight(
     key: &str,
     new_in_features: usize,
 ) -> Result<usize, StateDictError> {
-    let tensor = sd.get_mut(key).ok_or_else(|| StateDictError::MissingKey(key.to_string()))?;
+    let tensor = sd
+        .get_mut(key)
+        .ok_or_else(|| StateDictError::MissingKey(key.to_string()))?;
     if tensor.shape.len() != 2 {
         return Err(StateDictError::ShapeMismatch {
             key: key.to_string(),
@@ -115,7 +124,9 @@ pub fn select_input_columns(
     key: &str,
     keep: &[usize],
 ) -> Result<(), StateDictError> {
-    let tensor = sd.get_mut(key).ok_or_else(|| StateDictError::MissingKey(key.to_string()))?;
+    let tensor = sd
+        .get_mut(key)
+        .ok_or_else(|| StateDictError::MissingKey(key.to_string()))?;
     if tensor.shape.len() != 2 {
         return Err(StateDictError::ShapeMismatch {
             key: key.to_string(),
@@ -163,9 +174,18 @@ mod tests {
         let mut sd = StateDict::new();
         sd.insert(
             "fc1.weight".into(),
-            TensorData { shape: vec![2, 3], data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0] },
+            TensorData {
+                shape: vec![2, 3],
+                data: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+            },
         );
-        sd.insert("fc1.bias".into(), TensorData { shape: vec![2], data: vec![0.1, 0.2] });
+        sd.insert(
+            "fc1.bias".into(),
+            TensorData {
+                shape: vec![2],
+                data: vec![0.1, 0.2],
+            },
+        );
         sd
     }
 
@@ -176,7 +196,10 @@ mod tests {
         assert_eq!(old, 3);
         let t = &sd["fc1.weight"];
         assert_eq!(t.shape, vec![2, 5]);
-        assert_eq!(t.data, vec![1.0, 2.0, 3.0, 0.0, 0.0, 4.0, 5.0, 6.0, 0.0, 0.0]);
+        assert_eq!(
+            t.data,
+            vec![1.0, 2.0, 3.0, 0.0, 0.0, 4.0, 5.0, 6.0, 0.0, 0.0]
+        );
     }
 
     #[test]

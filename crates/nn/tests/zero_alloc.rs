@@ -1,0 +1,139 @@
+//! Pins the Workspace contract: a steady-state training step — batch
+//! gather, forward, weighted loss, backward, Adam — performs zero heap
+//! allocations once buffers have warmed up.
+//!
+//! A counting global allocator wraps the system one; the test warms every
+//! buffer with a few steps, then asserts the allocation counter does not
+//! move for subsequent steps. Shapes stay below
+//! `ctlm_tensor::ops::PAR_THRESHOLD` because the guarantee is for the
+//! sequential path (the Rayon shim allocates while dispatching workers —
+//! see `ctlm_nn::workspace`).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ctlm_nn::{Adam, CrossEntropyLoss, Net, Optimizer, Workspace};
+use ctlm_tensor::init::seeded_rng;
+use ctlm_tensor::{Csr, CsrBuilder};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn batch(n: usize, d: usize, seed: u64) -> (Csr, Vec<u8>) {
+    use rand::Rng;
+    let mut rng = seeded_rng(seed);
+    let mut b = CsrBuilder::new(d);
+    let mut y = Vec::new();
+    for _ in 0..n {
+        let c0 = rng.gen_range(0..d);
+        let c1 = rng.gen_range(0..d);
+        b.push_row([(c0, 1.0), (c1, 1.0)]);
+        y.push(rng.gen_range(0..26));
+    }
+    (b.finish(), y)
+}
+
+#[test]
+fn steady_state_training_step_does_not_allocate() {
+    // Paper-shaped model below the parallel threshold: batch 48, 40
+    // features, hidden 30, 26 classes.
+    let (n, d) = (48usize, 40usize);
+    let mut rng = seeded_rng(7);
+    let mut net = Net::two_layer(d, 30, 26, &mut rng);
+    let loss_fn = CrossEntropyLoss::group0_boosted(26, 200.0);
+    let mut opt = Adam::paper_default();
+    let mut ws = Workspace::new();
+
+    let (full, labels) = batch(n * 4, d, 1);
+    let order: Vec<usize> = (0..full.rows()).collect();
+    let mut xb = Csr::empty(0, d);
+    let mut yb: Vec<u8> = Vec::new();
+
+    let step = |xb: &mut Csr,
+                yb: &mut Vec<u8>,
+                net: &mut Net,
+                ws: &mut Workspace,
+                opt: &mut Adam,
+                chunk: &[usize]| {
+        full.select_rows_into(chunk, xb);
+        yb.clear();
+        yb.extend(chunk.iter().map(|&i| labels[i]));
+        let loss = net.train_batch(xb, yb, &loss_fn, ws);
+        opt.step(net);
+        loss
+    };
+
+    // Warm-up: touch every chunk shape once so capacities settle (the
+    // last chunk is smaller, exercising buffer reuse across shapes).
+    for chunk in order.chunks(n) {
+        step(&mut xb, &mut yb, &mut net, &mut ws, &mut opt, chunk);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut total_loss = 0.0f32;
+    for _ in 0..5 {
+        for chunk in order.chunks(n) {
+            total_loss += step(&mut xb, &mut yb, &mut net, &mut ws, &mut opt, chunk);
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(total_loss.is_finite());
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state training steps allocated {} times",
+        after - before
+    );
+}
+
+#[test]
+fn workspace_reuse_still_learns() {
+    // The allocation-free path must be numerically identical to the
+    // allocating reference path.
+    let (x, y) = batch(60, 24, 3);
+    let loss_fn = CrossEntropyLoss::uniform(26);
+
+    let mut rng_a = seeded_rng(11);
+    let mut net_a = Net::two_layer(24, 12, 26, &mut rng_a);
+    let mut net_b = net_a.clone();
+
+    // Reference: allocating forward/backward.
+    net_a.zero_grad();
+    let cache = net_a.forward_train(&x);
+    let (loss_ref, grad) = loss_fn.forward(&cache.logits, &y);
+    net_a.backward(&x, &cache, &grad);
+
+    // Workspace path.
+    let mut ws = Workspace::new();
+    let loss_ws = net_b.train_batch(&x, &y, &loss_fn, &mut ws);
+
+    assert!((loss_ref - loss_ws).abs() < 1e-6, "{loss_ref} vs {loss_ws}");
+    assert!(
+        net_a
+            .input_layer()
+            .grad_weight
+            .max_abs_diff(&net_b.input_layer().grad_weight)
+            < 1e-6,
+        "workspace path diverged from reference gradients"
+    );
+}

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 
+use ctlm_agocs::AttrIndex;
 use ctlm_data::compaction::AttrRequirement;
 use ctlm_trace::{Machine, MachineId, TaskId};
 
@@ -14,10 +15,14 @@ struct Alloc {
     tasks: HashMap<TaskId, (f64, f64, u8)>,
 }
 
-/// The scheduler's view of the cluster: trace machines plus usage.
+/// The scheduler's view of the cluster: trace machines plus usage. An
+/// inverted [`AttrIndex`] mirrors the fleet so per-task suitability
+/// queries in the placement loop scale with the candidate set instead of
+/// the cluster size (the Fig. 3 simulation at 100k+ machines).
 #[derive(Clone, Debug, Default)]
 pub struct SchedCluster {
     machines: HashMap<MachineId, (Machine, Alloc)>,
+    index: AttrIndex,
 }
 
 impl SchedCluster {
@@ -37,8 +42,21 @@ impl SchedCluster {
 
     /// Adds a machine.
     pub fn add_machine(&mut self, m: Machine) {
-        self.machines
-            .insert(m.id, (m, Alloc { cpu_used: 0.0, mem_used: 0.0, tasks: HashMap::new() }));
+        if self.machines.contains_key(&m.id) {
+            self.index.remove_machine(m.id);
+        }
+        self.index.add_machine(&m);
+        self.machines.insert(
+            m.id,
+            (
+                m,
+                Alloc {
+                    cpu_used: 0.0,
+                    mem_used: 0.0,
+                    tasks: HashMap::new(),
+                },
+            ),
+        );
     }
 
     /// Number of machines.
@@ -64,16 +82,16 @@ impl SchedCluster {
     }
 
     /// Machines satisfying the requirements (constraint feasibility only,
-    /// not capacity).
+    /// not capacity), in ascending id order — answered by the inverted
+    /// index.
     pub fn suitable(&self, reqs: &[AttrRequirement]) -> Vec<MachineId> {
-        let mut ids: Vec<MachineId> = self
-            .machines
-            .values()
-            .filter(|(m, _)| reqs.iter().all(|r| r.accepts(m.attr(r.attr))))
-            .map(|(m, _)| m.id)
-            .collect();
-        ids.sort_unstable();
-        ids
+        self.index.matching(reqs)
+    }
+
+    /// [`SchedCluster::suitable`] into a caller-provided buffer — the
+    /// placement loop's allocation-free form.
+    pub fn suitable_into(&self, reqs: &[AttrRequirement], out: &mut Vec<MachineId>) {
+        self.index.matching_into(reqs, out);
     }
 
     /// True when the machine can hold the request right now.
@@ -107,7 +125,11 @@ impl SchedCluster {
 
     /// Tasks on a machine with priority strictly below `priority`, sorted
     /// lowest-priority first — the Kubernetes preemption candidate order.
-    pub fn preemption_candidates(&self, id: MachineId, priority: u8) -> Vec<(TaskId, f64, f64, u8)> {
+    pub fn preemption_candidates(
+        &self,
+        id: MachineId,
+        priority: u8,
+    ) -> Vec<(TaskId, f64, f64, u8)> {
         let (_, a) = &self.machines[&id];
         let mut out: Vec<(TaskId, f64, f64, u8)> = a
             .tasks
@@ -121,7 +143,11 @@ impl SchedCluster {
 
     /// One machine's attribute value (soft-affinity scoring needs direct
     /// attribute access).
-    pub fn machine_attr(&self, id: MachineId, attr: ctlm_trace::AttrId) -> Option<&ctlm_trace::AttrValue> {
+    pub fn machine_attr(
+        &self,
+        id: MachineId,
+        attr: ctlm_trace::AttrId,
+    ) -> Option<&ctlm_trace::AttrValue> {
         self.machines.get(&id).and_then(|(m, _)| m.attr(attr))
     }
 
@@ -182,7 +208,10 @@ mod tests {
         c.place(1, 11, 0.2, 0.2, 1);
         c.place(1, 12, 0.2, 0.2, 9);
         let cands = c.preemption_candidates(1, 5);
-        assert_eq!(cands.iter().map(|&(t, ..)| t).collect::<Vec<_>>(), vec![11, 10]);
+        assert_eq!(
+            cands.iter().map(|&(t, ..)| t).collect::<Vec<_>>(),
+            vec![11, 10]
+        );
     }
 
     #[test]

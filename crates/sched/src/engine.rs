@@ -59,10 +59,10 @@ pub struct SimConfig {
 impl Default for SimConfig {
     fn default() -> Self {
         Self {
-            cycle: 1_000_000,            // 1 s scheduler passes
+            cycle: 1_000_000, // 1 s scheduler passes
             attempts_per_cycle: 8,
-            mean_runtime: 120_000_000,   // 2 min mean runtime
-            horizon: 3_600_000_000,      // 1 h
+            mean_runtime: 120_000_000, // 2 min mean runtime
+            horizon: 3_600_000_000,    // 1 h
             seed: 0,
         }
     }
@@ -199,7 +199,17 @@ impl Simulator {
                 let Some(t) = hp.pop() else { break };
                 match best_fit_with_preemption(&cluster, &t) {
                     Placement::Placed(m) => {
-                        place(&mut cluster, &mut finishes, &mut result, &mut rng, &cfg, &t, m, now, &preempted_ids);
+                        place(
+                            &mut cluster,
+                            &mut finishes,
+                            &mut result,
+                            &mut rng,
+                            &cfg,
+                            &t,
+                            m,
+                            now,
+                            &preempted_ids,
+                        );
                     }
                     Placement::PlacedWithPreemption(m, victims) => {
                         // Kubernetes-style eviction: victims lose their
@@ -210,13 +220,21 @@ impl Simulator {
                             cluster.release(m, v);
                             result.preemptions += 1;
                             preempted_ids.insert(v);
-                            if let Some(rec) =
-                                result.placed.iter_mut().find(|r| r.task == v)
-                            {
+                            if let Some(rec) = result.placed.iter_mut().find(|r| r.task == v) {
                                 rec.was_preempted = true;
                             }
                         }
-                        place(&mut cluster, &mut finishes, &mut result, &mut rng, &cfg, &t, m, now, &preempted_ids);
+                        place(
+                            &mut cluster,
+                            &mut finishes,
+                            &mut result,
+                            &mut rng,
+                            &cfg,
+                            &t,
+                            m,
+                            now,
+                            &preempted_ids,
+                        );
                     }
                     Placement::Infeasible => {
                         // No node can ever satisfy the affinity —
@@ -231,7 +249,17 @@ impl Simulator {
                 let Some(t) = main.pop() else { break };
                 match best_fit(&cluster, &t) {
                     Placement::Placed(m) => {
-                        place(&mut cluster, &mut finishes, &mut result, &mut rng, &cfg, &t, m, now, &preempted_ids);
+                        place(
+                            &mut cluster,
+                            &mut finishes,
+                            &mut result,
+                            &mut rng,
+                            &cfg,
+                            &t,
+                            m,
+                            now,
+                            &preempted_ids,
+                        );
                     }
                     Placement::Infeasible => result.unplaced += 1,
                     _ => main.requeue(t),
@@ -317,13 +345,14 @@ pub fn arrivals_from_trace(
             break;
         }
         if let EventPayload::TaskSubmit(task) = &ev.payload {
-            let Ok(reqs) = collapse(&task.constraints) else { continue };
+            let Ok(reqs) = collapse(&task.constraints) else {
+                continue;
+            };
             let suitable = ctlm_agocs::count_suitable(&agocs_state, &reqs);
             if suitable == 0 {
                 continue;
             }
-            let truth_group =
-                ctlm_data::dataset::group_for_count(suitable, trace.group_width);
+            let truth_group = ctlm_data::dataset::group_for_count(suitable, trace.group_width);
             arrivals.push(PendingTask {
                 id: task.id,
                 collection: task.collection,
@@ -373,11 +402,8 @@ mod tests {
         use ctlm_data::compaction::collapse;
         use ctlm_trace::{ConstraintOp as Op, TaskConstraint};
         for (j, t_arr) in [(0u64, 5_000_000u64), (1, 15_000_000), (2, 25_000_000)] {
-            let reqs = collapse(&[TaskConstraint::new(
-                0,
-                Op::Equal(Some(AttrValue::Int(0))),
-            )])
-            .unwrap();
+            let reqs =
+                collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(0))))]).unwrap();
             arrivals.push(PendingTask {
                 id: 1000 + j,
                 collection: 2,
@@ -409,7 +435,9 @@ mod tests {
         let base = sim().run(cluster.clone(), &arrivals, &Policy::MainOnly);
         let enhanced = sim().run(cluster, &arrivals, &Policy::OracleEnhanced);
         let b0 = base.group0_latency().expect("group0 placed under baseline");
-        let e0 = enhanced.group0_latency().expect("group0 placed under oracle");
+        let e0 = enhanced
+            .group0_latency()
+            .expect("group0 placed under oracle");
         assert!(
             e0.mean < b0.mean,
             "enhanced group0 mean {} should beat baseline {}",
@@ -449,8 +477,7 @@ mod tests {
         }
         use ctlm_data::compaction::collapse;
         use ctlm_trace::{ConstraintOp as Op, TaskConstraint};
-        let reqs =
-            collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(0))))]).unwrap();
+        let reqs = collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(0))))]).unwrap();
         arrivals.push(PendingTask {
             id: 999,
             collection: 2,
@@ -470,7 +497,10 @@ mod tests {
         };
         let r = Simulator::new(config).run(cluster, &arrivals, &Policy::OracleEnhanced);
         assert!(r.preemptions > 0, "expected preemption to fire");
-        assert!(r.placed.iter().any(|p| p.task == 999), "pinned task must place");
+        assert!(
+            r.placed.iter().any(|p| p.task == 999),
+            "pinned task must place"
+        );
     }
 
     #[test]
@@ -478,12 +508,18 @@ mod tests {
         use ctlm_trace::{CellSet, Scale, TraceGenerator};
         let trace = TraceGenerator::generate_cell(
             CellSet::C2019c,
-            Scale { machines: 80, collections: 150, seed: 3 },
+            Scale {
+                machines: 80,
+                collections: 150,
+                seed: 3,
+            },
         );
         let (cluster, arrivals) = arrivals_from_trace(&trace, 500);
         assert!(cluster.len() >= 70);
         assert!(!arrivals.is_empty());
         assert!(arrivals.windows(2).all(|w| w[0].arrival <= w[1].arrival));
-        assert!(arrivals.iter().all(|t| t.cpu <= 0.9 && (t.truth_group as usize) < 26));
+        assert!(arrivals
+            .iter()
+            .all(|t| t.cpu <= 0.9 && (t.truth_group as usize) < 26));
     }
 }

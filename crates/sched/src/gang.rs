@@ -26,17 +26,28 @@ pub fn group_into_gangs(tasks: Vec<PendingTask>) -> Vec<(GangKey, Vec<PendingTas
     let mut map: HashMap<GangKey, Vec<PendingTask>> = HashMap::new();
     let mut order: Vec<GangKey> = Vec::new();
     for t in tasks {
-        let fp = t.reqs.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(" && ");
-        let key = GangKey { collection: t.collection, co_fingerprint: fp };
+        let fp = t
+            .reqs
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(" && ");
+        let key = GangKey {
+            collection: t.collection,
+            co_fingerprint: fp,
+        };
         if !map.contains_key(&key) {
             order.push(key.clone());
         }
         map.entry(key).or_default().push(t);
     }
-    order.into_iter().map(|k| {
-        let v = map.remove(&k).expect("key inserted above");
-        (k, v)
-    }).collect()
+    order
+        .into_iter()
+        .map(|k| {
+            let v = map.remove(&k).expect("key inserted above");
+            (k, v)
+        })
+        .collect()
 }
 
 /// All-or-nothing gang placement: reserves machines for *every* task of
@@ -126,7 +137,11 @@ mod tests {
         // A 3-member gang needing 0.8 CPU each on 2 machines: only two
         // fit, so nothing must be reserved.
         let gang: Vec<PendingTask> = (0..3)
-            .map(|i| PendingTask { cpu: 0.8, memory: 0.1, ..task(100 + i, 5, None) })
+            .map(|i| PendingTask {
+                cpu: 0.8,
+                memory: 0.1,
+                ..task(100 + i, 5, None)
+            })
             .collect();
         assert!(place_gang(&mut cluster, &gang).is_none());
         assert!(
@@ -135,15 +150,18 @@ mod tests {
         );
 
         // A 2-member gang fits and reserves both slots.
-        let ok = place_gang(&mut cluster, &gang[..2].to_vec()).expect("2 members fit");
+        let ok = place_gang(&mut cluster, &gang[..2]).expect("2 members fit");
         assert_eq!(ok.len(), 2);
         assert!(cluster.cpu_utilisation() > 0.0);
     }
 
     #[test]
     fn insertion_order_is_preserved() {
-        let gangs =
-            group_into_gangs(vec![task(1, 9, None), task(2, 7, Some(1)), task(3, 9, None)]);
+        let gangs = group_into_gangs(vec![
+            task(1, 9, None),
+            task(2, 7, Some(1)),
+            task(3, 9, None),
+        ]);
         assert_eq!(gangs[0].0.collection, 9);
         assert_eq!(gangs[0].1.len(), 2);
         assert_eq!(gangs[1].0.collection, 7);

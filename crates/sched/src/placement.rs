@@ -183,12 +183,12 @@ mod tests {
     #[test]
     fn infeasible_when_no_machine_matches() {
         let c = cluster();
-        let reqs = collapse(&[TaskConstraint::new(
-            0,
-            Op::Equal(Some(AttrValue::Int(99))),
-        )])
-        .unwrap();
-        let t = PendingTask { reqs, ..task(1, 0.1, 0, None) };
+        let reqs =
+            collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(99))))]).unwrap();
+        let t = PendingTask {
+            reqs,
+            ..task(1, 0.1, 0, None)
+        };
         assert_eq!(best_fit(&c, &t), Placement::Infeasible);
     }
 

@@ -8,14 +8,18 @@
 
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{unbounded, Sender};
+use std::sync::mpsc::{channel, Sender};
 
 use ctlm_core::{GrowingModel, ModelRegistry, TaskCoAnalyzer, TrainConfig};
 use ctlm_data::dataset::Dataset;
 use ctlm_data::vocab::ValueVocab;
 
 enum Msg {
-    Train { dataset: Box<Dataset>, vocab: Box<ValueVocab>, seed: u64 },
+    Train {
+        dataset: Box<Dataset>,
+        vocab: Box<ValueVocab>,
+        seed: u64,
+    },
     Shutdown,
 }
 
@@ -29,13 +33,17 @@ impl ModelUpdater {
     /// Spawns the updater; trained analyzers are installed into
     /// `registry`.
     pub fn spawn(registry: ModelRegistry, config: TrainConfig) -> Self {
-        let (tx, rx) = unbounded::<Msg>();
+        let (tx, rx) = channel::<Msg>();
         let handle = std::thread::spawn(move || {
             let mut model = GrowingModel::new(config);
             let mut steps_done = 0usize;
             while let Ok(msg) = rx.recv() {
                 match msg {
-                    Msg::Train { dataset, vocab, seed } => {
+                    Msg::Train {
+                        dataset,
+                        vocab,
+                        seed,
+                    } => {
                         let outcome = model.step(&dataset, seed);
                         if outcome.accepted || model.is_trained() {
                             // The vocabulary may already be wider than
@@ -57,7 +65,10 @@ impl ModelUpdater {
             }
             steps_done
         });
-        Self { tx, handle: Some(handle) }
+        Self {
+            tx,
+            handle: Some(handle),
+        }
     }
 
     /// Queues a (dataset, vocabulary) pair for training. Non-blocking.
@@ -73,7 +84,10 @@ impl ModelUpdater {
     /// it completed.
     pub fn shutdown(mut self) -> usize {
         let _ = self.tx.send(Msg::Shutdown);
-        self.handle.take().map(|h| h.join().unwrap_or(0)).unwrap_or(0)
+        self.handle
+            .take()
+            .map(|h| h.join().unwrap_or(0))
+            .unwrap_or(0)
     }
 }
 
@@ -102,8 +116,7 @@ mod tests {
         let mut b = DatasetBuilder::new(width, NUM_GROUPS);
         for k in 1..12usize {
             for _ in 0..25 {
-                let entries: Vec<(usize, f32)> =
-                    (k + 1..width).map(|c| (c, 1.0)).collect();
+                let entries: Vec<(usize, f32)> = (k + 1..width).map(|c| (c, 1.0)).collect();
                 b.push(entries, ctlm_data::dataset::group_for_count(k, 1));
             }
         }
@@ -115,16 +128,26 @@ mod tests {
         let registry = ModelRegistry::new();
         let updater = ModelUpdater::spawn(
             registry.clone(),
-            TrainConfig { epochs_limit: 60, max_attempts: 2, ..TrainConfig::default() },
+            TrainConfig {
+                epochs_limit: 60,
+                max_attempts: 2,
+                ..TrainConfig::default()
+            },
         );
-        assert!(!registry.is_ready(), "registry empty until training completes");
+        assert!(
+            !registry.is_ready(),
+            "registry empty until training completes"
+        );
         let (ds, vocab) = dataset_and_vocab();
         updater.submit(ds, vocab, 1);
         // The caller (the "scheduler") is free immediately; wait for the
         // install to land.
         let steps = updater.shutdown();
         assert_eq!(steps, 1);
-        assert!(registry.is_ready(), "analyzer must be installed after training");
+        assert!(
+            registry.is_ready(),
+            "analyzer must be installed after training"
+        );
         let analyzer = registry.get().unwrap();
         assert_eq!(analyzer.features(), 13);
     }
@@ -134,7 +157,11 @@ mod tests {
         let registry = ModelRegistry::new();
         let updater = ModelUpdater::spawn(
             registry.clone(),
-            TrainConfig { epochs_limit: 40, max_attempts: 1, ..TrainConfig::default() },
+            TrainConfig {
+                epochs_limit: 40,
+                max_attempts: 1,
+                ..TrainConfig::default()
+            },
         );
         let (ds, vocab) = dataset_and_vocab();
         updater.submit(ds.clone(), vocab.clone(), 1);

@@ -18,12 +18,20 @@ pub struct Matrix {
 impl Matrix {
     /// An `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// An `rows × cols` matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -130,6 +138,24 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Reshapes the matrix in place, reusing the existing allocation
+    /// whenever the new element count fits its capacity. Element contents
+    /// are unspecified afterwards — every `_into` kernel overwrites its
+    /// output. This is what lets training workspaces stay allocation-free
+    /// across batches of varying size.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Copies another matrix's contents into this one, reshaping as
+    /// needed (no allocation when the element count fits capacity).
+    pub fn copy_from(&mut self, other: &Matrix) {
+        self.resize(other.rows, other.cols);
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// In-place scalar multiply (`tensor.mul_` in Listing 3).
     pub fn scale(&mut self, s: f32) {
         self.data.iter_mut().for_each(|v| *v *= s);
@@ -157,14 +183,11 @@ impl Matrix {
         }
     }
 
-    /// Returns the transpose as a new matrix.
+    /// Returns the transpose as a new matrix (cache-blocked; see
+    /// [`crate::ops::transpose_into`]).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
+        crate::ops::transpose_into(self, &mut out);
         out
     }
 

@@ -30,7 +30,9 @@ pub fn linear_weight(out_features: usize, in_features: usize, rng: &mut StdRng) 
 /// Bias vector with the same `1/√in_features` uniform bound.
 pub fn linear_bias(out_features: usize, in_features: usize, rng: &mut StdRng) -> Vec<f32> {
     let bound = 1.0 / (in_features.max(1) as f32).sqrt();
-    (0..out_features).map(|_| rng.gen_range(-bound..bound)).collect()
+    (0..out_features)
+        .map(|_| rng.gen_range(-bound..bound))
+        .collect()
 }
 
 #[cfg(test)]

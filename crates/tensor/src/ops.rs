@@ -1,61 +1,156 @@
 //! Linear-algebra kernels.
 //!
-//! The layer shapes in the paper are tiny (hidden width 30, 26 classes) but
-//! batches and feature widths are large (tens of thousands of samples,
-//! ~16k features), so the kernels parallelise over samples with Rayon —
-//! the idiom the HPC guides prescribe: `par_iter` over independent rows,
-//! no shared mutable state.
+//! The layer shapes in the paper are tiny (hidden width 30, 26 classes)
+//! but batches and feature widths are large (tens of thousands of
+//! samples, ~16k features), so the kernels are organised for data
+//! movement first:
+//!
+//! * **cache blocking** — GEMMs walk `b` in `KC`-deep k-panels shared
+//!   across an `MC`-row block of `a`, so the panel stays hot in cache
+//!   instead of being re-streamed per row;
+//! * **register microkernels** — dot-product kernels ([`matmul_bt_into`],
+//!   [`csr_matmul_bt_into`]) and outer-product kernels
+//!   ([`matmul_at_acc`]) keep an `NR`-wide accumulator tile in registers,
+//!   amortising every load of the shared operand over `NR` outputs;
+//! * **`_into`/`_acc` variants** — every kernel can write into (or
+//!   accumulate onto) a caller-provided buffer, which is what lets
+//!   `ctlm_nn::Workspace` run steady-state training steps without heap
+//!   allocation;
+//! * **Rayon row-parallelism** above [`PAR_THRESHOLD`], the idiom the HPC
+//!   guides prescribe: `par_chunks_mut` over independent output rows, no
+//!   shared mutable state.
+//!
+//! The pre-optimization reference kernels are retained in [`naive`]; the
+//! property tests in `tests/kernel_properties.rs` pin the blocked kernels
+//! to them within 1e-5, and `ctlm-bench`'s `training_step` bench measures
+//! both sides in the same run.
 
 use rayon::prelude::*;
 
 use crate::dense::Matrix;
 use crate::sparse::Csr;
 
-/// Minimum row count before kernels switch to the parallel path. Tiny
-/// batches are faster sequentially (thread-pool dispatch dominates).
-const PAR_THRESHOLD: usize = 64;
+/// Minimum *output-row* count before a kernel switches to its parallel
+/// path. Tiny batches are faster sequentially (thread dispatch dominates,
+/// and the shim pool spawns per call). The same constant gates every
+/// kernel in this module; `ctlm_agocs::matcher::PAR_THRESHOLD` documents
+/// its own (higher) value for the much cheaper per-machine predicate.
+pub const PAR_THRESHOLD: usize = 64;
+
+/// Rows of `a` processed per cache block: one block's k-panel traffic is
+/// amortised over `MC` output rows.
+const MC: usize = 32;
+
+/// Depth of a k-panel: `KC × m` elements of `b` (≤ 64 KiB at the paper's
+/// widths) stay cache-hot while a row block consumes them.
+const KC: usize = 256;
+
+/// Width of the register accumulator tile in the dot-product and
+/// outer-product microkernels.
+const NR: usize = 4;
+
+/// Edge length of the square tiles used by [`transpose_into`].
+const TILE: usize = 32;
 
 /// Dense GEMM: `a (n×k) · b (k×m) → (n×m)`.
 ///
 /// # Panics
 /// Panics on inner-dimension mismatch.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    matmul_into(a, b, &mut out);
+    out
+}
+
+/// [`matmul`] into a caller-provided output (resized, fully overwritten).
+pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
     let (n, k) = a.shape();
     let m = b.cols();
-    let mut out = Matrix::zeros(n, m);
+    out.resize(n, m);
     let b_data = b.as_slice();
-    let body = |(r, out_row): (usize, &mut [f32])| {
-        let a_row = a.row(r);
-        for (kk, &av) in a_row.iter().enumerate() {
-            if av != 0.0 {
-                let b_row = &b_data[kk * m..(kk + 1) * m];
-                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += av * bv;
+    let a_data = a.as_slice();
+    // Each body call owns an MC-row block of `out`; k-panels of `b` are
+    // the innermost shared operand, reused across the block's rows while
+    // cache-hot. The per-element zero skip from the original kernel is
+    // kept inside the panel loop — CO-VV gradients are full of zeros.
+    let body = |(block, out_block): (usize, &mut [f32])| {
+        out_block.fill(0.0);
+        let r0 = block * MC;
+        let rows = out_block.len() / m;
+        for kb in (0..k).step_by(KC) {
+            let k_end = (kb + KC).min(k);
+            for (i, out_row) in out_block.chunks_exact_mut(m).enumerate() {
+                let a_row = &a_data[(r0 + i) * k + kb..(r0 + i) * k + k_end];
+                for (kk, &av) in a_row.iter().enumerate() {
+                    if av != 0.0 {
+                        let b_row = &b_data[(kb + kk) * m..(kb + kk + 1) * m];
+                        for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                            *o += av * bv;
+                        }
+                    }
                 }
             }
         }
+        debug_assert_eq!(rows * m, out_block.len());
     };
     if n >= PAR_THRESHOLD {
-        out.as_mut_slice().par_chunks_mut(m).enumerate().for_each(body);
+        out.as_mut_slice()
+            .par_chunks_mut(MC * m)
+            .enumerate()
+            .for_each(body);
     } else {
-        out.as_mut_slice().chunks_mut(m).enumerate().for_each(body);
+        out.as_mut_slice()
+            .chunks_mut(MC * m)
+            .enumerate()
+            .for_each(body);
     }
-    let _ = k;
-    out
 }
 
 /// `a (n×k) · bᵀ` where `b` is `(m×k)` — the PyTorch `x @ W.T` used in
 /// `nn.Linear.forward` with `W` stored as `(out_features, in_features)`.
 pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    matmul_bt_into(a, b, &mut out);
+    out
+}
+
+/// [`matmul_bt`] into a caller-provided output (resized, overwritten).
+///
+/// Register microkernel: `NR` output columns share every load of the
+/// `a`-row, with `NR` scalar accumulators the compiler keeps in
+/// registers and vectorises along `k`.
+pub fn matmul_bt_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.cols(), b.cols(), "matmul_bt inner dimension mismatch");
     let n = a.rows();
+    let k = a.cols();
     let m = b.rows();
-    let mut out = Matrix::zeros(n, m);
+    out.resize(n, m);
+    let b_data = b.as_slice();
     let body = |(r, out_row): (usize, &mut [f32])| {
         let a_row = a.row(r);
-        for (c, o) in out_row.iter_mut().enumerate() {
-            let b_row = b.row(c);
+        let mut c = 0;
+        while c + NR <= m {
+            let b0 = &b_data[c * k..(c + 1) * k];
+            let b1 = &b_data[(c + 1) * k..(c + 2) * k];
+            let b2 = &b_data[(c + 2) * k..(c + 3) * k];
+            let b3 = &b_data[(c + 3) * k..(c + 4) * k];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for kk in 0..k {
+                let av = a_row[kk];
+                s0 += av * b0[kk];
+                s1 += av * b1[kk];
+                s2 += av * b2[kk];
+                s3 += av * b3[kk];
+            }
+            out_row[c] = s0;
+            out_row[c + 1] = s1;
+            out_row[c + 2] = s2;
+            out_row[c + 3] = s3;
+            c += NR;
+        }
+        for (tail, o) in out_row[c..].iter_mut().enumerate() {
+            let b_row = &b_data[(c + tail) * k..(c + tail + 1) * k];
             let mut acc = 0.0f32;
             for (&x, &w) in a_row.iter().zip(b_row.iter()) {
                 acc += x * w;
@@ -64,40 +159,102 @@ pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
         }
     };
     if n >= PAR_THRESHOLD {
-        out.as_mut_slice().par_chunks_mut(m).enumerate().for_each(body);
+        out.as_mut_slice()
+            .par_chunks_mut(m)
+            .enumerate()
+            .for_each(body);
     } else {
         out.as_mut_slice().chunks_mut(m).enumerate().for_each(body);
     }
-    out
 }
 
 /// `aᵀ (k×n) · b (n×m) → (k×m)` without materialising the transpose —
 /// the weight-gradient product `grad_W = grad_outᵀ · x` for dense inputs.
 pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    matmul_at_acc(a, b, &mut out);
+    out
+}
+
+/// [`matmul_at`] into a caller-provided output (resized, overwritten).
+pub fn matmul_at_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    out.resize(a.cols(), b.cols());
+    out.zero();
+    matmul_at_acc(a, b, out);
+}
+
+/// Accumulating [`matmul_at`]: `out += aᵀ · b`, with `out` pre-shaped
+/// `(a.cols × b.cols)`. This is the gradient-accumulation form — layers
+/// add straight onto `grad_weight` with no temporary.
+///
+/// Outer-product microkernel: an `NR`-row group of `out` (columns of `a`)
+/// consumes each `b`-row once, so `b` is streamed `NR×` less often than
+/// in the row-at-a-time formulation.
+///
+/// # Panics
+/// Panics on sample-count or output-shape mismatch.
+pub fn matmul_at_acc(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     assert_eq!(a.rows(), b.rows(), "matmul_at sample-count mismatch");
+    assert_eq!(
+        out.shape(),
+        (a.cols(), b.cols()),
+        "matmul_at_acc output shape mismatch"
+    );
     let k = a.cols();
     let m = b.cols();
     let n = a.rows();
-    // Parallelise over output rows (columns of `a`): each owns a disjoint
-    // out row, no accumulation races.
-    let mut out = Matrix::zeros(k, m);
-    let body = |(c, out_row): (usize, &mut [f32])| {
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let body = |(block, out_block): (usize, &mut [f32])| {
+        let c0 = block * NR;
+        let width = out_block.len() / m;
         for r in 0..n {
-            let av = a.get(r, c);
-            if av != 0.0 {
-                let b_row = b.row(r);
-                for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += av * bv;
+            let a_row = &a_data[r * k + c0..r * k + c0 + width];
+            if a_row.iter().all(|&v| v == 0.0) {
+                continue;
+            }
+            let b_row = &b_data[r * m..(r + 1) * m];
+            for (j, &av) in a_row.iter().enumerate() {
+                if av != 0.0 {
+                    let out_row = &mut out_block[j * m..(j + 1) * m];
+                    for (o, &bv) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += av * bv;
+                    }
                 }
             }
         }
     };
     if k >= PAR_THRESHOLD {
-        out.as_mut_slice().par_chunks_mut(m).enumerate().for_each(body);
+        out.as_mut_slice()
+            .par_chunks_mut(NR * m)
+            .enumerate()
+            .for_each(body);
     } else {
-        out.as_mut_slice().chunks_mut(m).enumerate().for_each(body);
+        out.as_mut_slice()
+            .chunks_mut(NR * m)
+            .enumerate()
+            .for_each(body);
     }
-    out
+}
+
+/// Blocked transpose: `a (n×m) → out (m×n)` via `TILE×TILE` tiles so both
+/// the read and the write side stay within a cache-line-friendly window.
+pub fn transpose_into(a: &Matrix, out: &mut Matrix) {
+    let (n, m) = a.shape();
+    out.resize(m, n);
+    let a_data = a.as_slice();
+    let out_data = out.as_mut_slice();
+    for rb in (0..n).step_by(TILE) {
+        let r_end = (rb + TILE).min(n);
+        for cb in (0..m).step_by(TILE) {
+            let c_end = (cb + TILE).min(m);
+            for r in rb..r_end {
+                for c in cb..c_end {
+                    out_data[c * n + r] = a_data[r * m + c];
+                }
+            }
+        }
+    }
 }
 
 /// Sparse × dense-transposed product: `x (n×d, CSR) · Wᵀ` with `W (out×d)`.
@@ -105,34 +262,87 @@ pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
 /// This is the input-layer forward pass on CO-VV/CO-EL batches; cost is
 /// `O(nnz · out)` rather than `O(n · d · out)`.
 pub fn csr_matmul_bt(x: &Csr, w: &Matrix) -> Matrix {
-    assert_eq!(x.cols(), w.cols(), "csr_matmul_bt inner dimension mismatch");
-    let n = x.rows();
-    let out_f = w.rows();
-    let mut out = Matrix::zeros(n, out_f);
-    let body = |(r, out_row): (usize, &mut [f32])| {
-        for (j, v) in x.row_entries(r) {
-            for (o, out_v) in out_row.iter_mut().enumerate() {
-                *out_v += v * w.get(o, j);
-            }
-        }
-    };
-    if n >= PAR_THRESHOLD {
-        out.as_mut_slice().par_chunks_mut(out_f).enumerate().for_each(body);
-    } else {
-        out.as_mut_slice().chunks_mut(out_f).enumerate().for_each(body);
-    }
+    let mut out = Matrix::zeros(x.rows(), w.rows());
+    csr_matmul_bt_into(x, w, &mut out);
     out
 }
 
-/// Sparse weight-gradient product: `grad_W (out×d) = grad_outᵀ (out×n) · x (n×d, CSR)`.
+/// [`csr_matmul_bt`] into a caller-provided output (resized, overwritten).
 ///
-/// Parallelises over output neurons so each thread owns one `grad_W` row.
+/// `NR` output neurons share each pass over the row's nonzeros, turning
+/// the hot loop into `NR` independent gathers per stored entry.
+pub fn csr_matmul_bt_into(x: &Csr, w: &Matrix, out: &mut Matrix) {
+    assert_eq!(x.cols(), w.cols(), "csr_matmul_bt inner dimension mismatch");
+    let n = x.rows();
+    let d = w.cols();
+    let out_f = w.rows();
+    out.resize(n, out_f);
+    let w_data = w.as_slice();
+    let body = |(r, out_row): (usize, &mut [f32])| {
+        let mut o = 0;
+        while o + NR <= out_f {
+            let w0 = &w_data[o * d..(o + 1) * d];
+            let w1 = &w_data[(o + 1) * d..(o + 2) * d];
+            let w2 = &w_data[(o + 2) * d..(o + 3) * d];
+            let w3 = &w_data[(o + 3) * d..(o + 4) * d];
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (j, v) in x.row_entries(r) {
+                s0 += v * w0[j];
+                s1 += v * w1[j];
+                s2 += v * w2[j];
+                s3 += v * w3[j];
+            }
+            out_row[o] = s0;
+            out_row[o + 1] = s1;
+            out_row[o + 2] = s2;
+            out_row[o + 3] = s3;
+            o += NR;
+        }
+        for oo in o..out_f {
+            let w_row = &w_data[oo * d..(oo + 1) * d];
+            out_row[oo] = x.row_entries(r).map(|(j, v)| v * w_row[j]).sum();
+        }
+    };
+    if n >= PAR_THRESHOLD {
+        out.as_mut_slice()
+            .par_chunks_mut(out_f)
+            .enumerate()
+            .for_each(body);
+    } else {
+        out.as_mut_slice()
+            .chunks_mut(out_f)
+            .enumerate()
+            .for_each(body);
+    }
+}
+
+/// Sparse weight-gradient product: `grad_W (out×d) = grad_outᵀ (out×n) · x (n×d, CSR)`.
 pub fn csr_grad_weight(grad_out: &Matrix, x: &Csr) -> Matrix {
-    assert_eq!(grad_out.rows(), x.rows(), "csr_grad_weight sample-count mismatch");
+    let mut gw = Matrix::zeros(grad_out.cols(), x.cols());
+    csr_grad_weight_acc(grad_out, x, &mut gw);
+    gw
+}
+
+/// Accumulating [`csr_grad_weight`]: `gw += grad_outᵀ · x` with `gw`
+/// pre-shaped `(grad_out.cols × x.cols)`. Parallelises over output
+/// neurons so each thread owns one `grad_W` row.
+///
+/// # Panics
+/// Panics on sample-count or output-shape mismatch.
+pub fn csr_grad_weight_acc(grad_out: &Matrix, x: &Csr, gw: &mut Matrix) {
+    assert_eq!(
+        grad_out.rows(),
+        x.rows(),
+        "csr_grad_weight sample-count mismatch"
+    );
+    assert_eq!(
+        gw.shape(),
+        (grad_out.cols(), x.cols()),
+        "csr_grad_weight_acc output shape mismatch"
+    );
     let out_f = grad_out.cols();
     let d = x.cols();
     let n = x.rows();
-    let mut gw = Matrix::zeros(out_f, d);
     let body = |(o, gw_row): (usize, &mut [f32])| {
         for r in 0..n {
             let g = grad_out.get(r, o);
@@ -143,12 +353,14 @@ pub fn csr_grad_weight(grad_out: &Matrix, x: &Csr) -> Matrix {
             }
         }
     };
-    if out_f >= 8 && n >= PAR_THRESHOLD {
-        gw.as_mut_slice().par_chunks_mut(d).enumerate().for_each(body);
+    if n >= PAR_THRESHOLD && out_f > 1 {
+        gw.as_mut_slice()
+            .par_chunks_mut(d)
+            .enumerate()
+            .for_each(body);
     } else {
         gw.as_mut_slice().chunks_mut(d).enumerate().for_each(body);
     }
-    gw
 }
 
 /// Sparse matrix–vector product `x (n×d) · v (d) → (n)`.
@@ -177,33 +389,82 @@ pub fn csr_tmatvec(x: &Csr, u: &[f32]) -> Vec<f32> {
     out
 }
 
-/// Adds `bias` (length m) to every row of `a (n×m)` in place.
+/// Adds `bias` (length m) to every row of `a (n×m)` in place, in
+/// parallel above [`PAR_THRESHOLD`] rows.
 pub fn add_bias(a: &mut Matrix, bias: &[f32]) {
     assert_eq!(a.cols(), bias.len(), "bias length mismatch");
-    let m = a.cols();
-    a.as_mut_slice().chunks_mut(m).for_each(|row| {
+    let (n, m) = a.shape();
+    let body = |row: &mut [f32]| {
         for (v, &b) in row.iter_mut().zip(bias.iter()) {
             *v += b;
         }
-    });
+    };
+    if n >= PAR_THRESHOLD {
+        a.as_mut_slice().par_chunks_mut(m).for_each(body);
+    } else {
+        a.as_mut_slice().chunks_mut(m).for_each(body);
+    }
 }
 
 /// Column sums of `a` — the bias gradient `Σ_samples grad_out`.
 pub fn col_sums(a: &Matrix) -> Vec<f32> {
-    let m = a.cols();
-    let mut out = vec![0.0f32; m];
-    for r in 0..a.rows() {
-        for (o, &v) in out.iter_mut().zip(a.row(r).iter()) {
-            *o += v;
+    let mut out = vec![0.0f32; a.cols()];
+    col_sums_acc(a, &mut out);
+    out
+}
+
+/// Accumulating column sums: `out[c] += Σ_r a[r][c]`. Sequential below
+/// [`PAR_THRESHOLD`] rows (and allocation-free there — the Workspace hot
+/// path); above it, row blocks reduce in parallel into per-block partials.
+///
+/// # Panics
+/// Panics when `out.len() != a.cols()`.
+pub fn col_sums_acc(a: &Matrix, out: &mut [f32]) {
+    assert_eq!(out.len(), a.cols(), "col_sums output length mismatch");
+    let (n, m) = a.shape();
+    if m == 0 {
+        return;
+    }
+    if n >= PAR_THRESHOLD {
+        let data = a.as_slice();
+        let blocks = n.div_ceil(MC);
+        let partials: Vec<Vec<f32>> = (0..blocks)
+            .into_par_iter()
+            .map(|b| {
+                let mut acc = vec![0.0f32; m];
+                for row in data[b * MC * m..((b + 1) * MC * m).min(data.len())].chunks_exact(m) {
+                    for (o, &v) in acc.iter_mut().zip(row.iter()) {
+                        *o += v;
+                    }
+                }
+                acc
+            })
+            .collect();
+        for p in partials {
+            for (o, v) in out.iter_mut().zip(p) {
+                *o += v;
+            }
+        }
+    } else {
+        for row in a.as_slice().chunks_exact(m) {
+            for (o, &v) in out.iter_mut().zip(row.iter()) {
+                *o += v;
+            }
         }
     }
-    out
 }
 
 /// Row-wise softmax, numerically stabilised by max subtraction.
 pub fn softmax_rows(logits: &Matrix) -> Matrix {
-    let m = logits.cols();
     let mut out = logits.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// In-place row-wise softmax — the allocation-free path
+/// `CrossEntropyLoss` uses on workspace buffers.
+pub fn softmax_rows_inplace(logits: &mut Matrix) {
+    let (n, m) = logits.shape();
     let body = |row: &mut [f32]| {
         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let mut sum = 0.0f32;
@@ -216,20 +477,27 @@ pub fn softmax_rows(logits: &Matrix) -> Matrix {
             *v *= inv;
         }
     };
-    if logits.rows() >= PAR_THRESHOLD {
-        out.as_mut_slice().par_chunks_mut(m).for_each(body);
+    if n >= PAR_THRESHOLD {
+        logits.as_mut_slice().par_chunks_mut(m).for_each(body);
     } else {
-        out.as_mut_slice().chunks_mut(m).for_each(body);
+        logits.as_mut_slice().chunks_mut(m).for_each(body);
     }
-    out
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::sparse::CsrBuilder;
+pub mod naive {
+    //! Pre-optimization reference kernels.
+    //!
+    //! Retained on purpose: the property tests pin every blocked kernel
+    //! to these within 1e-5, and the criterion benches measure both sides
+    //! in the same run (`BENCH_PR1.json`). Textbook loops over `get()`,
+    //! no blocking, no parallelism.
 
-    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    use crate::dense::Matrix;
+    use crate::sparse::Csr;
+
+    /// Reference dense GEMM.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.rows(), "matmul inner dimension mismatch");
         let mut out = Matrix::zeros(a.rows(), b.cols());
         for r in 0..a.rows() {
             for c in 0..b.cols() {
@@ -243,18 +511,141 @@ mod tests {
         out
     }
 
+    /// Reference `a · bᵀ`.
+    pub fn matmul_bt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols(), b.cols(), "matmul_bt inner dimension mismatch");
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for r in 0..a.rows() {
+            for c in 0..b.rows() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(r, k) * b.get(c, k);
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    /// Reference `aᵀ · b`.
+    pub fn matmul_at(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows(), b.rows(), "matmul_at sample-count mismatch");
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        for c in 0..a.cols() {
+            for m in 0..b.cols() {
+                let mut acc = 0.0;
+                for r in 0..a.rows() {
+                    acc += a.get(r, c) * b.get(r, m);
+                }
+                out.set(c, m, acc);
+            }
+        }
+        out
+    }
+
+    /// Reference transpose.
+    pub fn transpose(a: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.cols(), a.rows());
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                out.set(c, r, a.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Reference sparse × dense-transposed product.
+    pub fn csr_matmul_bt(x: &Csr, w: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), w.cols(), "csr_matmul_bt inner dimension mismatch");
+        let mut out = Matrix::zeros(x.rows(), w.rows());
+        for r in 0..x.rows() {
+            for o in 0..w.rows() {
+                let mut acc = 0.0;
+                for (j, v) in x.row_entries(r) {
+                    acc += v * w.get(o, j);
+                }
+                out.set(r, o, acc);
+            }
+        }
+        out
+    }
+
+    /// Reference sparse weight gradient.
+    pub fn csr_grad_weight(grad_out: &Matrix, x: &Csr) -> Matrix {
+        assert_eq!(
+            grad_out.rows(),
+            x.rows(),
+            "csr_grad_weight sample-count mismatch"
+        );
+        let mut gw = Matrix::zeros(grad_out.cols(), x.cols());
+        for o in 0..grad_out.cols() {
+            for r in 0..x.rows() {
+                let g = grad_out.get(r, o);
+                for (j, v) in x.row_entries(r) {
+                    gw.set(o, j, gw.get(o, j) + g * v);
+                }
+            }
+        }
+        gw
+    }
+
+    /// Reference column sums.
+    pub fn col_sums(a: &Matrix) -> Vec<f32> {
+        let mut out = vec![0.0f32; a.cols()];
+        for r in 0..a.rows() {
+            for (o, &v) in out.iter_mut().zip(a.row(r).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Reference row softmax.
+    pub fn softmax_rows(logits: &Matrix) -> Matrix {
+        let mut out = logits.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrBuilder;
+
     #[test]
     fn matmul_matches_naive() {
         let a = Matrix::from_fn(7, 5, |r, c| (r as f32 - c as f32) * 0.5);
         let b = Matrix::from_fn(5, 3, |r, c| (r * 3 + c) as f32 * 0.25);
-        assert!(matmul(&a, &b).max_abs_diff(&naive_matmul(&a, &b)) < 1e-4);
+        assert!(matmul(&a, &b).max_abs_diff(&naive::matmul(&a, &b)) < 1e-4);
     }
 
     #[test]
     fn matmul_parallel_path_matches_naive() {
         let a = Matrix::from_fn(130, 9, |r, c| ((r * 7 + c) % 11) as f32 - 5.0);
         let b = Matrix::from_fn(9, 4, |r, c| ((r + c) % 3) as f32);
-        assert!(matmul(&a, &b).max_abs_diff(&naive_matmul(&a, &b)) < 1e-4);
+        assert!(matmul(&a, &b).max_abs_diff(&naive::matmul(&a, &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_blocked_k_panels_match_naive() {
+        // k straddles KC so multiple panels execute.
+        let a = Matrix::from_fn(5, 2 * super::KC + 17, |r, c| {
+            ((r * 13 + c) % 7) as f32 - 3.0
+        });
+        let b = Matrix::from_fn(2 * super::KC + 17, 6, |r, c| ((r + 2 * c) % 5) as f32 * 0.5);
+        assert!(matmul(&a, &b).max_abs_diff(&naive::matmul(&a, &b)) < 1e-2);
     }
 
     #[test]
@@ -265,10 +656,41 @@ mod tests {
     }
 
     #[test]
+    fn matmul_bt_microkernel_tail_matches_naive() {
+        // m not divisible by NR exercises the scalar tail.
+        for m in 1..=9 {
+            let a = Matrix::from_fn(3, 11, |r, c| ((r * 5 + c) % 7) as f32 - 2.0);
+            let b = Matrix::from_fn(m, 11, |r, c| ((r * 3 + c) % 5) as f32 * 0.5);
+            assert!(matmul_bt(&a, &b).max_abs_diff(&naive::matmul_bt(&a, &b)) < 1e-4);
+        }
+    }
+
+    #[test]
     fn matmul_at_equals_transpose_then_matmul() {
         let a = Matrix::from_fn(8, 3, |r, c| ((r * c) % 5) as f32 - 2.0);
         let b = Matrix::from_fn(8, 6, |r, c| ((r + c) % 4) as f32);
         assert!(matmul_at(&a, &b).max_abs_diff(&matmul(&a.transpose(), &b)) < 1e-4);
+    }
+
+    #[test]
+    fn matmul_at_acc_accumulates() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(4, 2, |r, c| (r as f32) - (c as f32));
+        let mut acc = naive::matmul_at(&a, &b);
+        matmul_at_acc(&a, &b, &mut acc);
+        let mut twice = naive::matmul_at(&a, &b);
+        twice.scale(2.0);
+        assert!(acc.max_abs_diff(&twice) < 1e-4);
+    }
+
+    #[test]
+    fn transpose_into_matches_naive_off_tile_sizes() {
+        for (n, m) in [(1, 1), (3, 70), (33, 31), (64, 65)] {
+            let a = Matrix::from_fn(n, m, |r, c| (r * m + c) as f32);
+            let mut out = Matrix::zeros(0, 0);
+            transpose_into(&a, &mut out);
+            assert_eq!(out, naive::transpose(&a));
+        }
     }
 
     #[test]
@@ -353,6 +775,18 @@ mod tests {
     }
 
     #[test]
+    fn col_sums_parallel_reduction_matches_naive() {
+        let a = Matrix::from_fn(3 * PAR_THRESHOLD + 7, 5, |r, c| {
+            ((r * 3 + c) % 13) as f32 - 6.0
+        });
+        let par = col_sums(&a);
+        let reference = naive::col_sums(&a);
+        for (p, n) in par.iter().zip(reference.iter()) {
+            assert!((p - n).abs() < 1e-3, "{p} vs {n}");
+        }
+    }
+
+    #[test]
     fn softmax_rows_sum_to_one_and_order_preserved() {
         let logits = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, -1.0, -1.0]);
         let p = softmax_rows(&logits);
@@ -369,5 +803,20 @@ mod tests {
         let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
         let b = Matrix::from_vec(1, 3, vec![101.0, 102.0, 103.0]);
         assert!(softmax_rows(&a).max_abs_diff(&softmax_rows(&b)) < 1e-5);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_across_shapes() {
+        // A single output buffer serves differently-shaped products.
+        let mut out = Matrix::zeros(9, 9);
+        let a = Matrix::from_fn(4, 6, |r, c| (r + c) as f32);
+        let b = Matrix::from_fn(6, 3, |r, c| (r as f32) * 0.5 - (c as f32));
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out.shape(), (4, 3));
+        assert!(out.max_abs_diff(&naive::matmul(&a, &b)) < 1e-4);
+        let w = Matrix::from_fn(5, 6, |r, c| ((r * c) % 3) as f32);
+        matmul_bt_into(&a, &w, &mut out);
+        assert_eq!(out.shape(), (4, 5));
+        assert!(out.max_abs_diff(&naive::matmul_bt(&a, &w)) < 1e-4);
     }
 }

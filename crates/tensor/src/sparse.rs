@@ -26,7 +26,13 @@ pub struct Csr {
 impl Csr {
     /// An empty matrix with the given shape and no stored entries.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, indptr: vec![0; rows + 1], indices: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Number of rows.
@@ -117,12 +123,29 @@ impl Csr {
     /// Builds a new CSR containing only the given rows, in the given order.
     /// Used by the stratified train/test splitter.
     pub fn select_rows(&self, rows: &[usize]) -> Csr {
-        let mut b = CsrBuilder::new(self.cols);
+        let mut out = Csr::empty(0, self.cols);
+        self.select_rows_into(rows, &mut out);
+        out
+    }
+
+    /// Like [`Csr::select_rows`], writing into a caller-provided matrix.
+    /// `out`'s buffers are reused, so the mini-batch loop can gather
+    /// batches without allocating once capacities have warmed up.
+    pub fn select_rows_into(&self, rows: &[usize], out: &mut Csr) {
+        out.rows = rows.len();
+        out.cols = self.cols;
+        out.indptr.clear();
+        out.indices.clear();
+        out.values.clear();
+        out.indptr.push(0);
         for &r in rows {
             assert!(r < self.rows, "row index {r} out of bounds ({})", self.rows);
-            b.push_row(self.row_entries(r));
+            let lo = self.indptr[r] as usize;
+            let hi = self.indptr[r + 1] as usize;
+            out.indices.extend_from_slice(&self.indices[lo..hi]);
+            out.values.extend_from_slice(&self.values[lo..hi]);
+            out.indptr.push(out.indices.len() as u32);
         }
-        b.finish()
     }
 
     /// Vertically stacks two matrices with the same column count.
@@ -160,7 +183,12 @@ pub struct CsrBuilder {
 impl CsrBuilder {
     /// A builder for matrices with (at least) `cols` columns.
     pub fn new(cols: usize) -> Self {
-        Self { cols, indptr: vec![0], indices: Vec::new(), values: Vec::new() }
+        Self {
+            cols,
+            indptr: vec![0],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Number of rows pushed so far.

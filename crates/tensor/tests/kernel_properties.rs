@@ -1,0 +1,148 @@
+//! Property tests pinning every blocked/`_into` kernel to the retained
+//! naive references within 1e-5, over shapes chosen to straddle the
+//! parallel threshold (`ops::PAR_THRESHOLD` = 64 rows) and the blocking
+//! parameters (`MC` = 32 row blocks, `KC` = 256 k-panels, `NR` = 4 wide
+//! register tiles) — so sequential/parallel paths, full blocks, and every
+//! tail all get exercised.
+
+use proptest::prelude::*;
+
+use ctlm_tensor::ops::{self, naive};
+use ctlm_tensor::{CsrBuilder, Matrix};
+
+/// Dimensions that cross the interesting boundaries: microkernel tails
+/// (1..6), the MC=32 row block (31..34), the PAR_THRESHOLD=64 switch
+/// (63..66), and a straggler past two blocks (70).
+fn arb_dim() -> impl Strategy<Value = usize> {
+    prop_oneof![1usize..6, 31usize..34, 63usize..66, Just(70usize)]
+}
+
+/// Inner dimensions additionally cross the KC=256 k-panel boundary.
+fn arb_inner() -> impl Strategy<Value = usize> {
+    prop_oneof![1usize..6, 63usize..66, 255usize..258, Just(520usize)]
+}
+
+fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+    // Deterministic pseudo-random fill with exact zeros sprinkled in so
+    // the kernels' zero-skip branches execute.
+    Matrix::from_fn(rows, cols, |r, c| {
+        let h = (r as u64)
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add((c as u64).wrapping_mul(0x85EB_CA6B))
+            .wrapping_add(seed.wrapping_mul(0xC2B2_AE35));
+        let h = (h ^ (h >> 13)).wrapping_mul(0x27D4_EB2F);
+        if h.is_multiple_of(5) {
+            0.0
+        } else {
+            ((h % 2000) as f32 - 1000.0) / 503.0
+        }
+    })
+}
+
+fn sparse(rows: usize, cols: usize, seed: u64) -> ctlm_tensor::Csr {
+    let mut b = CsrBuilder::new(cols);
+    for r in 0..rows {
+        let nnz = ((r as u64 + seed) % 4) as usize;
+        b.push_row((0..nnz).map(|k| {
+            let col = ((r as u64 + seed)
+                .wrapping_mul(31)
+                .wrapping_add(k as u64 * 7)
+                % cols as u64) as usize;
+            (col, ((k + r) % 3) as f32 - 1.0)
+        }));
+    }
+    b.finish()
+}
+
+/// 1e-5 relative to the magnitude of the values involved.
+fn close(a: &Matrix, b: &Matrix, scale: f32) -> bool {
+    a.shape() == b.shape() && a.max_abs_diff(b) <= 1e-5 * scale.max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn matmul_matches_naive(n in arb_dim(), k in arb_inner(), m in arb_dim(), seed in 0u64..100) {
+        let a = dense(n, k, seed);
+        let b = dense(k, m, seed ^ 1);
+        let reference = naive::matmul(&a, &b);
+        prop_assert!(close(&ops::matmul(&a, &b), &reference, k as f32 * 4.0));
+        // _into with a dirty, differently-shaped buffer.
+        let mut out = dense(3, 7, 99);
+        ops::matmul_into(&a, &b, &mut out);
+        prop_assert!(close(&out, &reference, k as f32 * 4.0));
+    }
+
+    #[test]
+    fn matmul_bt_matches_naive(n in arb_dim(), k in arb_inner(), m in arb_dim(), seed in 0u64..100) {
+        let a = dense(n, k, seed);
+        let b = dense(m, k, seed ^ 2);
+        let reference = naive::matmul_bt(&a, &b);
+        prop_assert!(close(&ops::matmul_bt(&a, &b), &reference, k as f32 * 4.0));
+        let mut out = Matrix::zeros(1, 1);
+        ops::matmul_bt_into(&a, &b, &mut out);
+        prop_assert!(close(&out, &reference, k as f32 * 4.0));
+    }
+
+    #[test]
+    fn matmul_at_matches_naive(n in arb_inner(), k in arb_dim(), m in arb_dim(), seed in 0u64..100) {
+        let a = dense(n, k, seed);
+        let b = dense(n, m, seed ^ 3);
+        let reference = naive::matmul_at(&a, &b);
+        prop_assert!(close(&ops::matmul_at(&a, &b), &reference, n as f32 * 4.0));
+        // The accumulating form adds on top of an existing gradient.
+        let mut acc = reference.clone();
+        ops::matmul_at_acc(&a, &b, &mut acc);
+        let mut doubled = reference.clone();
+        doubled.scale(2.0);
+        prop_assert!(close(&acc, &doubled, n as f32 * 8.0));
+    }
+
+    #[test]
+    fn transpose_matches_naive(n in arb_dim(), m in arb_inner(), seed in 0u64..100) {
+        let a = dense(n, m, seed);
+        let reference = naive::transpose(&a);
+        let mut out = dense(2, 2, 5);
+        ops::transpose_into(&a, &mut out);
+        prop_assert_eq!(&out, &reference);
+        prop_assert_eq!(&a.transpose(), &reference);
+    }
+
+    #[test]
+    fn csr_kernels_match_naive(n in arb_dim(), d in arb_inner(), o in arb_dim(), seed in 0u64..100) {
+        let x = sparse(n, d, seed);
+        let w = dense(o, d, seed ^ 4);
+        let fwd_ref = naive::csr_matmul_bt(&x, &w);
+        prop_assert!(close(&ops::csr_matmul_bt(&x, &w), &fwd_ref, d as f32));
+        let mut out = Matrix::zeros(0, 0);
+        ops::csr_matmul_bt_into(&x, &w, &mut out);
+        prop_assert!(close(&out, &fwd_ref, d as f32));
+
+        let go = dense(n, o, seed ^ 5);
+        let gw_ref = naive::csr_grad_weight(&go, &x);
+        prop_assert!(close(&ops::csr_grad_weight(&go, &x), &gw_ref, n as f32));
+        let mut acc = gw_ref.clone();
+        ops::csr_grad_weight_acc(&go, &x, &mut acc);
+        let mut doubled = gw_ref.clone();
+        doubled.scale(2.0);
+        prop_assert!(close(&acc, &doubled, n as f32 * 2.0));
+    }
+
+    #[test]
+    fn reductions_match_naive(n in arb_inner(), m in arb_dim(), seed in 0u64..100) {
+        let a = dense(n, m, seed);
+        let reference = naive::col_sums(&a);
+        let got = ops::col_sums(&a);
+        prop_assert_eq!(got.len(), reference.len());
+        for (g, r) in got.iter().zip(reference.iter()) {
+            prop_assert!((g - r).abs() <= 1e-4 * (n as f32).max(1.0), "{} vs {}", g, r);
+        }
+
+        let soft_ref = naive::softmax_rows(&a);
+        prop_assert!(close(&ops::softmax_rows(&a), &soft_ref, 1.0));
+        let mut inplace = a.clone();
+        ops::softmax_rows_inplace(&mut inplace);
+        prop_assert!(close(&inplace, &soft_ref, 1.0));
+    }
+}

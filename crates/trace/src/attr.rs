@@ -111,7 +111,10 @@ impl AttrCatalog {
 
     /// Iterates `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (AttrId, &str)> {
-        self.names.iter().enumerate().map(|(i, n)| (i as AttrId, n.as_str()))
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as AttrId, n.as_str()))
     }
 }
 

@@ -24,12 +24,22 @@ pub struct Collection {
 impl Collection {
     /// A plain 2011-style job.
     pub fn job(id: CollectionId, task_count: u32) -> Self {
-        Self { id, parent: None, is_alloc_set: false, task_count }
+        Self {
+            id,
+            parent: None,
+            is_alloc_set: false,
+            task_count,
+        }
     }
 
     /// A 2019-style child collection.
     pub fn child(id: CollectionId, parent: CollectionId, task_count: u32) -> Self {
-        Self { id, parent: Some(parent), is_alloc_set: false, task_count }
+        Self {
+            id,
+            parent: Some(parent),
+            is_alloc_set: false,
+            task_count,
+        }
     }
 }
 

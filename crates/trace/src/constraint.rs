@@ -69,7 +69,9 @@ impl ConstraintOp {
             // "or remain empty if no value is specified"
             ConstraintOp::Equal(None) => attr.is_none(),
             ConstraintOp::NotEqual(v) => attr != Some(v),
-            ConstraintOp::LessThan(v) => matches!(attr.and_then(AttrValue::as_int), Some(a) if a < *v),
+            ConstraintOp::LessThan(v) => {
+                matches!(attr.and_then(AttrValue::as_int), Some(a) if a < *v)
+            }
             ConstraintOp::GreaterThan(v) => {
                 matches!(attr.and_then(AttrValue::as_int), Some(a) if a > *v)
             }
@@ -167,7 +169,10 @@ mod tests {
             ConstraintOp::GreaterThanEqual(5),
         ] {
             assert!(!op.matches(None), "{op} must not match absent attribute");
-            assert!(!op.matches(Some(&AttrValue::from("5"))), "{op} must not match strings");
+            assert!(
+                !op.matches(Some(&AttrValue::from("5"))),
+                "{op} must not match strings"
+            );
         }
         assert!(ConstraintOp::LessThan(5).matches(Some(&iv(4))));
         assert!(!ConstraintOp::LessThan(5).matches(Some(&iv(5))));

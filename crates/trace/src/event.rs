@@ -119,7 +119,10 @@ mod tests {
     fn events_serialize_roundtrip() {
         let ev = TraceEvent::new(
             123,
-            EventPayload::TaskTerminate { task: 9, reason: TerminationReason::Evict },
+            EventPayload::TaskTerminate {
+                task: 9,
+                reason: TerminationReason::Evict,
+            },
         );
         let json = serde_json::to_string(&ev).unwrap();
         let back: TraceEvent = serde_json::from_str(&json).unwrap();

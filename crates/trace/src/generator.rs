@@ -114,7 +114,10 @@ impl TraceGenerator {
         let a_gpu = catalog.intern(attrs::GPU);
         let a_tier = catalog.intern(attrs::TIER);
         let (a_power, a_pool) = if self.profile.format_2019 {
-            (Some(catalog.intern(attrs::POWER_DOMAIN)), Some(catalog.intern(attrs::POOL)))
+            (
+                Some(catalog.intern(attrs::POWER_DOMAIN)),
+                Some(catalog.intern(attrs::POOL)),
+            )
         } else {
             (None, None)
         };
@@ -139,9 +142,15 @@ impl TraceGenerator {
                 0.25 + 0.75 * rng.gen_range(0.0..1.0f64).powf(2.0),
             );
             m.set_attr(a_node, AttrValue::Int(node_index));
-            m.set_attr(a_platform, AttrValue::from(PLATFORMS[platform_zipf.sample(rng)]));
+            m.set_attr(
+                a_platform,
+                AttrValue::from(PLATFORMS[platform_zipf.sample(rng)]),
+            );
             m.set_attr(a_kernel, AttrValue::Str(format!("k{kernel_ver}")));
-            m.set_attr(a_clock, AttrValue::Int(CLOCK_VALUES[rng.gen_range(0..CLOCK_VALUES.len())]));
+            m.set_attr(
+                a_clock,
+                AttrValue::Int(CLOCK_VALUES[rng.gen_range(0..CLOCK_VALUES.len())]),
+            );
             m.set_attr(a_disks, AttrValue::Int(disks_zipf.sample(rng) as i64 + 1));
             m.set_attr(a_rack, AttrValue::Int((node_index as usize % racks) as i64));
             if rng.gen_bool(0.15) {
@@ -177,7 +186,7 @@ impl TraceGenerator {
         let mut extension_times: Vec<Micros> = (0..steps)
             .map(|i| {
                 let base = horizon as f64 * (i as f64 + 0.7) / (steps as f64 + 0.7);
-                let jitter = rng.gen_range(-0.25..0.25) * horizon as f64 / steps as f64;
+                let jitter = rng.gen_range(-0.25f64..0.25) * horizon as f64 / steps as f64;
                 ((base + jitter).max(1.0) as Micros).min(horizon - 1)
             })
             .collect();
@@ -274,8 +283,9 @@ impl TraceGenerator {
             1.0,
             self.profile.pareto_alpha / self.profile.co_mem_bias,
         );
-        let mut collection_times: Vec<Micros> =
-            (0..self.scale.collections).map(|_| rng.gen_range(0..horizon * 95 / 100)).collect();
+        let mut collection_times: Vec<Micros> = (0..self.scale.collections)
+            .map(|_| rng.gen_range(0..horizon * 95 / 100))
+            .collect();
         collection_times.sort_unstable();
 
         let mut next_task_id: u64 = 1;
@@ -300,11 +310,11 @@ impl TraceGenerator {
 
             // Seasonal constrained-task probability (drives Table IX
             // min/max/avg around the profile average).
-            let season = (std::f64::consts::TAU * 3.0 * t_sub as f64 / horizon as f64 + phase)
-                .sin();
+            let season =
+                (std::f64::consts::TAU * 3.0 * t_sub as f64 / horizon as f64 + phase).sin();
             let p_co = (self.profile.co_volume_avg
                 + self.profile.co_volume_amplitude * season
-                + rng.gen_range(-0.02..0.02))
+                + rng.gen_range(-0.02f64..0.02))
             .clamp(0.005, 0.98);
             let constrained = rng.gen_bool(p_co);
 
@@ -336,7 +346,12 @@ impl TraceGenerator {
             } else {
                 None
             };
-            let mut col = Collection { id: cid, parent, is_alloc_set: false, task_count: gang };
+            let mut col = Collection {
+                id: cid,
+                parent,
+                is_alloc_set: false,
+                task_count: gang,
+            };
             if self.profile.format_2019 && rng.gen_bool(0.05) {
                 col.is_alloc_set = true;
             }
@@ -351,7 +366,10 @@ impl TraceGenerator {
                     constrained_tasks += 1;
                 }
                 let (cpu, memory) = if constrained {
-                    (pareto_co_cpu.sample(&mut rng), pareto_co_mem.sample(&mut rng))
+                    (
+                        pareto_co_cpu.sample(&mut rng),
+                        pareto_co_mem.sample(&mut rng),
+                    )
                 } else {
                     (pareto.sample(&mut rng), pareto.sample(&mut rng))
                 };
@@ -374,12 +392,11 @@ impl TraceGenerator {
 
                 // Optional mid-flight update.
                 if rng.gen_bool(0.15) {
-                    let frac = rng.gen_range(0.1..0.9);
+                    let frac = rng.gen_range(0.1f64..0.9);
                     let mut t_up = t_task + ((t_end - t_task) as f64 * frac) as Micros;
                     // Anomaly (i): corrupt the update timestamp to before
                     // submission.
-                    if self.profile.format_2019
-                        && rng.gen_bool(self.profile.anomaly_mistimed_rate)
+                    if self.profile.format_2019 && rng.gen_bool(self.profile.anomaly_mistimed_rate)
                     {
                         t_up = t_task.saturating_sub(rng.gen_range(1_000..60_000_000));
                         anomalies.record(tid, AnomalyKind::MistimedUpdate);
@@ -388,8 +405,8 @@ impl TraceGenerator {
                         t_up,
                         EventPayload::TaskUpdate {
                             task: tid,
-                            cpu: (cpu * rng.gen_range(0.8..1.3)).min(1.0),
-                            memory: (memory * rng.gen_range(0.8..1.3)).min(1.0),
+                            cpu: (cpu * rng.gen_range(0.8f64..1.3)).min(1.0),
+                            memory: (memory * rng.gen_range(0.8f64..1.3)).min(1.0),
                         },
                     ));
                 }
@@ -461,7 +478,10 @@ impl TraceGenerator {
         if rng.gen_bool(self.profile.group0_share.clamp(0.0, 1.0)) {
             // Group 0: exactly one suitable node.
             let idx = rng.gen_range(0..m);
-            out.push(TaskConstraint::new(a_node, ConstraintOp::Equal(Some(AttrValue::Int(idx)))));
+            out.push(TaskConstraint::new(
+                a_node,
+                ConstraintOp::Equal(Some(AttrValue::Int(idx))),
+            ));
             return out;
         }
 
@@ -488,7 +508,10 @@ impl TraceGenerator {
                 } else {
                     // 2011 lacks >= and <=: use the strict pair the paper's
                     // Table V compaction handles (`3 > ${AM} > 0`).
-                    out.push(TaskConstraint::new(a_node, ConstraintOp::GreaterThan(a - 1)));
+                    out.push(TaskConstraint::new(
+                        a_node,
+                        ConstraintOp::GreaterThan(a - 1),
+                    ));
                     out.push(TaskConstraint::new(a_node, ConstraintOp::LessThan(a + n)));
                 }
             }
@@ -593,7 +616,14 @@ mod tests {
     use crate::profile::CellSet;
 
     fn small_trace(cell: CellSet) -> GeneratedTrace {
-        TraceGenerator::generate_cell(cell, Scale { machines: 120, collections: 250, seed: 11 })
+        TraceGenerator::generate_cell(
+            cell,
+            Scale {
+                machines: 120,
+                collections: 250,
+                seed: 11,
+            },
+        )
     }
 
     #[test]
@@ -615,7 +645,11 @@ mod tests {
         let a = small_trace(CellSet::C2011);
         let b = TraceGenerator::generate_cell(
             CellSet::C2011,
-            Scale { machines: 120, collections: 250, seed: 12 },
+            Scale {
+                machines: 120,
+                collections: 250,
+                seed: 12,
+            },
         );
         assert_ne!(a.events, b.events);
     }
@@ -638,7 +672,10 @@ mod tests {
             .filter(|e| e.time == 0 && matches!(e.payload, EventPayload::MachineAdd(_)))
             .count();
         let expect = (120.0 * t.profile.vocab_initial_fraction) as usize;
-        assert!((at_zero as i64 - expect as i64).abs() <= 1, "initial fleet {at_zero}");
+        assert!(
+            (at_zero as i64 - expect as i64).abs() <= 1,
+            "initial fleet {at_zero}"
+        );
     }
 
     #[test]
@@ -704,7 +741,11 @@ mod tests {
                         _ => None,
                     })
                     .expect("mistimed task must still have an update event");
-                assert!(t_up < submit[&a.task], "update not mistimed for task {}", a.task);
+                assert!(
+                    t_up < submit[&a.task],
+                    "update not mistimed for task {}",
+                    a.task
+                );
             }
         }
     }
@@ -755,6 +796,10 @@ mod tests {
         cpus.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let total: f64 = cpus.iter().sum();
         let top1: f64 = cpus[..(cpus.len() / 100).max(1)].iter().sum();
-        assert!(top1 / total > 0.15, "top-1% CPU share {:.3} too even", top1 / total);
+        assert!(
+            top1 / total > 0.15,
+            "top-1% CPU share {:.3} too even",
+            top1 / total
+        );
     }
 }

@@ -30,7 +30,12 @@ pub struct Machine {
 impl Machine {
     /// A machine with given capacities and no attributes.
     pub fn new(id: MachineId, cpu: f64, memory: f64) -> Self {
-        Self { id, cpu, memory, attributes: BTreeMap::new() }
+        Self {
+            id,
+            cpu,
+            memory,
+            attributes: BTreeMap::new(),
+        }
     }
 
     /// Value of one attribute, if set.
@@ -92,7 +97,10 @@ mod tests {
     #[test]
     fn attribute_updates_change_matching() {
         let mut m = machine_with(&[(0, AttrValue::Int(1))]);
-        let c = vec![TaskConstraint::new(0, ConstraintOp::Equal(Some(AttrValue::Int(2))))];
+        let c = vec![TaskConstraint::new(
+            0,
+            ConstraintOp::Equal(Some(AttrValue::Int(2))),
+        )];
         assert!(!m.satisfies_all(&c));
         m.set_attr(0, AttrValue::Int(2));
         assert!(m.satisfies_all(&c));

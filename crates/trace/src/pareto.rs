@@ -118,7 +118,11 @@ mod tests {
         xs.sort_by(|a, b| b.partial_cmp(a).unwrap());
         let total: f64 = xs.iter().sum();
         let top1: f64 = xs[..xs.len() / 100].iter().sum();
-        assert!(top1 / total > 0.5, "top 1% held only {:.1}%", 100.0 * top1 / total);
+        assert!(
+            top1 / total > 0.5,
+            "top 1% held only {:.1}%",
+            100.0 * top1 / total
+        );
     }
 
     #[test]

@@ -28,7 +28,12 @@ pub enum CellSet {
 impl CellSet {
     /// All four cells in paper order.
     pub fn all() -> [CellSet; 4] {
-        [CellSet::C2011, CellSet::C2019a, CellSet::C2019c, CellSet::C2019d]
+        [
+            CellSet::C2011,
+            CellSet::C2019a,
+            CellSet::C2019c,
+            CellSet::C2019d,
+        ]
     }
 
     /// The calibrated profile for this cell.
@@ -194,12 +199,20 @@ impl Scale {
     /// tasks — small enough for `cargo test`, large enough that every
     /// group and every constraint style appears.
     pub fn small(seed: u64) -> Self {
-        Self { machines: 260, collections: 900, seed }
+        Self {
+            machines: 260,
+            collections: 900,
+            seed,
+        }
     }
 
     /// A medium scale for examples and benches.
     pub fn medium(seed: u64) -> Self {
-        Self { machines: 1_000, collections: 4_000, seed }
+        Self {
+            machines: 1_000,
+            collections: 4_000,
+            seed,
+        }
     }
 
     /// Paper scale. Slow; used by `--full` bench runs only.

@@ -50,7 +50,8 @@ mod tests {
             constraints: vec![],
         };
         assert!(!t.has_constraints());
-        t.constraints.push(TaskConstraint::new(0, ConstraintOp::Present));
+        t.constraints
+            .push(TaskConstraint::new(0, ConstraintOp::Present));
         assert!(t.has_constraints());
     }
 }

@@ -16,7 +16,11 @@ fn main() {
     };
     let trace = TraceGenerator::generate_cell(
         cell,
-        Scale { machines: 200, collections: 1_200, seed: 11 },
+        Scale {
+            machines: 200,
+            collections: 1_200,
+            seed: 11,
+        },
     );
     let replay = Replayer::default().replay(&trace);
     println!(
@@ -33,19 +37,23 @@ fn main() {
     let growing = run_model_over_steps(ModelKind::Growing, &replay.steps, cfg, 5);
     let retrain = run_model_over_steps(ModelKind::FullyRetrain, &replay.steps, cfg, 5);
 
-    println!("{:<16} {:>10} {:>11} {:>8} {:>12}", "model", "avg acc", "avg G0 F1", "epochs", "wall time");
+    println!(
+        "{:<16} {:>10} {:>11} {:>8} {:>12}",
+        "model", "avg acc", "avg G0 F1", "epochs", "wall time"
+    );
     for run in [&growing, &retrain] {
         println!(
             "{:<16} {:>10.5} {:>11} {:>8} {:>12.2?}",
             run.model,
             run.avg_accuracy,
-            run.avg_group0_f1.map(|f| format!("{f:.5}")).unwrap_or_else(|| "—".into()),
+            run.avg_group0_f1
+                .map(|f| format!("{f:.5}"))
+                .unwrap_or_else(|| "—".into()),
             run.epochs_total,
             run.wall_time_total
         );
     }
-    let saved =
-        100.0 * (1.0 - growing.epochs_total as f64 / retrain.epochs_total.max(1) as f64);
+    let saved = 100.0 * (1.0 - growing.epochs_total as f64 / retrain.epochs_total.max(1) as f64);
     println!(
         "\nGrowing used {saved:.0}% fewer epochs than Fully-Retrain (paper: 40–91% across cells)."
     );

@@ -30,7 +30,11 @@ fn main() {
     println!("\n== trace replay ==");
     let trace = TraceGenerator::generate_cell(
         CellSet::C2019a,
-        Scale { machines: 130, collections: 700, seed: 3 },
+        Scale {
+            machines: 130,
+            collections: 700,
+            seed: 3,
+        },
     );
     let replay = Replayer::default().replay(&trace);
     println!(
@@ -43,11 +47,18 @@ fn main() {
     );
 
     println!("\n== dataset steps (feature-array extensions) ==");
-    println!("{:<5} {:<9} {:>8} {:>5} {:>7}", "step", "time", "width", "new", "rows");
+    println!(
+        "{:<5} {:<9} {:>8} {:>5} {:>7}",
+        "step", "time", "width", "new", "rows"
+    );
     for s in &replay.steps {
         println!(
             "{:<5} {:<9} {:>8} {:>5} {:>7}",
-            s.index, s.label, s.features_count, s.new_features, s.vv.len()
+            s.index,
+            s.label,
+            s.features_count,
+            s.new_features,
+            s.vv.len()
         );
     }
 
@@ -70,9 +81,10 @@ fn main() {
     use ctlm::data::export::{export_string, ExportFormat};
     let preview = last.vv.select(&[0, 1]);
     println!("\n== export formats (first two rows) ==");
-    for (name, fmt) in
-        [("svmlight", ExportFormat::SvmLight), ("jsonl", ExportFormat::Jsonl)]
-    {
+    for (name, fmt) in [
+        ("svmlight", ExportFormat::SvmLight),
+        ("jsonl", ExportFormat::Jsonl),
+    ] {
         println!("--- {name} ---");
         for line in export_string(&preview, fmt).lines() {
             let shown: String = line.chars().take(100).collect();

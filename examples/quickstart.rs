@@ -13,7 +13,11 @@ fn main() {
     //    churn and vocabulary growth.
     let trace = TraceGenerator::generate_cell(
         CellSet::C2019c,
-        Scale { machines: 150, collections: 800, seed: 7 },
+        Scale {
+            machines: 150,
+            collections: 800,
+            seed: 7,
+        },
     );
     println!(
         "generated {}: {} events, {} tasks ({} constrained)",
@@ -48,7 +52,11 @@ fn main() {
                 .map(|f| format!("{f:.3}"))
                 .unwrap_or_else(|| "  — ".into()),
             out.epochs,
-            if out.used_transfer { "(transfer)" } else { "(scratch)" },
+            if out.used_transfer {
+                "(transfer)"
+            } else {
+                "(scratch)"
+            },
         );
     }
 
@@ -60,7 +68,10 @@ fn main() {
         node,
         ConstraintOp::Equal(Some(AttrValue::Int(12))),
     )];
-    let broad = vec![TaskConstraint::new(node, ConstraintOp::GreaterThanEqual(10))];
+    let broad = vec![TaskConstraint::new(
+        node,
+        ConstraintOp::GreaterThanEqual(10),
+    )];
     println!(
         "\npinned-to-one-node task  → predicted group {} (high priority: {})",
         analyzer.predict_group(&pinned).unwrap(),

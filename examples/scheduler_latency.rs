@@ -16,7 +16,11 @@ fn main() {
     let cell = CellSet::C2019c;
     let trace = TraceGenerator::generate_cell(
         cell,
-        Scale { machines: 150, collections: 900, seed: 13 },
+        Scale {
+            machines: 150,
+            collections: 900,
+            seed: 13,
+        },
     );
     let replay = Replayer::default().replay(&trace);
 
@@ -39,7 +43,11 @@ fn main() {
     // 15-minute window so queueing pressure exists.
     let (cluster, mut arrivals) = arrivals_from_trace(&trace, 5_000);
     ctlm::sched::engine::compress_timeline(&mut arrivals, 15 * 60 * 1_000_000);
-    println!("simulating {} arrivals on {} machines\n", arrivals.len(), cluster.len());
+    println!(
+        "simulating {} arrivals on {} machines\n",
+        arrivals.len(),
+        cluster.len()
+    );
     let sim = Simulator::new(SimConfig {
         cycle: 1_000_000,
         attempts_per_cycle: 4,
@@ -73,6 +81,9 @@ fn main() {
                 s.p95 / 1000
             );
         }
-        println!("  preemptions: {}, unplaced: {}\n", r.preemptions, r.unplaced);
+        println!(
+            "  preemptions: {}, unplaced: {}\n",
+            r.preemptions, r.unplaced
+        );
     }
 }

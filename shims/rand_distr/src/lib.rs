@@ -1,0 +1,67 @@
+//! Offline stand-in for `rand_distr`.
+//!
+//! Pinned workspace-wide for future samplers; the trace generator
+//! currently rolls its own bounded Pareto/Zipf (see
+//! `ctlm_trace::pareto`), so only the normal distribution is provided.
+
+use rand::{Rng, RngCore};
+
+/// A distribution that can be sampled with a generator.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Normal (Gaussian) distribution via Box–Muller.
+#[derive(Clone, Copy, Debug)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// A normal distribution with the given mean and standard deviation.
+    ///
+    /// # Errors
+    /// Returns an error message when `std_dev` is negative or non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, &'static str> {
+        if !(std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite()) {
+            return Err("invalid normal parameters");
+        }
+        Ok(Self { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_matches_moments() {
+        let d = Normal::new(2.0, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.5).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+    }
+}

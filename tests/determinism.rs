@@ -7,10 +7,18 @@ fn trace_replay_training_fully_deterministic() {
     let run = || {
         let trace = TraceGenerator::generate_cell(
             CellSet::C2019d,
-            Scale { machines: 100, collections: 400, seed: 99 },
+            Scale {
+                machines: 100,
+                collections: 400,
+                seed: 99,
+            },
         );
         let replay = Replayer::default().replay(&trace);
-        let cfg = TrainConfig { epochs_limit: 25, max_attempts: 1, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs_limit: 25,
+            max_attempts: 1,
+            ..TrainConfig::default()
+        };
         let mut model = GrowingModel::new(cfg);
         let mut accs = Vec::new();
         for (i, step) in replay.steps.iter().enumerate() {
@@ -27,11 +35,19 @@ fn trace_replay_training_fully_deterministic() {
 fn different_seeds_produce_different_traces() {
     let t1 = TraceGenerator::generate_cell(
         CellSet::C2011,
-        Scale { machines: 80, collections: 200, seed: 1 },
+        Scale {
+            machines: 80,
+            collections: 200,
+            seed: 1,
+        },
     );
     let t2 = TraceGenerator::generate_cell(
         CellSet::C2011,
-        Scale { machines: 80, collections: 200, seed: 2 },
+        Scale {
+            machines: 80,
+            collections: 200,
+            seed: 2,
+        },
     );
     assert_ne!(t1.events.len(), 0);
     assert_ne!(t1.events, t2.events);

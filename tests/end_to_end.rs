@@ -6,10 +6,17 @@ use std::sync::Arc;
 use ctlm::prelude::*;
 use ctlm::sched::engine::{arrivals_from_trace, compress_timeline};
 
-fn small_replay(cell: CellSet, seed: u64) -> (ctlm::trace::GeneratedTrace, ctlm::agocs::ReplayOutput) {
+fn small_replay(
+    cell: CellSet,
+    seed: u64,
+) -> (ctlm::trace::GeneratedTrace, ctlm::agocs::ReplayOutput) {
     let trace = TraceGenerator::generate_cell(
         cell,
-        Scale { machines: 120, collections: 700, seed },
+        Scale {
+            machines: 120,
+            collections: 700,
+            seed,
+        },
     );
     let replay = Replayer::default().replay(&trace);
     (trace, replay)
@@ -21,7 +28,11 @@ fn full_pipeline_2019c() {
     assert!(replay.steps.len() >= 3, "expected multiple dataset steps");
 
     // Continuous learning across all steps.
-    let cfg = TrainConfig { epochs_limit: 60, max_attempts: 3, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs_limit: 60,
+        max_attempts: 3,
+        ..TrainConfig::default()
+    };
     let mut model = GrowingModel::new(cfg);
     let mut transfer_steps = 0;
     for (i, step) in replay.steps.iter().enumerate() {
@@ -49,7 +60,11 @@ fn full_pipeline_2019c() {
 #[test]
 fn growing_beats_full_retrain_on_epochs_2019a() {
     let (_t, replay) = small_replay(CellSet::C2019a, 32);
-    let cfg = TrainConfig { epochs_limit: 50, max_attempts: 2, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs_limit: 50,
+        max_attempts: 2,
+        ..TrainConfig::default()
+    };
     let g = run_model_over_steps(ModelKind::Growing, &replay.steps, cfg, 1);
     let f = run_model_over_steps(ModelKind::FullyRetrain, &replay.steps, cfg, 1);
     assert!(
@@ -58,7 +73,10 @@ fn growing_beats_full_retrain_on_epochs_2019a() {
         g.epochs_total,
         f.epochs_total
     );
-    assert!(g.avg_accuracy > f.avg_accuracy - 0.1, "accuracy gap too large");
+    assert!(
+        g.avg_accuracy > f.avg_accuracy - 0.1,
+        "accuracy gap too large"
+    );
 }
 
 #[test]
@@ -67,7 +85,11 @@ fn analyzer_agrees_with_matcher_ground_truth() {
     // matcher's ground truth on the training distribution: the paper's
     // >99 % accuracy claim, tested end-to-end at reduced scale.
     let (_trace, replay) = small_replay(CellSet::C2019c, 33);
-    let cfg = TrainConfig { epochs_limit: 80, max_attempts: 3, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs_limit: 80,
+        max_attempts: 3,
+        ..TrainConfig::default()
+    };
     let mut model = GrowingModel::new(cfg);
     for (i, step) in replay.steps.iter().enumerate() {
         model.step(&step.vv, i as u64);
@@ -87,10 +109,18 @@ fn analyzer_agrees_with_matcher_ground_truth() {
 fn scheduler_integration_runs_all_policies() {
     let trace = TraceGenerator::generate_cell(
         CellSet::C2019c,
-        Scale { machines: 100, collections: 400, seed: 34 },
+        Scale {
+            machines: 100,
+            collections: 400,
+            seed: 34,
+        },
     );
     let replay = Replayer::default().replay(&trace);
-    let cfg = TrainConfig { epochs_limit: 40, max_attempts: 2, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs_limit: 40,
+        max_attempts: 2,
+        ..TrainConfig::default()
+    };
     let mut model = GrowingModel::new(cfg);
     for (i, step) in replay.steps.iter().enumerate() {
         model.step(&step.vv, i as u64);
@@ -140,7 +170,11 @@ fn co_el_new_labels_are_invisible_to_a_grown_model_co_vv_patterns_are_not() {
     let last = replay.steps.last().unwrap();
     let el = last.el.as_ref().unwrap();
     let vv = &last.vv;
-    let cfg = TrainConfig { epochs_limit: 40, max_attempts: 2, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs_limit: 40,
+        max_attempts: 2,
+        ..TrainConfig::default()
+    };
 
     // --- CO-EL: train, grow by two fresh label columns, compare.
     let mut el_model = GrowingModel::new(cfg);

@@ -17,10 +17,18 @@ fn trained_setup() -> (
 ) {
     let trace = TraceGenerator::generate_cell(
         CellSet::C2019c,
-        Scale { machines: 120, collections: 600, seed: 77 },
+        Scale {
+            machines: 120,
+            collections: 600,
+            seed: 77,
+        },
     );
     let replay = Replayer::default().replay(&trace);
-    let cfg = TrainConfig { epochs_limit: 50, max_attempts: 2, ..TrainConfig::default() };
+    let cfg = TrainConfig {
+        epochs_limit: 50,
+        max_attempts: 2,
+        ..TrainConfig::default()
+    };
     let mut model = GrowingModel::new(cfg);
     for (i, step) in replay.steps.iter().enumerate() {
         model.step(&step.vv, i as u64);
@@ -32,7 +40,10 @@ fn trained_setup() -> (
 fn hybrid_analyzer_rules_over_a_trace_trained_model() {
     let (trace, replay, model) = trained_setup();
     let analyzer = TaskCoAnalyzer::new(model.to_net(), replay.vocab.clone());
-    let node = trace.catalog.get(attrs::NODE_INDEX).expect("node_index exists");
+    let node = trace
+        .catalog
+        .get(attrs::NODE_INDEX)
+        .expect("node_index exists");
     let hybrid = HybridAnalyzer::new(analyzer, [node]);
 
     // Pinning to one node is rule-decided Group 0 regardless of model.
@@ -70,8 +81,7 @@ fn expiry_then_regrow_full_lifecycle_on_trace_vocab() {
     assert!(r.retired > 0, "some idle columns must retire");
     assert_eq!(r.vocab.len(), width - r.retired);
     // Remap is a bijection onto surviving columns.
-    let mapped: std::collections::BTreeSet<usize> =
-        r.remap.iter().flatten().copied().collect();
+    let mapped: std::collections::BTreeSet<usize> = r.remap.iter().flatten().copied().collect();
     assert_eq!(mapped.len(), r.vocab.len());
 
     // The compacted model loads and predicts at the reduced width.
