@@ -1,4 +1,5 @@
-//! Event replay and dataset generation (paper Fig. 1).
+//! Event replay and dataset generation (paper Fig. 1), hosted on the
+//! `ctlm-sim` kernel.
 //!
 //! The replayer walks the corrected event stream, maintains the cluster
 //! state, computes each constrained task's ground-truth suitable-node
@@ -6,6 +7,17 @@
 //! dataset rows. Whenever the attribute-value vocabulary grows — the
 //! feature array is *extended* — it emits a [`DatasetStep`] snapshot:
 //! exactly the retraining points Table XI tabulates.
+//!
+//! The logic lives in [`ReplaySession`], an incremental state machine
+//! consuming one [`TraceEvent`] at a time. [`ReplayComponent`] wraps a
+//! session as a kernel component so replay shares a timeline with other
+//! components (the scheduler engine, churn sources, rollouts) — the
+//! online loop where dataset steps drive live retraining mid-simulation.
+//! [`Replayer::replay`] is the batch convenience: it hosts the corrected
+//! stream on a kernel instance and runs it to completion.
+
+use std::cell::RefCell;
+use std::rc::Rc;
 
 use serde::{Deserialize, Serialize};
 
@@ -13,8 +25,9 @@ use ctlm_data::dataset::{group_for_count, Dataset, DatasetBuilder, NUM_GROUPS};
 use ctlm_data::encode::co_el::CoElEncoder;
 use ctlm_data::encode::co_vv::CoVvEncoder;
 use ctlm_data::vocab::ValueVocab;
+use ctlm_sim::{Component, Ctx, Event, Sim};
 use ctlm_trace::event::format_day_hour_minute;
-use ctlm_trace::{EventPayload, GeneratedTrace, Micros};
+use ctlm_trace::{EventPayload, GeneratedTrace, Micros, TraceEvent};
 
 use crate::corrector::{correct_stream, CorrectionReport};
 use crate::matcher::count_suitable;
@@ -96,6 +109,371 @@ pub struct ReplayOutput {
     pub vocab: ValueVocab,
 }
 
+/// The incremental replay state machine: feed it trace events in time
+/// order via [`ReplaySession::observe`]; finished steps come back as
+/// they fire, and [`ReplaySession::finish`] flushes the trailing step
+/// and returns the [`ReplayOutput`].
+pub struct ReplaySession {
+    cfg: ReplayConfig,
+    group_width: usize,
+    state: ClusterState,
+    vocab: ValueVocab,
+    vv_encoder: CoVvEncoder,
+    el_encoder: CoElEncoder,
+    vv_builder: DatasetBuilder,
+    el_builder: DatasetBuilder,
+    stats: CoStatsCollector,
+    steps_emitted: usize,
+    width_at_last_step: usize,
+    rows_at_last_step: usize,
+    growth_pending_since: Option<Micros>,
+    step0_emitted: bool,
+    skipped_contradictions: usize,
+    skipped_unschedulable: usize,
+    group0_rows: usize,
+    markers_swept: usize,
+    last_time: Micros,
+}
+
+impl ReplaySession {
+    /// A session for a trace labelled with `group_width`.
+    pub fn new(cfg: ReplayConfig, group_width: usize) -> Self {
+        Self {
+            cfg,
+            group_width,
+            state: ClusterState::new(),
+            vocab: ValueVocab::new(),
+            vv_encoder: CoVvEncoder,
+            el_encoder: CoElEncoder::new(),
+            vv_builder: DatasetBuilder::new(0, NUM_GROUPS),
+            el_builder: DatasetBuilder::new(0, NUM_GROUPS),
+            stats: CoStatsCollector::daily(),
+            steps_emitted: 0,
+            width_at_last_step: 0,
+            rows_at_last_step: 0,
+            growth_pending_since: None,
+            step0_emitted: false,
+            skipped_contradictions: 0,
+            skipped_unschedulable: 0,
+            group0_rows: 0,
+            markers_swept: 0,
+            last_time: 0,
+        }
+    }
+
+    /// The vocabulary as observed so far — online retraining snapshots
+    /// it alongside each emitted step.
+    pub fn vocab(&self) -> &ValueVocab {
+        &self.vocab
+    }
+
+    /// Dataset rows encoded so far.
+    pub fn rows(&self) -> usize {
+        self.vv_builder.len()
+    }
+
+    /// Ground-truth suitable-machine count for a requirement set against
+    /// the session's *current* cluster state — online feeds label
+    /// scheduling arrivals with exactly the truth the replay sees.
+    pub fn suitable_count(&self, reqs: &[ctlm_data::compaction::AttrRequirement]) -> usize {
+        count_suitable(&self.state, reqs)
+    }
+
+    fn emit_step(&mut self, time: Micros) -> DatasetStep {
+        let width = self.vocab.len();
+        self.vv_builder.widen(width);
+        self.el_builder
+            .widen(self.el_encoder.len().max(self.el_builder.cols()));
+        let vv = self.vv_builder.snapshot(width);
+        let el = if self.cfg.build_co_el {
+            Some(self.el_builder.snapshot(self.el_encoder.len()))
+        } else {
+            None
+        };
+        let step = DatasetStep {
+            index: self.steps_emitted,
+            time,
+            label: format_day_hour_minute(time),
+            features_count: width,
+            new_features: width - self.width_at_last_step,
+            vv,
+            el,
+        };
+        self.steps_emitted += 1;
+        self.width_at_last_step = width;
+        self.rows_at_last_step = self.vv_builder.len();
+        step
+    }
+
+    /// Consumes one (corrected) trace event, returning a dataset step
+    /// when a pending vocabulary growth matures into one.
+    pub fn observe(&mut self, ev: &TraceEvent) -> Option<DatasetStep> {
+        self.last_time = ev.time;
+        // Flush a pending growth step once the merge window elapses and
+        // the initial model exists.
+        let mut emitted = None;
+        if let Some(t0) = self.growth_pending_since {
+            if self.step0_emitted
+                && ev.time > t0 + self.cfg.step_merge_window
+                && self.vv_builder.len() > self.rows_at_last_step
+            {
+                emitted = Some(self.emit_step(t0));
+                self.growth_pending_since = None;
+            }
+        }
+
+        match &ev.payload {
+            EventPayload::MachineAdd(m) => {
+                let before = self.vocab.len();
+                for (attr, value) in &m.attributes {
+                    self.vocab.observe(*attr, value);
+                }
+                self.state.add_machine(m.clone());
+                if ev.time > 0 && self.vocab.len() > before && self.growth_pending_since.is_none() {
+                    self.growth_pending_since = Some(ev.time);
+                }
+            }
+            EventPayload::MachineRemove(id) => {
+                self.state.remove_machine(*id);
+            }
+            EventPayload::MachineAttrUpdate {
+                machine,
+                attr,
+                value,
+            } => {
+                if self.state.update_attr(*machine, *attr, value.clone()) {
+                    if let Some(v) = value {
+                        let before = self.vocab.len();
+                        self.vocab.observe(*attr, v);
+                        if self.vocab.len() > before && self.growth_pending_since.is_none() {
+                            self.growth_pending_since = Some(ev.time);
+                        }
+                    }
+                }
+            }
+            EventPayload::CollectionSubmit(_) => {}
+            EventPayload::CollectionFinish(id) => {
+                self.markers_swept += self.state.sweep_collection(*id);
+            }
+            EventPayload::TaskSubmit(task) => {
+                self.stats
+                    .record(ev.time, task.cpu, task.memory, task.has_constraints());
+                self.state.add_task_marker(task.id, task.collection);
+                if !task.has_constraints() {
+                    return emitted;
+                }
+                let reqs = match ctlm_data::compaction::collapse(&task.constraints) {
+                    Ok(r) => r,
+                    Err(_) => {
+                        // The paper: contradictions are logged and the
+                        // task is ignored by the simulation.
+                        self.skipped_contradictions += 1;
+                        return emitted;
+                    }
+                };
+                let suitable = count_suitable(&self.state, &reqs);
+                if suitable == 0 {
+                    self.skipped_unschedulable += 1;
+                    return emitted;
+                }
+                let label = group_for_count(suitable, self.group_width);
+                if label == 0 {
+                    self.group0_rows += 1;
+                }
+                self.vv_builder.widen(self.vocab.len());
+                let vv_row = self.vv_encoder.encode_requirements(&reqs, &self.vocab);
+                self.vv_builder.push(vv_row, label);
+                if self.cfg.build_co_el {
+                    let el_row = self.el_encoder.encode_requirements(&reqs);
+                    self.el_builder.widen(self.el_encoder.len());
+                    self.el_builder.push(el_row, label);
+                }
+                // Step 0 fires once enough rows exist for the initial
+                // training.
+                if !self.step0_emitted && self.vv_builder.len() >= self.cfg.min_rows_for_step0 {
+                    debug_assert!(emitted.is_none(), "step 0 cannot race a growth step");
+                    emitted = Some(self.emit_step(ev.time));
+                    self.step0_emitted = true;
+                    self.growth_pending_since = None;
+                }
+            }
+            EventPayload::TaskUpdate { .. } => {
+                // Resource updates do not change constraints; markers
+                // stay.
+            }
+            EventPayload::TaskTerminate { task, .. } => {
+                self.state.remove_task_marker(*task);
+            }
+        }
+        emitted
+    }
+
+    /// Flushes the trailing step (if rows or vocabulary grew since the
+    /// last one) and assembles the output. `steps` is the collected
+    /// sequence of steps observed so far, in order.
+    pub fn finish(
+        mut self,
+        mut steps: Vec<DatasetStep>,
+        correction: CorrectionReport,
+    ) -> ReplayOutput {
+        if let Some(step) = self.flush_trailing() {
+            steps.push(step);
+        }
+        self.into_output(steps, correction)
+    }
+
+    /// Emits the trailing step if rows or vocabulary grew since the last
+    /// one — the single flush rule shared by the batch and component
+    /// paths.
+    pub fn flush_trailing(&mut self) -> Option<DatasetStep> {
+        if self.vv_builder.len() > self.rows_at_last_step
+            || self.vocab.len() > self.width_at_last_step
+        {
+            let t = self.last_time;
+            Some(self.emit_step(t))
+        } else {
+            None
+        }
+    }
+
+    /// Assembles the output without flushing (the caller already did).
+    fn into_output(self, steps: Vec<DatasetStep>, correction: CorrectionReport) -> ReplayOutput {
+        ReplayOutput {
+            stats: self.stats.distribution(),
+            correction,
+            group_width: self.group_width,
+            skipped_contradictions: self.skipped_contradictions,
+            skipped_unschedulable: self.skipped_unschedulable,
+            group0_rows: self.group0_rows,
+            total_rows: self.vv_builder.len(),
+            markers_swept_by_collection: self.markers_swept,
+            markers_leaked: self.state.live_task_markers(),
+            vocab: self.vocab,
+            steps,
+        }
+    }
+}
+
+/// A [`ReplaySession`] as a kernel component: deliver it [`TraceEvent`]s
+/// and it accumulates dataset steps, invoking `on_step` as each fires —
+/// the hook online simulations use to submit retraining work while the
+/// scheduler keeps running.
+///
+/// State lives behind `Rc<RefCell<...>>` (the kernel's shared-state
+/// idiom) so the driver can finish the session after the run.
+pub struct ReplayComponent<'a> {
+    inner: Rc<RefCell<ReplayInner<'a>>>,
+}
+
+struct ReplayInner<'a> {
+    session: ReplaySession,
+    steps: Vec<DatasetStep>,
+    #[allow(clippy::type_complexity)]
+    on_step: Option<Box<dyn FnMut(&DatasetStep, &ValueVocab) + 'a>>,
+}
+
+impl<'a> ReplayInner<'a> {
+    fn observe(&mut self, ev: &TraceEvent) {
+        if let Some(step) = self.session.observe(ev) {
+            if let Some(f) = self.on_step.as_mut() {
+                f(&step, self.session.vocab());
+            }
+            self.steps.push(step);
+        }
+    }
+}
+
+/// Driver-side handle to a [`ReplayComponent`]'s state: finish it after
+/// the simulation ran to collect the [`ReplayOutput`].
+pub struct ReplayHandle<'a> {
+    inner: Rc<RefCell<ReplayInner<'a>>>,
+}
+
+impl ReplayHandle<'_> {
+    /// Dataset rows encoded so far (borrows the shared state briefly).
+    pub fn rows(&self) -> usize {
+        self.inner.borrow().session.rows()
+    }
+
+    /// Steps emitted so far.
+    pub fn steps_emitted(&self) -> usize {
+        self.inner.borrow().steps.len()
+    }
+
+    /// Flushes the trailing step (also reported through the callback)
+    /// and assembles the output. Call after the simulation has run; the
+    /// component must have been dropped with the kernel by then.
+    pub fn finish(self, correction: CorrectionReport) -> ReplayOutput {
+        let inner = Rc::try_unwrap(self.inner)
+            .ok()
+            .expect("replay state uniquely owned after the run")
+            .into_inner();
+        let ReplayInner {
+            mut session,
+            mut steps,
+            mut on_step,
+        } = inner;
+        if let Some(step) = session.flush_trailing() {
+            if let Some(f) = on_step.as_mut() {
+                f(&step, session.vocab());
+            }
+            steps.push(step);
+        }
+        session.into_output(steps, correction)
+    }
+}
+
+impl<'a> ReplayComponent<'a> {
+    /// A component around a fresh session, returning the component and
+    /// the driver-side handle.
+    pub fn new(cfg: ReplayConfig, group_width: usize) -> (Self, ReplayHandle<'a>) {
+        let inner = Rc::new(RefCell::new(ReplayInner {
+            session: ReplaySession::new(cfg, group_width),
+            steps: Vec::new(),
+            on_step: None,
+        }));
+        (
+            Self {
+                inner: inner.clone(),
+            },
+            ReplayHandle { inner },
+        )
+    }
+
+    /// Installs a step callback (called with each step and the
+    /// vocabulary as of that step).
+    pub fn on_step(self, f: impl FnMut(&DatasetStep, &ValueVocab) + 'a) -> Self {
+        self.inner.borrow_mut().on_step = Some(Box::new(f));
+        self
+    }
+
+    /// Consumes one trace event — wrappers embedding replay in a wider
+    /// event type call this directly.
+    pub fn observe(&self, ev: &TraceEvent) {
+        self.inner.borrow_mut().observe(ev);
+    }
+
+    /// [`ReplaySession::suitable_count`] against the embedded session.
+    pub fn suitable_count(&self, reqs: &[ctlm_data::compaction::AttrRequirement]) -> usize {
+        self.inner.borrow().session.suitable_count(reqs)
+    }
+}
+
+impl Component<TraceEvent> for ReplayComponent<'_> {
+    fn on_event(&mut self, event: Event<TraceEvent>, _ctx: &mut Ctx<'_, TraceEvent>) {
+        self.inner.borrow_mut().observe(&event.payload);
+    }
+}
+
+/// Replay equally consumes borrowed events — the batch replayer keeps
+/// the corrected stream in one buffer and runs the kernel over `&Trace­Event`
+/// payloads, so no event is ever copied into the queue.
+impl Component<&TraceEvent> for ReplayComponent<'_> {
+    fn on_event(&mut self, event: Event<&TraceEvent>, _ctx: &mut Ctx<'_, &TraceEvent>) {
+        self.inner.borrow_mut().observe(event.payload);
+    }
+}
+
 /// The replayer. See the module docs.
 #[derive(Clone, Debug, Default)]
 pub struct Replayer {
@@ -108,206 +486,22 @@ impl Replayer {
         Self { config }
     }
 
-    /// Replays a generated trace into dataset steps and statistics.
+    /// Replays a generated trace into dataset steps and statistics by
+    /// hosting the corrected event stream on a `ctlm-sim` kernel: every
+    /// corrected event is scheduled at its trace timestamp and delivered
+    /// to a [`ReplayComponent`] (same-time events keep stream order via
+    /// the kernel's stable tie-break).
     pub fn replay(&self, trace: &GeneratedTrace) -> ReplayOutput {
         let (events, correction) = correct_stream(&trace.events);
-        let cfg = &self.config;
-
-        let mut state = ClusterState::new();
-        let mut vocab = ValueVocab::new();
-        let vv_encoder = CoVvEncoder;
-        let mut el_encoder = CoElEncoder::new();
-        let mut vv_builder = DatasetBuilder::new(0, NUM_GROUPS);
-        let mut el_builder = DatasetBuilder::new(0, NUM_GROUPS);
-        let mut stats = CoStatsCollector::daily();
-
-        let mut steps: Vec<DatasetStep> = Vec::new();
-        let mut width_at_last_step = 0usize;
-        let mut rows_at_last_step = 0usize;
-        let mut growth_pending_since: Option<Micros> = None;
-        let mut step0_emitted = false;
-
-        let mut skipped_contradictions = 0usize;
-        let mut skipped_unschedulable = 0usize;
-        let mut group0_rows = 0usize;
-        let mut markers_swept = 0usize;
-
-        let emit_step = |time: Micros,
-                         vocab: &ValueVocab,
-                         vv_builder: &mut DatasetBuilder,
-                         el_builder: &mut DatasetBuilder,
-                         el_encoder: &CoElEncoder,
-                         steps: &mut Vec<DatasetStep>,
-                         width_at_last_step: &mut usize,
-                         rows_at_last_step: &mut usize| {
-            let width = vocab.len();
-            vv_builder.widen(width);
-            el_builder.widen(el_encoder.len().max(el_builder.cols()));
-            let vv = vv_builder.snapshot(width);
-            let el = if cfg.build_co_el {
-                Some(el_builder.snapshot(el_encoder.len()))
-            } else {
-                None
-            };
-            steps.push(DatasetStep {
-                index: steps.len(),
-                time,
-                label: format_day_hour_minute(time),
-                features_count: width,
-                new_features: width - *width_at_last_step,
-                vv,
-                el,
-            });
-            *width_at_last_step = width;
-            *rows_at_last_step = vv_builder.len();
-        };
-
-        for ev in &events {
-            // Flush a pending growth step once the merge window elapses
-            // and the initial model exists.
-            if let Some(t0) = growth_pending_since {
-                if step0_emitted
-                    && ev.time > t0 + cfg.step_merge_window
-                    && vv_builder.len() > rows_at_last_step
-                {
-                    emit_step(
-                        t0,
-                        &vocab,
-                        &mut vv_builder,
-                        &mut el_builder,
-                        &el_encoder,
-                        &mut steps,
-                        &mut width_at_last_step,
-                        &mut rows_at_last_step,
-                    );
-                    growth_pending_since = None;
-                }
-            }
-
-            match &ev.payload {
-                EventPayload::MachineAdd(m) => {
-                    let before = vocab.len();
-                    for (attr, value) in &m.attributes {
-                        vocab.observe(*attr, value);
-                    }
-                    state.add_machine(m.clone());
-                    if ev.time > 0 && vocab.len() > before && growth_pending_since.is_none() {
-                        growth_pending_since = Some(ev.time);
-                    }
-                }
-                EventPayload::MachineRemove(id) => {
-                    state.remove_machine(*id);
-                }
-                EventPayload::MachineAttrUpdate {
-                    machine,
-                    attr,
-                    value,
-                } => {
-                    if state.update_attr(*machine, *attr, value.clone()) {
-                        if let Some(v) = value {
-                            let before = vocab.len();
-                            vocab.observe(*attr, v);
-                            if vocab.len() > before && growth_pending_since.is_none() {
-                                growth_pending_since = Some(ev.time);
-                            }
-                        }
-                    }
-                }
-                EventPayload::CollectionSubmit(_) => {}
-                EventPayload::CollectionFinish(id) => {
-                    markers_swept += state.sweep_collection(*id);
-                }
-                EventPayload::TaskSubmit(task) => {
-                    stats.record(ev.time, task.cpu, task.memory, task.has_constraints());
-                    state.add_task_marker(task.id, task.collection);
-                    if !task.has_constraints() {
-                        continue;
-                    }
-                    let reqs = match ctlm_data::compaction::collapse(&task.constraints) {
-                        Ok(r) => r,
-                        Err(_) => {
-                            // The paper: contradictions are logged and the
-                            // task is ignored by the simulation.
-                            skipped_contradictions += 1;
-                            continue;
-                        }
-                    };
-                    let suitable = count_suitable(&state, &reqs);
-                    if suitable == 0 {
-                        skipped_unschedulable += 1;
-                        continue;
-                    }
-                    let label = group_for_count(suitable, trace.group_width);
-                    if label == 0 {
-                        group0_rows += 1;
-                    }
-                    vv_builder.widen(vocab.len());
-                    let vv_row = vv_encoder.encode_requirements(&reqs, &vocab);
-                    vv_builder.push(vv_row, label);
-                    if cfg.build_co_el {
-                        let el_row = el_encoder.encode_requirements(&reqs);
-                        el_builder.widen(el_encoder.len());
-                        el_builder.push(el_row, label);
-                    }
-                    // Step 0 fires once enough rows exist for the initial
-                    // training.
-                    if !step0_emitted && vv_builder.len() >= cfg.min_rows_for_step0 {
-                        emit_step(
-                            ev.time,
-                            &vocab,
-                            &mut vv_builder,
-                            &mut el_builder,
-                            &el_encoder,
-                            &mut steps,
-                            &mut width_at_last_step,
-                            &mut rows_at_last_step,
-                        );
-                        step0_emitted = true;
-                        growth_pending_since = None;
-                    }
-                }
-                EventPayload::TaskUpdate { .. } => {
-                    // Resource updates do not change constraints; markers
-                    // stay.
-                }
-                EventPayload::TaskTerminate { task, .. } => {
-                    state.remove_task_marker(*task);
-                }
-            }
-        }
-
-        // Final step: flush trailing growth / rows so the last extension
-        // is evaluated too.
-        if vv_builder.len() > rows_at_last_step || vocab.len() > width_at_last_step {
-            let t = events.last().map(|e| e.time).unwrap_or(0);
-            emit_step(
-                t,
-                &vocab,
-                &mut vv_builder,
-                &mut el_builder,
-                &el_encoder,
-                &mut steps,
-                &mut width_at_last_step,
-                &mut rows_at_last_step,
-            );
-        }
-
-        ReplayOutput {
-            stats: stats.distribution(),
-            correction,
-            group_width: trace.group_width,
-            skipped_contradictions,
-            skipped_unschedulable,
-            group0_rows,
-            total_rows: vv_builder.len(),
-            markers_swept_by_collection: markers_swept,
-            markers_leaked: state.live_task_markers(),
-            vocab,
-            steps,
-        }
+        let mut sim: Sim<'_, &TraceEvent> = Sim::new();
+        let (component, handle) = ReplayComponent::new(self.config, trace.group_width);
+        let replay = sim.add_component("replay", component);
+        sim.schedule_batch(0, replay, replay, events.iter().map(|ev| (ev.time, ev)));
+        sim.run();
+        drop(sim);
+        handle.finish(correction)
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

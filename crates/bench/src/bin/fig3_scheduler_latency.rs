@@ -12,8 +12,9 @@ use std::sync::Arc;
 
 use ctlm_bench::{replay_cell, rule, Cli};
 use ctlm_core::{GrowingModel, TaskCoAnalyzer, TrainConfig};
-use ctlm_sched::engine::{arrivals_from_trace, compress_timeline, Policy, SimConfig, Simulator};
+use ctlm_sched::engine::{arrivals_from_trace, compress_timeline, SimConfig, Simulator};
 use ctlm_sched::latency::LatencyStats;
+use ctlm_sched::scheduler::{Enhanced, MainOnly, OracleEnhanced};
 use ctlm_trace::{CellSet, TraceGenerator};
 
 fn show(name: &str, stats: Option<LatencyStats>) {
@@ -62,13 +63,16 @@ fn main() {
         horizon: 3_600_000_000,
         seed: cli.seed,
     });
-    let base = sim.run(cluster.clone(), &arrivals, &Policy::MainOnly);
+    // One cluster, three policy runs — `run` hands the cluster back
+    // reset, so no per-policy deep copy happens.
+    let mut cluster = cluster;
+    let base = sim.run(&mut cluster, &arrivals, &mut MainOnly);
     let enhanced = sim.run(
-        cluster.clone(),
+        &mut cluster,
         &arrivals,
-        &Policy::Enhanced(Arc::new(analyzer)),
+        &mut Enhanced::new(Arc::new(analyzer)),
     );
-    let oracle = sim.run(cluster, &arrivals, &Policy::OracleEnhanced);
+    let oracle = sim.run(&mut cluster, &arrivals, &mut OracleEnhanced);
 
     println!(
         "{:<34} {:>7} {:>12} {:>10} {:>10} {:>10}",

@@ -99,6 +99,10 @@ impl TaskCoAnalyzer {
 #[derive(Clone, Debug, Default)]
 pub struct ModelRegistry {
     current: Arc<RwLock<Option<Arc<TaskCoAnalyzer>>>>,
+    /// Bumped on every install; readers cache the analyzer and re-read
+    /// only when this moves, making the per-task fast path one atomic
+    /// load instead of an `RwLock` acquisition.
+    version: Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl ModelRegistry {
@@ -111,6 +115,14 @@ impl ModelRegistry {
     /// Installs a new analyzer; readers see it on their next lookup.
     pub fn install(&self, analyzer: TaskCoAnalyzer) {
         *self.current.write().expect("registry lock poisoned") = Some(Arc::new(analyzer));
+        self.version
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Monotone install counter: 0 until the first model lands, bumped on
+    /// every hot swap. Schedulers use it to detect swaps cheaply.
+    pub fn version(&self) -> u64 {
+        self.version.load(std::sync::atomic::Ordering::Acquire)
     }
 
     /// The current analyzer, if any.

@@ -23,6 +23,9 @@ struct Alloc {
 pub struct SchedCluster {
     machines: HashMap<MachineId, (Machine, Alloc)>,
     index: AttrIndex,
+    /// Machines drained by churn — kept so [`SchedCluster::reset`] can
+    /// restore the fleet without a deep copy of the whole cluster.
+    offline: HashMap<MachineId, Machine>,
 }
 
 impl SchedCluster {
@@ -42,6 +45,10 @@ impl SchedCluster {
 
     /// Adds a machine.
     pub fn add_machine(&mut self, m: Machine) {
+        // A re-add under the same id supersedes any parked copy — without
+        // this, a later restore/reset would overwrite the live machine
+        // (and its allocation accounting) with the stale one.
+        self.offline.remove(&m.id);
         if self.machines.contains_key(&m.id) {
             self.index.remove_machine(m.id);
         }
@@ -57,6 +64,84 @@ impl SchedCluster {
                 },
             ),
         );
+    }
+
+    /// Takes a machine offline (churn / failure). The machine's running
+    /// tasks are returned as `(task, cpu, memory, priority)` so the
+    /// engine can requeue them; the machine itself is parked for
+    /// [`SchedCluster::reset`] to restore. Returns `None` for unknown
+    /// machines.
+    pub fn remove_machine(&mut self, id: MachineId) -> Option<Vec<(TaskId, f64, f64, u8)>> {
+        let (m, alloc) = self.machines.remove(&id)?;
+        self.index.remove_machine(id);
+        self.offline.insert(id, m);
+        let mut evicted: Vec<(TaskId, f64, f64, u8)> = alloc
+            .tasks
+            .into_iter()
+            .map(|(t, (c, mem, p))| (t, c, mem, p))
+            .collect();
+        evicted.sort_by_key(|&(t, ..)| t);
+        Some(evicted)
+    }
+
+    /// Brings a previously drained machine back online (with no load).
+    /// Returns true if it was offline.
+    pub fn restore_machine(&mut self, id: MachineId) -> bool {
+        match self.offline.remove(&id) {
+            Some(m) => {
+                self.add_machine(m);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Updates one machine attribute in place (None clears it), keeping
+    /// the inverted index consistent. Machines currently drained by
+    /// churn receive the update on their parked copy, so a rollout that
+    /// lands mid-outage is present when they rejoin. Returns true when
+    /// the machine is known (online or parked).
+    pub fn update_attr(
+        &mut self,
+        id: MachineId,
+        attr: ctlm_trace::AttrId,
+        value: Option<ctlm_trace::AttrValue>,
+    ) -> bool {
+        let m = if let Some((m, _)) = self.machines.get_mut(&id) {
+            self.index.update_attr(id, attr, value.as_ref());
+            m
+        } else if let Some(m) = self.offline.get_mut(&id) {
+            m // parked: no index entry to maintain
+        } else {
+            return false;
+        };
+        match value {
+            Some(v) => {
+                m.set_attr(attr, v);
+            }
+            None => {
+                m.remove_attr(attr);
+            }
+        }
+        true
+    }
+
+    /// Returns the cluster to its pristine state: every reservation is
+    /// dropped and every churned machine rejoins. This is the cheap
+    /// alternative to deep-copying the cluster per policy run — O(live
+    /// tasks + churned machines) instead of O(fleet).
+    pub fn reset(&mut self) {
+        for (_, a) in self.machines.values_mut() {
+            a.cpu_used = 0.0;
+            a.mem_used = 0.0;
+            a.tasks.clear();
+        }
+        if !self.offline.is_empty() {
+            let offline = std::mem::take(&mut self.offline);
+            for (_, m) in offline {
+                self.add_machine(m);
+            }
+        }
     }
 
     /// Number of machines.
@@ -220,6 +305,37 @@ mod tests {
         assert_eq!(c.cpu_utilisation(), 0.0);
         c.place(0, 1, 1.0, 0.5, 0);
         assert!((c.cpu_utilisation() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parked_machines_receive_attr_updates() {
+        let mut c = cluster3();
+        assert!(c.remove_machine(1).is_some());
+        // A rollout landing mid-outage must stick.
+        assert!(c.update_attr(1, 0, Some(AttrValue::Int(99))));
+        assert!(c.restore_machine(1));
+        assert_eq!(c.machine_attr(1, 0), Some(&AttrValue::Int(99)));
+        use ctlm_data::compaction::collapse;
+        use ctlm_trace::{ConstraintOp as Op, TaskConstraint};
+        let reqs =
+            collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(99))))]).unwrap();
+        assert_eq!(c.suitable(&reqs), vec![1]);
+    }
+
+    #[test]
+    fn re_add_supersedes_parked_copy() {
+        let mut c = cluster3();
+        c.remove_machine(2);
+        // The machine rejoins via a fresh add (trace MachineAdd), takes
+        // load — a later reset must not clobber it with the stale copy.
+        let mut m = Machine::new(2, 1.0, 1.0);
+        m.set_attr(0, AttrValue::Int(42));
+        c.add_machine(m);
+        c.place(2, 7, 0.5, 0.5, 1);
+        assert!(!c.restore_machine(2), "no parked copy may remain");
+        c.reset();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.machine_attr(2, 0), Some(&AttrValue::Int(42)));
     }
 
     #[test]

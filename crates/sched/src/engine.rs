@@ -1,4 +1,4 @@
-//! The discrete-event scheduling simulation.
+//! The scheduling simulation, hosted on the `ctlm-sim` event kernel.
 //!
 //! Reproduces the Fig. 3 experiment: identical task arrivals are pushed
 //! through (a) a conventional main-scheduler-only pipeline and (b) the
@@ -7,37 +7,98 @@
 //! Kubernetes-style preemption fallback). The output is scheduling
 //! latency per ground-truth suitable-node group.
 //!
+//! What used to be a bespoke `while now <= horizon` loop is now a set of
+//! kernel components exchanging [`SchedEvent`]s on one timeline:
+//!
+//! * [`ArrivalSource`] — walks the (borrowed) arrival list and emits
+//!   admission events at each task's arrival time;
+//! * [`CycleTimer`] — fires the scheduler pass every `cycle` µs;
+//! * [`EngineComponent`] — owns the cluster, queues and result; handles
+//!   admissions, scheduler passes, task completions, machine churn and
+//!   gang arrivals.
+//!
+//! Intra-instant ordering is pinned by kernel delivery classes: at one
+//! timestamp, completions and machine-state changes ([`PRIO_STATE`])
+//! deliver before admissions ([`PRIO_ADMIT`]), which deliver before the
+//! scheduling pass ([`PRIO_PASS`]) — the same phase order the old
+//! monolithic loop hardcoded, now explicit and shared with any scenario
+//! component that joins the simulation (churn, trace feeds, rollouts).
+//!
 //! The contention mechanics matter: the main scheduler examines a bounded
 //! number of queue heads per cycle (head-of-line pressure), so a
 //! restrictive task that misses its single suitable node keeps cycling to
 //! the back — exactly the pathology the paper's analyzer removes.
 
-use std::collections::BinaryHeap;
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
-use ctlm_core::TaskCoAnalyzer;
 use ctlm_data::compaction::collapse;
-use ctlm_trace::{EventPayload, GeneratedTrace, Micros, TaskId};
+use ctlm_sim::{CompId, Component, Ctx, Event, Sim};
+use ctlm_trace::{
+    AttrId, AttrValue, EventPayload, GeneratedTrace, Machine, MachineId, Micros, TaskId,
+};
 
 use crate::cluster::SchedCluster;
 use crate::latency::LatencyStats;
-use crate::placement::{best_fit, best_fit_with_preemption, Placement};
-use crate::queue::{PendingQueue, PendingTask};
+use crate::placement::{BestFit, Placement, Placer, PreemptiveBestFit};
+use crate::queue::PendingTask;
+use crate::scheduler::Scheduler;
 
-/// Scheduling policy under test.
-#[derive(Clone)]
-pub enum Policy {
-    /// Conventional: one FIFO queue, best-fit, no analyzer.
-    MainOnly,
-    /// Fig. 3: the analyzer flags restrictive tasks into a high-priority
-    /// queue served first each cycle, with preemption fallback.
-    Enhanced(Arc<TaskCoAnalyzer>),
-    /// Ablation: perfect (oracle) routing by ground-truth group.
-    OracleEnhanced,
+/// Delivery class for completions and machine-state changes — first at a
+/// timestamp.
+pub const PRIO_STATE: u8 = 0;
+/// Delivery class for task admissions — after state changes.
+pub const PRIO_ADMIT: u8 = 1;
+/// Delivery class for the scheduling pass — last at a timestamp.
+pub const PRIO_PASS: u8 = 2;
+
+/// Events exchanged by the scheduling simulation's components.
+#[derive(Clone, Debug)]
+pub enum SchedEvent {
+    /// Self-wakeup for source components (arrival source, cycle timer,
+    /// churn source, trace feed).
+    Wake,
+    /// A task from the shared arrival list arrives (index into the
+    /// engine's task arena — no task is cloned on admission).
+    Arrival(usize),
+    /// A dynamically created task arrives (online trace feeds).
+    Admit(Box<PendingTask>),
+    /// A gang arrives: its member tasks enter the arena together and
+    /// must place all-or-nothing.
+    GangArrival(Vec<PendingTask>),
+    /// Scheduler pass.
+    Cycle,
+    /// A placed task's runtime elapsed. `epoch` guards against stale
+    /// completions after churn re-placed the task elsewhere.
+    Finish {
+        /// The finishing task.
+        task: TaskId,
+        /// Machine it was placed on.
+        machine: MachineId,
+        /// Placement epoch the completion belongs to.
+        epoch: u64,
+    },
+    /// A machine drains (churn / failure): its tasks re-enter the queue.
+    MachineFail(MachineId),
+    /// A previously drained machine rejoins empty.
+    MachineRestore(MachineId),
+    /// A new machine joins the fleet.
+    MachineJoin(Box<Machine>),
+    /// One machine attribute changes (kernel rollouts and other
+    /// vocabulary-growing updates).
+    AttrUpdate {
+        /// Machine being updated.
+        machine: MachineId,
+        /// Attribute being set or cleared.
+        attr: AttrId,
+        /// New value (`None` clears).
+        value: Option<AttrValue>,
+    },
 }
 
 /// Simulation parameters.
@@ -69,7 +130,7 @@ impl Default for SimConfig {
 }
 
 /// One placed task's outcome.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PlacedRecord {
     /// Task id.
     pub task: TaskId,
@@ -82,7 +143,7 @@ pub struct PlacedRecord {
 }
 
 /// Simulation output.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Placed tasks.
     pub placed: Vec<PlacedRecord>,
@@ -90,6 +151,10 @@ pub struct SimResult {
     pub unplaced: usize,
     /// Total preemption evictions performed.
     pub preemptions: usize,
+    /// Tasks evicted by machine churn and re-queued for placement.
+    pub churn_rescheduled: usize,
+    /// Gangs placed atomically.
+    pub gangs_placed: usize,
 }
 
 impl SimResult {
@@ -115,198 +180,528 @@ impl SimResult {
     }
 }
 
-#[derive(PartialEq, Eq)]
-struct Finish(Micros, TaskId, u64); // (end, task, machine)
-
-impl Ord for Finish {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap by end time.
-        other.0.cmp(&self.0).then(other.1.cmp(&self.1))
-    }
-}
-impl PartialOrd for Finish {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
+/// A running task's bookkeeping entry.
+#[derive(Clone, Copy, Debug)]
+struct Running {
+    /// Arena index of the task.
+    idx: usize,
+    /// Machine the task occupies.
+    machine: MachineId,
+    /// Placement epoch (monotone per placement).
+    epoch: u64,
 }
 
-/// The simulator.
+/// The engine's mutable state, shared between the engine component and
+/// the driver via `Rc<RefCell<...>>` (dslab-style).
+pub struct EngineState<'a> {
+    cfg: SimConfig,
+    /// The arrival list, borrowed from the driver — admissions reference
+    /// tasks by index instead of cloning them.
+    arrivals: &'a [PendingTask],
+    /// Arena for tasks created mid-run (online trace feeds). Indices
+    /// continue past `arrivals.len()`.
+    extra: Vec<PendingTask>,
+    /// The cluster under scheduling.
+    pub cluster: SchedCluster,
+    scheduler: &'a mut dyn Scheduler,
+    main_placer: &'a dyn Placer,
+    hp_placer: &'a dyn Placer,
+    hp: VecDeque<usize>,
+    main: VecDeque<usize>,
+    pending_gangs: Vec<Vec<usize>>,
+    rng: StdRng,
+    result: SimResult,
+    running: HashMap<TaskId, Running>,
+    preempted: HashSet<TaskId>,
+    placed_once: HashSet<TaskId>,
+    next_epoch: u64,
+    engine_id: CompId,
+}
+
+impl<'a> EngineState<'a> {
+    fn new(
+        cfg: SimConfig,
+        cluster: SchedCluster,
+        arrivals: &'a [PendingTask],
+        scheduler: &'a mut dyn Scheduler,
+        main_placer: &'a dyn Placer,
+        hp_placer: &'a dyn Placer,
+    ) -> Self {
+        Self {
+            cfg,
+            arrivals,
+            extra: Vec::new(),
+            cluster,
+            scheduler,
+            main_placer,
+            hp_placer,
+            hp: VecDeque::new(),
+            main: VecDeque::new(),
+            pending_gangs: Vec::new(),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x5C4E_D111),
+            result: SimResult::default(),
+            running: HashMap::new(),
+            preempted: HashSet::new(),
+            placed_once: HashSet::new(),
+            next_epoch: 0,
+            engine_id: 0,
+        }
+    }
+
+    /// The task behind an arena index.
+    pub fn task(&self, idx: usize) -> &PendingTask {
+        if idx < self.arrivals.len() {
+            &self.arrivals[idx]
+        } else {
+            &self.extra[idx - self.arrivals.len()]
+        }
+    }
+
+    /// Appends a dynamically created task to the arena, returning its
+    /// index.
+    pub fn push_extra(&mut self, t: PendingTask) -> usize {
+        self.extra.push(t);
+        self.arrivals.len() + self.extra.len() - 1
+    }
+
+    /// Pending main-queue depth (scenario components may inspect it).
+    pub fn main_queue_len(&self) -> usize {
+        self.main.len()
+    }
+
+    /// Routes an admitted task into the high-priority or main queue.
+    fn admit(&mut self, idx: usize) {
+        let t = if idx < self.arrivals.len() {
+            &self.arrivals[idx]
+        } else {
+            &self.extra[idx - self.arrivals.len()]
+        };
+        if self.scheduler.route_high_priority(t) {
+            self.hp.push_back(idx);
+        } else {
+            self.main.push_back(idx);
+        }
+    }
+
+    /// Reserves the task on the machine and emits its completion event.
+    fn commit(&mut self, idx: usize, machine: MachineId, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.now();
+        let (id, cpu, memory, priority, arrival, truth_group) = {
+            let t = self.task(idx);
+            (t.id, t.cpu, t.memory, t.priority, t.arrival, t.truth_group)
+        };
+        self.cluster.place(machine, id, cpu, memory, priority);
+        let u: f64 = self.rng.gen_range(1e-9..1.0);
+        let runtime = (((-u.ln()) * self.cfg.mean_runtime as f64) as Micros).max(1);
+        let epoch = self.next_epoch;
+        self.next_epoch += 1;
+        self.running.insert(
+            id,
+            Running {
+                idx,
+                machine,
+                epoch,
+            },
+        );
+        ctx.emit_prio(
+            runtime,
+            PRIO_STATE,
+            self.engine_id,
+            SchedEvent::Finish {
+                task: id,
+                machine,
+                epoch,
+            },
+        );
+        if self.placed_once.insert(id) {
+            self.result.placed.push(PlacedRecord {
+                task: id,
+                truth_group,
+                latency: now - arrival,
+                was_preempted: self.preempted.contains(&id),
+            });
+        }
+    }
+
+    /// Evicts a preemption victim (Kubernetes-style: the victim loses its
+    /// slot; rescheduling checkpointed work is out of scope for the
+    /// latency experiment).
+    fn evict_victim(&mut self, machine: MachineId, victim: TaskId) {
+        self.cluster.release(machine, victim);
+        self.running.remove(&victim);
+        self.result.preemptions += 1;
+        self.preempted.insert(victim);
+        if let Some(rec) = self.result.placed.iter_mut().find(|r| r.task == victim) {
+            rec.was_preempted = true;
+        }
+    }
+
+    /// One attempt for the queue head; returns the task to the queue's
+    /// back on `NoCapacity`.
+    fn attempt(
+        &mut self,
+        idx: usize,
+        placer: &dyn Placer,
+        high_priority: bool,
+        ctx: &mut Ctx<'_, SchedEvent>,
+    ) {
+        match placer.place(&self.cluster, self.task(idx)) {
+            Placement::Placed(m) => self.commit(idx, m, ctx),
+            Placement::PlacedWithPreemption(m, victims) => {
+                for v in victims {
+                    self.evict_victim(m, v);
+                }
+                self.commit(idx, m, ctx);
+            }
+            Placement::Infeasible => {
+                // No node can ever satisfy the affinity — Kubernetes
+                // would error the pod; we drop it.
+                self.result.unplaced += 1;
+            }
+            Placement::NoCapacity => {
+                if high_priority {
+                    self.hp.push_back(idx);
+                } else {
+                    self.main.push_back(idx);
+                }
+            }
+        }
+    }
+
+    /// The scheduler pass: retry gangs, serve the whole HP queue, then a
+    /// bounded number of main-queue heads.
+    fn cycle(&mut self, ctx: &mut Ctx<'_, SchedEvent>) {
+        // Gangs retry all-or-nothing ahead of individual placements.
+        let gangs = std::mem::take(&mut self.pending_gangs);
+        for gang in gangs {
+            self.try_gang(gang, ctx);
+        }
+        let hp_len = self.hp.len();
+        for _ in 0..hp_len {
+            let Some(idx) = self.hp.pop_front() else {
+                break;
+            };
+            let placer = self.hp_placer;
+            self.attempt(idx, placer, true, ctx);
+        }
+        let budget = self.cfg.attempts_per_cycle.min(self.main.len());
+        for _ in 0..budget {
+            let Some(idx) = self.main.pop_front() else {
+                break;
+            };
+            let placer = self.main_placer;
+            self.attempt(idx, placer, false, ctx);
+        }
+    }
+
+    /// Attempts an all-or-nothing gang placement; failed gangs go back to
+    /// the pending list for the next cycle.
+    fn try_gang(&mut self, gang: Vec<usize>, ctx: &mut Ctx<'_, SchedEvent>) {
+        let assignments = {
+            let members = gang.iter().map(|&i| {
+                if i < self.arrivals.len() {
+                    &self.arrivals[i]
+                } else {
+                    &self.extra[i - self.arrivals.len()]
+                }
+            });
+            crate::gang::place_gang_by_ref(&mut self.cluster, members)
+        };
+        match assignments {
+            Some(pairs) => {
+                self.result.gangs_placed += 1;
+                for (&idx, (task, machine)) in gang.iter().zip(pairs) {
+                    debug_assert_eq!(self.task(idx).id, task);
+                    // `place_gang_by_ref` already reserved capacity;
+                    // release and re-commit so runtime draw, completion
+                    // event and record go through the one bookkeeping
+                    // path.
+                    self.cluster.release(machine, task);
+                    self.commit(idx, machine, ctx);
+                }
+            }
+            None => self.pending_gangs.push(gang),
+        }
+    }
+
+    /// A machine drains: running tasks re-enter admission (they keep
+    /// their first-placement latency record; the reschedule is counted).
+    fn machine_fail(&mut self, id: MachineId) {
+        let Some(evicted) = self.cluster.remove_machine(id) else {
+            return;
+        };
+        for (task, ..) in evicted {
+            if let Some(r) = self.running.remove(&task) {
+                self.result.churn_rescheduled += 1;
+                self.admit(r.idx);
+            }
+        }
+    }
+
+    fn handle(&mut self, ev: SchedEvent, ctx: &mut Ctx<'_, SchedEvent>) {
+        match ev {
+            SchedEvent::Arrival(idx) => self.admit(idx),
+            SchedEvent::Admit(t) => {
+                let idx = self.push_extra(*t);
+                self.admit(idx);
+            }
+            SchedEvent::GangArrival(members) => {
+                let gang: Vec<usize> = members.into_iter().map(|t| self.push_extra(t)).collect();
+                self.try_gang(gang, ctx);
+            }
+            SchedEvent::Cycle => self.cycle(ctx),
+            SchedEvent::Finish {
+                task,
+                machine,
+                epoch,
+            } => {
+                // Stale completions (task preempted or churned since)
+                // are ignored via the epoch guard.
+                if self
+                    .running
+                    .get(&task)
+                    .is_some_and(|r| r.machine == machine && r.epoch == epoch)
+                {
+                    self.running.remove(&task);
+                    self.cluster.release(machine, task);
+                }
+            }
+            SchedEvent::MachineFail(id) => self.machine_fail(id),
+            SchedEvent::MachineRestore(id) => {
+                self.cluster.restore_machine(id);
+            }
+            SchedEvent::MachineJoin(m) => self.cluster.add_machine(*m),
+            SchedEvent::AttrUpdate {
+                machine,
+                attr,
+                value,
+            } => {
+                self.cluster.update_attr(machine, attr, value);
+            }
+            SchedEvent::Wake => {}
+        }
+    }
+
+    /// Takes the final cluster and result out of the state, counting
+    /// still-queued tasks as unplaced — except churn-requeued tasks that
+    /// already hold a placed record (they were placed once; counting
+    /// them again would make placed + unplaced exceed the task count).
+    fn finish(&mut self) -> (SchedCluster, SimResult) {
+        let queued: Vec<usize> = self
+            .hp
+            .drain(..)
+            .chain(self.main.drain(..))
+            .chain(
+                std::mem::take(&mut self.pending_gangs)
+                    .into_iter()
+                    .flatten(),
+            )
+            .collect();
+        for idx in queued {
+            if !self.placed_once.contains(&self.task(idx).id) {
+                self.result.unplaced += 1;
+            }
+        }
+        (
+            std::mem::take(&mut self.cluster),
+            std::mem::take(&mut self.result),
+        )
+    }
+}
+
+/// The engine as a kernel component: a thin shell delegating every event
+/// to the shared [`EngineState`].
+pub struct EngineComponent<'a> {
+    state: Rc<RefCell<EngineState<'a>>>,
+}
+
+impl Component<SchedEvent> for EngineComponent<'_> {
+    fn on_event(&mut self, event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        self.state.borrow_mut().handle(event.payload, ctx);
+    }
+}
+
+/// Emits [`SchedEvent::Arrival`] admissions as simulated time reaches
+/// each task's arrival stamp. Borrows the arrival list — nothing is
+/// copied.
+pub struct ArrivalSource<'a> {
+    arrivals: &'a [PendingTask],
+    next: usize,
+    engine: CompId,
+}
+
+impl Component<SchedEvent> for ArrivalSource<'_> {
+    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.now();
+        while self.next < self.arrivals.len() && self.arrivals[self.next].arrival <= now {
+            ctx.emit_prio(0, PRIO_ADMIT, self.engine, SchedEvent::Arrival(self.next));
+            self.next += 1;
+        }
+        if self.next < self.arrivals.len() {
+            let delay = self.arrivals[self.next].arrival - now;
+            ctx.emit_self_prio(delay, PRIO_ADMIT, SchedEvent::Wake);
+        }
+    }
+}
+
+/// Fires the scheduler pass every `period` µs up to the horizon.
+pub struct CycleTimer {
+    period: Micros,
+    horizon: Micros,
+    engine: CompId,
+}
+
+impl Component<SchedEvent> for CycleTimer {
+    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        ctx.emit_prio(0, PRIO_PASS, self.engine, SchedEvent::Cycle);
+        if ctx.now() + self.period <= self.horizon {
+            ctx.emit_self_prio(self.period, PRIO_PASS, SchedEvent::Wake);
+        }
+    }
+}
+
+/// The simulator: configuration plus pluggable placement strategies.
 pub struct Simulator {
     config: SimConfig,
+    main_placer: Box<dyn Placer>,
+    hp_placer: Box<dyn Placer>,
 }
 
 impl Simulator {
-    /// A simulator with the given parameters.
+    /// A simulator with the given parameters and the default strategies:
+    /// best-fit on the main queue, preemptive best-fit on the HP queue.
     pub fn new(config: SimConfig) -> Self {
-        Self { config }
+        Self {
+            config,
+            main_placer: Box::new(BestFit),
+            hp_placer: Box::new(PreemptiveBestFit),
+        }
+    }
+
+    /// Replaces the placement strategies.
+    pub fn with_placers(
+        mut self,
+        main_placer: Box<dyn Placer>,
+        hp_placer: Box<dyn Placer>,
+    ) -> Self {
+        self.main_placer = main_placer;
+        self.hp_placer = hp_placer;
+        self
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Builds the simulation harness without running it, so scenario
+    /// components (churn, gang sources, trace feeds, rollouts) can join
+    /// before [`Harness::run`].
+    ///
+    /// The cluster is taken by value; [`Harness::run`] returns it (reset
+    /// to pristine) together with the result.
+    pub fn harness<'a>(
+        &'a self,
+        cluster: SchedCluster,
+        arrivals: &'a [PendingTask],
+        scheduler: &'a mut dyn Scheduler,
+    ) -> Harness<'a> {
+        let cfg = self.config;
+        let mut sim = Sim::new();
+        let state = Rc::new(RefCell::new(EngineState::new(
+            cfg,
+            cluster,
+            arrivals,
+            scheduler,
+            self.main_placer.as_ref(),
+            self.hp_placer.as_ref(),
+        )));
+        let engine = sim.add_component(
+            "engine",
+            EngineComponent {
+                state: state.clone(),
+            },
+        );
+        state.borrow_mut().engine_id = engine;
+        let source = sim.add_component(
+            "arrival_source",
+            ArrivalSource {
+                arrivals,
+                next: 0,
+                engine,
+            },
+        );
+        if let Some(first) = arrivals.first() {
+            sim.schedule_prio(first.arrival, PRIO_ADMIT, source, source, SchedEvent::Wake);
+        }
+        let timer = sim.add_component(
+            "cycle_timer",
+            CycleTimer {
+                period: cfg.cycle,
+                horizon: cfg.horizon,
+                engine,
+            },
+        );
+        sim.schedule_prio(0, PRIO_PASS, timer, timer, SchedEvent::Wake);
+        Harness {
+            sim,
+            engine,
+            state,
+            horizon: cfg.horizon,
+        }
     }
 
     /// Runs `arrivals` (sorted by arrival time) against the cluster under
-    /// the policy.
+    /// `scheduler`.
+    ///
+    /// The cluster is borrowed and handed back **reset** (allocations
+    /// cleared, churned machines restored), so A/B policy runs reuse one
+    /// cluster without deep-copying it.
     pub fn run(
         &self,
-        mut cluster: SchedCluster,
+        cluster: &mut SchedCluster,
         arrivals: &[PendingTask],
-        policy: &Policy,
+        scheduler: &mut dyn Scheduler,
     ) -> SimResult {
-        let cfg = self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5C4E_D111);
-        let mut result = SimResult::default();
-        let mut hp = PendingQueue::new();
-        let mut main = PendingQueue::new();
-        let mut finishes: BinaryHeap<Finish> = BinaryHeap::new();
-        let mut preempted_ids: std::collections::HashSet<TaskId> = Default::default();
-        // Runtime per task, fixed at arrival so policies see identical
-        // workloads.
-        let mut next_arrival = 0usize;
-
-        let mut now: Micros = 0;
-        while now <= cfg.horizon {
-            // 1. Complete finished tasks.
-            while let Some(f) = finishes.peek() {
-                if f.0 > now {
-                    break;
-                }
-                let Finish(_, task, machine) = finishes.pop().expect("peeked");
-                cluster.release(machine, task);
-            }
-            // 2. Admit arrivals.
-            while next_arrival < arrivals.len() && arrivals[next_arrival].arrival <= now {
-                let t = arrivals[next_arrival].clone();
-                next_arrival += 1;
-                let high_priority = match policy {
-                    Policy::MainOnly => false,
-                    Policy::Enhanced(analyzer) => {
-                        // The analyzer sees constraints only — no truth.
-                        !t.reqs.is_empty() && {
-                            // Re-derive the raw constraint check through
-                            // the analyzer's encoded prediction.
-                            analyzer_flags(analyzer, &t)
-                        }
-                    }
-                    Policy::OracleEnhanced => t.truth_group == 0,
-                };
-                if high_priority {
-                    hp.push(t);
-                } else {
-                    main.push(t);
-                }
-            }
-            // 3. High-priority scheduler: serve the whole HP queue with
-            //    preemption fallback.
-            let hp_len = hp.len();
-            for _ in 0..hp_len {
-                let Some(t) = hp.pop() else { break };
-                match best_fit_with_preemption(&cluster, &t) {
-                    Placement::Placed(m) => {
-                        place(
-                            &mut cluster,
-                            &mut finishes,
-                            &mut result,
-                            &mut rng,
-                            &cfg,
-                            &t,
-                            m,
-                            now,
-                            &preempted_ids,
-                        );
-                    }
-                    Placement::PlacedWithPreemption(m, victims) => {
-                        // Kubernetes-style eviction: victims lose their
-                        // slot; their placed record is marked disrupted
-                        // (rescheduling checkpointed work is out of scope
-                        // for the latency experiment).
-                        for v in victims {
-                            cluster.release(m, v);
-                            result.preemptions += 1;
-                            preempted_ids.insert(v);
-                            if let Some(rec) = result.placed.iter_mut().find(|r| r.task == v) {
-                                rec.was_preempted = true;
-                            }
-                        }
-                        place(
-                            &mut cluster,
-                            &mut finishes,
-                            &mut result,
-                            &mut rng,
-                            &cfg,
-                            &t,
-                            m,
-                            now,
-                            &preempted_ids,
-                        );
-                    }
-                    Placement::Infeasible => {
-                        // No node can ever satisfy the affinity —
-                        // Kubernetes would error the pod; we drop it.
-                        result.unplaced += 1;
-                    }
-                    Placement::NoCapacity => hp.requeue(t),
-                }
-            }
-            // 4. Main scheduler: bounded attempts per cycle.
-            for _ in 0..cfg.attempts_per_cycle.min(main.len()) {
-                let Some(t) = main.pop() else { break };
-                match best_fit(&cluster, &t) {
-                    Placement::Placed(m) => {
-                        place(
-                            &mut cluster,
-                            &mut finishes,
-                            &mut result,
-                            &mut rng,
-                            &cfg,
-                            &t,
-                            m,
-                            now,
-                            &preempted_ids,
-                        );
-                    }
-                    Placement::Infeasible => result.unplaced += 1,
-                    _ => main.requeue(t),
-                }
-            }
-            now += cfg.cycle;
-        }
-        result.unplaced += hp.len() + main.len();
+        let taken = std::mem::take(cluster);
+        let harness = self.harness(taken, arrivals, scheduler);
+        let (mut back, result) = harness.run();
+        back.reset();
+        *cluster = back;
         result
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn place(
-    cluster: &mut SchedCluster,
-    finishes: &mut BinaryHeap<Finish>,
-    result: &mut SimResult,
-    rng: &mut StdRng,
-    cfg: &SimConfig,
-    t: &PendingTask,
-    machine: u64,
-    now: Micros,
-    preempted: &std::collections::HashSet<TaskId>,
-) {
-    cluster.place(machine, t.id, t.cpu, t.memory, t.priority);
-    let u: f64 = rng.gen_range(1e-9..1.0);
-    let runtime = ((-u.ln()) * cfg.mean_runtime as f64) as Micros;
-    finishes.push(Finish(now + runtime.max(1), t.id, machine));
-    result.placed.push(PlacedRecord {
-        task: t.id,
-        truth_group: t.truth_group,
-        latency: now - t.arrival,
-        was_preempted: preempted.contains(&t.id),
-    });
+/// A built-but-not-run simulation: the kernel, the engine's component id
+/// and the shared engine state. Scenario components register against
+/// `sim`/`engine` before `run`.
+pub struct Harness<'a> {
+    /// The underlying kernel simulation.
+    pub sim: Sim<'a, SchedEvent>,
+    /// The engine's component id — the destination scenario components
+    /// emit scheduling events to.
+    pub engine: CompId,
+    state: Rc<RefCell<EngineState<'a>>>,
+    horizon: Micros,
 }
 
-fn analyzer_flags(analyzer: &TaskCoAnalyzer, t: &PendingTask) -> bool {
-    // The queue stores collapsed requirements; the analyzer consumes raw
-    // constraints, so score through its network directly via the encoded
-    // requirements.
-    use ctlm_data::encode::co_vv::CoVvEncoder;
-    use ctlm_tensor::CsrBuilder;
-    let entries = CoVvEncoder.encode_requirements(&t.reqs, analyzer.vocab());
-    let mut b = CsrBuilder::new(analyzer.features());
-    b.push_row(entries);
-    let g = analyzer.net().predict(&b.finish())[0];
-    g <= analyzer.priority_threshold
+impl<'a> Harness<'a> {
+    /// The shared engine state — scenario components and drivers may
+    /// inspect it (e.g. cluster state, queue depths) between or after
+    /// runs; holding the clone across [`Harness::run`] is fine.
+    pub fn state(&self) -> Rc<RefCell<EngineState<'a>>> {
+        self.state.clone()
+    }
+
+    /// Runs to the horizon and returns `(cluster, result)`. The cluster
+    /// is *not* reset — callers inspecting post-churn state see it as the
+    /// simulation left it.
+    pub fn run(mut self) -> (SchedCluster, SimResult) {
+        self.sim.run_until(self.horizon);
+        drop(self.sim); // components are done emitting
+        let mut state = self.state.borrow_mut();
+        state.finish()
+    }
 }
 
 /// Rescales arrival times into `[0, span]`, preserving order — trace
@@ -371,6 +766,7 @@ pub fn arrivals_from_trace(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scheduler::{MainOnly, OracleEnhanced};
     use ctlm_trace::{AttrValue, Machine};
 
     /// A 6-machine cluster hit by a 10-second burst of 400 small tasks:
@@ -431,9 +827,9 @@ mod tests {
 
     #[test]
     fn oracle_routing_cuts_group0_latency() {
-        let (cluster, arrivals) = contended_setup();
-        let base = sim().run(cluster.clone(), &arrivals, &Policy::MainOnly);
-        let enhanced = sim().run(cluster, &arrivals, &Policy::OracleEnhanced);
+        let (mut cluster, arrivals) = contended_setup();
+        let base = sim().run(&mut cluster, &arrivals, &mut MainOnly);
+        let enhanced = sim().run(&mut cluster, &arrivals, &mut OracleEnhanced);
         let b0 = base.group0_latency().expect("group0 placed under baseline");
         let e0 = enhanced
             .group0_latency()
@@ -448,9 +844,9 @@ mod tests {
 
     #[test]
     fn both_policies_place_most_tasks() {
-        let (cluster, arrivals) = contended_setup();
-        let base = sim().run(cluster.clone(), &arrivals, &Policy::MainOnly);
-        let enhanced = sim().run(cluster, &arrivals, &Policy::OracleEnhanced);
+        let (mut cluster, arrivals) = contended_setup();
+        let base = sim().run(&mut cluster, &arrivals, &mut MainOnly);
+        let enhanced = sim().run(&mut cluster, &arrivals, &mut OracleEnhanced);
         for (name, r) in [("base", &base), ("enhanced", &enhanced)] {
             let frac = r.placed.len() as f64 / arrivals.len() as f64;
             assert!(frac > 0.8, "{name} placed only {frac:.2}");
@@ -458,10 +854,25 @@ mod tests {
     }
 
     #[test]
+    fn ab_runs_on_one_cluster_match_fresh_clusters() {
+        // The reset path must leave no trace of the previous policy run.
+        let (mut shared, arrivals) = contended_setup();
+        let a1 = sim().run(&mut shared, &arrivals, &mut MainOnly);
+        let a2 = sim().run(&mut shared, &arrivals, &mut OracleEnhanced);
+        let (mut fresh1, _) = contended_setup();
+        let (mut fresh2, _) = contended_setup();
+        let b1 = sim().run(&mut fresh1, &arrivals, &mut MainOnly);
+        let b2 = sim().run(&mut fresh2, &arrivals, &mut OracleEnhanced);
+        assert_eq!(a1, b1);
+        assert_eq!(a2, b2);
+    }
+
+    #[test]
     fn preemption_happens_under_oracle_when_needed() {
         // Fill every machine with low-priority work, then submit a pinned
         // high-priority task: the HP path must preempt.
         let (cluster, _) = contended_setup();
+        let mut cluster = cluster;
         let mut arrivals = Vec::new();
         for k in 0..18u64 {
             arrivals.push(PendingTask {
@@ -495,7 +906,7 @@ mod tests {
             horizon: 30_000_000,
             seed: 1,
         };
-        let r = Simulator::new(config).run(cluster, &arrivals, &Policy::OracleEnhanced);
+        let r = Simulator::new(config).run(&mut cluster, &arrivals, &mut OracleEnhanced);
         assert!(r.preemptions > 0, "expected preemption to fire");
         assert!(
             r.placed.iter().any(|p| p.task == 999),

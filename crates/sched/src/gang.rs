@@ -61,7 +61,17 @@ pub fn place_gang(
     cluster: &mut crate::cluster::SchedCluster,
     gang: &[PendingTask],
 ) -> Option<Vec<(u64, u64)>> {
-    let mut placed: Vec<(u64, u64)> = Vec::with_capacity(gang.len());
+    place_gang_by_ref(cluster, gang.iter())
+}
+
+/// [`place_gang`] over borrowed members — the kernel engine's form, where
+/// gang members live in the shared task arena and are never cloned.
+/// Assignments are returned in member order.
+pub fn place_gang_by_ref<'a>(
+    cluster: &mut crate::cluster::SchedCluster,
+    gang: impl IntoIterator<Item = &'a PendingTask>,
+) -> Option<Vec<(u64, u64)>> {
+    let mut placed: Vec<(u64, u64)> = Vec::new();
     for t in gang {
         match crate::placement::best_fit(cluster, t) {
             crate::placement::Placement::Placed(m) => {

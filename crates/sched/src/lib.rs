@@ -1,6 +1,7 @@
 //! # ctlm-sched — enhanced cluster job scheduling (paper Fig. 3)
 //!
-//! The deployment architecture the paper proposes around the CTLM model:
+//! The deployment architecture the paper proposes around the CTLM model,
+//! hosted on the `ctlm-sim` discrete-event kernel:
 //!
 //! ```text
 //!            ┌────────────────────┐   group ≤ 0   ┌────────────────────────┐
@@ -12,17 +13,41 @@
 //!                                   └────────────────────────┘           └─────────┘
 //! ```
 //!
-//! * [`cluster`] — machines with capacity accounting;
+//! ## The component model
+//!
+//! The simulation is a set of `ctlm_sim::Component`s on one deterministic
+//! timeline. [`engine::ArrivalSource`] admits tasks from a *borrowed*
+//! arrival list, [`engine::CycleTimer`] fires the scheduler pass, and
+//! [`engine::EngineComponent`] owns the cluster, the two queues and the
+//! result. Scenario components ([`scenario`]) join the same timeline:
+//! machine churn, all-or-nothing gang arrivals, staged attribute
+//! rollouts, and (in examples) live trace feeds that drive retraining
+//! mid-run.
+//!
+//! Policies are open: the [`scheduler::Scheduler`] trait routes each
+//! arriving task to the high-priority or main queue
+//! ([`scheduler::MainOnly`], [`scheduler::Enhanced`],
+//! [`scheduler::OracleEnhanced`], and the hot-swapping
+//! [`scheduler::LiveRegistry`]); placement is pluggable through the
+//! [`placement::Placer`] trait instead of hardwired best-fit.
+//!
+//! ## Modules
+//!
+//! * [`cluster`] — machines with capacity accounting, churn
+//!   (offline/restore) and the cheap [`cluster::SchedCluster::reset`]
+//!   path for A/B policy runs;
 //! * [`queue`] — the pending job queue(s);
-//! * [`placement`] — best-fit placement and the Kubernetes-style
-//!   preemption fallback;
+//! * [`scheduler`] — the open routing-policy trait and its impls;
+//! * [`placement`] — placement strategies: best-fit, first-fit, soft
+//!   affinity, and the Kubernetes-style preemption fallback;
 //! * [`gang`] — gang grouping (“tasks in the same job are grouped by
-//!   their CO and scheduled together”);
-//! * [`engine`] — the discrete-event simulation that measures scheduling
-//!   latency per suitable-node group, with and without the analyzer;
+//!   their CO and scheduled together”) and atomic gang placement;
+//! * [`engine`] — the kernel-hosted simulation measuring scheduling
+//!   latency per suitable-node group;
+//! * [`scenario`] — churn, gang and rollout event sources;
 //! * [`updater`] — the background model-update thread (“updating ML model
 //!   runs in parallel and won't block or slow down the main cluster
-//!   scheduler”);
+//!   scheduler”), feeding [`scheduler::LiveRegistry`] mid-run;
 //! * [`latency`] — latency statistics.
 
 pub mod cluster;
@@ -31,9 +56,13 @@ pub mod gang;
 pub mod latency;
 pub mod placement;
 pub mod queue;
+pub mod scenario;
+pub mod scheduler;
 pub mod updater;
 
 pub use cluster::SchedCluster;
-pub use engine::{Policy, SimConfig, SimResult, Simulator};
+pub use engine::{SchedEvent, SimConfig, SimResult, Simulator};
 pub use latency::LatencyStats;
+pub use placement::{BestFit, Placer, PreemptiveBestFit};
 pub use queue::{PendingQueue, PendingTask};
+pub use scheduler::{Enhanced, LiveRegistry, MainOnly, OracleEnhanced, Scheduler};

@@ -25,6 +25,85 @@ pub enum Placement {
     NoCapacity,
 }
 
+/// A pluggable placement strategy — the engine no longer hardwires
+/// best-fit. Strategies are consulted once per placement attempt and may
+/// propose preemptions; the engine performs the actual reservation and
+/// eviction bookkeeping.
+pub trait Placer {
+    /// Proposes a placement for `task` on the current cluster state.
+    fn place(&self, cluster: &SchedCluster, task: &PendingTask) -> Placement;
+
+    /// Strategy name, for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// [`best_fit`] as a strategy — the main scheduler's default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BestFit;
+
+impl Placer for BestFit {
+    fn place(&self, cluster: &SchedCluster, task: &PendingTask) -> Placement {
+        best_fit(cluster, task)
+    }
+    fn name(&self) -> &'static str {
+        "best_fit"
+    }
+}
+
+/// [`best_fit_with_preemption`] as a strategy — the high-priority
+/// scheduler's default (Kubernetes-style eviction fallback).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PreemptiveBestFit;
+
+impl Placer for PreemptiveBestFit {
+    fn place(&self, cluster: &SchedCluster, task: &PendingTask) -> Placement {
+        best_fit_with_preemption(cluster, task)
+    }
+    fn name(&self) -> &'static str {
+        "best_fit_with_preemption"
+    }
+}
+
+/// First-fit: the first suitable machine (ascending id) with room wins.
+/// A deliberately simple contrast strategy for A/B runs on the kernel.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FirstFit;
+
+impl Placer for FirstFit {
+    fn place(&self, cluster: &SchedCluster, task: &PendingTask) -> Placement {
+        let suitable = cluster.suitable(&task.reqs);
+        if suitable.is_empty() {
+            return Placement::Infeasible;
+        }
+        for id in suitable {
+            if cluster.fits(id, task.cpu, task.memory) {
+                return Placement::Placed(id);
+            }
+        }
+        Placement::NoCapacity
+    }
+    fn name(&self) -> &'static str {
+        "first_fit"
+    }
+}
+
+/// [`best_fit_soft`] as a strategy: hard constraints filter, the fixed
+/// soft-preference set ranks, best-fit tie-breaks.
+#[derive(Clone, Debug, Default)]
+pub struct SoftAffinityBestFit {
+    /// Soft requirements applied to every task this placer serves.
+    pub soft: Vec<ctlm_data::compaction::AttrRequirement>,
+}
+
+impl Placer for SoftAffinityBestFit {
+    fn place(&self, cluster: &SchedCluster, task: &PendingTask) -> Placement {
+        best_fit_soft(cluster, task, &self.soft)
+    }
+    fn name(&self) -> &'static str {
+        "best_fit_soft"
+    }
+}
+
 /// Best-fit placement: among suitable machines with room, pick the one
 /// whose remaining CPU after placement is smallest (ties: lowest id).
 pub fn best_fit(cluster: &SchedCluster, task: &PendingTask) -> Placement {

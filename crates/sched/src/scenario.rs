@@ -1,0 +1,367 @@
+//! Scenario components — event sources the old monolithic simulation
+//! loop could not express.
+//!
+//! Each type here is a kernel [`Component`] that joins a
+//! [`Harness`](crate::engine::Harness) and emits [`SchedEvent`]s at the
+//! engine. Because they share the one timeline, scenarios compose: churn
+//! can run under any [`Scheduler`](crate::scheduler::Scheduler), gangs
+//! can arrive during churn, and a staged kernel rollout can grow the
+//! attribute vocabulary while tasks are being scheduled.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ctlm_sim::{CompId, Component, Ctx, Event};
+use ctlm_trace::{AttrId, AttrValue, Machine, MachineId, Micros};
+
+use crate::engine::{SchedEvent, PRIO_ADMIT, PRIO_STATE};
+
+/// One churn action at a point in time.
+#[derive(Clone, Debug)]
+pub enum ChurnAction {
+    /// A machine drains; its tasks re-enter the queue.
+    Fail(MachineId),
+    /// A previously drained machine rejoins (empty).
+    Restore(MachineId),
+    /// A new machine joins the fleet.
+    Join(Box<Machine>),
+}
+
+/// A deterministic churn schedule.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnPlan {
+    /// `(time, action)` pairs, sorted by time.
+    pub events: Vec<(Micros, ChurnAction)>,
+}
+
+impl ChurnPlan {
+    /// A plan from explicit `(time, action)` pairs (sorted internally —
+    /// relative order of same-time actions is preserved).
+    pub fn new(mut events: Vec<(Micros, ChurnAction)>) -> Self {
+        events.sort_by_key(|&(t, _)| t);
+        Self { events }
+    }
+
+    /// Seeded random drain/restore waves: `failures` *distinct* machines
+    /// picked from `fleet` fail uniformly inside `window`, each coming
+    /// back `outage` µs later.
+    pub fn random_drain(
+        seed: u64,
+        fleet: &[MachineId],
+        failures: usize,
+        window: (Micros, Micros),
+        outage: Micros,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4012);
+        let mut events = Vec::new();
+        let span = window.1.saturating_sub(window.0).max(1);
+        // Sample without replacement — a duplicate pick would make the
+        // second Fail a no-op and quietly run fewer failures than asked.
+        let mut pool: Vec<MachineId> = fleet.to_vec();
+        for k in 0..failures.min(fleet.len()) {
+            let id = pool.swap_remove(rng.gen_range(0..pool.len()));
+            let t = window.0 + rng.gen_range(0..span);
+            events.push((t, ChurnAction::Fail(id)));
+            events.push((t + outage + k as Micros, ChurnAction::Restore(id)));
+        }
+        Self::new(events)
+    }
+
+    /// True when no actions are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Walks a [`ChurnPlan`], emitting machine-state events at the engine.
+pub struct ChurnSource {
+    plan: ChurnPlan,
+    next: usize,
+    engine: CompId,
+}
+
+impl ChurnSource {
+    /// A source over `plan`, targeting the engine component.
+    pub fn new(plan: ChurnPlan, engine: CompId) -> Self {
+        Self {
+            plan,
+            next: 0,
+            engine,
+        }
+    }
+
+    /// First action time, if any (the harness seeds the first wake-up
+    /// there).
+    pub fn first_time(&self) -> Option<Micros> {
+        self.plan.events.first().map(|&(t, _)| t)
+    }
+}
+
+impl Component<SchedEvent> for ChurnSource {
+    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.now();
+        while self.next < self.plan.events.len() && self.plan.events[self.next].0 <= now {
+            let (_, action) = &self.plan.events[self.next];
+            let ev = match action {
+                ChurnAction::Fail(id) => SchedEvent::MachineFail(*id),
+                ChurnAction::Restore(id) => SchedEvent::MachineRestore(*id),
+                ChurnAction::Join(m) => SchedEvent::MachineJoin(m.clone()),
+            };
+            ctx.emit_prio(0, PRIO_STATE, self.engine, ev);
+            self.next += 1;
+        }
+        if self.next < self.plan.events.len() {
+            let delay = self.plan.events[self.next].0 - now;
+            ctx.emit_self_prio(delay, PRIO_STATE, SchedEvent::Wake);
+        }
+    }
+}
+
+/// Emits all-or-nothing gang arrivals: each entry is `(time, members)`.
+/// Members are owned tasks — they join the engine's arena on arrival and
+/// never pass through the individual admission path.
+pub struct GangSource {
+    gangs: Vec<(Micros, Vec<crate::queue::PendingTask>)>,
+    next: usize,
+    engine: CompId,
+}
+
+impl GangSource {
+    /// A source over `(time, members)` gangs (sorted internally).
+    pub fn new(mut gangs: Vec<(Micros, Vec<crate::queue::PendingTask>)>, engine: CompId) -> Self {
+        gangs.sort_by_key(|&(t, _)| t);
+        Self {
+            gangs,
+            next: 0,
+            engine,
+        }
+    }
+
+    /// First gang arrival time, if any.
+    pub fn first_time(&self) -> Option<Micros> {
+        self.gangs.first().map(|&(t, _)| t)
+    }
+}
+
+impl Component<SchedEvent> for GangSource {
+    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.now();
+        while self.next < self.gangs.len() && self.gangs[self.next].0 <= now {
+            let members = std::mem::take(&mut self.gangs[self.next].1);
+            ctx.emit_prio(0, PRIO_ADMIT, self.engine, SchedEvent::GangArrival(members));
+            self.next += 1;
+        }
+        if self.next < self.gangs.len() {
+            let delay = self.gangs[self.next].0 - now;
+            ctx.emit_self_prio(delay, PRIO_ADMIT, SchedEvent::Wake);
+        }
+    }
+}
+
+/// One stage of a staged attribute rollout (e.g. a kernel-version
+/// upgrade washing over the fleet): at `time`, every machine in
+/// `machines` gets `attr = value`.
+#[derive(Clone, Debug)]
+pub struct RolloutStage {
+    /// When the stage lands.
+    pub time: Micros,
+    /// Machines upgraded in this stage.
+    pub machines: Vec<MachineId>,
+    /// The new attribute value.
+    pub value: AttrValue,
+}
+
+/// Emits staged [`SchedEvent::AttrUpdate`]s at the engine — the
+/// cluster-side half of a rollout. Online simulations mirror the same
+/// updates into a replay/retraining component so the vocabulary grows
+/// live (see `examples/online_simulation.rs`).
+pub struct RolloutSource {
+    attr: AttrId,
+    stages: Vec<RolloutStage>,
+    next: usize,
+    engine: CompId,
+}
+
+impl RolloutSource {
+    /// A source rolling `attr` through `stages` (sorted internally).
+    pub fn new(attr: AttrId, mut stages: Vec<RolloutStage>, engine: CompId) -> Self {
+        stages.sort_by_key(|s| s.time);
+        Self {
+            attr,
+            stages,
+            next: 0,
+            engine,
+        }
+    }
+
+    /// First stage time, if any.
+    pub fn first_time(&self) -> Option<Micros> {
+        self.stages.first().map(|s| s.time)
+    }
+}
+
+impl Component<SchedEvent> for RolloutSource {
+    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.now();
+        while self.next < self.stages.len() && self.stages[self.next].time <= now {
+            let stage = &self.stages[self.next];
+            for &m in &stage.machines {
+                ctx.emit_prio(
+                    0,
+                    PRIO_STATE,
+                    self.engine,
+                    SchedEvent::AttrUpdate {
+                        machine: m,
+                        attr: self.attr,
+                        value: Some(stage.value.clone()),
+                    },
+                );
+            }
+            self.next += 1;
+        }
+        if self.next < self.stages.len() {
+            let delay = self.stages[self.next].time - now;
+            ctx.emit_self_prio(delay, PRIO_STATE, SchedEvent::Wake);
+        }
+    }
+}
+
+/// Feeds a (corrected, time-ordered) trace event stream into a combined
+/// replay + scheduling simulation — the online loop the paper describes.
+///
+/// Each trace event is first observed by the embedded
+/// [`ReplayComponent`](ctlm_agocs::ReplayComponent) (growing the
+/// vocabulary, emitting dataset steps — whose callback typically submits
+/// retraining work to a background
+/// [`ModelUpdater`](crate::updater::ModelUpdater)), then mirrored at the
+/// engine: machine adds/removes/attribute updates become cluster churn,
+/// and task submissions become admissions labelled with the *live*
+/// ground-truth suitable-node count. Replay and scheduling share one
+/// timeline, so an analyzer hot-swapped mid-run immediately changes
+/// routing — something the two old monolithic loops could not express.
+pub struct OnlineTraceFeed<'a> {
+    events: Vec<ctlm_trace::TraceEvent>,
+    next: usize,
+    engine: CompId,
+    replay: ctlm_agocs::ReplayComponent<'a>,
+    group_width: usize,
+}
+
+impl<'a> OnlineTraceFeed<'a> {
+    /// A feed over `events`, labelling tasks with `group_width`-wide
+    /// groups and observing every event into `replay`.
+    pub fn new(
+        events: Vec<ctlm_trace::TraceEvent>,
+        group_width: usize,
+        engine: CompId,
+        replay: ctlm_agocs::ReplayComponent<'a>,
+    ) -> Self {
+        Self {
+            events,
+            next: 0,
+            engine,
+            replay,
+            group_width,
+        }
+    }
+
+    /// First event time, if any.
+    pub fn first_time(&self) -> Option<Micros> {
+        self.events.first().map(|e| e.time)
+    }
+}
+
+impl Component<SchedEvent> for OnlineTraceFeed<'_> {
+    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        use ctlm_trace::EventPayload;
+        let now = ctx.now();
+        while self.next < self.events.len() && self.events[self.next].time <= now {
+            let ev = &self.events[self.next];
+            // Replay sees the event first, so suitable-node labels below
+            // are computed against the state *including* this event.
+            self.replay.observe(ev);
+            match &ev.payload {
+                EventPayload::MachineAdd(m) => ctx.emit_prio(
+                    0,
+                    PRIO_STATE,
+                    self.engine,
+                    SchedEvent::MachineJoin(Box::new(m.clone())),
+                ),
+                EventPayload::MachineRemove(id) => {
+                    ctx.emit_prio(0, PRIO_STATE, self.engine, SchedEvent::MachineFail(*id))
+                }
+                EventPayload::MachineAttrUpdate {
+                    machine,
+                    attr,
+                    value,
+                } => ctx.emit_prio(
+                    0,
+                    PRIO_STATE,
+                    self.engine,
+                    SchedEvent::AttrUpdate {
+                        machine: *machine,
+                        attr: *attr,
+                        value: value.clone(),
+                    },
+                ),
+                EventPayload::TaskSubmit(task) => {
+                    if let Ok(reqs) = ctlm_data::compaction::collapse(&task.constraints) {
+                        let suitable = self.replay.suitable_count(&reqs);
+                        if suitable > 0 {
+                            let truth_group =
+                                ctlm_data::dataset::group_for_count(suitable, self.group_width);
+                            ctx.emit_prio(
+                                0,
+                                PRIO_ADMIT,
+                                self.engine,
+                                SchedEvent::Admit(Box::new(crate::queue::PendingTask {
+                                    id: task.id,
+                                    collection: task.collection,
+                                    cpu: task.cpu.min(0.9),
+                                    memory: task.memory.min(0.9),
+                                    priority: task.priority,
+                                    reqs,
+                                    arrival: ev.time,
+                                    truth_group,
+                                })),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+            self.next += 1;
+        }
+        if self.next < self.events.len() {
+            let delay = self.events[self.next].time - now;
+            ctx.emit_self_prio(delay, PRIO_STATE, SchedEvent::Wake);
+        }
+    }
+}
+
+/// Rescales trace event times into `[0, span]`, preserving order — the
+/// stream-level analogue of [`crate::engine::compress_timeline`], for
+/// online simulations that feed whole traces through the kernel.
+pub fn compress_event_times(events: &mut [ctlm_trace::TraceEvent], span: Micros) {
+    ctlm_trace::event::compress_times(events, span);
+}
+
+/// Registers a self-waking scenario source on a harness and seeds its
+/// first wake-up, returning the component id. `first` is the source's
+/// first action time; sources with nothing to do are still registered
+/// but never woken.
+pub fn attach_source<'a>(
+    harness: &mut crate::engine::Harness<'a>,
+    name: &str,
+    source: impl Component<SchedEvent> + 'a,
+    first: Option<Micros>,
+    priority: u8,
+) -> CompId {
+    let id = harness.sim.add_component(name, source);
+    if let Some(t) = first {
+        harness
+            .sim
+            .schedule_prio(t, priority, id, id, SchedEvent::Wake);
+    }
+    id
+}

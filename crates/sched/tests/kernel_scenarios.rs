@@ -1,0 +1,301 @@
+//! Kernel-engine scenario tests: determinism across every `Scheduler`
+//! impl, the preemption fallback, machine churn, and atomic gang
+//! placement — paths the old monolithic loop either hardcoded or could
+//! not express.
+
+use std::sync::Arc;
+
+use ctlm_core::{GrowingModel, ModelRegistry, TaskCoAnalyzer, TrainConfig};
+use ctlm_data::compaction::collapse;
+use ctlm_data::dataset::{DatasetBuilder, NUM_GROUPS};
+use ctlm_data::encode::co_vv::CoVvEncoder;
+use ctlm_data::vocab::ValueVocab;
+use ctlm_sched::engine::{SimConfig, SimResult, Simulator};
+use ctlm_sched::placement::PreemptiveBestFit;
+use ctlm_sched::scenario::{attach_source, ChurnAction, ChurnPlan, ChurnSource, GangSource};
+use ctlm_sched::scheduler::{Enhanced, LiveRegistry, MainOnly, OracleEnhanced, Scheduler};
+use ctlm_sched::{PendingTask, SchedCluster};
+use ctlm_trace::{AttrValue, ConstraintOp as Op, Machine, TaskConstraint};
+
+fn cluster(n: u64) -> SchedCluster {
+    let mut ms = Vec::new();
+    for i in 0..n {
+        let mut m = Machine::new(i, 1.0, 1.0);
+        m.set_attr(0, AttrValue::Int(i as i64));
+        ms.push(m);
+    }
+    SchedCluster::from_machines(ms)
+}
+
+fn task(id: u64, arrival: u64, cpu: f64, priority: u8) -> PendingTask {
+    PendingTask {
+        id,
+        collection: 1,
+        cpu,
+        memory: cpu,
+        priority,
+        reqs: vec![],
+        arrival,
+        truth_group: 25,
+    }
+}
+
+fn pinned(id: u64, arrival: u64, cpu: f64, priority: u8, machine: i64) -> PendingTask {
+    let reqs = collapse(&[TaskConstraint::new(
+        0,
+        Op::Equal(Some(AttrValue::Int(machine))),
+    )])
+    .unwrap();
+    PendingTask {
+        reqs,
+        truth_group: 0,
+        collection: 2,
+        ..task(id, arrival, cpu, priority)
+    }
+}
+
+/// A mixed workload with enough contention that routing matters.
+fn workload() -> Vec<PendingTask> {
+    let mut arrivals = Vec::new();
+    for k in 0..300u64 {
+        arrivals.push(task(k, k * 40_000, 0.12, 2));
+    }
+    for (j, at) in [(0u64, 4_000_000u64), (1, 9_000_000), (2, 14_000_000)] {
+        arrivals.push(pinned(2000 + j, at, 0.2, 6, (j % 6) as i64));
+    }
+    arrivals.sort_by_key(|t| t.arrival);
+    arrivals
+}
+
+fn sim() -> Simulator {
+    Simulator::new(SimConfig {
+        cycle: 500_000,
+        attempts_per_cycle: 3,
+        mean_runtime: 6_000_000,
+        horizon: 120_000_000,
+        seed: 11,
+    })
+}
+
+/// A deterministically trained analyzer over a tiny synthetic CO-VV
+/// vocabulary (attribute 0, integer values) — enough for `Enhanced` and
+/// `LiveRegistry` to exercise the model path.
+fn tiny_analyzer() -> TaskCoAnalyzer {
+    let mut vocab = ValueVocab::new();
+    for v in 0..8 {
+        vocab.observe(0, &AttrValue::Int(v));
+    }
+    let width = vocab.len();
+    let enc = CoVvEncoder;
+    let mut b = DatasetBuilder::new(width, NUM_GROUPS);
+    for k in 1..8i64 {
+        for _ in 0..40 {
+            let reqs = collapse(&[TaskConstraint::new(0, Op::LessThan(k))]).unwrap();
+            let row = enc.encode_requirements(&reqs, &vocab);
+            b.push(row, ctlm_data::dataset::group_for_count(k as usize, 1));
+        }
+    }
+    let ds = b.snapshot(width);
+    let mut model = GrowingModel::new(TrainConfig {
+        epochs_limit: 60,
+        max_attempts: 2,
+        ..TrainConfig::default()
+    });
+    model.step(&ds, 3);
+    let mut analyzer = TaskCoAnalyzer::new(model.to_net(), vocab);
+    analyzer.priority_threshold = 0;
+    analyzer
+}
+
+fn run_twice(mut make: impl FnMut() -> Box<dyn Scheduler>) -> (SimResult, SimResult) {
+    let arrivals = workload();
+    let mut c1 = cluster(6);
+    let r1 = sim().run(&mut c1, &arrivals, make().as_mut());
+    let mut c2 = cluster(6);
+    let r2 = sim().run(&mut c2, &arrivals, make().as_mut());
+    (r1, r2)
+}
+
+#[test]
+fn every_scheduler_impl_is_bit_deterministic() {
+    // MainOnly and OracleEnhanced: pure routing.
+    let (a, b) = run_twice(|| Box::new(MainOnly));
+    assert_eq!(a, b, "MainOnly must be bit-identical across runs");
+    assert!(!a.placed.is_empty());
+
+    let (a, b) = run_twice(|| Box::new(OracleEnhanced));
+    assert_eq!(a, b, "OracleEnhanced must be bit-identical across runs");
+
+    // Enhanced: the trained-model path.
+    let analyzer = Arc::new(tiny_analyzer());
+    let (a, b) = {
+        let analyzer = analyzer.clone();
+        run_twice(move || Box::new(Enhanced::new(analyzer.clone())))
+    };
+    assert_eq!(a, b, "Enhanced must be bit-identical across runs");
+
+    // LiveRegistry with a pre-installed model (no background racing):
+    // routing reads through the hot-swap point deterministically.
+    let (a, b) = run_twice(|| {
+        let registry = ModelRegistry::new();
+        registry.install(tiny_analyzer());
+        Box::new(LiveRegistry::new(registry))
+    });
+    assert_eq!(a, b, "LiveRegistry must be bit-identical across runs");
+}
+
+#[test]
+fn preemption_fallback_fires_on_the_hp_path() {
+    // Saturate the fleet with low-priority work, then a pinned
+    // high-priority task arrives: the HP path must evict to place.
+    let mut arrivals: Vec<PendingTask> = (0..12u64).map(|k| task(k, 0, 0.45, 1)).collect();
+    arrivals.push(pinned(99, 2_000_000, 0.5, 9, 0));
+    let config = SimConfig {
+        cycle: 500_000,
+        attempts_per_cycle: 20,
+        mean_runtime: 300_000_000,
+        horizon: 20_000_000,
+        seed: 5,
+    };
+    let mut c = cluster(6);
+    let r = Simulator::new(config).run(&mut c, &arrivals, &mut OracleEnhanced);
+    assert!(r.preemptions > 0, "expected eviction");
+    let rec = r
+        .placed
+        .iter()
+        .find(|p| p.task == 99)
+        .expect("pinned placed");
+    assert_eq!(rec.truth_group, 0);
+    // Victims are marked.
+    assert!(r.placed.iter().any(|p| p.was_preempted));
+}
+
+#[test]
+fn preemptive_placer_pluggable_on_the_main_queue() {
+    // The placement strategy is a parameter now: give the *main* queue
+    // the preemptive strategy and MainOnly routing still evicts.
+    let mut arrivals: Vec<PendingTask> = (0..12u64).map(|k| task(k, 0, 0.45, 1)).collect();
+    arrivals.push(task(99, 2_000_000, 0.5, 9));
+    let config = SimConfig {
+        cycle: 500_000,
+        attempts_per_cycle: 20,
+        mean_runtime: 300_000_000,
+        horizon: 20_000_000,
+        seed: 5,
+    };
+    let mut c = cluster(6);
+    let r = Simulator::new(config)
+        .with_placers(Box::new(PreemptiveBestFit), Box::new(PreemptiveBestFit))
+        .run(&mut c, &arrivals, &mut MainOnly);
+    assert!(
+        r.preemptions > 0,
+        "preemptive strategy on the main queue must evict"
+    );
+    assert!(r.placed.iter().any(|p| p.task == 99));
+}
+
+#[test]
+fn churn_drains_machines_and_requeues_their_tasks() {
+    // Long-running tasks fill 6 machines; three machines fail mid-run and
+    // return later. Their tasks must re-enter the queue and the result
+    // must count the reschedules.
+    let arrivals: Vec<PendingTask> = (0..18u64).map(|k| task(k, 0, 0.3, 2)).collect();
+    let config = SimConfig {
+        cycle: 500_000,
+        attempts_per_cycle: 20,
+        mean_runtime: 400_000_000, // effectively never finish naturally
+        horizon: 60_000_000,
+        seed: 2,
+    };
+    let plan = ChurnPlan::new(vec![
+        (10_000_000, ChurnAction::Fail(0)),
+        (12_000_000, ChurnAction::Fail(1)),
+        (14_000_000, ChurnAction::Fail(2)),
+        (30_000_000, ChurnAction::Restore(0)),
+        (30_000_000, ChurnAction::Restore(1)),
+        (32_000_000, ChurnAction::Restore(2)),
+    ]);
+    let simulator = Simulator::new(config);
+    let mut scheduler = MainOnly;
+    let mut harness = simulator.harness(cluster(6), &arrivals, &mut scheduler);
+    let churn = ChurnSource::new(plan, harness.engine);
+    let first = churn.first_time();
+    attach_source(&mut harness, "churn", churn, first, 0);
+    let (cluster_after, result) = harness.run();
+    assert!(
+        result.churn_rescheduled >= 9,
+        "3 machines × ~3 tasks each must requeue, got {}",
+        result.churn_rescheduled
+    );
+    assert_eq!(
+        cluster_after.len(),
+        6,
+        "restored machines must rejoin the fleet"
+    );
+    // Rescheduled tasks keep one placed record each (first placement).
+    assert_eq!(result.placed.len(), 18);
+}
+
+#[test]
+fn churned_cluster_resets_for_ab_runs() {
+    // After a churn run, `reset` must bring back drained machines so an
+    // A/B comparison on the same cluster object stays fair.
+    let arrivals: Vec<PendingTask> = (0..6u64).map(|k| task(k, 0, 0.3, 2)).collect();
+    let simulator = Simulator::new(SimConfig {
+        cycle: 500_000,
+        attempts_per_cycle: 8,
+        mean_runtime: 400_000_000,
+        horizon: 20_000_000,
+        seed: 3,
+    });
+    let mut scheduler = MainOnly;
+    let mut harness = simulator.harness(cluster(6), &arrivals, &mut scheduler);
+    let plan = ChurnPlan::new(vec![(5_000_000, ChurnAction::Fail(4))]);
+    let churn = ChurnSource::new(plan, harness.engine);
+    let first = churn.first_time();
+    attach_source(&mut harness, "churn", churn, first, 0);
+    let (mut cluster_after, _) = harness.run();
+    assert_eq!(cluster_after.len(), 5, "machine 4 still drained");
+    cluster_after.reset();
+    assert_eq!(cluster_after.len(), 6, "reset restores the fleet");
+    assert_eq!(cluster_after.cpu_utilisation(), 0.0);
+}
+
+#[test]
+fn gangs_place_all_or_nothing_on_the_kernel() {
+    // A 4-member gang needing 0.8 CPU each on a 6-machine cluster that
+    // has only 3 free machines at arrival: nothing places until enough
+    // capacity frees, then the whole gang lands in one cycle.
+    let arrivals: Vec<PendingTask> = (0..3u64).map(|k| task(k, 0, 0.8, 2)).collect();
+    // Gang members arrive only through the gang source — owned tasks,
+    // never in the individual admission path.
+    let gang_members: Vec<PendingTask> = (0..4u64)
+        .map(|g| task(100 + g, 1_000_000, 0.8, 5))
+        .collect();
+    let config = SimConfig {
+        cycle: 500_000,
+        attempts_per_cycle: 8,
+        mean_runtime: 8_000_000, // blockers drain after ~8 s
+        horizon: 60_000_000,
+        seed: 7,
+    };
+    let simulator = Simulator::new(config);
+    let mut scheduler = MainOnly;
+    let mut harness = simulator.harness(cluster(6), &arrivals, &mut scheduler);
+    let gangs = GangSource::new(vec![(1_000_000, gang_members)], harness.engine);
+    let first = gangs.first_time();
+    attach_source(&mut harness, "gangs", gangs, first, 1);
+    let (_, result) = harness.run();
+    assert_eq!(result.gangs_placed, 1, "gang must eventually place whole");
+    let placed_members = result
+        .placed
+        .iter()
+        .filter(|p| p.task >= 100)
+        .collect::<Vec<_>>();
+    assert_eq!(placed_members.len(), 4, "all members place");
+    let latencies: Vec<u64> = placed_members.iter().map(|p| p.latency).collect();
+    assert!(
+        latencies.iter().all(|&l| l == latencies[0]),
+        "atomic placement: one cycle, identical latency {latencies:?}"
+    );
+}

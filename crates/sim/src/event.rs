@@ -1,0 +1,214 @@
+//! Typed events and the deterministic event queue.
+
+use std::collections::BinaryHeap;
+
+use crate::kernel::CompId;
+
+/// Simulation time in microseconds — the GCD trace convention shared by
+/// every consumer of the kernel.
+pub type Time = u64;
+
+/// A scheduled event: a payload travelling from `src` to `dst`, delivered
+/// at `time`.
+#[derive(Clone, Debug)]
+pub struct Event<E> {
+    /// Delivery time (µs).
+    pub time: Time,
+    /// Delivery class at equal timestamps: lower delivers first. Lets a
+    /// model define intra-instant phases (e.g. completions before
+    /// admissions before the scheduling pass) without fragile reliance on
+    /// insertion order.
+    pub priority: u8,
+    /// Queue insertion number — the final, stable tie-break for events
+    /// sharing `(time, priority)`, and a per-run unique id.
+    pub seq: u64,
+    /// Component that scheduled the event.
+    pub src: CompId,
+    /// Component the event is delivered to.
+    pub dst: CompId,
+    /// The typed payload.
+    pub payload: E,
+}
+
+/// Heap entry ordered as a *min*-heap on `(time, seq)`. Payloads never
+/// participate in ordering, so `E` needs no trait bounds.
+struct Entry<E>(Event<E>);
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.0.time, other.0.priority, other.0.seq).cmp(&(
+            self.0.time,
+            self.0.priority,
+            self.0.seq,
+        ))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The pending-event queue: a binary heap with a stable
+/// `(time, priority, seq)` total order, so two runs that schedule the
+/// same events pop them in the same order — the kernel's reproducibility
+/// guarantee.
+///
+/// Bulk pre-sorted streams (a replayed trace is one long time-ordered
+/// event list) take a second lane: [`EventQueue::push_sorted_batch`]
+/// appends them to a FIFO that [`EventQueue::pop`] merges with the heap,
+/// so feeding N already-ordered events costs O(N) instead of
+/// O(N log N) heap sifts.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    sorted: std::collections::VecDeque<Event<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            sorted: std::collections::VecDeque::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event, assigning the next sequence number.
+    pub fn push(&mut self, time: Time, priority: u8, src: CompId, dst: CompId, payload: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry(Event {
+            time,
+            priority,
+            seq,
+            src,
+            dst,
+            payload,
+        }));
+    }
+
+    /// Appends a time-ordered batch to the sorted lane, assigning
+    /// sequence numbers in stream order.
+    ///
+    /// # Panics
+    /// Panics if the batch is not sorted by time, or starts before the
+    /// sorted lane's current tail.
+    pub fn push_sorted_batch(
+        &mut self,
+        priority: u8,
+        src: CompId,
+        dst: CompId,
+        batch: impl IntoIterator<Item = (Time, E)>,
+    ) {
+        let mut last = self.sorted.back().map(|e| e.time).unwrap_or(0);
+        for (time, payload) in batch {
+            assert!(time >= last, "sorted batch out of order");
+            last = time;
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.sorted.push_back(Event {
+                time,
+                priority,
+                seq,
+                src,
+                dst,
+                payload,
+            });
+        }
+    }
+
+    /// Removes and returns the earliest event across both lanes.
+    pub fn pop(&mut self) -> Option<Event<E>> {
+        let take_sorted = match (self.sorted.front(), self.heap.peek()) {
+            (Some(s), Some(h)) => (s.time, s.priority, s.seq) < (h.0.time, h.0.priority, h.0.seq),
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if take_sorted {
+            self.sorted.pop_front()
+        } else {
+            self.heap.pop().map(|e| e.0)
+        }
+    }
+
+    /// Delivery time of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        let s = self.sorted.front().map(|e| e.time);
+        let h = self.heap.peek().map(|e| e.0.time);
+        match (s, h) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len() + self.sorted.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty() && self.sorted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, 0, 0, 0, "c");
+        q.push(10, 0, 0, 0, "a");
+        q.push(20, 0, 0, 0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(5, 0, 0, 0, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seq_is_globally_unique_across_times() {
+        let mut q = EventQueue::new();
+        q.push(1, 0, 0, 0, ());
+        q.push(1, 0, 0, 0, ());
+        q.push(0, 0, 0, 0, ());
+        let seqs: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.seq)).collect();
+        assert_eq!(seqs, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn priority_orders_within_a_timestamp() {
+        let mut q = EventQueue::new();
+        q.push(5, 2, 0, 0, "pass");
+        q.push(5, 0, 0, 0, "finish");
+        q.push(5, 1, 0, 0, "admit");
+        q.push(4, 9, 0, 0, "earlier");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["earlier", "finish", "admit", "pass"]);
+    }
+}

@@ -95,6 +95,21 @@ impl TraceEvent {
     }
 }
 
+/// Rescales a time-ordered event stream onto `[0, span]`, preserving
+/// order — simulations compress multi-week traces onto minutes-to-hours
+/// experiment windows (the loaded regime where queueing effects exist).
+/// The per-arrival analogue for already-extracted task lists is
+/// `ctlm_sched::engine::compress_timeline`.
+pub fn compress_times(events: &mut [TraceEvent], span: Micros) {
+    let max = events.iter().map(|e| e.time).max().unwrap_or(0);
+    if max == 0 {
+        return;
+    }
+    for e in events.iter_mut() {
+        e.time = ((e.time as u128 * span as u128) / max as u128) as Micros;
+    }
+}
+
 /// Formats a timestamp as `day HH:MM` (Table XI step labels).
 pub fn format_day_hour_minute(t: Micros) -> String {
     let day = t / MICROS_PER_DAY;
@@ -107,6 +122,21 @@ pub fn format_day_hour_minute(t: Micros) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn compress_times_preserves_order_and_hits_span() {
+        let mut events: Vec<TraceEvent> = [0u64, 5_000, 40_000, 100_000]
+            .iter()
+            .map(|&t| TraceEvent::new(t, EventPayload::CollectionFinish(1)))
+            .collect();
+        compress_times(&mut events, 1_000);
+        let times: Vec<Micros> = events.iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![0, 50, 400, 1_000]);
+        // Empty / all-zero streams are untouched.
+        let mut zero = vec![TraceEvent::new(0, EventPayload::CollectionFinish(1))];
+        compress_times(&mut zero, 1_000);
+        assert_eq!(zero[0].time, 0);
+    }
 
     #[test]
     fn day_hour_minute_formatting() {

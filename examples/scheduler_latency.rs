@@ -7,8 +7,6 @@
 //! cargo run --release --example scheduler_latency
 //! ```
 
-use std::sync::Arc;
-
 use ctlm::prelude::*;
 use ctlm::sched::updater::ModelUpdater;
 
@@ -41,7 +39,7 @@ fn main() {
 
     // Identical arrivals under both policies, compressed onto a loaded
     // 15-minute window so queueing pressure exists.
-    let (cluster, mut arrivals) = arrivals_from_trace(&trace, 5_000);
+    let (mut cluster, mut arrivals) = arrivals_from_trace(&trace, 5_000);
     ctlm::sched::engine::compress_timeline(&mut arrivals, 15 * 60 * 1_000_000);
     println!(
         "simulating {} arrivals on {} machines\n",
@@ -55,11 +53,11 @@ fn main() {
         horizon: 3_600_000_000,
         seed: 13,
     });
-    let base = sim.run(cluster.clone(), &arrivals, &Policy::MainOnly);
+    let base = sim.run(&mut cluster, &arrivals, &mut MainOnly);
     let enhanced = sim.run(
-        cluster.clone(),
+        &mut cluster,
         &arrivals,
-        &Policy::Enhanced(Arc::new(analyzer.as_ref().clone())),
+        &mut Enhanced::new(analyzer.clone()),
     );
 
     for (name, r) in [("main-only", &base), ("enhanced (Fig. 3)", &enhanced)] {

@@ -1,4 +1,4 @@
-//! Offline stand-in for `rayon`, built on `std::thread::scope`.
+//! Offline stand-in for `rayon`, built on a persistent worker pool.
 //!
 //! The build container has no crates.io access, so this shim implements
 //! the combinator chains the workspace actually uses:
@@ -7,20 +7,31 @@
 //! * `slice.par_iter().map(f).collect::<Vec<_>>()` / `.filter(p).count()`
 //! * `(0..n).into_par_iter().map(f).collect::<Vec<_>>()`
 //!
-//! Work is split into one contiguous range per available core and run on
-//! scoped threads; on a single-core host everything runs inline with no
-//! thread spawned. Unlike real rayon there is no work-stealing pool, so
-//! each parallel call pays a thread-spawn; callers gate small inputs with
-//! their `PAR_THRESHOLD` constants, which keeps that cost off the hot
-//! path for the batch sizes where it would matter.
+//! Work is split into one contiguous range per available worker. Ranges
+//! run on the lazily started worker pool (`pool` module) — long-lived
+//! threads fed through a shared injector queue, like rayon's global pool (minus work-stealing:
+//! contiguous pre-split ranges make a deque-per-worker unnecessary).
+//! The calling thread executes the first range itself and *helps* drain
+//! the queue while it waits, so nested parallel calls cannot deadlock
+//! the fixed-size pool. On a single-core host (or under
+//! `RAYON_NUM_THREADS=1`) everything runs inline and no thread is ever
+//! spawned.
+//!
+//! Compared to the previous scoped-thread design, a parallel call costs
+//! one channel send per range instead of one `thread::spawn`: a
+//! 4096-element `par_iter().map().collect()` at `RAYON_NUM_THREADS=4`
+//! drops from ~72 µs (scoped) to ~28 µs (pool) per call on the 1-core CI
+//! container — see `benches/par_dispatch.rs`. Set
+//! `CTLM_RAYON_DISPATCH=scoped` to get the old per-call spawning back
+//! for comparison.
 
-use std::num::NonZeroUsize;
+mod pool;
 
-/// Number of workers used for parallel calls.
+/// Number of workers used for parallel calls. Honors rayon's
+/// `RAYON_NUM_THREADS` override (useful for benchmarking dispatch on
+/// small hosts).
 fn worker_count(items: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
+    let cores = pool::configured_threads();
     cores.min(items).max(1)
 }
 
@@ -48,20 +59,23 @@ fn run_split<R: Send>(len: usize, work: impl Fn(std::ops::Range<usize>) -> R + S
     if workers <= 1 {
         return ranges.into_iter().map(work).collect();
     }
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = ranges
-            .into_iter()
-            .map(|r| {
-                let work = &work;
-                scope.spawn(move || work(r))
-            })
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(ranges.len()).collect();
+    {
+        let work = &work;
+        let jobs: Vec<pool::Job<'_>> = results
+            .iter_mut()
+            .zip(ranges)
+            .map(|(slot, r)| -> pool::Job<'_> { Box::new(move || *slot = Some(work(r))) })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("rayon-shim worker panicked"))
-            .collect()
-    })
+        pool::run_jobs(jobs);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every range job ran"))
+        .collect()
 }
+
+pub use pool::configured_threads as current_num_threads;
 
 pub mod prelude {
     //! Drop-in `rayon::prelude`.
@@ -131,26 +145,24 @@ impl<T: Send> ParChunksMutEnumerate<'_, T> {
         }
         // Hand each worker a contiguous run of whole chunks.
         let ranges = split_ranges(n_chunks, workers);
-        std::thread::scope(|scope| {
-            let mut rest = data;
-            let mut consumed = 0usize;
-            for range in ranges {
-                if range.is_empty() {
-                    continue;
-                }
-                let elems = ((range.end - range.start) * chunk_size).min(rest.len());
-                let (head, tail) = rest.split_at_mut(elems);
-                rest = tail;
-                let first_chunk = consumed;
-                consumed = range.end;
-                let f = &f;
-                scope.spawn(move || {
-                    for (i, chunk) in head.chunks_mut(chunk_size).enumerate() {
-                        f((first_chunk + i, chunk));
-                    }
-                });
+        let f = &f;
+        let mut jobs: Vec<pool::Job<'_>> = Vec::with_capacity(ranges.len());
+        let mut rest = data;
+        for range in ranges {
+            if range.is_empty() {
+                continue;
             }
-        });
+            let elems = ((range.end - range.start) * chunk_size).min(rest.len());
+            let (head, tail) = rest.split_at_mut(elems);
+            rest = tail;
+            let first_chunk = range.start;
+            jobs.push(Box::new(move || {
+                for (i, chunk) in head.chunks_mut(chunk_size).enumerate() {
+                    f((first_chunk + i, chunk));
+                }
+            }));
+        }
+        pool::run_jobs(jobs);
     }
 }
 

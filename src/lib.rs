@@ -7,6 +7,7 @@
 //!
 //! | Module | Crate | Role |
 //! |---|---|---|
+//! | [`sim`] | `ctlm-sim` | deterministic discrete-event simulation kernel |
 //! | [`trace`] | `ctlm-trace` | synthetic GCD-like workload traces |
 //! | [`agocs`] | `ctlm-agocs` | AGOCS-style replay simulator + dataset generation |
 //! | [`tensor`] | `ctlm-tensor` | dense/sparse matrix substrate |
@@ -14,7 +15,7 @@
 //! | [`data`] | `ctlm-data` | CO compaction, CO-EL/CO-VV encodings, metrics |
 //! | [`baselines`] | `ctlm-baselines` | MLP / Ridge / SGD / Voting baselines |
 //! | [`core`] | `ctlm-core` | **the CTLM growing model and pipeline** |
-//! | [`sched`] | `ctlm-sched` | the Fig. 3 enhanced scheduler |
+//! | [`sched`] | `ctlm-sched` | the Fig. 3 enhanced scheduler (kernel components) |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use ctlm_core as core;
 pub use ctlm_data as data;
 pub use ctlm_nn as nn;
 pub use ctlm_sched as sched;
+pub use ctlm_sim as sim;
 pub use ctlm_tensor as tensor;
 pub use ctlm_trace as trace;
 
@@ -53,6 +55,7 @@ pub mod prelude {
     pub use ctlm_core::{GrowingModel, ModelRegistry, TaskCoAnalyzer, TrainConfig};
     pub use ctlm_data::dataset::{group_for_count, Dataset, NUM_GROUPS};
     pub use ctlm_data::metrics::Evaluation;
-    pub use ctlm_sched::engine::{arrivals_from_trace, Policy, SimConfig, Simulator};
+    pub use ctlm_sched::engine::{arrivals_from_trace, SimConfig, Simulator};
+    pub use ctlm_sched::scheduler::{Enhanced, LiveRegistry, MainOnly, OracleEnhanced, Scheduler};
     pub use ctlm_trace::{CellSet, Scale, TraceGenerator};
 }

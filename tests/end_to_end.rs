@@ -127,7 +127,7 @@ fn scheduler_integration_runs_all_policies() {
     }
     let analyzer = TaskCoAnalyzer::new(model.to_net(), replay.vocab.clone());
 
-    let (cluster, mut arrivals) = arrivals_from_trace(&trace, 1_500);
+    let (mut cluster, mut arrivals) = arrivals_from_trace(&trace, 1_500);
     assert!(!arrivals.is_empty());
     // Trace arrivals span 31 days; compress onto the 20-minute sim window.
     compress_timeline(&mut arrivals, 1_200_000_000);
@@ -138,12 +138,13 @@ fn scheduler_integration_runs_all_policies() {
         horizon: 1_800_000_000,
         seed: 2,
     });
-    for policy in [
-        Policy::MainOnly,
-        Policy::Enhanced(Arc::new(analyzer)),
-        Policy::OracleEnhanced,
-    ] {
-        let r = sim.run(cluster.clone(), &arrivals, &policy);
+    let mut policies: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(MainOnly),
+        Box::new(Enhanced::new(Arc::new(analyzer))),
+        Box::new(OracleEnhanced),
+    ];
+    for policy in policies.iter_mut() {
+        let r = sim.run(&mut cluster, &arrivals, policy.as_mut());
         let placed_frac = r.placed.len() as f64 / arrivals.len() as f64;
         assert!(placed_frac > 0.5, "placed only {placed_frac:.2}");
     }
