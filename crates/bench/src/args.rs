@@ -1,0 +1,125 @@
+//! The one hand-rolled argument parser for the workspace's binaries.
+//!
+//! Every table/figure binary used to open-code its `std::env::args` loop;
+//! this module centralizes the convention they share — boolean flags
+//! (`--medium`), valued options (`--seed 42`) and positional arguments
+//! (a spec path) — so the binaries and the `ctlm-lab` runner declare
+//! their vocabulary instead of re-implementing the scan.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Parsed command line: which flags were set, option values, and the
+/// remaining positional arguments in order.
+#[derive(Clone, Debug, Default)]
+pub struct ParsedArgs {
+    flags: BTreeSet<String>,
+    options: BTreeMap<String, String>,
+    positionals: Vec<String>,
+}
+
+impl ParsedArgs {
+    /// Parses `argv` (without the program name) against the declared
+    /// vocabulary: `flags` take no value, `options` consume the next
+    /// argument. Anything starting with `--` outside the vocabulary is an
+    /// error; everything else is positional.
+    pub fn parse(
+        argv: impl IntoIterator<Item = String>,
+        flags: &[&str],
+        options: &[&str],
+    ) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut iter = argv.into_iter();
+        while let Some(arg) = iter.next() {
+            if flags.contains(&arg.as_str()) {
+                out.flags.insert(arg);
+            } else if options.contains(&arg.as_str()) {
+                let value = iter.next().ok_or_else(|| format!("{arg} needs a value"))?;
+                out.options.insert(arg, value);
+            } else if arg.starts_with("--") {
+                return Err(format!(
+                    "unknown argument {arg:?} (expected one of {})",
+                    flags
+                        .iter()
+                        .chain(options)
+                        .cloned()
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            } else {
+                out.positionals.push(arg);
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`ParsedArgs::parse`] over the process arguments, panicking with
+    /// the error message on a bad command line (the binaries' behavior).
+    pub fn from_env(flags: &[&str], options: &[&str]) -> Self {
+        Self::parse(std::env::args().skip(1), flags, options).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// True when the flag was present.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.contains(name)
+    }
+
+    /// The raw value of an option, if present.
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// An option parsed into `T`, or `default` when absent.
+    ///
+    /// # Panics
+    /// Panics when the value does not parse — a bad command line, not a
+    /// recoverable state for the binaries.
+    pub fn option_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.option(name) {
+            Some(raw) => raw
+                .parse()
+                .unwrap_or_else(|_| panic!("{name} got unparsable value {raw:?}")),
+            None => default,
+        }
+    }
+
+    /// Positional arguments, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flags_options_positionals() {
+        let a = ParsedArgs::parse(
+            argv(&["--medium", "--seed", "7", "spec.json"]),
+            &["--medium", "--full"],
+            &["--seed"],
+        )
+        .unwrap();
+        assert!(a.flag("--medium"));
+        assert!(!a.flag("--full"));
+        assert_eq!(a.option_or("--seed", 0u64), 7);
+        assert_eq!(a.positionals(), ["spec.json"]);
+    }
+
+    #[test]
+    fn unknown_and_missing_value_error() {
+        assert!(ParsedArgs::parse(argv(&["--bogus"]), &[], &[]).is_err());
+        assert!(ParsedArgs::parse(argv(&["--seed"]), &[], &["--seed"]).is_err());
+    }
+
+    #[test]
+    fn absent_option_falls_back() {
+        let a = ParsedArgs::parse(argv(&[]), &[], &["--seed"]).unwrap();
+        assert_eq!(a.option_or("--seed", 42u64), 42);
+        assert_eq!(a.option("--seed"), None);
+    }
+}

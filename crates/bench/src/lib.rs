@@ -17,6 +17,10 @@
 use ctlm_agocs::replay::{ReplayOutput, Replayer};
 use ctlm_trace::{CellSet, Scale, TraceGenerator};
 
+pub mod args;
+
+pub use args::ParsedArgs;
+
 /// Run scale selected on the command line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RunScale {
@@ -38,28 +42,26 @@ pub struct Cli {
 }
 
 impl Cli {
-    /// Parses `--medium`, `--full` and `--seed N` from `std::env::args`.
+    /// Parses `--medium`, `--full` and `--seed N` from `std::env::args`
+    /// via the shared [`args::ParsedArgs`] helper.
     pub fn parse() -> Self {
-        let mut scale = RunScale::Small;
-        let mut seed = 42u64;
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
-        while i < args.len() {
-            match args[i].as_str() {
-                "--medium" => scale = RunScale::Medium,
-                "--full" => scale = RunScale::Full,
-                "--seed" => {
-                    i += 1;
-                    seed = args
-                        .get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| panic!("--seed needs a number"));
-                }
-                other => panic!("unknown argument {other:?} (expected --medium/--full/--seed N)"),
-            }
-            i += 1;
+        let parsed = ParsedArgs::from_env(&["--medium", "--full"], &["--seed"]);
+        assert!(
+            parsed.positionals().is_empty(),
+            "unexpected positional arguments {:?}",
+            parsed.positionals()
+        );
+        let scale = if parsed.flag("--full") {
+            RunScale::Full
+        } else if parsed.flag("--medium") {
+            RunScale::Medium
+        } else {
+            RunScale::Small
+        };
+        Self {
+            scale,
+            seed: parsed.option_or("--seed", 42),
         }
-        Self { scale, seed }
     }
 
     /// The trace scale for a cell profile under this CLI selection.

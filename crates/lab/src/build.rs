@@ -1,0 +1,270 @@
+//! Spec → assembled cell: cluster, arrivals, scenario plans, vocabulary.
+//!
+//! Everything here is deterministic in the spec plus the effective seed:
+//! machine lists are built in declaration order, vocabularies observe
+//! attributes in that same order, and all randomness flows through
+//! seeded [`StdRng`]s — the property the determinism tests pin down.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ctlm_data::compaction::collapse;
+use ctlm_data::dataset::group_for_count;
+use ctlm_data::vocab::ValueVocab;
+use ctlm_sched::engine::{arrivals_from_trace, compress_timeline};
+use ctlm_sched::scenario::{ChurnPlan, RolloutStage};
+use ctlm_sched::{PendingTask, SchedCluster, SimConfig};
+use ctlm_trace::pareto::{BoundedPareto, Exponential};
+use ctlm_trace::{
+    AttrId, AttrValue, ConstraintOp, EventPayload, Machine, MachineId, Micros, Scale,
+    TaskConstraint, TraceGenerator,
+};
+
+use crate::spec::{
+    ArrivalProcess, CellSpec, RetrainSpec, ScenarioSpec, SizeDist, SyntheticWorkload,
+    TraceWorkload, WorkloadSpec,
+};
+use crate::LabError;
+
+/// Task-id stride between cells, so ids stay unique when several cells'
+/// records land in one report.
+pub const CELL_ID_STRIDE: u64 = 1 << 40;
+
+/// Pin-attribute (attr 0) value stride between cells, so a restrictive
+/// task pinned in one cell never matches a sibling cell's machine.
+pub const ATTR_VALUE_STRIDE: i64 = 1 << 32;
+
+/// A cell assembled from its spec, ready to attach to a kernel
+/// simulation.
+pub struct BuiltCell {
+    /// Cell name (report key).
+    pub name: String,
+    /// The cluster (moved into the engine at attach time).
+    pub cluster: SchedCluster,
+    /// Time-sorted arrivals.
+    pub arrivals: Vec<PendingTask>,
+    /// Machine ids in declaration order (churn picks from these).
+    pub machine_ids: Vec<MachineId>,
+    /// Machine-side attribute vocabulary, observed in declaration order
+    /// (model-backed schedulers encode against this).
+    pub vocab: ValueVocab,
+    /// Churn plan derived from the scenario, if any.
+    pub churn: Option<ChurnPlan>,
+    /// Gang arrivals derived from the scenario.
+    pub gangs: Vec<(Micros, Vec<PendingTask>)>,
+    /// Rollout stages derived from the scenario, if any.
+    pub rollout: Option<(AttrId, Vec<RolloutStage>)>,
+    /// Retraining cadence, passed through to the run assembly.
+    pub retrain: Option<RetrainSpec>,
+}
+
+/// Builds one cell from its spec. `index` namespaces task ids and seeds
+/// so sibling cells never collide.
+pub fn build_cell(spec: &CellSpec, sim: &SimConfig, index: usize) -> Result<BuiltCell, LabError> {
+    let id_base = index as u64 * CELL_ID_STRIDE;
+    let (cluster, mut arrivals, machine_ids, vocab) = match &spec.workload {
+        WorkloadSpec::Trace(w) => build_trace_workload(w, sim)?,
+        WorkloadSpec::Synthetic(w) => build_synthetic_workload(w, sim, index)?,
+    };
+    for t in arrivals.iter_mut() {
+        t.id += id_base;
+    }
+    let scenario = &spec.scenario;
+    let churn = scenario.churn.as_ref().map(|c| {
+        ChurnPlan::random_drain(
+            sim.seed ^ c.seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
+            &machine_ids,
+            c.failures,
+            c.window,
+            c.outage,
+        )
+    });
+    let gangs = build_gangs(scenario, id_base);
+    let rollout = scenario.rollout.as_ref().map(|r| {
+        let stages = r.stages.max(1);
+        let chunk = machine_ids.len().div_ceil(stages);
+        let stages: Vec<RolloutStage> = machine_ids
+            .chunks(chunk.max(1))
+            .enumerate()
+            .map(|(k, ms)| RolloutStage {
+                time: r.start + k as Micros * r.period,
+                machines: ms.to_vec(),
+                value: AttrValue::Int(r.value),
+            })
+            .collect();
+        (r.attr, stages)
+    });
+    Ok(BuiltCell {
+        name: spec.name.clone(),
+        cluster,
+        arrivals,
+        machine_ids,
+        vocab,
+        churn,
+        gangs,
+        rollout,
+        retrain: scenario.retrain.clone(),
+    })
+}
+
+type Workload = (SchedCluster, Vec<PendingTask>, Vec<MachineId>, ValueVocab);
+
+/// Cluster + arrivals from a generated trace slice.
+fn build_trace_workload(w: &TraceWorkload, sim: &SimConfig) -> Result<Workload, LabError> {
+    if w.machines == 0 {
+        return Err(LabError::msg("trace workload needs machines > 0"));
+    }
+    let trace = TraceGenerator::generate_cell(
+        w.cell,
+        Scale {
+            machines: w.machines,
+            collections: w.collections,
+            seed: w.seed.unwrap_or(sim.seed),
+        },
+    );
+    let max_tasks = if w.max_tasks == 0 {
+        usize::MAX
+    } else {
+        w.max_tasks
+    };
+    let (cluster, mut arrivals) = arrivals_from_trace(&trace, max_tasks);
+    if w.compress_to > 0 {
+        compress_timeline(&mut arrivals, w.compress_to);
+    }
+    // Machine order and vocabulary follow the (deterministic) event
+    // stream, never cluster-map iteration order.
+    let mut machine_ids = Vec::new();
+    let mut vocab = ValueVocab::new();
+    for ev in &trace.events {
+        if let EventPayload::MachineAdd(m) = &ev.payload {
+            machine_ids.push(m.id);
+            for (attr, value) in &m.attributes {
+                vocab.observe(*attr, value);
+            }
+        }
+    }
+    Ok((cluster, arrivals, machine_ids, vocab))
+}
+
+/// Cluster + arrivals from an explicit synthetic description.
+fn build_synthetic_workload(
+    w: &SyntheticWorkload,
+    sim: &SimConfig,
+    index: usize,
+) -> Result<Workload, LabError> {
+    let total: usize = w.machines.iter().map(|g| g.count).sum();
+    if total == 0 {
+        return Err(LabError::msg(
+            "synthetic workload needs at least one machine",
+        ));
+    }
+    let mut machines = Vec::with_capacity(total);
+    let mut vocab = ValueVocab::new();
+    // Pin-attribute values are offset per cell: without this, a task
+    // pinned to `hot`'s machine 2 would also match `warm`'s machine 2
+    // under spillover, silently breaking the Group-0 ground truth.
+    let attr_base = index as i64 * ATTR_VALUE_STRIDE;
+    let mut idx = 0u64;
+    for group in &w.machines {
+        for _ in 0..group.count {
+            let mut m = Machine::new(idx, group.cpu, group.memory);
+            m.set_attr(0, AttrValue::Int(attr_base + idx as i64));
+            vocab.observe(0, &AttrValue::Int(attr_base + idx as i64));
+            machines.push(m);
+            idx += 1;
+        }
+    }
+    let machine_ids: Vec<MachineId> = machines.iter().map(|m| m.id).collect();
+    let cluster = SchedCluster::from_machines(machines);
+
+    let mut rng =
+        StdRng::seed_from_u64(sim.seed ^ 0xB17D_5EED ^ (index as u64).wrapping_mul(0x0C1E_77A2));
+    // Unconstrained tasks suit the whole fleet; bucket that count the
+    // same way trace workloads do (26 groups across the fleet size).
+    let group_width = (total.div_ceil(26)).max(1);
+    let background_group = group_for_count(total, group_width);
+    let mut arrivals = Vec::with_capacity(w.tasks);
+    let mut now: Micros = 0;
+    for k in 0..w.tasks {
+        now += sample_gap(&w.arrival, &mut rng);
+        arrivals.push(PendingTask {
+            id: k as u64,
+            collection: 1,
+            cpu: sample_size(&w.cpu, &mut rng),
+            memory: sample_size(&w.memory, &mut rng),
+            priority: w.priority,
+            reqs: vec![],
+            arrival: now,
+            truth_group: background_group,
+        });
+    }
+    if let Some(r) = &w.restrictive {
+        for j in 0..r.count {
+            let pin = attr_base + rng.gen_range(0..total) as i64;
+            let reqs = collapse(&[TaskConstraint::new(
+                0,
+                ConstraintOp::Equal(Some(AttrValue::Int(pin))),
+            )])
+            .map_err(|e| LabError::msg(format!("restrictive constraint: {e:?}")))?;
+            arrivals.push(PendingTask {
+                id: 500_000_000 + j as u64,
+                collection: 2,
+                cpu: r.cpu,
+                memory: r.cpu,
+                priority: r.priority,
+                reqs,
+                arrival: r.start + j as Micros * r.period,
+                truth_group: 0,
+            });
+        }
+    }
+    arrivals.sort_by_key(|t| (t.arrival, t.id));
+    Ok((cluster, arrivals, machine_ids, vocab))
+}
+
+/// Gang arrivals from the scenario spec.
+fn build_gangs(scenario: &ScenarioSpec, id_base: u64) -> Vec<(Micros, Vec<PendingTask>)> {
+    let Some(g) = &scenario.gangs else {
+        return Vec::new();
+    };
+    (0..g.count)
+        .map(|k| {
+            let time = g.start + k as Micros * g.period;
+            let members = (0..g.size)
+                .map(|m| PendingTask {
+                    id: id_base + 600_000_000 + (k * g.size + m) as u64,
+                    collection: 100 + k as u64,
+                    cpu: g.cpu,
+                    memory: g.cpu,
+                    priority: g.priority,
+                    reqs: vec![],
+                    arrival: time,
+                    truth_group: 25,
+                })
+                .collect();
+            (time, members)
+        })
+        .collect()
+}
+
+fn sample_gap(p: &ArrivalProcess, rng: &mut StdRng) -> Micros {
+    match p {
+        ArrivalProcess::Uniform { gap } => *gap,
+        ArrivalProcess::Exponential { mean_gap } => {
+            (Exponential::new(*mean_gap as f64).sample(rng) as Micros).max(1)
+        }
+        ArrivalProcess::Pareto { lo, hi, alpha } => {
+            (BoundedPareto::new(*lo, *hi, *alpha).sample(rng) as Micros).max(1)
+        }
+    }
+}
+
+fn sample_size(d: &SizeDist, rng: &mut StdRng) -> f64 {
+    let raw = match d {
+        SizeDist::Fixed(v) => *v,
+        SizeDist::Pareto { lo, hi, alpha } => BoundedPareto::new(*lo, *hi, *alpha).sample(rng),
+    };
+    // Never request more than a whole machine: the engine treats
+    // capacities as fractions of one node.
+    raw.clamp(0.001, 0.95)
+}

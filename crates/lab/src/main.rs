@@ -1,0 +1,98 @@
+//! The `ctlm-lab` runner: execute a JSON experiment spec and report.
+//!
+//! ```text
+//! ctlm-lab <spec.json> [--out report.json] [--json] [--seed N]
+//! ```
+//!
+//! Prints a human-readable summary (per-point medians) to stdout;
+//! `--out` additionally writes the full structured report as
+//! pretty-printed JSON, `--json` replaces the summary with the report on
+//! stdout, and `--seed` overrides the spec's `sim.seed` (and any sweep seed list).
+
+use ctlm_bench::ParsedArgs;
+use ctlm_lab::report::{to_pretty_json, LabReport};
+use ctlm_lab::ExperimentSpec;
+
+fn main() {
+    let args = ParsedArgs::from_env(&["--json"], &["--out", "--seed"]);
+    let [path] = args.positionals() else {
+        eprintln!("usage: ctlm-lab <spec.json> [--out report.json] [--json] [--seed N]");
+        std::process::exit(2);
+    };
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read spec {path:?}: {e}"));
+    let mut spec = ExperimentSpec::from_json(&text).unwrap_or_else(|e| panic!("{e}"));
+    if let Some(seed) = args.option("--seed") {
+        spec.sim.seed = seed
+            .parse()
+            .unwrap_or_else(|_| panic!("--seed needs a number"));
+        // An explicit sweep seed list would shadow the override; clear
+        // it so every grid point runs under the requested seed.
+        if let Some(sweep) = spec.sweep.as_mut() {
+            sweep.seeds.clear();
+        }
+    }
+    let report = ctlm_lab::run_spec(&spec).unwrap_or_else(|e| panic!("{e}"));
+    let json = to_pretty_json(&report);
+    if let Some(out) = args.option("--out") {
+        std::fs::write(out, format!("{json}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {out:?}: {e}"));
+        eprintln!("report written to {out}");
+    }
+    if args.flag("--json") {
+        println!("{json}");
+    } else {
+        print_summary(&report);
+    }
+}
+
+fn fmt_ms(v: Option<f64>) -> String {
+    match v {
+        Some(us) => format!("{:.1}", us / 1000.0),
+        None => "—".to_string(),
+    }
+}
+
+fn print_summary(report: &LabReport) {
+    println!("experiment: {} ({} runs)\n", report.name, report.runs.len());
+    println!(
+        "{:<40} {:<14} {:<10} {:>5} {:>14} {:>13} {:>12} {:>9}",
+        "point",
+        "scheduler",
+        "cell",
+        "runs",
+        "g0 mean (ms)",
+        "g0 p50 (ms)",
+        "other (ms)",
+        "unplaced"
+    );
+    println!("{}", "-".repeat(124));
+    for row in &report.summary {
+        let point = if row.knobs.is_empty() {
+            "-".to_string()
+        } else {
+            row.knobs
+                .iter()
+                .map(|k| {
+                    format!(
+                        "{}={}",
+                        k.path.rsplit('.').next().unwrap_or(&k.path),
+                        k.value
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        println!(
+            "{:<40} {:<14} {:<10} {:>5} {:>14} {:>13} {:>12} {:>9}",
+            point,
+            row.scheduler,
+            row.cell,
+            row.runs,
+            fmt_ms(row.median_group0_mean),
+            fmt_ms(row.median_group0_p50),
+            fmt_ms(row.median_other_mean),
+            row.median_unplaced,
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Name → implementation registries over the open `ctlm-sched` traits.
+//!
+//! Specs select policies by string; the registries here resolve those
+//! strings into [`Scheduler`] / [`Placer`] instances. Model-backed
+//! schedulers are *trained here, from the spec's own workload* — no
+//! experiment-specific Rust: `enhanced` trains a
+//! [`TaskCoAnalyzer`] on the cell's arrivals
+//! before the run, and `live_registry` starts cold and receives
+//! hot-swapped models from the in-timeline retraining component
+//! ([`RetrainSource`](crate::run::RetrainSource)).
+
+use std::sync::Arc;
+
+use ctlm_core::{GrowingModel, ModelRegistry, TaskCoAnalyzer, TrainConfig};
+use ctlm_data::dataset::{DatasetBuilder, NUM_GROUPS};
+use ctlm_data::encode::co_vv::CoVvEncoder;
+use ctlm_sched::placement::{BestFit, FirstFit, Placer, PreemptiveBestFit};
+use ctlm_sched::scheduler::{Enhanced, LiveRegistry, MainOnly, OracleEnhanced, Scheduler};
+
+use crate::build::BuiltCell;
+use crate::spec::TrainSpec;
+use crate::LabError;
+
+/// A resolved scheduler plus the model registry backing it (present only
+/// for `live_registry`, where the retraining component installs into it).
+pub struct SchedulerInstance {
+    /// The routing policy under test.
+    pub scheduler: Box<dyn Scheduler>,
+    /// Hot-swap handle for in-timeline retraining.
+    pub registry: Option<ModelRegistry>,
+}
+
+/// Scheduler registry names, in registration order.
+pub const SCHEDULER_NAMES: &[&str] = &["main_only", "oracle", "enhanced", "live_registry"];
+
+/// Placer registry names, in registration order.
+pub const PLACER_NAMES: &[&str] = &["best_fit", "first_fit", "preemptive_best_fit"];
+
+/// Validates a scheduler name without building it.
+pub fn check_scheduler(name: &str) -> Result<(), LabError> {
+    if SCHEDULER_NAMES.contains(&name) {
+        Ok(())
+    } else {
+        Err(LabError::msg(format!(
+            "unknown scheduler {name:?} (registry: {})",
+            SCHEDULER_NAMES.join(", ")
+        )))
+    }
+}
+
+/// Validates a placer name without building it.
+pub fn check_placer(name: &str) -> Result<(), LabError> {
+    if PLACER_NAMES.contains(&name) {
+        Ok(())
+    } else {
+        Err(LabError::msg(format!(
+            "unknown placer {name:?} (registry: {})",
+            PLACER_NAMES.join(", ")
+        )))
+    }
+}
+
+/// Builds a scheduler instance for one cell.
+pub fn build_scheduler(
+    name: &str,
+    cell: &BuiltCell,
+    train: &TrainSpec,
+    seed: u64,
+) -> Result<SchedulerInstance, LabError> {
+    match name {
+        "main_only" => Ok(SchedulerInstance {
+            scheduler: Box::new(MainOnly),
+            registry: None,
+        }),
+        "oracle" => Ok(SchedulerInstance {
+            scheduler: Box::new(OracleEnhanced),
+            registry: None,
+        }),
+        "enhanced" => {
+            let analyzer = train_analyzer(cell, train, seed);
+            Ok(SchedulerInstance {
+                scheduler: Box::new(Enhanced::new(Arc::new(analyzer))),
+                registry: None,
+            })
+        }
+        "live_registry" => {
+            let registry = ModelRegistry::new();
+            Ok(SchedulerInstance {
+                scheduler: Box::new(LiveRegistry::new(registry.clone())),
+                registry: Some(registry),
+            })
+        }
+        other => Err(LabError::msg(format!("unknown scheduler {other:?}"))),
+    }
+}
+
+/// Builds a placer by registry name.
+pub fn build_placer(name: &str) -> Result<Box<dyn Placer>, LabError> {
+    match name {
+        "best_fit" => Ok(Box::new(BestFit)),
+        "first_fit" => Ok(Box::new(FirstFit)),
+        "preemptive_best_fit" => Ok(Box::new(PreemptiveBestFit)),
+        other => Err(LabError::msg(format!("unknown placer {other:?}"))),
+    }
+}
+
+/// Trains a [`TaskCoAnalyzer`] on the cell's own arrival population:
+/// CO-VV rows against the cell's machine vocabulary, labelled with the
+/// ground-truth suitable-node groups the builder computed.
+pub fn train_analyzer(cell: &BuiltCell, train: &TrainSpec, seed: u64) -> TaskCoAnalyzer {
+    let vocab = cell.vocab.clone();
+    let width = vocab.len();
+    let enc = CoVvEncoder;
+    let mut b = DatasetBuilder::new(width, NUM_GROUPS);
+    for t in &cell.arrivals {
+        b.push(enc.encode_requirements(&t.reqs, &vocab), t.truth_group);
+    }
+    let ds = b.snapshot(width);
+    let mut model = GrowingModel::new(train_config(train));
+    model.step(&ds, seed);
+    TaskCoAnalyzer::new(model.to_net(), vocab)
+}
+
+/// The spec's training budget over the paper's defaults.
+pub fn train_config(train: &TrainSpec) -> TrainConfig {
+    TrainConfig {
+        epochs_limit: train.epochs_limit,
+        max_attempts: train.max_attempts,
+        ..TrainConfig::default()
+    }
+}

@@ -1,0 +1,238 @@
+//! Structured experiment reports: per-run records plus per-point
+//! medians, serialized as one JSON document.
+//!
+//! Reports are pure functions of the spec (no wall-clock, no host
+//! state), so identical specs produce byte-identical reports — the
+//! determinism tests serialize and compare them directly.
+
+use serde::{Deserialize, Serialize};
+
+use ctlm_sched::LatencyStats;
+
+use crate::run::CellOutcome;
+use crate::spec::KnobSpec;
+
+/// The Fig. 3-style suitable-node-group latency bands reports break
+/// out: Group 0 alone, then widening bands.
+pub const GROUP_BANDS: &[(u8, u8)] = &[(0, 0), (1, 5), (6, 15), (16, 25)];
+
+/// The full document the runner emits.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LabReport {
+    /// Experiment name from the spec.
+    pub name: String,
+    /// Every executed run (sweep grid × seeds × repeats; a single entry
+    /// for non-sweep specs).
+    pub runs: Vec<RunReport>,
+    /// Per-(point, scheduler, cell) medians across seeds × repeats.
+    pub summary: Vec<SummaryRow>,
+}
+
+/// One executed run: one grid point under one seed/repeat.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Knob values applied for this run (empty for non-sweep specs).
+    pub knobs: Vec<KnobSetting>,
+    /// Effective kernel seed.
+    pub seed: u64,
+    /// Repeat index under that seed.
+    pub repeat: usize,
+    /// One entry per scheduler name in the spec.
+    pub schedulers: Vec<SchedulerRun>,
+}
+
+/// One applied knob value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KnobSetting {
+    /// Dotted path into the spec.
+    pub path: String,
+    /// The value applied.
+    pub value: f64,
+}
+
+/// One scheduler's outcome across all cells.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerRun {
+    /// Scheduler registry name.
+    pub scheduler: String,
+    /// Per-cell results, in spec order.
+    pub cells: Vec<CellRun>,
+}
+
+/// One cell's structured result.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellRun {
+    /// Cell name.
+    pub cell: String,
+    /// Tasks placed within the horizon.
+    pub placed: usize,
+    /// Tasks never placed.
+    pub unplaced: usize,
+    /// Preemption evictions.
+    pub preemptions: usize,
+    /// Churn-driven reschedules.
+    pub churn_rescheduled: usize,
+    /// Gangs placed atomically.
+    pub gangs_placed: usize,
+    /// Tasks received from sibling cells (spillover).
+    pub spilled_in: usize,
+    /// Tasks forwarded to sibling cells (spillover).
+    pub spilled_out: usize,
+    /// Latency over Group-0 (single-suitable-node) tasks.
+    pub group0: Option<LatencyStats>,
+    /// Latency over everything else.
+    pub other: Option<LatencyStats>,
+    /// Latency per suitable-node-group band ([`GROUP_BANDS`]).
+    pub bands: Vec<BandStats>,
+}
+
+/// Latency within one suitable-node-group band.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BandStats {
+    /// Lowest group in the band (inclusive).
+    pub lo: u8,
+    /// Highest group in the band (inclusive).
+    pub hi: u8,
+    /// Stats over the band's placed tasks.
+    pub stats: Option<LatencyStats>,
+}
+
+impl CellRun {
+    /// Collapses an engine outcome into the report form.
+    pub fn from_outcome(o: &CellOutcome) -> Self {
+        let bands = GROUP_BANDS
+            .iter()
+            .map(|&(lo, hi)| BandStats {
+                lo,
+                hi,
+                stats: o.result.latency_where(|g| g >= lo && g <= hi),
+            })
+            .collect();
+        Self {
+            cell: o.cell.clone(),
+            placed: o.result.placed.len(),
+            unplaced: o.result.unplaced,
+            preemptions: o.result.preemptions,
+            churn_rescheduled: o.result.churn_rescheduled,
+            gangs_placed: o.result.gangs_placed,
+            spilled_in: o.spilled_in,
+            spilled_out: o.spilled_out,
+            group0: o.result.group0_latency(),
+            other: o.result.other_latency(),
+            bands,
+        }
+    }
+}
+
+/// Medians for one (grid point, scheduler, cell) across seeds × repeats.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SummaryRow {
+    /// The grid point's knob values.
+    pub knobs: Vec<KnobSetting>,
+    /// Scheduler registry name.
+    pub scheduler: String,
+    /// Cell name.
+    pub cell: String,
+    /// Runs aggregated into this row.
+    pub runs: usize,
+    /// Median of the per-run Group-0 mean latency (µs).
+    pub median_group0_mean: Option<f64>,
+    /// Median of the per-run Group-0 p50 latency (µs).
+    pub median_group0_p50: Option<f64>,
+    /// Median of the per-run other-task mean latency (µs).
+    pub median_other_mean: Option<f64>,
+    /// Median placed count.
+    pub median_placed: f64,
+    /// Median unplaced count.
+    pub median_unplaced: f64,
+}
+
+/// Median of a sample (mean of the middle pair for even sizes); `None`
+/// for an empty sample.
+pub fn median(mut xs: Vec<f64>) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+    let n = xs.len();
+    Some(if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    })
+}
+
+/// Builds the per-point summary: runs grouped by (knobs, scheduler,
+/// cell) in first-appearance order, medians across the group.
+pub fn summarize(runs: &[RunReport]) -> Vec<SummaryRow> {
+    let mut order: Vec<(Vec<KnobSetting>, String, String)> = Vec::new();
+    let mut buckets: Vec<Vec<&CellRun>> = Vec::new();
+    for run in runs {
+        for sched in &run.schedulers {
+            for cell in &sched.cells {
+                let key = (
+                    run.knobs.clone(),
+                    sched.scheduler.clone(),
+                    cell.cell.clone(),
+                );
+                match order.iter().position(|k| *k == key) {
+                    Some(i) => buckets[i].push(cell),
+                    None => {
+                        order.push(key);
+                        buckets.push(vec![cell]);
+                    }
+                }
+            }
+        }
+    }
+    order
+        .into_iter()
+        .zip(buckets)
+        .map(|((knobs, scheduler, cell), group)| SummaryRow {
+            knobs,
+            scheduler,
+            cell,
+            runs: group.len(),
+            median_group0_mean: median(
+                group
+                    .iter()
+                    .filter_map(|c| c.group0.as_ref().map(|s| s.mean))
+                    .collect(),
+            ),
+            median_group0_p50: median(
+                group
+                    .iter()
+                    .filter_map(|c| c.group0.as_ref().map(|s| s.p50 as f64))
+                    .collect(),
+            ),
+            median_other_mean: median(
+                group
+                    .iter()
+                    .filter_map(|c| c.other.as_ref().map(|s| s.mean))
+                    .collect(),
+            ),
+            median_placed: median(group.iter().map(|c| c.placed as f64).collect())
+                .expect("non-empty group"),
+            median_unplaced: median(group.iter().map(|c| c.unplaced as f64).collect())
+                .expect("non-empty group"),
+        })
+        .collect()
+}
+
+/// Applied knob values for grouping/reporting.
+pub fn knob_settings(knobs: &[KnobSpec], choice: &[usize]) -> Vec<KnobSetting> {
+    knobs
+        .iter()
+        .zip(choice)
+        .map(|(k, &i)| KnobSetting {
+            path: k.path.clone(),
+            value: k.values[i],
+        })
+        .collect()
+}
+
+/// Renders any serializable report piece with two-space indentation
+/// (the shim's `to_string` is compact; reports are meant to be read).
+pub fn to_pretty_json<T: serde::Serialize + ?Sized>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("report values carry no non-finite numbers")
+}

@@ -1,0 +1,336 @@
+//! Spec → one assembled kernel run (all cells on one timeline).
+//!
+//! For every scheduler name in the spec, this module attaches each built
+//! cell to a shared `ctlm-sim` simulation via
+//! [`Simulator::attach_cell`], joins the scenario components (churn,
+//! gangs, rollouts, retraining) and — for multi-cell specs with
+//! `spillover` — routes every arrival through the spillover router,
+//! which forwards tasks a cell cannot admit to the first sibling that
+//! can. One `run_until(horizon)` then drives everything.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ctlm_core::ModelRegistry;
+use ctlm_core::{GrowingModel, TaskCoAnalyzer, TrainConfig};
+use ctlm_data::dataset::{DatasetBuilder, NUM_GROUPS};
+use ctlm_data::encode::co_vv::CoVvEncoder;
+use ctlm_data::vocab::ValueVocab;
+use ctlm_sched::engine::{EngineState, PRIO_ADMIT, PRIO_STATE};
+use ctlm_sched::scenario::{ChurnSource, GangSource, RolloutSource};
+use ctlm_sched::{PendingTask, SchedCluster, SchedEvent, SimResult, Simulator};
+use ctlm_sim::{CompId, Component, Ctx, Event, Sim};
+use ctlm_trace::Micros;
+
+use crate::build::{build_cell, BuiltCell};
+use crate::registry::{build_placer, build_scheduler, train_config, SchedulerInstance};
+use crate::spec::ExperimentSpec;
+use crate::LabError;
+
+/// Minimum observed arrivals before the retraining component bothers
+/// training a model (tiny datasets make the stratified split degenerate).
+const RETRAIN_MIN_ROWS: usize = 20;
+
+/// One cell's outcome under one scheduler.
+pub struct CellOutcome {
+    /// Cell name.
+    pub cell: String,
+    /// The engine's result.
+    pub result: SimResult,
+    /// Tasks this cell received from siblings via spillover.
+    pub spilled_in: usize,
+    /// Tasks whose home was this cell but which were admitted elsewhere.
+    pub spilled_out: usize,
+}
+
+/// Runs the spec once under the named scheduler, returning per-cell
+/// outcomes.
+pub fn run_scheduler(
+    spec: &ExperimentSpec,
+    sched_name: &str,
+) -> Result<Vec<CellOutcome>, LabError> {
+    let cell_specs = spec.cell_specs();
+    let mut built: Vec<BuiltCell> = cell_specs
+        .iter()
+        .enumerate()
+        .map(|(i, cs)| build_cell(cs, &spec.sim, i))
+        .collect::<Result<_, _>>()?;
+    let mut instances: Vec<SchedulerInstance> = built
+        .iter()
+        .map(|c| build_scheduler(sched_name, c, &spec.train, spec.sim.seed))
+        .collect::<Result<_, _>>()?;
+    let registries: Vec<Option<ModelRegistry>> =
+        instances.iter().map(|i| i.registry.clone()).collect();
+    let simulators: Vec<Simulator> = (0..built.len())
+        .map(|_| {
+            Ok(Simulator::new(spec.sim).with_placers(
+                build_placer(&spec.placers.main)?,
+                build_placer(&spec.placers.hp)?,
+            ))
+        })
+        .collect::<Result<_, LabError>>()?;
+    let clusters: Vec<SchedCluster> = built
+        .iter_mut()
+        .map(|c| std::mem::take(&mut c.cluster))
+        .collect();
+    let route_all = spec.spillover && built.len() > 1;
+    let horizon = spec.sim.horizon;
+
+    let mut sim: Sim<'_, SchedEvent> = Sim::new();
+    let mut handles = Vec::with_capacity(built.len());
+    for (((cell, simulator), instance), cluster) in built
+        .iter()
+        .zip(&simulators)
+        .zip(instances.iter_mut())
+        .zip(clusters)
+    {
+        // Spillover mode feeds every arrival through the router instead
+        // of the cell's own arrival source.
+        let arrivals: &[PendingTask] = if route_all { &[] } else { &cell.arrivals };
+        let handle = simulator.attach_cell(
+            &mut sim,
+            &cell.name,
+            cluster,
+            arrivals,
+            instance.scheduler.as_mut(),
+        );
+        if let Some(plan) = &cell.churn {
+            let churn = ChurnSource::new(plan.clone(), handle.engine);
+            let first = churn.first_time();
+            let id = sim.add_component(format!("{}/churn", cell.name), churn);
+            if let Some(t) = first {
+                sim.schedule_prio(t, PRIO_STATE, id, id, SchedEvent::Wake);
+            }
+        }
+        if !cell.gangs.is_empty() {
+            let gangs = GangSource::new(cell.gangs.clone(), handle.engine);
+            let first = gangs.first_time();
+            let id = sim.add_component(format!("{}/gangs", cell.name), gangs);
+            if let Some(t) = first {
+                sim.schedule_prio(t, PRIO_ADMIT, id, id, SchedEvent::Wake);
+            }
+        }
+        if let Some((attr, stages)) = &cell.rollout {
+            let rollout = RolloutSource::new(*attr, stages.clone(), handle.engine);
+            let first = rollout.first_time();
+            let id = sim.add_component(format!("{}/rollout", cell.name), rollout);
+            if let Some(t) = first {
+                sim.schedule_prio(t, PRIO_STATE, id, id, SchedEvent::Wake);
+            }
+        }
+        handles.push(handle);
+    }
+    // In-timeline retraining: only meaningful when the scheduler reads a
+    // registry (`live_registry`); otherwise the cadence is inert.
+    for ((cell, registry), _) in built.iter().zip(&registries).zip(&handles) {
+        let (Some(retrain), Some(registry)) = (&cell.retrain, registry) else {
+            continue;
+        };
+        let source = RetrainSource::new(
+            cell,
+            registry.clone(),
+            train_config(&spec.train),
+            retrain.period,
+            horizon,
+            spec.sim.seed,
+        );
+        let first = if retrain.start > 0 {
+            retrain.start
+        } else {
+            retrain.period
+        };
+        let id = sim.add_component(format!("{}/retrain", cell.name), source);
+        sim.schedule_prio(first, PRIO_STATE, id, id, SchedEvent::Wake);
+    }
+    let spills = Rc::new(RefCell::new(vec![(0usize, 0usize); built.len()]));
+    if route_all {
+        // Index-based merge: tasks stay in their cell's arrival list and
+        // are cloned exactly once, at the Admit emit — no O(N) upfront
+        // duplication (the same no-per-task-clone discipline as
+        // `ArrivalSource`).
+        let mut merged: Vec<(Micros, usize, usize)> = Vec::new();
+        for (home, cell) in built.iter().enumerate() {
+            for (idx, t) in cell.arrivals.iter().enumerate() {
+                merged.push((t.arrival, home, idx));
+            }
+        }
+        merged.sort_unstable();
+        let first = merged.first().map(|&(t, ..)| t);
+        let router = SpilloverRouter {
+            tasks: merged,
+            next: 0,
+            arrivals: built.iter().map(|c| c.arrivals.as_slice()).collect(),
+            cells: handles.iter().map(|h| (h.engine, h.state())).collect(),
+            spills: spills.clone(),
+        };
+        let id = sim.add_component("spillover_router", router);
+        if let Some(t) = first {
+            sim.schedule_prio(t, PRIO_ADMIT, id, id, SchedEvent::Wake);
+        }
+    }
+
+    sim.run_until(horizon);
+    drop(sim);
+
+    let spills = spills.borrow();
+    Ok(handles
+        .iter()
+        .zip(built.iter())
+        .enumerate()
+        .map(|(i, (handle, cell))| {
+            let (_, result) = handle.finish();
+            CellOutcome {
+                cell: cell.name.clone(),
+                result,
+                spilled_in: spills[i].0,
+                spilled_out: spills[i].1,
+            }
+        })
+        .collect())
+}
+
+/// Routes merged arrivals to their home cell when it can admit them,
+/// otherwise to the first sibling (scanning forward, wrapping) that can;
+/// tasks nobody can admit right now still go to their home cell's queue.
+struct SpilloverRouter<'a> {
+    /// `(time, home cell, arrival index)` sorted ascending.
+    tasks: Vec<(Micros, usize, usize)>,
+    next: usize,
+    /// Each cell's arrival list, borrowed from the built cells.
+    arrivals: Vec<&'a [PendingTask]>,
+    /// `(engine id, engine state)` per cell, in spec order.
+    cells: Vec<(CompId, Rc<RefCell<EngineState<'a>>>)>,
+    /// Per-cell `(spilled_in, spilled_out)` counters shared with the
+    /// driver.
+    spills: Rc<RefCell<Vec<(usize, usize)>>>,
+}
+
+impl SpilloverRouter<'_> {
+    fn route(&self, home: usize, task: &PendingTask) -> usize {
+        if self.cells[home].1.borrow_mut().can_admit(task) {
+            return home;
+        }
+        for offset in 1..self.cells.len() {
+            let i = (home + offset) % self.cells.len();
+            if self.cells[i].1.borrow_mut().can_admit(task) {
+                return i;
+            }
+        }
+        home
+    }
+}
+
+impl Component<SchedEvent> for SpilloverRouter<'_> {
+    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.now();
+        while self.next < self.tasks.len() && self.tasks[self.next].0 <= now {
+            let (_, home, idx) = self.tasks[self.next];
+            let task = &self.arrivals[home][idx];
+            let target = self.route(home, task);
+            if target != home {
+                let mut s = self.spills.borrow_mut();
+                s[target].0 += 1;
+                s[home].1 += 1;
+            }
+            ctx.emit_prio(
+                0,
+                PRIO_ADMIT,
+                self.cells[target].0,
+                SchedEvent::Admit(Box::new(task.clone())),
+            );
+            self.next += 1;
+        }
+        if self.next < self.tasks.len() {
+            let delay = self.tasks[self.next].0 - now;
+            ctx.emit_self_prio(delay, PRIO_ADMIT, SchedEvent::Wake);
+        }
+    }
+}
+
+/// The online-retraining scenario component: every `period`, retrain on
+/// the arrivals observed so far and hot-swap the result into the run's
+/// [`ModelRegistry`] — the declarative form of the paper's
+/// replay-retrain-schedule loop. Training happens synchronously on the
+/// simulation timeline, so runs stay bit-deterministic.
+/// One training row: `(arrival time, sparse CO-VV entries, label)`.
+type LabeledRow = (Micros, Vec<(usize, f32)>, u8);
+
+pub struct RetrainSource {
+    /// Training rows sorted by arrival.
+    rows: Vec<LabeledRow>,
+    width: usize,
+    vocab: ValueVocab,
+    model: GrowingModel,
+    registry: ModelRegistry,
+    period: Micros,
+    horizon: Micros,
+    seed: u64,
+    trained_upto: usize,
+    ticks: u64,
+}
+
+impl RetrainSource {
+    /// Builds the component from a cell's arrival population.
+    pub fn new(
+        cell: &BuiltCell,
+        registry: ModelRegistry,
+        config: TrainConfig,
+        period: Micros,
+        horizon: Micros,
+        seed: u64,
+    ) -> Self {
+        let enc = CoVvEncoder;
+        let mut rows: Vec<LabeledRow> = cell
+            .arrivals
+            .iter()
+            .map(|t| {
+                (
+                    t.arrival,
+                    enc.encode_requirements(&t.reqs, &cell.vocab),
+                    t.truth_group,
+                )
+            })
+            .collect();
+        rows.sort_by_key(|&(t, ..)| t);
+        Self {
+            rows,
+            width: cell.vocab.len(),
+            vocab: cell.vocab.clone(),
+            model: GrowingModel::new(config),
+            registry,
+            period,
+            horizon,
+            seed,
+            trained_upto: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Number of models installed so far.
+    pub fn installs(&self) -> u64 {
+        self.ticks
+    }
+}
+
+impl Component<SchedEvent> for RetrainSource {
+    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.now();
+        let seen = self.rows.partition_point(|&(t, ..)| t <= now);
+        if seen >= RETRAIN_MIN_ROWS && seen > self.trained_upto {
+            self.trained_upto = seen;
+            let mut b = DatasetBuilder::new(self.width, NUM_GROUPS);
+            for (_, row, label) in &self.rows[..seen] {
+                b.push(row.iter().copied(), *label);
+            }
+            let ds = b.snapshot(self.width);
+            self.model
+                .step(&ds, self.seed ^ self.ticks.wrapping_mul(0x9E37_79B9));
+            self.registry
+                .install(TaskCoAnalyzer::new(self.model.to_net(), self.vocab.clone()));
+            self.ticks += 1;
+        }
+        if now + self.period <= self.horizon {
+            ctx.emit_self_prio(self.period, PRIO_STATE, SchedEvent::Wake);
+        }
+    }
+}

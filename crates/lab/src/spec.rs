@@ -1,0 +1,448 @@
+//! The experiment spec: the JSON schema `ctlm-lab` turns into kernel
+//! runs.
+//!
+//! A spec describes *what* to simulate — cluster topology, arrival
+//! process, scenario intensities, scheduler/placer names, sweep grid —
+//! and the builder ([`crate::build`]) plus executor ([`crate::sweep`])
+//! turn it into assembled `ctlm-sim` runs. Every knob a spec exposes is
+//! plain data, so identical specs produce identical reports and sweep
+//! grids can rewrite any numeric field by path.
+//!
+//! The top level is either **single-cell** (a `workload` + `scenario`
+//! at the root) or **multi-cell** (a `cells` array, each entry with its
+//! own workload and scenario, optionally joined by the spillover
+//! router). See `experiments/*.json` for complete examples.
+
+use serde::{Deserialize, Serialize};
+
+use ctlm_sched::SimConfig;
+use ctlm_trace::{AttrId, CellSet, Micros};
+
+use crate::LabError;
+
+/// A complete experiment description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Experiment name (report header).
+    pub name: String,
+    /// Kernel parameters (cycle, attempts budget, runtimes, horizon,
+    /// seed). Defaults to [`SimConfig::default`].
+    #[serde(default)]
+    pub sim: SimConfig,
+    /// Scheduler registry names to A/B (e.g. `["main_only", "oracle"]`).
+    /// Empty means `["main_only"]`.
+    #[serde(default)]
+    pub schedulers: Vec<String>,
+    /// Placement strategies by registry name.
+    #[serde(default)]
+    pub placers: PlacerSpec,
+    /// Single-cell sugar: the one cell's workload (mutually exclusive
+    /// with `cells`).
+    #[serde(default)]
+    pub workload: Option<WorkloadSpec>,
+    /// Single-cell sugar: the one cell's scenario.
+    #[serde(default)]
+    pub scenario: ScenarioSpec,
+    /// Multi-cell topology: each cell has its own cluster and workload
+    /// but all share one kernel timeline.
+    #[serde(default)]
+    pub cells: Vec<CellSpec>,
+    /// Multi-cell only: route arrivals through the spillover router,
+    /// which forwards tasks a cell cannot admit to a sibling cell.
+    #[serde(default)]
+    pub spillover: bool,
+    /// Training budget for model-backed schedulers (`enhanced`,
+    /// `live_registry` retraining).
+    #[serde(default)]
+    pub train: TrainSpec,
+    /// Optional sweep grid (knobs × seeds × repeats).
+    #[serde(default)]
+    pub sweep: Option<SweepSpec>,
+}
+
+impl ExperimentSpec {
+    /// Parses a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, LabError> {
+        let spec: Self = serde_json::from_str(text).map_err(LabError::from)?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes the spec back to JSON.
+    pub fn to_json(&self) -> Result<String, LabError> {
+        serde_json::to_string(self).map_err(LabError::from)
+    }
+
+    /// Structural sanity checks the type system cannot express.
+    pub fn validate(&self) -> Result<(), LabError> {
+        if self.cells.is_empty() && self.workload.is_none() {
+            return Err(LabError::msg(
+                "spec needs either a top-level `workload` or a `cells` array",
+            ));
+        }
+        if !self.cells.is_empty() && self.workload.is_some() {
+            return Err(LabError::msg(
+                "`workload` and `cells` are mutually exclusive — move the workload into a cell",
+            ));
+        }
+        if self.spillover && self.cells.len() < 2 {
+            return Err(LabError::msg("`spillover` needs at least two cells"));
+        }
+        if self.spillover {
+            // Synthetic cells stride their pin-attribute values so no
+            // task can alias a sibling's machines; generated traces
+            // share one attribute space, so a spilled constrained task
+            // could silently match a look-alike machine elsewhere.
+            for cell in &self.cells {
+                if matches!(cell.workload, WorkloadSpec::Trace(_)) {
+                    return Err(LabError::msg(format!(
+                        "cell {:?}: spillover supports Synthetic workloads only \
+                         (trace cells share an attribute space, so spilled \
+                         constrained tasks would alias sibling machines)",
+                        cell.name
+                    )));
+                }
+            }
+        }
+        {
+            let mut seen = std::collections::HashSet::new();
+            for cell in &self.cells {
+                if !seen.insert(cell.name.as_str()) {
+                    return Err(LabError::msg(format!(
+                        "duplicate cell name {:?} — summary rows are keyed by cell name",
+                        cell.name
+                    )));
+                }
+            }
+        }
+        for name in self.scheduler_names() {
+            crate::registry::check_scheduler(&name)?;
+        }
+        crate::registry::check_placer(&self.placers.main)?;
+        crate::registry::check_placer(&self.placers.hp)?;
+        if let Some(sweep) = &self.sweep {
+            for knob in &sweep.knobs {
+                if knob.values.is_empty() {
+                    return Err(LabError::msg(format!(
+                        "sweep knob {:?} has no values",
+                        knob.path
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The scheduler list with the empty-list default applied.
+    pub fn scheduler_names(&self) -> Vec<String> {
+        if self.schedulers.is_empty() {
+            vec!["main_only".to_string()]
+        } else {
+            self.schedulers.clone()
+        }
+    }
+
+    /// The normalized cell list: the `cells` array as-is, or the
+    /// single-cell sugar wrapped into one `cell-0` entry.
+    pub fn cell_specs(&self) -> Vec<CellSpec> {
+        if self.cells.is_empty() {
+            vec![CellSpec {
+                name: "cell-0".to_string(),
+                workload: self.workload.clone().expect("validated: workload present"),
+                scenario: self.scenario.clone(),
+            }]
+        } else {
+            self.cells.clone()
+        }
+    }
+}
+
+/// One cell of a (possibly multi-cell) experiment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellSpec {
+    /// Cell name (report key).
+    pub name: String,
+    /// The cell's cluster + arrival process.
+    pub workload: WorkloadSpec,
+    /// The cell's scenario components.
+    #[serde(default)]
+    pub scenario: ScenarioSpec,
+}
+
+/// Placement strategies for the two queues, by registry name.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PlacerSpec {
+    /// Main-queue strategy.
+    pub main: String,
+    /// High-priority-queue strategy.
+    pub hp: String,
+}
+
+impl Default for PlacerSpec {
+    fn default() -> Self {
+        Self {
+            main: "best_fit".to_string(),
+            hp: "preemptive_best_fit".to_string(),
+        }
+    }
+}
+
+/// Where a cell's cluster and arrivals come from.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// A slice of a generated GCD-like trace (`ctlm-trace`): machines
+    /// from the fleet events, tasks from submissions.
+    Trace(TraceWorkload),
+    /// A fully synthetic workload: explicit machine groups plus
+    /// generated arrivals.
+    Synthetic(SyntheticWorkload),
+}
+
+/// Replayed-trace workload parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TraceWorkload {
+    /// Which calibrated cell profile to generate.
+    pub cell: CellSet,
+    /// Fleet size.
+    pub machines: usize,
+    /// Collections submitted over the trace horizon.
+    pub collections: usize,
+    /// Cap on admitted tasks (0 = all).
+    #[serde(default)]
+    pub max_tasks: usize,
+    /// Compress arrivals onto this window (µs, 0 = off) — the loaded
+    /// regime where head-of-line blocking matters.
+    #[serde(default)]
+    pub compress_to: Micros,
+    /// Trace seed override (`null` → the spec's `sim.seed`).
+    #[serde(default)]
+    pub seed: Option<u64>,
+}
+
+/// Synthetic workload parameters.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticWorkload {
+    /// Machine groups; machines get attribute 0 = a cell-offset unique
+    /// index so restrictive tasks pin to exactly one node fleet-wide
+    /// (sibling cells never alias under spillover).
+    pub machines: Vec<MachineGroup>,
+    /// Number of unconstrained background tasks.
+    pub tasks: usize,
+    /// Inter-arrival process for the background tasks.
+    pub arrival: ArrivalProcess,
+    /// CPU request distribution.
+    #[serde(default)]
+    pub cpu: SizeDist,
+    /// Memory request distribution.
+    #[serde(default)]
+    pub memory: SizeDist,
+    /// Priority band for background tasks.
+    #[serde(default)]
+    pub priority: u8,
+    /// Optional restrictive (single-suitable-node, Group-0) tasks.
+    #[serde(default)]
+    pub restrictive: Option<RestrictiveSpec>,
+}
+
+/// A homogeneous group of machines.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineGroup {
+    /// Machines in the group.
+    pub count: usize,
+    /// Per-machine CPU capacity.
+    pub cpu: f64,
+    /// Per-machine memory capacity.
+    pub memory: f64,
+}
+
+/// Inter-arrival gap processes (`ctlm-trace` provides the heavy-tailed
+/// sampler).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Fixed gap between arrivals.
+    Uniform {
+        /// Gap (µs).
+        gap: Micros,
+    },
+    /// Exponential (Poisson-process) gaps.
+    Exponential {
+        /// Mean gap (µs).
+        mean_gap: Micros,
+    },
+    /// Bounded-Pareto gaps — bursty, heavy-tailed arrivals.
+    Pareto {
+        /// Minimum gap (µs).
+        lo: f64,
+        /// Maximum gap (µs).
+        hi: f64,
+        /// Tail exponent.
+        alpha: f64,
+    },
+}
+
+/// Resource-request distributions.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SizeDist {
+    /// Every task requests exactly this much.
+    Fixed(f64),
+    /// Bounded-Pareto requests — "top 1 % of tasks consume over 99 % of
+    /// resources".
+    Pareto {
+        /// Minimum request.
+        lo: f64,
+        /// Maximum request.
+        hi: f64,
+        /// Tail exponent.
+        alpha: f64,
+    },
+}
+
+impl Default for SizeDist {
+    fn default() -> Self {
+        SizeDist::Fixed(0.1)
+    }
+}
+
+/// Restrictive tasks: pinned to one uniformly chosen machine each
+/// (ground-truth Group 0) — the population the paper's analyzer exists
+/// to protect.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RestrictiveSpec {
+    /// How many restrictive tasks to submit.
+    pub count: usize,
+    /// First submission time (µs).
+    pub start: Micros,
+    /// Gap between submissions (µs).
+    pub period: Micros,
+    /// CPU/memory request per restrictive task.
+    pub cpu: f64,
+    /// Priority band.
+    pub priority: u8,
+}
+
+/// Scenario components with intensities; every field is optional, and
+/// all active components share the cell's timeline.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Machine churn: seeded random drain/restore waves.
+    #[serde(default)]
+    pub churn: Option<ChurnSpec>,
+    /// All-or-nothing gang arrivals.
+    #[serde(default)]
+    pub gangs: Option<GangSpec>,
+    /// A staged attribute rollout washing over the fleet.
+    #[serde(default)]
+    pub rollout: Option<RolloutSpec>,
+    /// Online retraining cadence (drives the `live_registry` scheduler).
+    #[serde(default)]
+    pub retrain: Option<RetrainSpec>,
+}
+
+/// Churn intensity: `failures` distinct machines drain inside `window`,
+/// each returning `outage` µs later.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Number of distinct machines to fail.
+    pub failures: usize,
+    /// `[start, end]` of the failure window (µs).
+    pub window: (Micros, Micros),
+    /// Down time per machine (µs).
+    pub outage: Micros,
+    /// Extra seed entropy (combined with the spec's `sim.seed`).
+    #[serde(default)]
+    pub seed: u64,
+}
+
+/// Gang arrival process: `count` gangs of `size` members each.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GangSpec {
+    /// Number of gangs.
+    pub count: usize,
+    /// Members per gang.
+    pub size: usize,
+    /// First gang arrival (µs).
+    pub start: Micros,
+    /// Gap between gangs (µs).
+    pub period: Micros,
+    /// CPU/memory request per member.
+    pub cpu: f64,
+    /// Priority band for members.
+    #[serde(default)]
+    pub priority: u8,
+}
+
+/// Staged attribute rollout: the fleet is split into `stages` equal
+/// chunks, upgraded one chunk per `period`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RolloutSpec {
+    /// Attribute being rolled out.
+    pub attr: AttrId,
+    /// The integer value every upgraded machine reports.
+    pub value: i64,
+    /// Number of stages.
+    pub stages: usize,
+    /// First stage time (µs).
+    pub start: Micros,
+    /// Gap between stages (µs).
+    pub period: Micros,
+}
+
+/// Online retraining cadence: every `period`, retrain on the arrivals
+/// observed so far and hot-swap the result into the run's
+/// [`ModelRegistry`](ctlm_core::ModelRegistry).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetrainSpec {
+    /// Retraining period (µs).
+    pub period: Micros,
+    /// First retraining tick (µs, 0 = one period in).
+    #[serde(default)]
+    pub start: Micros,
+}
+
+/// Training budget for model-backed schedulers. Deliberately far below
+/// the paper's full budget — specs train on their own (small) arrival
+/// populations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrainSpec {
+    /// Epoch cap per training attempt.
+    pub epochs_limit: usize,
+    /// Attempt cap.
+    pub max_attempts: usize,
+}
+
+impl Default for TrainSpec {
+    fn default() -> Self {
+        Self {
+            epochs_limit: 40,
+            max_attempts: 2,
+        }
+    }
+}
+
+/// A sweep grid: the cartesian product of every knob's values, crossed
+/// with `seeds` × `repeats`. Runs execute in parallel on the rayon
+/// pool; the report carries per-point medians.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Numeric knobs, addressed by dotted path into the spec document
+    /// (e.g. `"scenario.churn.failures"`, `"cells.0.workload.Synthetic.tasks"`).
+    #[serde(default)]
+    pub knobs: Vec<KnobSpec>,
+    /// Seeds to run each grid point under (empty → the spec's
+    /// `sim.seed`).
+    #[serde(default)]
+    pub seeds: Vec<u64>,
+    /// Repeats per (point, seed); repeat `k` runs under `seed + k`
+    /// (0 → 1).
+    #[serde(default)]
+    pub repeats: usize,
+}
+
+/// One sweep dimension.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KnobSpec {
+    /// Dotted path to a numeric field in the spec document.
+    pub path: String,
+    /// The values to sweep.
+    pub values: Vec<f64>,
+}

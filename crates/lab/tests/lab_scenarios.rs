@@ -1,0 +1,344 @@
+//! Harness-level tests: bit-identical reports for identical spec+seed
+//! (extending the `kernel_scenarios` determinism pattern to the whole
+//! declarative pipeline), spec round-trips, knob rewriting, the checked-in
+//! example specs, and the serde-shim features the schema leans on.
+
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use ctlm_lab::report::to_pretty_json;
+use ctlm_lab::spec::{
+    ArrivalProcess, ChurnSpec, ExperimentSpec, GangSpec, KnobSpec, MachineGroup, PlacerSpec,
+    RestrictiveSpec, ScenarioSpec, SizeDist, SweepSpec, SyntheticWorkload, TrainSpec, WorkloadSpec,
+};
+use ctlm_lab::{run_spec, run_spec_json};
+use ctlm_sched::SimConfig;
+
+/// A small contended synthetic spec exercising churn, gangs and a sweep.
+fn busy_spec() -> String {
+    r#"{
+        "name": "busy",
+        "sim": {"cycle": 500000, "attempts_per_cycle": 3,
+                 "mean_runtime": 6000000, "horizon": 90000000, "seed": 11},
+        "schedulers": ["main_only", "oracle"],
+        "workload": {"Synthetic": {
+            "machines": [{"count": 6, "cpu": 1.0, "memory": 1.0}],
+            "tasks": 250,
+            "arrival": {"Exponential": {"mean_gap": 45000}},
+            "cpu": {"Pareto": {"lo": 0.05, "hi": 0.4, "alpha": 1.2}},
+            "priority": 2,
+            "restrictive": {"count": 3, "start": 4000000,
+                             "period": 5000000, "cpu": 0.2, "priority": 6}
+        }},
+        "scenario": {
+            "churn": {"failures": 2, "window": [10000000, 30000000],
+                       "outage": 15000000, "seed": 4},
+            "gangs": {"count": 2, "size": 3, "start": 15000000,
+                       "period": 20000000, "cpu": 0.5, "priority": 4}
+        },
+        "sweep": {"knobs": [{"path": "scenario.churn.failures", "values": [0, 2]}],
+                   "seeds": [11, 12], "repeats": 1}
+    }"#
+    .to_string()
+}
+
+#[test]
+fn identical_spec_and_seed_give_bit_identical_reports() {
+    let spec = busy_spec();
+    let a = run_spec_json(&spec).expect("first run");
+    let b = run_spec_json(&spec).expect("second run");
+    let ja = to_pretty_json(&Serialize::to_value(&a));
+    let jb = to_pretty_json(&Serialize::to_value(&b));
+    assert_eq!(ja, jb, "report must be a pure function of the spec");
+    // 2 knob values × 2 seeds × 1 repeat.
+    assert_eq!(a.runs.len(), 4);
+    // Churn actually fired on the failures=2 points.
+    let churned = a
+        .runs
+        .iter()
+        .filter(|r| r.knobs.iter().any(|k| k.value == 2.0))
+        .flat_map(|r| &r.schedulers)
+        .flat_map(|s| &s.cells)
+        .map(|c| c.churn_rescheduled)
+        .sum::<usize>();
+    assert!(churned > 0, "failures=2 points must reschedule tasks");
+    // Gangs placed on every run.
+    assert!(a
+        .runs
+        .iter()
+        .flat_map(|r| &r.schedulers)
+        .flat_map(|s| &s.cells)
+        .all(|c| c.gangs_placed > 0));
+}
+
+#[test]
+fn oracle_beats_main_only_from_spec_alone() {
+    let report = run_spec_json(&busy_spec()).expect("run");
+    for row_pair in report.summary.chunks(2) {
+        // Summary rows come in (main_only, oracle) pairs per point.
+        let (main, oracle) = (&row_pair[0], &row_pair[1]);
+        assert_eq!(main.scheduler, "main_only");
+        assert_eq!(oracle.scheduler, "oracle");
+        let (m, o) = (
+            main.median_group0_mean.expect("group0 placed"),
+            oracle.median_group0_mean.expect("group0 placed"),
+        );
+        assert!(o < m, "oracle group0 mean {o} must beat main-only {m}");
+    }
+}
+
+#[test]
+fn checked_in_specs_parse_and_spillover_runs_deterministically() {
+    for name in ["fig3_ab", "churn_sweep", "three_cell_spillover"] {
+        let text = std::fs::read_to_string(format!("../../experiments/{name}.json"))
+            .expect("checked-in spec readable");
+        ExperimentSpec::from_json(&text).expect("checked-in spec parses");
+    }
+    let text = std::fs::read_to_string("../../experiments/three_cell_spillover.json").unwrap();
+    let a = run_spec_json(&text).expect("spillover run");
+    let b = run_spec_json(&text).expect("spillover rerun");
+    assert_eq!(
+        to_pretty_json(&Serialize::to_value(&a)),
+        to_pretty_json(&Serialize::to_value(&b)),
+        "multi-cell spillover must be deterministic on one timeline"
+    );
+    let cells: Vec<_> = a.runs[0].schedulers[0].cells.iter().collect();
+    assert_eq!(cells.len(), 3);
+    let spilled: usize = cells.iter().map(|c| c.spilled_out).sum();
+    assert!(spilled > 0, "the hot cell must spill into its siblings");
+    let received: usize = cells.iter().map(|c| c.spilled_in).sum();
+    assert_eq!(spilled, received, "every spilled task lands somewhere");
+}
+
+#[test]
+fn retrain_cadence_drives_live_registry() {
+    // live_registry starts cold; the in-timeline retraining component
+    // must hot-swap models mid-run and change routing (some tasks reach
+    // the HP queue, visible as preemptions or a placed group0 record
+    // with low latency). At minimum the run must be deterministic.
+    let spec = r#"{
+        "name": "retrain",
+        "sim": {"cycle": 500000, "attempts_per_cycle": 3,
+                 "mean_runtime": 6000000, "horizon": 90000000, "seed": 9},
+        "schedulers": ["live_registry"],
+        "workload": {"Synthetic": {
+            "machines": [{"count": 6, "cpu": 1.0, "memory": 1.0}],
+            "tasks": 250,
+            "arrival": {"Uniform": {"gap": 50000}},
+            "restrictive": {"count": 4, "start": 30000000,
+                             "period": 8000000, "cpu": 0.2, "priority": 6}
+        }},
+        "scenario": {"retrain": {"period": 10000000}},
+        "train": {"epochs_limit": 25, "max_attempts": 1}
+    }"#;
+    let a = run_spec_json(spec).expect("first");
+    let b = run_spec_json(spec).expect("second");
+    assert_eq!(
+        to_pretty_json(&Serialize::to_value(&a)),
+        to_pretty_json(&Serialize::to_value(&b)),
+        "synchronous in-timeline retraining must stay deterministic"
+    );
+    let cell = &a.runs[0].schedulers[0].cells[0];
+    assert!(cell.placed > 200, "most tasks place");
+}
+
+#[test]
+fn serde_default_and_field_errors() {
+    // Minimal spec: every #[serde(default)] field may be omitted.
+    let spec: ExperimentSpec = serde_json::from_str(
+        r#"{"name": "tiny", "workload": {"Synthetic": {
+            "machines": [{"count": 2, "cpu": 1.0, "memory": 1.0}],
+            "tasks": 5, "arrival": {"Uniform": {"gap": 1000}}}}}"#,
+    )
+    .expect("defaults fill in");
+    assert_eq!(spec.sim, SimConfig::default());
+    assert_eq!(spec.placers, PlacerSpec::default());
+    assert_eq!(spec.scheduler_names(), vec!["main_only".to_string()]);
+    assert!(spec.sweep.is_none());
+
+    // A bad field errors with its dotted location.
+    let err = serde_json::from_str::<ExperimentSpec>(
+        r#"{"name": "bad", "sim": {"cycle": "not-a-number"}}"#,
+    )
+    .expect_err("bad field type");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("SimConfig.cycle"),
+        "error must point at the offending field, got: {msg}"
+    );
+
+    // Unknown enum variants list the registry of expected names.
+    let err = serde_json::from_str::<WorkloadSpec>(r#"{"Bogus": {}}"#).expect_err("bad variant");
+    assert!(err.to_string().contains("Trace/Synthetic"), "got: {err}");
+}
+
+#[test]
+fn unknown_registry_names_are_rejected_at_validation() {
+    let err = ExperimentSpec::from_json(
+        r#"{"name": "x", "schedulers": ["quantum"], "workload": {"Synthetic": {
+            "machines": [{"count": 1, "cpu": 1.0, "memory": 1.0}],
+            "tasks": 1, "arrival": {"Uniform": {"gap": 1000}}}}}"#,
+    )
+    .expect_err("unknown scheduler");
+    assert!(err.to_string().contains("unknown scheduler"));
+}
+
+fn arb_arrival() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        (1u64..100_000).prop_map(|gap| ArrivalProcess::Uniform { gap }),
+        (1u64..100_000).prop_map(|mean_gap| ArrivalProcess::Exponential { mean_gap }),
+        (1u64..50, 100u64..10_000).prop_map(|(lo, hi)| ArrivalProcess::Pareto {
+            lo: lo as f64,
+            hi: hi as f64,
+            alpha: 1.5,
+        }),
+    ]
+}
+
+fn arb_size() -> impl Strategy<Value = SizeDist> {
+    prop_oneof![
+        (1u32..90).prop_map(|v| SizeDist::Fixed(v as f64 / 100.0)),
+        (1u32..20, 30u32..90).prop_map(|(lo, hi)| SizeDist::Pareto {
+            lo: lo as f64 / 100.0,
+            hi: hi as f64 / 100.0,
+            alpha: 1.25,
+        }),
+    ]
+}
+
+fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
+    (0usize..5, 0u64..4, 0usize..3).prop_map(|(failures, seed, gangs)| ScenarioSpec {
+        churn: (failures > 0).then_some(ChurnSpec {
+            failures,
+            window: (5_000_000, 20_000_000),
+            outage: 10_000_000,
+            seed,
+        }),
+        gangs: (gangs > 0).then_some(GangSpec {
+            count: gangs,
+            size: 2,
+            start: 1_000_000,
+            period: 4_000_000,
+            cpu: 0.4,
+            priority: 3,
+        }),
+        rollout: None,
+        retrain: None,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Any spec the schema can express round-trips through JSON
+    /// unchanged — the serializer and deserializer agree on every field,
+    /// defaults included.
+    #[test]
+    fn spec_roundtrips_through_json(
+        machines in 1usize..40,
+        tasks in 0usize..500,
+        seed in 0u64..1_000_000,
+        cycle in 1u64..2_000_000,
+        priority in 0u8..10,
+        restrictive in 0usize..4,
+        arrival in arb_arrival(),
+        cpu in arb_size(),
+        memory in arb_size(),
+        scenario in arb_scenario(),
+        sweep_vals in prop::collection::vec(0f64..10.0, 0..4),
+    ) {
+        let spec = ExperimentSpec {
+            name: format!("prop-{seed}"),
+            sim: SimConfig { cycle, seed, ..SimConfig::default() },
+            schedulers: vec!["main_only".into(), "oracle".into()],
+            placers: PlacerSpec::default(),
+            workload: Some(WorkloadSpec::Synthetic(SyntheticWorkload {
+                machines: vec![MachineGroup { count: machines, cpu: 1.0, memory: 1.0 }],
+                tasks,
+                arrival,
+                cpu,
+                memory,
+                priority,
+                restrictive: (restrictive > 0).then_some(RestrictiveSpec {
+                    count: restrictive,
+                    start: 2_000_000,
+                    period: 3_000_000,
+                    cpu: 0.2,
+                    priority: 6,
+                }),
+            })),
+            scenario,
+            cells: vec![],
+            spillover: false,
+            train: TrainSpec::default(),
+            sweep: (!sweep_vals.is_empty()).then_some(SweepSpec {
+                knobs: vec![KnobSpec { path: "sim.attempts_per_cycle".into(), values: sweep_vals }],
+                seeds: vec![seed],
+                repeats: 2,
+            }),
+        };
+        let json = serde_json::to_string(&spec).expect("serializes");
+        let back: ExperimentSpec = serde_json::from_str(&json).expect("parses back");
+        prop_assert_eq!(&back, &spec);
+        // And a second hop is stable (canonical form).
+        let json2 = serde_json::to_string(&back).expect("re-serializes");
+        prop_assert_eq!(json, json2);
+    }
+
+    /// Spec-driven single-cell runs are deterministic for any synthetic
+    /// workload shape (not just the hand-picked ones above).
+    #[test]
+    fn any_synthetic_spec_is_deterministic(
+        machines in 1usize..10,
+        tasks in 1usize..120,
+        seed in 0u64..500,
+        arrival in arb_arrival(),
+    ) {
+        let spec = ExperimentSpec {
+            name: "prop-det".into(),
+            sim: SimConfig {
+                cycle: 500_000,
+                attempts_per_cycle: 3,
+                mean_runtime: 4_000_000,
+                horizon: 30_000_000,
+                seed,
+            },
+            schedulers: vec!["main_only".into()],
+            placers: PlacerSpec::default(),
+            workload: Some(WorkloadSpec::Synthetic(SyntheticWorkload {
+                machines: vec![MachineGroup { count: machines, cpu: 1.0, memory: 1.0 }],
+                tasks,
+                arrival,
+                cpu: SizeDist::default(),
+                memory: SizeDist::default(),
+                priority: 2,
+                restrictive: None,
+            })),
+            scenario: ScenarioSpec::default(),
+            cells: vec![],
+            spillover: false,
+            train: TrainSpec::default(),
+            sweep: None,
+        };
+        let a = run_spec(&spec).expect("first");
+        let b = run_spec(&spec).expect("second");
+        prop_assert_eq!(&a, &b);
+    }
+}
+
+#[test]
+fn knob_paths_rewrite_numbers_and_reject_garbage() {
+    use ctlm_lab::sweep::set_path;
+    use serde_json::Value;
+    let spec = ExperimentSpec::from_json(&busy_spec()).unwrap();
+    let mut doc = spec.to_value();
+    set_path(&mut doc, "sim.mean_runtime", Value::Num(123.0)).expect("valid path");
+    let back: ExperimentSpec = Deserialize::from_value(&doc).unwrap();
+    assert_eq!(back.sim.mean_runtime, 123);
+    assert!(set_path(&mut doc, "sim.nope", Value::Num(1.0)).is_err());
+    assert!(
+        set_path(&mut doc, "name", Value::Num(1.0)).is_err(),
+        "non-numeric leaf"
+    );
+    assert!(set_path(&mut doc, "sim.cycle.deeper", Value::Num(1.0)).is_err());
+}

@@ -102,7 +102,7 @@ pub enum SchedEvent {
 }
 
 /// Simulation parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Scheduler pass period (µs).
     pub cycle: Micros,
@@ -216,6 +216,8 @@ pub struct EngineState<'a> {
     placed_once: HashSet<TaskId>,
     next_epoch: u64,
     engine_id: CompId,
+    /// Scratch for [`EngineState::can_admit`] probes.
+    suitable_buf: Vec<MachineId>,
 }
 
 impl<'a> EngineState<'a> {
@@ -245,6 +247,7 @@ impl<'a> EngineState<'a> {
             placed_once: HashSet::new(),
             next_epoch: 0,
             engine_id: 0,
+            suitable_buf: Vec::new(),
         }
     }
 
@@ -267,6 +270,21 @@ impl<'a> EngineState<'a> {
     /// Pending main-queue depth (scenario components may inspect it).
     pub fn main_queue_len(&self) -> usize {
         self.main.len()
+    }
+
+    /// True when this cell could admit `task` right now: at least one
+    /// suitable machine exists *and* currently has capacity. Spillover
+    /// routers in multi-cell simulations consult this before forwarding
+    /// a task to another cell; the probe reuses a scratch buffer so
+    /// per-task routing stays allocation-free.
+    pub fn can_admit(&mut self, task: &PendingTask) -> bool {
+        let mut buf = std::mem::take(&mut self.suitable_buf);
+        self.cluster.suitable_into(&task.reqs, &mut buf);
+        let ok = buf
+            .iter()
+            .any(|&m| self.cluster.fits(m, task.cpu, task.memory));
+        self.suitable_buf = buf;
+        ok
     }
 
     /// Routes an admitted task into the high-priority or main queue.
@@ -594,6 +612,60 @@ impl Simulator {
         self.config
     }
 
+    /// Registers one scheduling **cell** — engine component, arrival
+    /// source and cycle timer — on an existing kernel simulation, so
+    /// several cells can share a single timeline (multi-cell runs).
+    ///
+    /// `name` prefixes the registered component names. An empty arrival
+    /// list is fine: cells fed exclusively through
+    /// [`SchedEvent::Admit`] (e.g. by a spillover router) pass `&[]`.
+    pub fn attach_cell<'a>(
+        &'a self,
+        sim: &mut Sim<'a, SchedEvent>,
+        name: &str,
+        cluster: SchedCluster,
+        arrivals: &'a [PendingTask],
+        scheduler: &'a mut dyn Scheduler,
+    ) -> CellHandle<'a> {
+        let cfg = self.config;
+        let state = Rc::new(RefCell::new(EngineState::new(
+            cfg,
+            cluster,
+            arrivals,
+            scheduler,
+            self.main_placer.as_ref(),
+            self.hp_placer.as_ref(),
+        )));
+        let engine = sim.add_component(
+            format!("{name}/engine"),
+            EngineComponent {
+                state: state.clone(),
+            },
+        );
+        state.borrow_mut().engine_id = engine;
+        let source = sim.add_component(
+            format!("{name}/arrival_source"),
+            ArrivalSource {
+                arrivals,
+                next: 0,
+                engine,
+            },
+        );
+        if let Some(first) = arrivals.first() {
+            sim.schedule_prio(first.arrival, PRIO_ADMIT, source, source, SchedEvent::Wake);
+        }
+        let timer = sim.add_component(
+            format!("{name}/cycle_timer"),
+            CycleTimer {
+                period: cfg.cycle,
+                horizon: cfg.horizon,
+                engine,
+            },
+        );
+        sim.schedule_prio(0, PRIO_PASS, timer, timer, SchedEvent::Wake);
+        CellHandle { engine, state }
+    }
+
     /// Builds the simulation harness without running it, so scenario
     /// components (churn, gang sources, trace feeds, rollouts) can join
     /// before [`Harness::run`].
@@ -606,48 +678,13 @@ impl Simulator {
         arrivals: &'a [PendingTask],
         scheduler: &'a mut dyn Scheduler,
     ) -> Harness<'a> {
-        let cfg = self.config;
         let mut sim = Sim::new();
-        let state = Rc::new(RefCell::new(EngineState::new(
-            cfg,
-            cluster,
-            arrivals,
-            scheduler,
-            self.main_placer.as_ref(),
-            self.hp_placer.as_ref(),
-        )));
-        let engine = sim.add_component(
-            "engine",
-            EngineComponent {
-                state: state.clone(),
-            },
-        );
-        state.borrow_mut().engine_id = engine;
-        let source = sim.add_component(
-            "arrival_source",
-            ArrivalSource {
-                arrivals,
-                next: 0,
-                engine,
-            },
-        );
-        if let Some(first) = arrivals.first() {
-            sim.schedule_prio(first.arrival, PRIO_ADMIT, source, source, SchedEvent::Wake);
-        }
-        let timer = sim.add_component(
-            "cycle_timer",
-            CycleTimer {
-                period: cfg.cycle,
-                horizon: cfg.horizon,
-                engine,
-            },
-        );
-        sim.schedule_prio(0, PRIO_PASS, timer, timer, SchedEvent::Wake);
+        let cell = self.attach_cell(&mut sim, "cell", cluster, arrivals, scheduler);
         Harness {
             sim,
-            engine,
-            state,
-            horizon: cfg.horizon,
+            engine: cell.engine,
+            state: cell.state,
+            horizon: self.config.horizon,
         }
     }
 
@@ -669,6 +706,32 @@ impl Simulator {
         back.reset();
         *cluster = back;
         result
+    }
+}
+
+/// One cell registered on a shared kernel simulation via
+/// [`Simulator::attach_cell`]: the engine's component id plus the shared
+/// engine state. The driver owns the `Sim` and runs it; after the run
+/// (once the `Sim` is dropped), [`CellHandle::finish`] extracts the
+/// cell's cluster and result.
+pub struct CellHandle<'a> {
+    /// The cell engine's component id — the destination for scheduling
+    /// events (admissions, churn, spillover forwards).
+    pub engine: CompId,
+    state: Rc<RefCell<EngineState<'a>>>,
+}
+
+impl<'a> CellHandle<'a> {
+    /// The cell's shared engine state (see [`Harness::state`]).
+    pub fn state(&self) -> Rc<RefCell<EngineState<'a>>> {
+        self.state.clone()
+    }
+
+    /// Extracts `(cluster, result)`, counting still-queued tasks as
+    /// unplaced. Call after the simulation has run (and its components
+    /// have released their handler borrows).
+    pub fn finish(&self) -> (SchedCluster, SimResult) {
+        self.state.borrow_mut().finish()
     }
 }
 

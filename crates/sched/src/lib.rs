@@ -61,7 +61,7 @@ pub mod scheduler;
 pub mod updater;
 
 pub use cluster::SchedCluster;
-pub use engine::{SchedEvent, SimConfig, SimResult, Simulator};
+pub use engine::{CellHandle, SchedEvent, SimConfig, SimResult, Simulator};
 pub use latency::LatencyStats;
 pub use placement::{BestFit, Placer, PreemptiveBestFit};
 pub use queue::{PendingQueue, PendingTask};

@@ -42,6 +42,31 @@ impl BoundedPareto {
     }
 }
 
+/// Exponential distribution with the given mean — the memoryless
+/// inter-arrival process (Poisson arrivals). Used by the experiment
+/// harness's synthetic workloads alongside [`BoundedPareto`].
+#[derive(Clone, Copy, Debug)]
+pub struct Exponential {
+    mean: f64,
+}
+
+impl Exponential {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    /// Panics unless `mean > 0`.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean > 0.0, "require mean > 0");
+        Self { mean }
+    }
+
+    /// Draws one sample via inverse-CDF; always strictly positive.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        -u.ln() * self.mean
+    }
+}
+
 /// Zipf distribution over ranks `0..n` with exponent `s`.
 ///
 /// Used for attribute-value popularity: a few platform/kernel values
@@ -123,6 +148,22 @@ mod tests {
             "top 1% held only {:.1}%",
             100.0 * top1 / total
         );
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let d = Exponential::new(250.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 250.0).abs() < 10.0, "sample mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "mean > 0")]
+    fn exponential_rejects_zero_mean() {
+        let _ = Exponential::new(0.0);
     }
 
     #[test]

@@ -131,6 +131,13 @@ impl Error {
     pub fn msg(m: impl Into<String>) -> Self {
         Self(m.into())
     }
+
+    /// Prepends a location (e.g. `Struct.field`) to the message, so a
+    /// deserialization failure deep in a document names the offending
+    /// field path (`Spec.sim.cycle: expected u64 in range, got Null`).
+    pub fn context(self, path: &str) -> Self {
+        Self(format!("{path}: {}", self.0))
+    }
 }
 
 impl fmt::Display for Error {

@@ -14,10 +14,18 @@
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 enum Shape {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// A named field plus the serde attributes the shim honors.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing (or `null`) value falls back to
+    /// `Default::default()` instead of erroring.
+    default: bool,
 }
 
 struct Variant {
@@ -28,7 +36,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Input {
@@ -89,17 +97,37 @@ fn parse_input(input: TokenStream) -> Input {
     Input { name, shape }
 }
 
+/// True when an attribute body (the `[...]` group's stream) is a serde
+/// attribute containing the `default` flag, e.g. `serde(default)`.
+fn attr_has_serde_default(stream: TokenStream) -> bool {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(tt, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
 /// Parses `attr* vis? name: Type` fields separated by top-level commas.
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut iter = stream.into_iter().peekable();
     loop {
-        // Skip attributes and visibility.
+        // Skip attributes and visibility, noting `#[serde(default)]`.
+        let mut default = false;
         loop {
             match iter.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     iter.next();
-                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        default |= attr_has_serde_default(g.stream());
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     iter.next();
@@ -115,7 +143,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
         let Some(TokenTree::Ident(id)) = iter.next() else {
             break;
         };
-        fields.push(id.to_string());
+        fields.push(Field {
+            name: id.to_string(),
+            default,
+        });
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde_derive shim: expected `:` after field, got {other:?}"),
@@ -224,7 +255,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     variants
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let input = parse_input(input);
     let name = &input.name;
@@ -233,6 +264,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             let pushes: String = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "__fields.push(({f:?}.to_string(), \
                          ::serde::Serialize::to_value(&self.{f})));"
@@ -280,10 +312,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                         }
                         VariantKind::Named(fields) => {
                             let binds: Vec<String> =
-                                fields.iter().map(|f| format!("ref {f}")).collect();
+                                fields.iter().map(|f| format!("ref {}", f.name)).collect();
                             let pushes: String = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "__inner.push(({f:?}.to_string(), \
                                          ::serde::Serialize::to_value({f})));"
@@ -314,16 +347,34 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde_derive shim produced invalid Serialize impl")
 }
 
-#[proc_macro_derive(Deserialize)]
+/// Deserialization initializer for one named field: reads `owner.field`
+/// out of `src`, attaching the `Owner.field` path to any error. With
+/// `#[serde(default)]`, a missing or `null` value falls back to
+/// `Default::default()` instead of erroring.
+fn field_init(owner: &str, f: &Field, src: &str) -> String {
+    let fname = &f.name;
+    if f.default {
+        format!(
+            "{fname}: {{ let __fv = {src}.get_field({fname:?}); \
+             if matches!(__fv, ::serde::Value::Null) {{ ::core::default::Default::default() }} \
+             else {{ ::serde::Deserialize::from_value(__fv)\
+             .map_err(|__e| __e.context(concat!({owner:?}, \".\", {fname:?})))? }} }}"
+        )
+    } else {
+        format!(
+            "{fname}: ::serde::Deserialize::from_value({src}.get_field({fname:?}))\
+             .map_err(|__e| __e.context(concat!({owner:?}, \".\", {fname:?})))?"
+        )
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let input = parse_input(input);
     let name = &input.name;
     let body = match &input.shape {
         Shape::NamedStruct(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| format!("{f}: ::serde::Deserialize::from_value(__v.get_field({f:?}))?"))
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| field_init(name, f, "__v")).collect();
             format!("Ok({name} {{ {} }})", inits.join(", "))
         }
         Shape::TupleStruct(1) => {
@@ -337,6 +388,13 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         }
         Shape::UnitStruct => format!("Ok({name})"),
         Shape::Enum(variants) => {
+            // Joined without quotes: this lands inside a generated string
+            // literal, where `{:?}`'s quote characters would break parsing.
+            let expected = variants
+                .iter()
+                .map(|v| v.name.as_str())
+                .collect::<Vec<_>>()
+                .join("/");
             let unit_arms: String = variants
                 .iter()
                 .filter(|v| matches!(v.kind, VariantKind::Unit))
@@ -344,14 +402,17 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 .collect();
             let tagged_arms: String = variants
                 .iter()
-                .filter_map(|v| {
+                .map(|v| {
                     let vname = &v.name;
                     match &v.kind {
-                        VariantKind::Unit => None,
-                        VariantKind::Tuple(1) => Some(format!(
+                        // Unit variants are also accepted in map form
+                        // (`{"Variant": null}`) so configs can key every
+                        // variant uniformly by name.
+                        VariantKind::Unit => format!("{vname:?} => Ok({name}::{vname}),"),
+                        VariantKind::Tuple(1) => format!(
                             "{vname:?} => Ok({name}::{vname}(\
                              ::serde::Deserialize::from_value(__inner)?)),"
-                        )),
+                        ),
                         VariantKind::Tuple(n) => {
                             let inits: Vec<String> = (0..*n)
                                 .map(|i| {
@@ -360,25 +421,17 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                                     )
                                 })
                                 .collect();
-                            Some(format!(
-                                "{vname:?} => Ok({name}::{vname}({})),",
-                                inits.join(", ")
-                            ))
+                            format!("{vname:?} => Ok({name}::{vname}({})),", inits.join(", "))
                         }
                         VariantKind::Named(fields) => {
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| {
-                                    format!(
-                                        "{f}: ::serde::Deserialize::from_value(\
-                                         __inner.get_field({f:?}))?"
-                                    )
-                                })
+                                .map(|f| field_init(&format!("{name}::{vname}"), f, "__inner"))
                                 .collect();
-                            Some(format!(
+                            format!(
                                 "{vname:?} => Ok({name}::{vname} {{ {} }}),",
                                 inits.join(", ")
-                            ))
+                            )
                         }
                     }
                 })
@@ -388,14 +441,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  ::serde::Value::Str(__s) => match __s.as_str() {{\n\
                  {unit_arms}\n\
                  __other => Err(::serde::Error::msg(format!(\
-                 \"unknown {name} variant {{__other:?}}\"))),\n\
+                 \"unknown {name} variant {{__other:?}} (expected one of {expected})\"))),\n\
                  }},\n\
                  ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
                  let (__tag, __inner) = &__pairs[0];\n\
+                 let _ = __inner;\n\
                  match __tag.as_str() {{\n\
                  {tagged_arms}\n\
                  __other => Err(::serde::Error::msg(format!(\
-                 \"unknown {name} variant {{__other:?}}\"))),\n\
+                 \"unknown {name} variant {{__other:?}} (expected one of {expected})\"))),\n\
                  }}\n\
                  }},\n\
                  __other => Err(::serde::Error::msg(format!(\

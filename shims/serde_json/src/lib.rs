@@ -23,6 +23,51 @@ pub fn to_vec<T: serde::Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error>
     to_string(value).map(String::into_bytes)
 }
 
+/// Serializes a value to a two-space-indented JSON string (real
+/// serde_json's `to_string_pretty`; like the real one, no trailing
+/// newline) — for documents meant to be read, like `ctlm-lab` reports.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_pretty(&value.to_value(), 0, &mut out)?;
+    Ok(out)
+}
+
+fn write_value_pretty(v: &Value, depth: usize, out: &mut String) -> Result<(), Error> {
+    let pad = "  ".repeat(depth + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&pad);
+                write_value_pretty(item, depth + 1, out)?;
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(depth));
+            out.push(']');
+        }
+        Value::Object(pairs) if !pairs.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                out.push_str(&pad);
+                write_string(k, out);
+                out.push_str(": ");
+                write_value_pretty(val, depth + 1, out)?;
+                if i + 1 < pairs.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&"  ".repeat(depth));
+            out.push('}');
+        }
+        leaf => write_value(leaf, out)?,
+    }
+    Ok(())
+}
+
 /// Deserializes a value from a JSON string.
 pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
     let v = parse_value(s)?;
@@ -367,6 +412,18 @@ mod tests {
     #[test]
     fn rejects_trailing_garbage() {
         assert!(from_str::<Value>("{} x").is_err());
+    }
+
+    #[test]
+    fn pretty_output_roundtrips_and_indents() {
+        let v = json!({"a": [1, 2], "b": {"c": null}, "empty": []});
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            pretty,
+            "{\n  \"a\": [\n    1,\n    2\n  ],\n  \"b\": {\n    \"c\": null\n  },\n  \"empty\": []\n}"
+        );
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back);
     }
 
     #[test]

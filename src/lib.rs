@@ -16,6 +16,7 @@
 //! | [`baselines`] | `ctlm-baselines` | MLP / Ridge / SGD / Voting baselines |
 //! | [`core`] | `ctlm-core` | **the CTLM growing model and pipeline** |
 //! | [`sched`] | `ctlm-sched` | the Fig. 3 enhanced scheduler (kernel components) |
+//! | [`lab`] | `ctlm-lab` | declarative experiment harness (specs, sweeps, reports) |
 //!
 //! ## Quickstart
 //!
@@ -40,6 +41,7 @@ pub use ctlm_agocs as agocs;
 pub use ctlm_baselines as baselines;
 pub use ctlm_core as core;
 pub use ctlm_data as data;
+pub use ctlm_lab as lab;
 pub use ctlm_nn as nn;
 pub use ctlm_sched as sched;
 pub use ctlm_sim as sim;
