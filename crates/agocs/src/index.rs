@@ -203,6 +203,148 @@ impl AttrIndex {
         }
     }
 
+    /// Estimated result size for a requirement set: the candidate count
+    /// of its most selective requirement (an upper bound on the true
+    /// match count). Callers use it to pick between candidate-driven and
+    /// state-driven query plans.
+    pub fn selectivity_hint(&self, reqs: &[AttrRequirement]) -> usize {
+        reqs.iter()
+            .map(|r| self.selectivity(r))
+            .min()
+            .unwrap_or(self.all.len())
+    }
+
+    /// True when the machine's indexed attribute state satisfies every
+    /// requirement — the O(|reqs|) point query the scheduler's
+    /// capacity-ordered placement scan issues per candidate.
+    pub fn matches(&self, id: MachineId, reqs: &[AttrRequirement]) -> bool {
+        reqs.iter().all(|r| r.accepts(self.state_of(id, r.attr)))
+    }
+
+    /// Streams the candidates of one requirement to `f` (unsorted);
+    /// returns false if `f` stopped the walk.
+    fn candidates_visit(
+        &self,
+        req: &AttrRequirement,
+        f: &mut impl FnMut(MachineId) -> bool,
+    ) -> bool {
+        let postings = self.attrs.get(&req.attr);
+        if let Some(eq) = &req.equal {
+            if let Some(set) = postings.and_then(|p| p.by_value.get(eq)) {
+                for &id in set {
+                    if !f(id) {
+                        return false;
+                    }
+                }
+            }
+            return true;
+        }
+        if req.lo.is_some() || req.hi.is_some() {
+            let Some(p) = postings else { return true };
+            let lo = req.lo.unwrap_or(i64::MIN);
+            let hi = req.hi.unwrap_or(i64::MAX);
+            for (n, set) in p.by_int.range(lo..=hi) {
+                if !req.excluded.contains(&AttrValue::Int(*n)) {
+                    for &id in set {
+                        if !f(id) {
+                            return false;
+                        }
+                    }
+                }
+            }
+            return true;
+        }
+        match req.presence {
+            Presence::Required => {
+                if let Some(p) = postings {
+                    for &id in &p.present {
+                        if p.value_of
+                            .get(&id)
+                            .is_none_or(|v| !req.excluded.contains(v))
+                            && !f(id)
+                        {
+                            return false;
+                        }
+                    }
+                }
+            }
+            Presence::Forbidden => match postings {
+                Some(p) => {
+                    for id in self.all.difference(&p.present) {
+                        if !f(*id) {
+                            return false;
+                        }
+                    }
+                }
+                None => {
+                    for &id in &self.all {
+                        if !f(id) {
+                            return false;
+                        }
+                    }
+                }
+            },
+            Presence::Any => {
+                for &id in &self.all {
+                    if self
+                        .state_of(id, req.attr)
+                        .is_none_or(|v| !req.excluded.contains(v))
+                        && !f(id)
+                    {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Streams every machine satisfying the requirements to `f`, without
+    /// materialising a candidate list — the placement hot loop's
+    /// allocation-free form of [`AttrIndex::matching`].
+    ///
+    /// Visit **order is unspecified** (unlike `matching`, candidates are
+    /// not sorted); each matching machine is visited exactly once.
+    /// `f` returns `false` to stop early; `matching_visit` returns
+    /// `false` when it was stopped.
+    pub fn matching_visit(
+        &self,
+        reqs: &[AttrRequirement],
+        mut f: impl FnMut(MachineId) -> bool,
+    ) -> bool {
+        if reqs.is_empty() {
+            for &id in &self.all {
+                if !f(id) {
+                    return false;
+                }
+            }
+            return true;
+        }
+        let seed = reqs
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| self.selectivity(r))
+            .map(|(i, _)| i)
+            .expect("non-empty requirements");
+        self.candidates_visit(&reqs[seed], &mut |id| {
+            let ok = reqs
+                .iter()
+                .enumerate()
+                .all(|(i, r)| i == seed || r.accepts(self.state_of(id, r.attr)));
+            if ok {
+                f(id)
+            } else {
+                true
+            }
+        })
+    }
+
+    /// True when at least one machine satisfies every requirement
+    /// (early-exits on the first hit).
+    pub fn matches_any(&self, reqs: &[AttrRequirement]) -> bool {
+        !self.matching_visit(reqs, |_| false)
+    }
+
     /// Sorted ids of machines satisfying every requirement.
     pub fn matching(&self, reqs: &[AttrRequirement]) -> Vec<MachineId> {
         let mut out = Vec::new();
@@ -233,14 +375,18 @@ impl AttrIndex {
         });
     }
 
-    /// Number of machines satisfying every requirement.
+    /// Number of machines satisfying every requirement — streamed, so
+    /// counting (the AGOCS ground-truth hot loop) never allocates.
     pub fn count_matching(&self, reqs: &[AttrRequirement]) -> usize {
         if reqs.is_empty() {
             return self.all.len();
         }
-        let mut buf = Vec::new();
-        self.matching_into(reqs, &mut buf);
-        buf.len()
+        let mut n = 0usize;
+        self.matching_visit(reqs, |_| {
+            n += 1;
+            true
+        });
+        n
     }
 }
 
@@ -330,6 +476,58 @@ mod tests {
         assert_eq!(index.count_matching(&present), 0);
         let excl = reqs(&[TaskConstraint::new(9, Op::NotEqual(AttrValue::Int(1)))]);
         assert_eq!(index.count_matching(&excl), machines.len());
+    }
+
+    #[test]
+    fn streaming_visit_matches_materialised_set() {
+        let (index, _) = indexed_cluster();
+        for cs in [
+            vec![],
+            vec![TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(4))))],
+            vec![
+                TaskConstraint::new(0, Op::GreaterThanEqual(3)),
+                TaskConstraint::new(0, Op::LessThan(9)),
+            ],
+            vec![TaskConstraint::new(1, Op::NotPresent)],
+            vec![TaskConstraint::new(2, Op::NotEqual(AttrValue::from("b")))],
+            vec![
+                TaskConstraint::new(0, Op::LessThan(8)),
+                TaskConstraint::new(1, Op::Present),
+            ],
+        ] {
+            let r = reqs(&cs);
+            let mut streamed = Vec::new();
+            let done = index.matching_visit(&r, |id| {
+                streamed.push(id);
+                true
+            });
+            assert!(done);
+            streamed.sort_unstable();
+            assert_eq!(streamed, index.matching(&r), "constraints {cs:?}");
+            assert_eq!(index.count_matching(&r), streamed.len());
+            for id in 0..12 {
+                assert_eq!(
+                    index.matches(id, &r),
+                    streamed.contains(&id),
+                    "point query for {id} under {cs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_visit_early_exit_stops_the_walk() {
+        let (index, _) = indexed_cluster();
+        let mut seen = 0;
+        let done = index.matching_visit(&[], |_| {
+            seen += 1;
+            seen < 3
+        });
+        assert!(!done, "stopped walks report false");
+        assert_eq!(seen, 3);
+        assert!(index.matches_any(&[]));
+        let impossible = reqs(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(99))))]);
+        assert!(!index.matches_any(&impossible));
     }
 
     #[test]

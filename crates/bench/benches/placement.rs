@@ -1,0 +1,189 @@
+//! Placement throughput — the scheduler's per-task hot loop.
+//!
+//! Measures capacity-indexed best-fit ([`best_fit`]) against the
+//! retained linear reference ([`best_fit_linear`]) on identically loaded
+//! clusters at 1k/10k/100k machines, for the request mix the Fig. 3
+//! simulation issues (unconstrained background tasks, windowed
+//! constraints, single-machine pins), plus a scaled Fig. 3 scenario run
+//! on the kernel. The `BENCH_PR4.json` acceptance target (indexed ≥ 5×
+//! linear at 100k machines) reads straight off the
+//! `placement/{indexed,linear}/100000` ids.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ctlm_data::compaction::collapse;
+use ctlm_sched::engine::{SimConfig, Simulator};
+use ctlm_sched::placement::{best_fit, best_fit_linear, Placement};
+use ctlm_sched::scheduler::MainOnly;
+use ctlm_sched::{PendingTask, SchedCluster};
+use ctlm_trace::{AttrValue, ConstraintOp, Machine, TaskConstraint};
+
+/// A fleet with the attribute mix of the `matching` bench, partially
+/// loaded so the capacity buckets are spread (the steady-state regime —
+/// an all-empty fleet would leave one giant full-capacity bucket).
+fn loaded_cluster(n: usize) -> SchedCluster {
+    let mut ms = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let mut m = Machine::new(i, 1.0, 1.0);
+        m.set_attr(0, AttrValue::Int(i as i64));
+        m.set_attr(1, AttrValue::Int((i % 40) as i64));
+        m.set_attr(2, AttrValue::Str(format!("k{}", i % 7)));
+        ms.push(m);
+    }
+    let mut c = SchedCluster::from_machines(ms);
+    let mut task_id = 0u64;
+    for i in 0..n as u64 {
+        // Deterministic mixed load: ~2/3 of machines carry 1–3 tasks of
+        // binary-fraction sizes, leaving varied free-capacity buckets.
+        for k in 0..(i % 4) {
+            let s = 0.125 * ((i + k) % 3 + 1) as f64;
+            if c.fits(i, s, s) {
+                c.place(i, task_id, s, s, 2);
+                task_id += 1;
+            }
+        }
+    }
+    c
+}
+
+fn probe(reqs: Vec<ctlm_data::compaction::AttrRequirement>, cpu: f64) -> PendingTask {
+    PendingTask {
+        id: u64::MAX,
+        collection: 0,
+        cpu,
+        memory: cpu,
+        priority: 5,
+        reqs,
+        arrival: 0,
+        truth_group: 25,
+    }
+}
+
+/// The request mix: unconstrained, a selective window, a one-machine pin.
+fn probes(n: usize) -> Vec<PendingTask> {
+    let window = collapse(&[
+        TaskConstraint::new(0, ConstraintOp::GreaterThanEqual(n as i64 / 4)),
+        TaskConstraint::new(0, ConstraintOp::LessThan(n as i64 / 4 + n as i64 / 50)),
+    ])
+    .unwrap();
+    let pin = collapse(&[TaskConstraint::new(
+        0,
+        ConstraintOp::Equal(Some(AttrValue::Int(n as i64 / 2))),
+    )])
+    .unwrap();
+    vec![probe(vec![], 0.25), probe(window, 0.25), probe(pin, 0.25)]
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    for n in [1_000usize, 10_000, 100_000] {
+        let cluster = loaded_cluster(n);
+        let mix = probes(n);
+        for t in &mix {
+            assert_eq!(
+                best_fit(&cluster, t),
+                best_fit_linear(&cluster, t),
+                "indexed and linear must agree before being compared"
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            let mut k = 0usize;
+            b.iter(|| {
+                k += 1;
+                best_fit(
+                    std::hint::black_box(&cluster),
+                    std::hint::black_box(&mix[k % mix.len()]),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            let mut k = 0usize;
+            b.iter(|| {
+                k += 1;
+                best_fit_linear(
+                    std::hint::black_box(&cluster),
+                    std::hint::black_box(&mix[k % mix.len()]),
+                )
+            })
+        });
+        // The mutation path: a full place → release round trip through
+        // the incremental capacity-index maintenance.
+        group.bench_with_input(BenchmarkId::new("indexed_churn", n), &n, |b, _| {
+            let mut cluster = loaded_cluster(n);
+            let t = probe(vec![], 0.25);
+            b.iter(|| match best_fit(&cluster, &t) {
+                Placement::Placed(m) => {
+                    cluster.place(m, u64::MAX, t.cpu, t.memory, t.priority);
+                    assert!(cluster.release(m, u64::MAX));
+                }
+                other => panic!("loaded cluster must still fit 0.25: {other:?}"),
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A scaled Fig. 3 shape on the kernel: 2 000 machines, 4 000 tasks,
+/// head-of-line contention — end-to-end cost of the admission → place →
+/// complete cycle with the capacity index and timer-wheel lane engaged.
+fn bench_fig3_scaled(c: &mut Criterion) {
+    let n = 2_000usize;
+    let mut ms = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let mut m = Machine::new(i, 1.0, 1.0);
+        m.set_attr(0, AttrValue::Int(i as i64));
+        ms.push(m);
+    }
+    let mut arrivals: Vec<PendingTask> = (0..4_000u64)
+        .map(|k| PendingTask {
+            id: k,
+            collection: 1,
+            cpu: 0.25,
+            memory: 0.25,
+            priority: 2,
+            reqs: vec![],
+            arrival: k * 10_000,
+            truth_group: 25,
+        })
+        .collect();
+    for j in 0..20u64 {
+        let reqs = collapse(&[TaskConstraint::new(
+            0,
+            ConstraintOp::Equal(Some(AttrValue::Int((j * 97) as i64 % n as i64))),
+        )])
+        .unwrap();
+        arrivals.push(PendingTask {
+            id: 100_000 + j,
+            collection: 2,
+            cpu: 0.4,
+            memory: 0.4,
+            priority: 6,
+            reqs,
+            arrival: j * 1_500_000,
+            truth_group: 0,
+        });
+    }
+    arrivals.sort_by_key(|t| t.arrival);
+    let config = SimConfig {
+        cycle: 500_000,
+        attempts_per_cycle: 64,
+        mean_runtime: 8_000_000,
+        horizon: 60_000_000,
+        seed: 17,
+    };
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(10);
+    group.bench_function("fig3_scaled_2k_machines", |b| {
+        let simulator = Simulator::new(config);
+        let mut cluster = SchedCluster::from_machines(ms.clone());
+        b.iter(|| {
+            let r = simulator.run(&mut cluster, &arrivals, &mut MainOnly);
+            assert!(r.placed.len() > 3_000, "scenario must mostly place");
+            r.placed.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement, bench_fig3_scaled);
+criterion_main!(benches);

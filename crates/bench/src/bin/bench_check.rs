@@ -1,0 +1,103 @@
+//! Bench regression gate: compares a freshly produced criterion-shim
+//! JSON report against the checked-in baseline and fails (exit 1) when a
+//! key median regressed beyond the tolerance.
+//!
+//! ```text
+//! CTLM_BENCH_JSON=bench_ci.json cargo bench -p ctlm-bench --bench matching ...
+//! cargo run -p ctlm-bench --bin bench_check -- bench_ci.json BENCH_PR4.json
+//! ```
+//!
+//! Only the gated groups are compared (`matching/`, `training_step/`,
+//! `placement/` by default — override with `--groups a,b,c`); entries
+//! present in just one report are skipped, since CI may run a subset.
+//! The default threshold (current ≤ 1.25 × baseline) is deliberately
+//! tolerant of shared-runner noise; tighten locally with
+//! `--threshold 1.1`.
+
+use ctlm_bench::args::ParsedArgs;
+use serde_json::Value;
+
+const DEFAULT_GROUPS: &[&str] = &["matching/", "training_step/", "placement/"];
+
+fn medians(doc: &Value) -> Vec<(String, f64)> {
+    let Value::Object(pairs) = doc else {
+        return Vec::new();
+    };
+    pairs
+        .iter()
+        .filter_map(|(k, v)| v.get_field("median_ns").as_f64().map(|m| (k.clone(), m)))
+        .collect()
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read bench report {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match ParsedArgs::parse(argv, &[], &["--threshold", "--groups"]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench_check: {e}");
+            eprintln!("usage: bench_check <current.json> <baseline.json> [--threshold 1.25] [--groups matching/,placement/]");
+            std::process::exit(2);
+        }
+    };
+    let positionals = parsed.positionals();
+    let [current_path, baseline_path] = positionals else {
+        eprintln!("usage: bench_check <current.json> <baseline.json> [--threshold 1.25]");
+        std::process::exit(2);
+    };
+    let threshold: f64 = parsed
+        .option("--threshold")
+        .map(|s| s.parse().expect("--threshold must be a number"))
+        .unwrap_or(1.25);
+    let groups_arg = parsed.option("--groups").map(str::to_string);
+    let groups: Vec<&str> = match &groups_arg {
+        Some(s) => s.split(',').filter(|g| !g.is_empty()).collect(),
+        None => DEFAULT_GROUPS.to_vec(),
+    };
+
+    let current = medians(&load(current_path));
+    let baseline = medians(&load(baseline_path));
+    let mut compared = 0usize;
+    let mut regressions = Vec::new();
+    for (id, cur) in &current {
+        if !groups.iter().any(|g| id.starts_with(g)) {
+            continue;
+        }
+        let Some((_, base)) = baseline.iter().find(|(k, _)| k == id) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = cur / base;
+        let verdict = if ratio > threshold { "REGRESSED" } else { "ok" };
+        println!(
+            "{id:<45} current {cur:>14.0} ns  baseline {base:>14.0} ns  ratio {ratio:>5.2}  {verdict}"
+        );
+        if ratio > threshold {
+            regressions.push((id.clone(), ratio));
+        }
+    }
+    if compared == 0 {
+        eprintln!(
+            "bench_check: no overlapping entries for groups {groups:?} — \
+             did the bench run write {current_path}?"
+        );
+        std::process::exit(2);
+    }
+    if regressions.is_empty() {
+        println!("bench_check: {compared} medians within {threshold}× of baseline");
+    } else {
+        eprintln!(
+            "bench_check: {} of {compared} medians regressed beyond {threshold}×:",
+            regressions.len()
+        );
+        for (id, ratio) in &regressions {
+            eprintln!("  {id}: {ratio:.2}× baseline");
+        }
+        std::process::exit(1);
+    }
+}

@@ -24,7 +24,7 @@ use ctlm_trace::Micros;
 
 use crate::build::{build_cell, BuiltCell};
 use crate::registry::{build_placer, build_scheduler, train_config, SchedulerInstance};
-use crate::spec::ExperimentSpec;
+use crate::spec::{ExperimentSpec, SpilloverPolicy};
 use crate::LabError;
 
 /// Minimum observed arrivals before the retraining component bothers
@@ -73,7 +73,7 @@ pub fn run_scheduler(
         .iter_mut()
         .map(|c| std::mem::take(&mut c.cluster))
         .collect();
-    let route_all = spec.spillover && built.len() > 1;
+    let route_all = spec.spillover.enabled() && built.len() > 1;
     let horizon = spec.sim.horizon;
 
     let mut sim: Sim<'_, SchedEvent> = Sim::new();
@@ -161,6 +161,7 @@ pub fn run_scheduler(
             next: 0,
             arrivals: built.iter().map(|c| c.arrivals.as_slice()).collect(),
             cells: handles.iter().map(|h| (h.engine, h.state())).collect(),
+            policy: spec.spillover,
             spills: spills.clone(),
         };
         let id = sim.add_component("spillover_router", router);
@@ -190,8 +191,11 @@ pub fn run_scheduler(
 }
 
 /// Routes merged arrivals to their home cell when it can admit them,
-/// otherwise to the first sibling (scanning forward, wrapping) that can;
-/// tasks nobody can admit right now still go to their home cell's queue.
+/// otherwise to a feasible sibling — the first one found (scanning
+/// forward, wrapping) under [`SpilloverPolicy::FirstFeasible`], or the
+/// one with the lowest CPU utilisation (ties: lowest cell index) under
+/// [`SpilloverPolicy::LeastLoaded`]. Tasks nobody can admit right now
+/// still go to their home cell's queue.
 struct SpilloverRouter<'a> {
     /// `(time, home cell, arrival index)` sorted ascending.
     tasks: Vec<(Micros, usize, usize)>,
@@ -200,6 +204,8 @@ struct SpilloverRouter<'a> {
     arrivals: Vec<&'a [PendingTask]>,
     /// `(engine id, engine state)` per cell, in spec order.
     cells: Vec<(CompId, Rc<RefCell<EngineState<'a>>>)>,
+    /// Sibling-selection policy from the spec.
+    policy: SpilloverPolicy,
     /// Per-cell `(spilled_in, spilled_out)` counters shared with the
     /// driver.
     spills: Rc<RefCell<Vec<(usize, usize)>>>,
@@ -207,16 +213,36 @@ struct SpilloverRouter<'a> {
 
 impl SpilloverRouter<'_> {
     fn route(&self, home: usize, task: &PendingTask) -> usize {
-        if self.cells[home].1.borrow_mut().can_admit(task) {
+        if self.cells[home].1.borrow().can_admit(task) {
             return home;
         }
-        for offset in 1..self.cells.len() {
-            let i = (home + offset) % self.cells.len();
-            if self.cells[i].1.borrow_mut().can_admit(task) {
-                return i;
+        match self.policy {
+            SpilloverPolicy::LeastLoaded => {
+                // Score every feasible sibling by current CPU
+                // utilisation; deterministic tie-break on cell index.
+                let mut best: Option<(f64, usize)> = None;
+                for offset in 1..self.cells.len() {
+                    let i = (home + offset) % self.cells.len();
+                    let state = self.cells[i].1.borrow();
+                    if state.can_admit(task) {
+                        let key = (state.cluster.cpu_utilisation(), i);
+                        if best.is_none_or(|(bl, bi)| key < (bl, bi)) {
+                            best = Some(key);
+                        }
+                    }
+                }
+                best.map(|(_, i)| i).unwrap_or(home)
+            }
+            _ => {
+                for offset in 1..self.cells.len() {
+                    let i = (home + offset) % self.cells.len();
+                    if self.cells[i].1.borrow().can_admit(task) {
+                        return i;
+                    }
+                }
+                home
             }
         }
-        home
     }
 }
 

@@ -49,8 +49,12 @@ pub struct ExperimentSpec {
     pub cells: Vec<CellSpec>,
     /// Multi-cell only: route arrivals through the spillover router,
     /// which forwards tasks a cell cannot admit to a sibling cell.
+    /// `"first_feasible"` forwards to the first feasible sibling,
+    /// `"least_loaded"` scores feasible siblings by CPU utilisation and
+    /// picks the emptiest; JSON `true`/`false` are accepted as legacy
+    /// aliases for `"first_feasible"`/off.
     #[serde(default)]
-    pub spillover: bool,
+    pub spillover: SpilloverPolicy,
     /// Training budget for model-backed schedulers (`enhanced`,
     /// `live_registry` retraining).
     #[serde(default)]
@@ -85,10 +89,10 @@ impl ExperimentSpec {
                 "`workload` and `cells` are mutually exclusive — move the workload into a cell",
             ));
         }
-        if self.spillover && self.cells.len() < 2 {
+        if self.spillover.enabled() && self.cells.len() < 2 {
             return Err(LabError::msg("`spillover` needs at least two cells"));
         }
-        if self.spillover {
+        if self.spillover.enabled() {
             // Synthetic cells stride their pin-attribute values so no
             // task can alias a sibling's machines; generated traces
             // share one attribute space, so a spilled constrained task
@@ -153,6 +157,67 @@ impl ExperimentSpec {
             }]
         } else {
             self.cells.clone()
+        }
+    }
+}
+
+/// How (and whether) a multi-cell run forwards tasks a cell cannot
+/// admit. See [`ExperimentSpec::spillover`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpilloverPolicy {
+    /// No spillover: every task stays in its home cell's queue.
+    #[default]
+    Off,
+    /// Forward to the first sibling (scanning forward from the home
+    /// cell, wrapping) that can admit the task right now.
+    FirstFeasible,
+    /// Forward to the feasible sibling with the lowest CPU utilisation
+    /// (ties: lowest cell index). The home cell still wins when it can
+    /// admit the task itself.
+    LeastLoaded,
+}
+
+impl SpilloverPolicy {
+    /// True when the spillover router is active.
+    pub fn enabled(self) -> bool {
+        self != SpilloverPolicy::Off
+    }
+
+    /// The spec-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpilloverPolicy::Off => "off",
+            SpilloverPolicy::FirstFeasible => "first_feasible",
+            SpilloverPolicy::LeastLoaded => "least_loaded",
+        }
+    }
+}
+
+impl serde::Serialize for SpilloverPolicy {
+    fn to_value(&self) -> serde_json::Value {
+        match self {
+            // Canonical off form stays the legacy `false` so normalized
+            // documents round-trip with pre-knob specs.
+            SpilloverPolicy::Off => serde_json::Value::Bool(false),
+            other => serde_json::Value::Str(other.name().to_string()),
+        }
+    }
+}
+
+impl serde::Deserialize for SpilloverPolicy {
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde_json::Value::Bool(false) => Ok(SpilloverPolicy::Off),
+            serde_json::Value::Bool(true) => Ok(SpilloverPolicy::FirstFeasible),
+            serde_json::Value::Str(s) if s == "off" => Ok(SpilloverPolicy::Off),
+            serde_json::Value::Str(s) if s == "first_feasible" => {
+                Ok(SpilloverPolicy::FirstFeasible)
+            }
+            serde_json::Value::Str(s) if s == "least_loaded" => Ok(SpilloverPolicy::LeastLoaded),
+            other => Err(serde::Error::msg(format!(
+                "expected spillover policy (\"first_feasible\", \"least_loaded\", \
+                 \"off\", or a legacy bool), got {other:?}"
+            ))),
         }
     }
 }

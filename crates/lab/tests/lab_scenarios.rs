@@ -9,7 +9,8 @@ use serde::{Deserialize, Serialize};
 use ctlm_lab::report::to_pretty_json;
 use ctlm_lab::spec::{
     ArrivalProcess, ChurnSpec, ExperimentSpec, GangSpec, KnobSpec, MachineGroup, PlacerSpec,
-    RestrictiveSpec, ScenarioSpec, SizeDist, SweepSpec, SyntheticWorkload, TrainSpec, WorkloadSpec,
+    RestrictiveSpec, ScenarioSpec, SizeDist, SpilloverPolicy, SweepSpec, SyntheticWorkload,
+    TrainSpec, WorkloadSpec,
 };
 use ctlm_lab::{run_spec, run_spec_json};
 use ctlm_sched::SimConfig;
@@ -108,6 +109,45 @@ fn checked_in_specs_parse_and_spillover_runs_deterministically() {
     assert!(spilled > 0, "the hot cell must spill into its siblings");
     let received: usize = cells.iter().map(|c| c.spilled_in).sum();
     assert_eq!(spilled, received, "every spilled task lands somewhere");
+}
+
+#[test]
+fn least_loaded_spillover_is_deterministic_and_spreads_load() {
+    // Same checked-in three-cell topology, with the sibling-selection
+    // knob flipped to load-aware scoring. The legacy `true` in the spec
+    // parses as `first_feasible`; here we override it by name.
+    let text = std::fs::read_to_string("../../experiments/three_cell_spillover.json").unwrap();
+    let mut spec = ExperimentSpec::from_json(&text).unwrap();
+    assert_eq!(
+        spec.spillover,
+        SpilloverPolicy::FirstFeasible,
+        "legacy boolean `true` must parse as first_feasible"
+    );
+    spec.spillover = SpilloverPolicy::LeastLoaded;
+    let a = run_spec(&spec).expect("least-loaded run");
+    let b = run_spec(&spec).expect("least-loaded rerun");
+    assert_eq!(
+        to_pretty_json(&Serialize::to_value(&a)),
+        to_pretty_json(&Serialize::to_value(&b)),
+        "least-loaded spillover must be deterministic"
+    );
+    let cells: Vec<_> = a.runs[0].schedulers[0].cells.iter().collect();
+    let spilled: usize = cells.iter().map(|c| c.spilled_out).sum();
+    let received: usize = cells.iter().map(|c| c.spilled_in).sum();
+    assert!(spilled > 0, "the hot cell still spills");
+    assert_eq!(spilled, received, "every spilled task lands somewhere");
+    // Load-aware scoring sends work to *both* siblings, not just the
+    // next one in scan order.
+    let receivers = cells.iter().filter(|c| c.spilled_in > 0).count();
+    assert!(
+        receivers >= 2,
+        "least-loaded routing must use more than one sibling (got {receivers})"
+    );
+    // And the policy round-trips through the spec document by name.
+    let doc = spec.to_value();
+    assert_eq!(doc["spillover"].as_str(), Some("least_loaded"));
+    let back: ExperimentSpec = Deserialize::from_value(&doc).unwrap();
+    assert_eq!(back.spillover, SpilloverPolicy::LeastLoaded);
 }
 
 #[test]
@@ -269,7 +309,7 @@ proptest! {
             })),
             scenario,
             cells: vec![],
-            spillover: false,
+            spillover: SpilloverPolicy::Off,
             train: TrainSpec::default(),
             sweep: (!sweep_vals.is_empty()).then_some(SweepSpec {
                 knobs: vec![KnobSpec { path: "sim.attempts_per_cycle".into(), values: sweep_vals }],
@@ -316,7 +356,7 @@ proptest! {
             })),
             scenario: ScenarioSpec::default(),
             cells: vec![],
-            spillover: false,
+            spillover: SpilloverPolicy::Off,
             train: TrainSpec::default(),
             sweep: None,
         };

@@ -15,17 +15,115 @@ struct Alloc {
     tasks: HashMap<TaskId, (f64, f64, u8)>,
 }
 
+/// Free-CPU quantization: capacity buckets of 1/1024 core. Best-fit
+/// tie-breaks are defined over `(capacity_bucket(free_cpu), id)`, so the
+/// incrementally maintained capacity index and the retained linear
+/// reference scan agree bit-for-bit (quantized keys sidestep the
+/// float-rounding ties an exact `free − request` comparison can produce).
+pub fn capacity_bucket(free_cpu: f64) -> usize {
+    (free_cpu.max(0.0) * 1024.0) as usize
+}
+
+/// The maintained free-capacity ordering: machines bucketed by quantized
+/// free CPU ([`capacity_bucket`]), ids sorted ascending within a bucket,
+/// plus an occupancy bitmap so a query can skip empty buckets a word at
+/// a time. Best-fit resolves the tightest feasible machine by walking
+/// occupied buckets upward from the request size instead of scanning
+/// every suitable candidate; updates are O(bucket) with **zero heap
+/// allocations** once bucket capacities have warmed (the steady-state
+/// scheduling-pass guarantee).
+#[derive(Clone, Debug, Default)]
+struct CapacityIndex {
+    buckets: Vec<Vec<MachineId>>,
+    /// One bit per bucket: set when the bucket is non-empty.
+    occupied: Vec<u64>,
+}
+
+impl CapacityIndex {
+    fn ensure(&mut self, bucket: usize) {
+        if bucket >= self.buckets.len() {
+            self.buckets.resize_with(bucket + 1, Vec::new);
+            self.occupied.resize(self.buckets.len().div_ceil(64), 0);
+        }
+    }
+
+    fn insert(&mut self, bucket: usize, id: MachineId) {
+        self.ensure(bucket);
+        let b = &mut self.buckets[bucket];
+        let pos = b.binary_search(&id).unwrap_err();
+        b.insert(pos, id);
+        self.occupied[bucket / 64] |= 1u64 << (bucket % 64);
+    }
+
+    fn remove(&mut self, bucket: usize, id: MachineId) {
+        let b = &mut self.buckets[bucket];
+        let pos = b.binary_search(&id).expect("machine indexed in bucket");
+        b.remove(pos);
+        if b.is_empty() {
+            self.occupied[bucket / 64] &= !(1u64 << (bucket % 64));
+        }
+    }
+
+    /// The first occupied bucket at or above `from`.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        if from >= self.buckets.len() {
+            return None;
+        }
+        let mut word = from / 64;
+        let mut bits = self.occupied[word] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(word * 64 + bits.trailing_zeros() as usize);
+            }
+            word += 1;
+            if word >= self.occupied.len() {
+                return None;
+            }
+            bits = self.occupied[word];
+        }
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.occupied.fill(0);
+    }
+}
+
+/// Outcome of a [`SchedCluster::tightest_fit`] capacity query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CapacityFit {
+    /// The feasible machine minimising `(capacity_bucket(free_cpu), id)`.
+    Fit(MachineId),
+    /// Constraint-suitable machines exist, but none has room right now.
+    NoCapacity,
+    /// No machine satisfies the constraints at all.
+    Infeasible,
+}
+
 /// The scheduler's view of the cluster: trace machines plus usage. An
 /// inverted [`AttrIndex`] mirrors the fleet so per-task suitability
 /// queries in the placement loop scale with the candidate set instead of
-/// the cluster size (the Fig. 3 simulation at 100k+ machines).
+/// the cluster size, and a bucketed capacity index keeps machines ordered by
+/// free capacity so best-fit resolves without scanning every suitable
+/// candidate (the Fig. 3 simulation at 100k+ machines).
 #[derive(Clone, Debug, Default)]
 pub struct SchedCluster {
     machines: HashMap<MachineId, (Machine, Alloc)>,
     index: AttrIndex,
+    cap: CapacityIndex,
     /// Machines drained by churn — kept so [`SchedCluster::reset`] can
     /// restore the fleet without a deep copy of the whole cluster.
     offline: HashMap<MachineId, Machine>,
+    /// Fleet-wide CPU capacity / usage, maintained incrementally so
+    /// [`SchedCluster::cpu_utilisation`] is O(1) **and deterministic**:
+    /// folding per-machine floats over the `HashMap` would sum in
+    /// per-instance random iteration order, and float addition is not
+    /// associative — near-tied load comparisons (the least-loaded
+    /// spillover router) would flip between otherwise identical runs.
+    cpu_capacity_total: f64,
+    cpu_used_total: f64,
 }
 
 impl SchedCluster {
@@ -49,10 +147,16 @@ impl SchedCluster {
         // this, a later restore/reset would overwrite the live machine
         // (and its allocation accounting) with the stale one.
         self.offline.remove(&m.id);
-        if self.machines.contains_key(&m.id) {
+        if let Some((old, alloc)) = self.machines.get(&m.id) {
             self.index.remove_machine(m.id);
+            self.cap
+                .remove(capacity_bucket(old.cpu - alloc.cpu_used), m.id);
+            self.cpu_capacity_total -= old.cpu;
+            self.cpu_used_total -= alloc.cpu_used;
         }
         self.index.add_machine(&m);
+        self.cap.insert(capacity_bucket(m.cpu), m.id);
+        self.cpu_capacity_total += m.cpu;
         self.machines.insert(
             m.id,
             (
@@ -74,6 +178,9 @@ impl SchedCluster {
     pub fn remove_machine(&mut self, id: MachineId) -> Option<Vec<(TaskId, f64, f64, u8)>> {
         let (m, alloc) = self.machines.remove(&id)?;
         self.index.remove_machine(id);
+        self.cap.remove(capacity_bucket(m.cpu - alloc.cpu_used), id);
+        self.cpu_capacity_total -= m.cpu;
+        self.cpu_used_total -= alloc.cpu_used;
         self.offline.insert(id, m);
         let mut evicted: Vec<(TaskId, f64, f64, u8)> = alloc
             .tasks
@@ -131,10 +238,13 @@ impl SchedCluster {
     /// alternative to deep-copying the cluster per policy run — O(live
     /// tasks + churned machines) instead of O(fleet).
     pub fn reset(&mut self) {
-        for (_, a) in self.machines.values_mut() {
+        self.cap.clear();
+        self.cpu_used_total = 0.0;
+        for (m, a) in self.machines.values_mut() {
             a.cpu_used = 0.0;
             a.mem_used = 0.0;
             a.tasks.clear();
+            self.cap.insert(capacity_bucket(m.cpu), m.id);
         }
         if !self.offline.is_empty() {
             let offline = std::mem::take(&mut self.offline);
@@ -179,9 +289,88 @@ impl SchedCluster {
         self.index.matching_into(reqs, out);
     }
 
+    /// Streams every suitable machine to `f` without materialising a
+    /// candidate list (visit order unspecified — callers needing an
+    /// order track their own min key). `f` returns false to stop early;
+    /// the call returns false when stopped.
+    pub fn suitable_visit(
+        &self,
+        reqs: &[AttrRequirement],
+        f: impl FnMut(MachineId) -> bool,
+    ) -> bool {
+        self.index.matching_visit(reqs, f)
+    }
+
     /// True when the machine can hold the request right now.
     pub fn fits(&self, id: MachineId, cpu: f64, mem: f64) -> bool {
         self.free_cpu(id) >= cpu && self.free_mem(id) >= mem
+    }
+
+    /// Candidate-driven queries win when the constraint set is selective
+    /// relative to the fleet; beyond this share of the fleet the
+    /// capacity-ordered walk is cheaper.
+    const CANDIDATE_DRIVEN_SHARE: usize = 4;
+
+    /// The feasible machine minimising `(capacity_bucket(free_cpu), id)`
+    /// — tightest-fit placement answered from the maintained capacity
+    /// ordering, without scanning every suitable candidate and without
+    /// allocating.
+    ///
+    /// Two strategies, picked by the attribute index's selectivity
+    /// estimate: selective constraint sets stream their (few) suitable
+    /// candidates and track the min capacity key; loose ones walk the
+    /// capacity order upward from the request size and stop at the first
+    /// machine that fits and matches. Both compute the same argmin, so
+    /// the choice never changes the answer (property-tested against the
+    /// retained linear scan in `tests/placement_equivalence.rs`).
+    pub fn tightest_fit(&self, reqs: &[AttrRequirement], cpu: f64, mem: f64) -> CapacityFit {
+        if self.machines.is_empty() {
+            return CapacityFit::Infeasible;
+        }
+        if !reqs.is_empty() {
+            let hint = self.index.selectivity_hint(reqs);
+            if hint * Self::CANDIDATE_DRIVEN_SHARE <= self.machines.len() {
+                return self.tightest_fit_candidates(reqs, cpu, mem);
+            }
+        }
+        // Capacity-driven: first occupied bucket at or above the request
+        // holds the tightest candidates; ids ascend within a bucket, so
+        // the first hit is the argmin.
+        let mut from = capacity_bucket(cpu);
+        while let Some(b) = self.cap.next_occupied(from) {
+            for &id in &self.cap.buckets[b] {
+                if self.fits(id, cpu, mem) && self.index.matches(id, reqs) {
+                    return CapacityFit::Fit(id);
+                }
+            }
+            from = b + 1;
+        }
+        if reqs.is_empty() || self.index.matches_any(reqs) {
+            CapacityFit::NoCapacity
+        } else {
+            CapacityFit::Infeasible
+        }
+    }
+
+    /// Candidate-driven arm of [`SchedCluster::tightest_fit`].
+    fn tightest_fit_candidates(&self, reqs: &[AttrRequirement], cpu: f64, mem: f64) -> CapacityFit {
+        let mut best: Option<(usize, MachineId)> = None;
+        let mut suitable_any = false;
+        self.index.matching_visit(reqs, |id| {
+            suitable_any = true;
+            if self.fits(id, cpu, mem) {
+                let key = (capacity_bucket(self.free_cpu(id)), id);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+            true
+        });
+        match best {
+            Some((_, id)) => CapacityFit::Fit(id),
+            None if suitable_any => CapacityFit::NoCapacity,
+            None => CapacityFit::Infeasible,
+        }
     }
 
     /// Reserves capacity for a task.
@@ -190,18 +379,32 @@ impl SchedCluster {
     /// Panics if the reservation does not fit (callers check `fits`).
     pub fn place(&mut self, id: MachineId, task: TaskId, cpu: f64, mem: f64, priority: u8) {
         assert!(self.fits(id, cpu, mem), "placement must fit");
-        let (_, a) = self.machines.get_mut(&id).expect("machine exists");
+        let (m, a) = self.machines.get_mut(&id).expect("machine exists");
+        let old = capacity_bucket(m.cpu - a.cpu_used);
         a.cpu_used += cpu;
         a.mem_used += mem;
+        let new = capacity_bucket(m.cpu - a.cpu_used);
         a.tasks.insert(task, (cpu, mem, priority));
+        if old != new {
+            self.cap.remove(old, id);
+            self.cap.insert(new, id);
+        }
+        self.cpu_used_total += cpu;
     }
 
     /// Releases a task's reservation. Returns true if it was present.
     pub fn release(&mut self, id: MachineId, task: TaskId) -> bool {
-        if let Some((_, a)) = self.machines.get_mut(&id) {
+        if let Some((m, a)) = self.machines.get_mut(&id) {
             if let Some((cpu, mem, _)) = a.tasks.remove(&task) {
+                let old = capacity_bucket(m.cpu - a.cpu_used);
                 a.cpu_used -= cpu;
                 a.mem_used -= mem;
+                let new = capacity_bucket(m.cpu - a.cpu_used);
+                if old != new {
+                    self.cap.remove(old, id);
+                    self.cap.insert(new, id);
+                }
+                self.cpu_used_total -= cpu;
                 return true;
             }
         }
@@ -215,15 +418,28 @@ impl SchedCluster {
         id: MachineId,
         priority: u8,
     ) -> Vec<(TaskId, f64, f64, u8)> {
-        let (_, a) = &self.machines[&id];
-        let mut out: Vec<(TaskId, f64, f64, u8)> = a
-            .tasks
-            .iter()
-            .filter(|(_, (_, _, p))| *p < priority)
-            .map(|(&t, &(c, m, p))| (t, c, m, p))
-            .collect();
-        out.sort_by_key(|&(t, _, _, p)| (p, t));
+        let mut out = Vec::new();
+        self.preemption_candidates_into(id, priority, &mut out);
         out
+    }
+
+    /// [`SchedCluster::preemption_candidates`] into a caller-provided
+    /// buffer (the preemptive placer's scratch-threaded form).
+    pub fn preemption_candidates_into(
+        &self,
+        id: MachineId,
+        priority: u8,
+        out: &mut Vec<(TaskId, f64, f64, u8)>,
+    ) {
+        out.clear();
+        let (_, a) = &self.machines[&id];
+        out.extend(
+            a.tasks
+                .iter()
+                .filter(|(_, (_, _, p))| *p < priority)
+                .map(|(&t, &(c, m, p))| (t, c, m, p)),
+        );
+        out.sort_by_key(|&(t, _, _, p)| (p, t));
     }
 
     /// One machine's attribute value (soft-affinity scoring needs direct
@@ -236,16 +452,15 @@ impl SchedCluster {
         self.machines.get(&id).and_then(|(m, _)| m.attr(attr))
     }
 
-    /// Total CPU utilisation across the cluster (0..1).
+    /// Total CPU utilisation across the cluster (0..1) — answered from
+    /// the incrementally maintained fleet totals: O(1), and a pure
+    /// function of the operation history (a `HashMap` fold would sum in
+    /// per-instance random order, whose float rounding is not).
     pub fn cpu_utilisation(&self) -> f64 {
-        let (used, cap) = self
-            .machines
-            .values()
-            .fold((0.0, 0.0), |(u, c), (m, a)| (u + a.cpu_used, c + m.cpu));
-        if cap == 0.0 {
+        if self.cpu_capacity_total == 0.0 {
             0.0
         } else {
-            used / cap
+            (self.cpu_used_total / self.cpu_capacity_total).max(0.0)
         }
     }
 }
@@ -343,5 +558,71 @@ mod tests {
     fn oversized_placement_panics() {
         let mut c = cluster3();
         c.place(0, 1, 1.5, 0.1, 0);
+    }
+
+    #[test]
+    fn tightest_fit_tracks_load_incrementally() {
+        let mut c = cluster3();
+        // All machines empty: lowest id wins the full-capacity bucket.
+        assert_eq!(c.tightest_fit(&[], 0.2, 0.2), CapacityFit::Fit(0));
+        // Load machine 2 to the tightest still-feasible level.
+        c.place(2, 10, 0.7, 0.1, 1);
+        assert_eq!(c.tightest_fit(&[], 0.2, 0.2), CapacityFit::Fit(2));
+        // Memory still gates: machine 2 has CPU room but no memory room.
+        c.place(2, 11, 0.0, 0.85, 1);
+        assert_eq!(c.tightest_fit(&[], 0.2, 0.2), CapacityFit::Fit(0));
+        // Release restores the ordering.
+        assert!(c.release(2, 11));
+        assert_eq!(c.tightest_fit(&[], 0.2, 0.2), CapacityFit::Fit(2));
+    }
+
+    #[test]
+    fn tightest_fit_distinguishes_infeasible_from_no_capacity() {
+        use ctlm_data::compaction::collapse;
+        use ctlm_trace::{ConstraintOp as Op, TaskConstraint};
+        let mut c = cluster3();
+        let pin = collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(1))))]).unwrap();
+        assert_eq!(c.tightest_fit(&pin, 0.2, 0.2), CapacityFit::Fit(1));
+        c.place(1, 10, 0.95, 0.95, 1);
+        assert_eq!(c.tightest_fit(&pin, 0.2, 0.2), CapacityFit::NoCapacity);
+        let nowhere =
+            collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(99))))]).unwrap();
+        assert_eq!(c.tightest_fit(&nowhere, 0.2, 0.2), CapacityFit::Infeasible);
+        for i in 0..3u64 {
+            if i != 1 {
+                c.place(i, 100 + i, 0.95, 0.95, 1);
+            }
+        }
+        assert_eq!(c.tightest_fit(&[], 0.2, 0.2), CapacityFit::NoCapacity);
+    }
+
+    #[test]
+    fn capacity_index_survives_churn_and_reset() {
+        let mut c = cluster3();
+        c.place(0, 10, 0.5, 0.5, 1);
+        c.remove_machine(0);
+        assert_eq!(c.tightest_fit(&[], 0.9, 0.9), CapacityFit::Fit(1));
+        c.restore_machine(0);
+        // Restored machines rejoin empty, back in the full bucket.
+        assert_eq!(c.tightest_fit(&[], 0.2, 0.2), CapacityFit::Fit(0));
+        c.place(1, 11, 0.6, 0.6, 1);
+        c.reset();
+        assert_eq!(c.tightest_fit(&[], 0.2, 0.2), CapacityFit::Fit(0));
+        assert_eq!(c.cpu_utilisation(), 0.0);
+    }
+
+    #[test]
+    fn suitable_visit_streams_the_materialised_set() {
+        use ctlm_data::compaction::collapse;
+        use ctlm_trace::{ConstraintOp as Op, TaskConstraint};
+        let c = cluster3();
+        let reqs = collapse(&[TaskConstraint::new(0, Op::LessThan(2))]).unwrap();
+        let mut seen = Vec::new();
+        assert!(c.suitable_visit(&reqs, |id| {
+            seen.push(id);
+            true
+        }));
+        seen.sort_unstable();
+        assert_eq!(seen, c.suitable(&reqs));
     }
 }

@@ -43,9 +43,9 @@ use ctlm_trace::{
     AttrId, AttrValue, EventPayload, GeneratedTrace, Machine, MachineId, Micros, TaskId,
 };
 
-use crate::cluster::SchedCluster;
+use crate::cluster::{CapacityFit, SchedCluster};
 use crate::latency::LatencyStats;
-use crate::placement::{BestFit, Placement, Placer, PreemptiveBestFit};
+use crate::placement::{BestFit, PlaceCtx, Placement, Placer, PreemptiveBestFit};
 use crate::queue::PendingTask;
 use crate::scheduler::Scheduler;
 
@@ -166,7 +166,8 @@ impl SimResult {
             .filter(|r| pred(r.truth_group))
             .map(|r| r.latency)
             .collect();
-        LatencyStats::from_samples(&samples)
+        // One gather, sorted in place — no second snapshot copy.
+        LatencyStats::from_vec(samples)
     }
 
     /// Latency statistics for Group 0 (single-suitable-node) tasks.
@@ -208,7 +209,10 @@ pub struct EngineState<'a> {
     hp_placer: &'a dyn Placer,
     hp: VecDeque<usize>,
     main: VecDeque<usize>,
-    pending_gangs: Vec<Vec<usize>>,
+    /// Gangs awaiting retry, as `(start, len)` ranges into the task
+    /// arena — gang members are pushed contiguously on arrival, so no
+    /// per-gang index list is ever allocated.
+    pending_gangs: Vec<(usize, usize)>,
     rng: StdRng,
     result: SimResult,
     running: HashMap<TaskId, Running>,
@@ -216,8 +220,8 @@ pub struct EngineState<'a> {
     placed_once: HashSet<TaskId>,
     next_epoch: u64,
     engine_id: CompId,
-    /// Scratch for [`EngineState::can_admit`] probes.
-    suitable_buf: Vec<MachineId>,
+    /// Reusable placement scratch threaded through every attempt.
+    place_ctx: PlaceCtx,
 }
 
 impl<'a> EngineState<'a> {
@@ -229,6 +233,13 @@ impl<'a> EngineState<'a> {
         main_placer: &'a dyn Placer,
         hp_placer: &'a dyn Placer,
     ) -> Self {
+        // Record and bookkeeping capacities are reserved for the known
+        // arrival population up front, so steady-state passes never grow
+        // them (part of the zero-allocation-per-pass contract; tasks
+        // arriving through the dynamic `extra` arena may still grow).
+        let n = arrivals.len();
+        let mut result = SimResult::default();
+        result.placed.reserve(n);
         Self {
             cfg,
             arrivals,
@@ -237,17 +248,17 @@ impl<'a> EngineState<'a> {
             scheduler,
             main_placer,
             hp_placer,
-            hp: VecDeque::new(),
-            main: VecDeque::new(),
+            hp: VecDeque::with_capacity(n.min(1024)),
+            main: VecDeque::with_capacity(n.min(1024)),
             pending_gangs: Vec::new(),
             rng: StdRng::seed_from_u64(cfg.seed ^ 0x5C4E_D111),
-            result: SimResult::default(),
-            running: HashMap::new(),
+            result,
+            running: HashMap::with_capacity(n),
             preempted: HashSet::new(),
-            placed_once: HashSet::new(),
+            placed_once: HashSet::with_capacity(n),
             next_epoch: 0,
             engine_id: 0,
-            suitable_buf: Vec::new(),
+            place_ctx: PlaceCtx::new(),
         }
     }
 
@@ -275,16 +286,13 @@ impl<'a> EngineState<'a> {
     /// True when this cell could admit `task` right now: at least one
     /// suitable machine exists *and* currently has capacity. Spillover
     /// routers in multi-cell simulations consult this before forwarding
-    /// a task to another cell; the probe reuses a scratch buffer so
+    /// a task to another cell; the probe streams the capacity index so
     /// per-task routing stays allocation-free.
-    pub fn can_admit(&mut self, task: &PendingTask) -> bool {
-        let mut buf = std::mem::take(&mut self.suitable_buf);
-        self.cluster.suitable_into(&task.reqs, &mut buf);
-        let ok = buf
-            .iter()
-            .any(|&m| self.cluster.fits(m, task.cpu, task.memory));
-        self.suitable_buf = buf;
-        ok
+    pub fn can_admit(&self, task: &PendingTask) -> bool {
+        matches!(
+            self.cluster.tightest_fit(&task.reqs, task.cpu, task.memory),
+            CapacityFit::Fit(_)
+        )
     }
 
     /// Routes an admitted task into the high-priority or main queue.
@@ -363,7 +371,14 @@ impl<'a> EngineState<'a> {
         high_priority: bool,
         ctx: &mut Ctx<'_, SchedEvent>,
     ) {
-        match placer.place(&self.cluster, self.task(idx)) {
+        // Field-precise task lookup so the placement scratch can borrow
+        // mutably alongside the (shared) cluster and arena borrows.
+        let t = if idx < self.arrivals.len() {
+            &self.arrivals[idx]
+        } else {
+            &self.extra[idx - self.arrivals.len()]
+        };
+        match placer.place(&self.cluster, t, &mut self.place_ctx) {
             Placement::Placed(m) => self.commit(idx, m, ctx),
             Placement::PlacedWithPreemption(m, victims) => {
                 for v in victims {
@@ -389,11 +404,18 @@ impl<'a> EngineState<'a> {
     /// The scheduler pass: retry gangs, serve the whole HP queue, then a
     /// bounded number of main-queue heads.
     fn cycle(&mut self, ctx: &mut Ctx<'_, SchedEvent>) {
-        // Gangs retry all-or-nothing ahead of individual placements.
-        let gangs = std::mem::take(&mut self.pending_gangs);
-        for gang in gangs {
-            self.try_gang(gang, ctx);
+        // Gangs retry all-or-nothing ahead of individual placements —
+        // compacted in place (FIFO retry order preserved, no take/realloc
+        // churn on the pending list).
+        let mut write = 0;
+        for read in 0..self.pending_gangs.len() {
+            let (start, len) = self.pending_gangs[read];
+            if !self.try_gang(start, len, ctx) {
+                self.pending_gangs[write] = (start, len);
+                write += 1;
+            }
         }
+        self.pending_gangs.truncate(write);
         let hp_len = self.hp.len();
         for _ in 0..hp_len {
             let Some(idx) = self.hp.pop_front() else {
@@ -412,34 +434,36 @@ impl<'a> EngineState<'a> {
         }
     }
 
-    /// Attempts an all-or-nothing gang placement; failed gangs go back to
-    /// the pending list for the next cycle.
-    fn try_gang(&mut self, gang: Vec<usize>, ctx: &mut Ctx<'_, SchedEvent>) {
-        let assignments = {
-            let members = gang.iter().map(|&i| {
-                if i < self.arrivals.len() {
-                    &self.arrivals[i]
+    /// Attempts an all-or-nothing placement of the gang occupying arena
+    /// range `start..start + len`. Returns true when the gang placed
+    /// (callers keep failed ranges pending). Assignments stream through
+    /// the placement scratch — no allocation per attempt.
+    fn try_gang(&mut self, start: usize, len: usize, ctx: &mut Ctx<'_, SchedEvent>) -> bool {
+        let mut pairs = std::mem::take(&mut self.place_ctx.gang);
+        let placed = {
+            let (arrivals, extra) = (self.arrivals, &self.extra);
+            let members = (start..start + len).map(|i| {
+                if i < arrivals.len() {
+                    &arrivals[i]
                 } else {
-                    &self.extra[i - self.arrivals.len()]
+                    &extra[i - arrivals.len()]
                 }
             });
-            crate::gang::place_gang_by_ref(&mut self.cluster, members)
+            crate::gang::place_gang_into(&mut self.cluster, members, &mut pairs)
         };
-        match assignments {
-            Some(pairs) => {
-                self.result.gangs_placed += 1;
-                for (&idx, (task, machine)) in gang.iter().zip(pairs) {
-                    debug_assert_eq!(self.task(idx).id, task);
-                    // `place_gang_by_ref` already reserved capacity;
-                    // release and re-commit so runtime draw, completion
-                    // event and record go through the one bookkeeping
-                    // path.
-                    self.cluster.release(machine, task);
-                    self.commit(idx, machine, ctx);
-                }
+        if placed {
+            self.result.gangs_placed += 1;
+            for (idx, &(task, machine)) in (start..start + len).zip(pairs.iter()) {
+                debug_assert_eq!(self.task(idx).id, task);
+                // `place_gang_into` already reserved capacity; release
+                // and re-commit so runtime draw, completion event and
+                // record go through the one bookkeeping path.
+                self.cluster.release(machine, task);
+                self.commit(idx, machine, ctx);
             }
-            None => self.pending_gangs.push(gang),
         }
+        self.place_ctx.gang = pairs;
+        placed
     }
 
     /// A machine drains: running tasks re-enter admission (they keep
@@ -464,8 +488,14 @@ impl<'a> EngineState<'a> {
                 self.admit(idx);
             }
             SchedEvent::GangArrival(members) => {
-                let gang: Vec<usize> = members.into_iter().map(|t| self.push_extra(t)).collect();
-                self.try_gang(gang, ctx);
+                // Members enter the arena contiguously, so the gang is
+                // just a range — no per-gang index list.
+                let start = self.arrivals.len() + self.extra.len();
+                let len = members.len();
+                self.extra.extend(members);
+                if !self.try_gang(start, len, ctx) {
+                    self.pending_gangs.push((start, len));
+                }
             }
             SchedEvent::Cycle => self.cycle(ctx),
             SchedEvent::Finish {
@@ -505,16 +535,14 @@ impl<'a> EngineState<'a> {
     /// already hold a placed record (they were placed once; counting
     /// them again would make placed + unplaced exceed the task count).
     fn finish(&mut self) -> (SchedCluster, SimResult) {
-        let queued: Vec<usize> = self
-            .hp
-            .drain(..)
-            .chain(self.main.drain(..))
-            .chain(
-                std::mem::take(&mut self.pending_gangs)
-                    .into_iter()
-                    .flatten(),
-            )
-            .collect();
+        let hp = std::mem::take(&mut self.hp);
+        let main = std::mem::take(&mut self.main);
+        let gangs = std::mem::take(&mut self.pending_gangs);
+        let queued = hp
+            .iter()
+            .chain(main.iter())
+            .copied()
+            .chain(gangs.iter().flat_map(|&(start, len)| start..start + len));
         for idx in queued {
             if !self.placed_once.contains(&self.task(idx).id) {
                 self.result.unplaced += 1;
@@ -788,13 +816,25 @@ pub fn arrivals_from_trace(
     trace: &GeneratedTrace,
     max_tasks: usize,
 ) -> (SchedCluster, Vec<PendingTask>) {
-    let mut cluster = SchedCluster::new();
-    let mut agocs_state = ctlm_agocs::ClusterState::new();
-    // Use the full fleet (all machine adds) so truth groups are stable.
+    // One pass over the machine adds: each machine is cloned exactly once
+    // (out of the borrowed trace) and later *moved* into the cluster; the
+    // truth-group counts come from a transient inverted index over
+    // borrowed machines instead of a second fully-cloned cluster state.
+    let mut machines: Vec<Machine> = Vec::new();
+    let mut slot: HashMap<MachineId, usize> = HashMap::new();
+    let mut index = ctlm_agocs::AttrIndex::new();
     for ev in &trace.events {
         if let EventPayload::MachineAdd(m) = &ev.payload {
-            cluster.add_machine(m.clone());
-            agocs_state.add_machine(m.clone());
+            if let Some(&i) = slot.get(&m.id) {
+                // Re-add supersedes: mirror `ClusterState::add_machine`.
+                index.remove_machine(m.id);
+                index.add_machine(m);
+                machines[i] = m.clone();
+            } else {
+                slot.insert(m.id, machines.len());
+                index.add_machine(m);
+                machines.push(m.clone());
+            }
         }
     }
     let mut arrivals = Vec::new();
@@ -806,7 +846,7 @@ pub fn arrivals_from_trace(
             let Ok(reqs) = collapse(&task.constraints) else {
                 continue;
             };
-            let suitable = ctlm_agocs::count_suitable(&agocs_state, &reqs);
+            let suitable = index.count_matching(&reqs);
             if suitable == 0 {
                 continue;
             }
@@ -823,7 +863,7 @@ pub fn arrivals_from_trace(
             });
         }
     }
-    (cluster, arrivals)
+    (SchedCluster::from_machines(machines), arrivals)
 }
 
 #[cfg(test)]

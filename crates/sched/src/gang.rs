@@ -72,22 +72,40 @@ pub fn place_gang_by_ref<'a>(
     gang: impl IntoIterator<Item = &'a PendingTask>,
 ) -> Option<Vec<(u64, u64)>> {
     let mut placed: Vec<(u64, u64)> = Vec::new();
+    if place_gang_into(cluster, gang, &mut placed) {
+        Some(placed)
+    } else {
+        None
+    }
+}
+
+/// [`place_gang_by_ref`] into a caller-provided assignment buffer — the
+/// engine's scratch-threaded form (no allocation per gang attempt).
+/// Returns true when the whole gang placed; on false the cluster and
+/// `out` are left empty of this attempt.
+pub fn place_gang_into<'a>(
+    cluster: &mut crate::cluster::SchedCluster,
+    gang: impl IntoIterator<Item = &'a PendingTask>,
+    out: &mut Vec<(u64, u64)>,
+) -> bool {
+    out.clear();
     for t in gang {
         match crate::placement::best_fit(cluster, t) {
             crate::placement::Placement::Placed(m) => {
                 cluster.place(m, t.id, t.cpu, t.memory, t.priority);
-                placed.push((t.id, m));
+                out.push((t.id, m));
             }
             _ => {
                 // Roll back everything reserved so far.
-                for &(task, machine) in &placed {
+                for &(task, machine) in out.iter() {
                     cluster.release(machine, task);
                 }
-                return None;
+                out.clear();
+                return false;
             }
         }
     }
-    Some(placed)
+    true
 }
 
 #[cfg(test)]

@@ -29,10 +29,16 @@ pub struct LatencyStats {
 impl LatencyStats {
     /// Computes the summary; returns `None` for an empty sample.
     pub fn from_samples(samples: &[Micros]) -> Option<Self> {
-        if samples.is_empty() {
+        Self::from_vec(samples.to_vec())
+    }
+
+    /// [`LatencyStats::from_samples`] taking ownership — sorts in place,
+    /// so result-path callers that already hold a sample `Vec` avoid the
+    /// snapshot copy.
+    pub fn from_vec(mut s: Vec<Micros>) -> Option<Self> {
+        if s.is_empty() {
             return None;
         }
-        let mut s = samples.to_vec();
         s.sort_unstable();
         let pct = |p: f64| -> Micros {
             let idx = ((s.len() as f64 - 1.0) * p).round() as usize;

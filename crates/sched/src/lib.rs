@@ -60,9 +60,9 @@ pub mod scenario;
 pub mod scheduler;
 pub mod updater;
 
-pub use cluster::SchedCluster;
+pub use cluster::{CapacityFit, SchedCluster};
 pub use engine::{CellHandle, SchedEvent, SimConfig, SimResult, Simulator};
 pub use latency::LatencyStats;
-pub use placement::{BestFit, Placer, PreemptiveBestFit};
+pub use placement::{BestFit, PlaceCtx, Placer, PreemptiveBestFit};
 pub use queue::{PendingQueue, PendingTask};
 pub use scheduler::{Enhanced, LiveRegistry, MainOnly, OracleEnhanced, Scheduler};

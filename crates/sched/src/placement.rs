@@ -5,10 +5,23 @@
 //! high-priority scheduler adds a Kubernetes-style preemption fallback:
 //! when no suitable machine has room, lower-priority tasks are evicted to
 //! make room — the mechanism the paper contrasts its approach with.
+//!
+//! ## Hot-path contract
+//!
+//! Best-fit resolves through the cluster's maintained capacity ordering
+//! ([`SchedCluster::tightest_fit`]) instead of materialising and
+//! scanning the suitable set, and every strategy receives a reusable
+//! [`PlaceCtx`] scratch, so a steady-state scheduling pass performs
+//! **zero heap allocations** (pinned by
+//! `crates/sched/tests/zero_alloc_pass.rs`). Tie-breaks are defined over
+//! `(capacity_bucket(free_cpu), id)` — see [`capacity_bucket`] — which makes
+//! the answer independent of visit order. [`best_fit_linear`] retains
+//! the pre-index full scan as the equivalence reference for property
+//! tests and the `placement` bench family.
 
 use ctlm_trace::{MachineId, TaskId};
 
-use crate::cluster::SchedCluster;
+use crate::cluster::{capacity_bucket, CapacityFit, SchedCluster};
 use crate::queue::PendingTask;
 
 /// Outcome of a placement attempt.
@@ -25,13 +38,38 @@ pub enum Placement {
     NoCapacity,
 }
 
+/// Reusable scratch buffers threaded through every placement attempt so
+/// the per-pass hot loop never allocates. One instance lives in the
+/// engine state; standalone callers create one per run.
+#[derive(Debug, Default)]
+pub struct PlaceCtx {
+    /// Preemption-candidate scratch (per machine scanned).
+    cands: Vec<(TaskId, f64, f64, u8)>,
+    /// Eviction list being trialled on the current machine.
+    trial: Vec<TaskId>,
+    /// Best eviction list found so far.
+    best: Vec<TaskId>,
+    /// Gang-assignment scratch (`(task, machine)` pairs), used by the
+    /// engine's all-or-nothing gang path.
+    pub(crate) gang: Vec<(u64, u64)>,
+}
+
+impl PlaceCtx {
+    /// Fresh scratch buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A pluggable placement strategy — the engine no longer hardwires
 /// best-fit. Strategies are consulted once per placement attempt and may
 /// propose preemptions; the engine performs the actual reservation and
-/// eviction bookkeeping.
+/// eviction bookkeeping. The `ctx` scratch is owned by the caller and
+/// reused across attempts (strategies must not assume it carries state
+/// between calls).
 pub trait Placer {
     /// Proposes a placement for `task` on the current cluster state.
-    fn place(&self, cluster: &SchedCluster, task: &PendingTask) -> Placement;
+    fn place(&self, cluster: &SchedCluster, task: &PendingTask, ctx: &mut PlaceCtx) -> Placement;
 
     /// Strategy name, for reports.
     fn name(&self) -> &'static str;
@@ -42,7 +80,7 @@ pub trait Placer {
 pub struct BestFit;
 
 impl Placer for BestFit {
-    fn place(&self, cluster: &SchedCluster, task: &PendingTask) -> Placement {
+    fn place(&self, cluster: &SchedCluster, task: &PendingTask, _ctx: &mut PlaceCtx) -> Placement {
         best_fit(cluster, task)
     }
     fn name(&self) -> &'static str {
@@ -56,31 +94,35 @@ impl Placer for BestFit {
 pub struct PreemptiveBestFit;
 
 impl Placer for PreemptiveBestFit {
-    fn place(&self, cluster: &SchedCluster, task: &PendingTask) -> Placement {
-        best_fit_with_preemption(cluster, task)
+    fn place(&self, cluster: &SchedCluster, task: &PendingTask, ctx: &mut PlaceCtx) -> Placement {
+        best_fit_with_preemption(cluster, task, ctx)
     }
     fn name(&self) -> &'static str {
         "best_fit_with_preemption"
     }
 }
 
-/// First-fit: the first suitable machine (ascending id) with room wins.
-/// A deliberately simple contrast strategy for A/B runs on the kernel.
+/// First-fit: the lowest-id suitable machine with room wins. A
+/// deliberately simple contrast strategy for A/B runs on the kernel.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FirstFit;
 
 impl Placer for FirstFit {
-    fn place(&self, cluster: &SchedCluster, task: &PendingTask) -> Placement {
-        let suitable = cluster.suitable(&task.reqs);
-        if suitable.is_empty() {
-            return Placement::Infeasible;
-        }
-        for id in suitable {
-            if cluster.fits(id, task.cpu, task.memory) {
-                return Placement::Placed(id);
+    fn place(&self, cluster: &SchedCluster, task: &PendingTask, _ctx: &mut PlaceCtx) -> Placement {
+        let mut best: Option<MachineId> = None;
+        let mut suitable_any = false;
+        cluster.suitable_visit(&task.reqs, |id| {
+            suitable_any = true;
+            if cluster.fits(id, task.cpu, task.memory) && best.is_none_or(|b| id < b) {
+                best = Some(id);
             }
+            true
+        });
+        match best {
+            Some(id) => Placement::Placed(id),
+            None if suitable_any => Placement::NoCapacity,
+            None => Placement::Infeasible,
         }
-        Placement::NoCapacity
     }
     fn name(&self) -> &'static str {
         "first_fit"
@@ -96,7 +138,7 @@ pub struct SoftAffinityBestFit {
 }
 
 impl Placer for SoftAffinityBestFit {
-    fn place(&self, cluster: &SchedCluster, task: &PendingTask) -> Placement {
+    fn place(&self, cluster: &SchedCluster, task: &PendingTask, _ctx: &mut PlaceCtx) -> Placement {
         best_fit_soft(cluster, task, &self.soft)
     }
     fn name(&self) -> &'static str {
@@ -105,22 +147,33 @@ impl Placer for SoftAffinityBestFit {
 }
 
 /// Best-fit placement: among suitable machines with room, pick the one
-/// whose remaining CPU after placement is smallest (ties: lowest id).
+/// whose free CPU is smallest (quantized to capacity buckets; ties:
+/// lowest id). Resolved from the cluster's maintained capacity ordering
+/// — no candidate list is materialised and no machine scan is needed.
 pub fn best_fit(cluster: &SchedCluster, task: &PendingTask) -> Placement {
+    match cluster.tightest_fit(&task.reqs, task.cpu, task.memory) {
+        CapacityFit::Fit(id) => Placement::Placed(id),
+        CapacityFit::NoCapacity => Placement::NoCapacity,
+        CapacityFit::Infeasible => Placement::Infeasible,
+    }
+}
+
+/// The pre-index reference for [`best_fit`]: materialises the suitable
+/// set and scans it linearly. Same answer by construction (identical
+/// `(capacity_bucket(free_cpu), id)` objective); retained as the
+/// equivalence oracle for `tests/placement_equivalence.rs` and the
+/// baseline side of the `placement` bench family.
+pub fn best_fit_linear(cluster: &SchedCluster, task: &PendingTask) -> Placement {
     let suitable = cluster.suitable(&task.reqs);
     if suitable.is_empty() {
         return Placement::Infeasible;
     }
-    let mut best: Option<(f64, MachineId)> = None;
+    let mut best: Option<(usize, MachineId)> = None;
     for id in suitable {
         if cluster.fits(id, task.cpu, task.memory) {
-            let rem = cluster.free_cpu(id) - task.cpu;
-            let better = match best {
-                None => true,
-                Some((b, _)) => rem < b,
-            };
-            if better {
-                best = Some((rem, id));
+            let key = (capacity_bucket(cluster.free_cpu(id)), id);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
             }
         }
     }
@@ -136,37 +189,37 @@ pub fn best_fit(cluster: &SchedCluster, task: &PendingTask) -> Placement {
 ///
 /// `soft` requirements never exclude a machine; among suitable machines
 /// with capacity, the one satisfying the most soft requirements wins,
-/// with best-fit (smallest CPU remainder) as the tie-break.
+/// with best-fit (smallest quantized CPU remainder, then lowest id) as
+/// the tie-break. Scoring has to examine each candidate, so this streams
+/// the suitable set (allocation-free) rather than using the capacity
+/// ordering.
 pub fn best_fit_soft(
     cluster: &SchedCluster,
     task: &PendingTask,
     soft: &[ctlm_data::compaction::AttrRequirement],
 ) -> Placement {
-    let suitable = cluster.suitable(&task.reqs);
-    if suitable.is_empty() {
-        return Placement::Infeasible;
-    }
-    let mut best: Option<(usize, f64, MachineId)> = None;
-    for id in suitable {
-        if !cluster.fits(id, task.cpu, task.memory) {
-            continue;
+    // Best key: (soft misses, capacity bucket, id), minimised — misses
+    // instead of score so the whole key minimises lexicographically.
+    let mut best: Option<(usize, usize, MachineId)> = None;
+    let mut suitable_any = false;
+    cluster.suitable_visit(&task.reqs, |id| {
+        suitable_any = true;
+        if cluster.fits(id, task.cpu, task.memory) {
+            let misses = soft
+                .iter()
+                .filter(|r| !r.accepts(cluster.machine_attr(id, r.attr)))
+                .count();
+            let key = (misses, capacity_bucket(cluster.free_cpu(id)), id);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
         }
-        let score = soft
-            .iter()
-            .filter(|r| r.accepts(cluster.machine_attr(id, r.attr)))
-            .count();
-        let rem = cluster.free_cpu(id) - task.cpu;
-        let better = match best {
-            None => true,
-            Some((bs, br, _)) => score > bs || (score == bs && rem < br),
-        };
-        if better {
-            best = Some((score, rem, id));
-        }
-    }
+        true
+    });
     match best {
         Some((_, _, id)) => Placement::Placed(id),
-        None => Placement::NoCapacity,
+        None if suitable_any => Placement::NoCapacity,
+        None => Placement::Infeasible,
     }
 }
 
@@ -175,38 +228,49 @@ pub fn best_fit_soft(
 /// When no suitable machine has free room, the suitable machine where the
 /// fewest / lowest-priority evictions suffice is chosen; the evicted task
 /// ids are returned so the engine can requeue them (Kubernetes reschedules
-/// preempted pods).
-pub fn best_fit_with_preemption(cluster: &SchedCluster, task: &PendingTask) -> Placement {
+/// preempted pods). The fallback streams candidates through the `ctx`
+/// scratch; only a successful preemption allocates (the returned eviction
+/// list), which keeps the no-preemption steady state allocation-free.
+pub fn best_fit_with_preemption(
+    cluster: &SchedCluster,
+    task: &PendingTask,
+    ctx: &mut PlaceCtx,
+) -> Placement {
     match best_fit(cluster, task) {
         Placement::NoCapacity => {}
         other => return other,
     }
-    let suitable = cluster.suitable(&task.reqs);
-    let mut best: Option<(usize, MachineId, Vec<TaskId>)> = None;
-    for id in suitable {
+    let mut best: Option<(usize, MachineId)> = None;
+    let PlaceCtx {
+        cands,
+        trial,
+        best: best_evictions,
+        ..
+    } = ctx;
+    cluster.suitable_visit(&task.reqs, |id| {
         let mut free_cpu = cluster.free_cpu(id);
         let mut free_mem = cluster.free_mem(id);
-        let mut evictions = Vec::new();
-        for (victim, vc, vm, _p) in cluster.preemption_candidates(id, task.priority) {
+        cluster.preemption_candidates_into(id, task.priority, cands);
+        trial.clear();
+        for &(victim, vc, vm, _p) in cands.iter() {
             if free_cpu >= task.cpu && free_mem >= task.memory {
                 break;
             }
             free_cpu += vc;
             free_mem += vm;
-            evictions.push(victim);
+            trial.push(victim);
         }
-        if free_cpu >= task.cpu && free_mem >= task.memory && !evictions.is_empty() {
-            let better = match &best {
-                None => true,
-                Some((n, _, _)) => evictions.len() < *n,
-            };
-            if better {
-                best = Some((evictions.len(), id, evictions));
+        if free_cpu >= task.cpu && free_mem >= task.memory && !trial.is_empty() {
+            let key = (trial.len(), id);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+                std::mem::swap(trial, best_evictions);
             }
         }
-    }
+        true
+    });
     match best {
-        Some((_, id, evictions)) => Placement::PlacedWithPreemption(id, evictions),
+        Some((_, id)) => Placement::PlacedWithPreemption(id, best_evictions.clone()),
         None => Placement::NoCapacity,
     }
 }
@@ -250,6 +314,7 @@ mod tests {
         c.place(2, 99, 0.7, 0.7, 0); // machine 2 has least room that still fits 0.2
         let p = best_fit(&c, &task(1, 0.2, 0, None));
         assert_eq!(p, Placement::Placed(2));
+        assert_eq!(best_fit_linear(&c, &task(1, 0.2, 0, None)), p);
     }
 
     #[test]
@@ -269,6 +334,7 @@ mod tests {
             ..task(1, 0.1, 0, None)
         };
         assert_eq!(best_fit(&c, &t), Placement::Infeasible);
+        assert_eq!(best_fit_linear(&c, &t), Placement::Infeasible);
     }
 
     #[test]
@@ -278,6 +344,19 @@ mod tests {
             c.place(i, 100 + i, 0.95, 0.95, 5);
         }
         assert_eq!(best_fit(&c, &task(1, 0.2, 9, None)), Placement::NoCapacity);
+        assert_eq!(
+            best_fit_linear(&c, &task(1, 0.2, 9, None)),
+            Placement::NoCapacity
+        );
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_id_with_room() {
+        let mut c = cluster();
+        c.place(0, 99, 0.95, 0.95, 0);
+        let mut ctx = PlaceCtx::new();
+        let p = FirstFit.place(&c, &task(1, 0.2, 0, None), &mut ctx);
+        assert_eq!(p, Placement::Placed(1));
     }
 
     #[test]
@@ -337,7 +416,8 @@ mod tests {
         for i in 0..4u64 {
             c.place(i, 100 + i, 0.95, 0.95, if i == 2 { 1 } else { 8 });
         }
-        let p = best_fit_with_preemption(&c, &task(1, 0.2, 5, None));
+        let mut ctx = PlaceCtx::new();
+        let p = best_fit_with_preemption(&c, &task(1, 0.2, 5, None), &mut ctx);
         match p {
             Placement::PlacedWithPreemption(id, evicted) => {
                 assert_eq!(id, 2, "only machine 2 holds a preemptible task");
@@ -353,8 +433,9 @@ mod tests {
         for i in 0..4u64 {
             c.place(i, 100 + i, 0.95, 0.95, 9);
         }
+        let mut ctx = PlaceCtx::new();
         assert_eq!(
-            best_fit_with_preemption(&c, &task(1, 0.2, 5, None)),
+            best_fit_with_preemption(&c, &task(1, 0.2, 5, None), &mut ctx),
             Placement::NoCapacity,
             "Kubernetes-style preemption only evicts lower priority"
         );

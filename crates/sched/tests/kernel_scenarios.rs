@@ -262,6 +262,59 @@ fn churned_cluster_resets_for_ab_runs() {
 }
 
 #[test]
+fn capacity_index_stays_consistent_through_kernel_churn() {
+    // Run a full kernel simulation with churn (drain/restore mid-run),
+    // then check the incrementally maintained capacity index still
+    // answers placement queries exactly like the linear reference on the
+    // post-churn cluster — the end-to-end form of the property tests in
+    // `placement_equivalence.rs`.
+    use ctlm_sched::placement::{best_fit, best_fit_linear};
+    let arrivals: Vec<PendingTask> = (0..24u64).map(|k| task(k, k * 250_000, 0.3, 2)).collect();
+    let config = SimConfig {
+        cycle: 500_000,
+        attempts_per_cycle: 6,
+        mean_runtime: 20_000_000,
+        horizon: 60_000_000,
+        seed: 13,
+    };
+    let simulator = Simulator::new(config);
+    let mut scheduler = MainOnly;
+    let mut harness = simulator.harness(cluster(6), &arrivals, &mut scheduler);
+    let plan = ChurnPlan::new(vec![
+        (5_000_000, ChurnAction::Fail(1)),
+        (8_000_000, ChurnAction::Fail(4)),
+        (20_000_000, ChurnAction::Restore(1)),
+        (25_000_000, ChurnAction::Restore(4)),
+        (30_000_000, ChurnAction::Fail(2)),
+    ]);
+    let churn = ChurnSource::new(plan, harness.engine);
+    let first = churn.first_time();
+    attach_source(&mut harness, "churn", churn, first, 0);
+    let (cluster_after, result) = harness.run();
+    assert!(result.placed.len() > 12, "most tasks place despite churn");
+    assert_eq!(cluster_after.len(), 5, "machine 2 still drained");
+    for cpu in [0.1, 0.3, 0.7, 1.0] {
+        for pin in [None, Some(0), Some(2), Some(5)] {
+            let reqs = match pin {
+                Some(v) => {
+                    collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(v))))]).unwrap()
+                }
+                None => vec![],
+            };
+            let probe = PendingTask {
+                reqs,
+                ..task(9999, 0, cpu, 2)
+            };
+            assert_eq!(
+                best_fit(&cluster_after, &probe),
+                best_fit_linear(&cluster_after, &probe),
+                "post-churn index diverged for cpu={cpu} pin={pin:?}"
+            );
+        }
+    }
+}
+
+#[test]
 fn gangs_place_all_or_nothing_on_the_kernel() {
     // A 4-member gang needing 0.8 CPU each on a 6-machine cluster that
     // has only 3 free machines at arrival: nothing places until enough

@@ -1,0 +1,182 @@
+//! Pins the hot-path contract: a steady-state scheduling pass — queue
+//! rotation, placement attempts through the capacity index, cycle-timer
+//! events through the kernel's timer-wheel lane — performs **zero heap
+//! allocations** once buffers have warmed up.
+//!
+//! A counting global allocator wraps the system one. Two angles:
+//!
+//! * the *engine* test drives a saturated cluster (head-of-line regime:
+//!   every queued task cycles through `NoCapacity` each pass, the
+//!   pathology the paper's analyzer exists to remove) across many
+//!   simulated passes and asserts the allocation counter does not move;
+//! * the *cluster* test exercises the mutation path — `tightest_fit`
+//!   probes, `place`/`release` churn updating the capacity buckets —
+//!   outside the kernel, with recurring task shapes, and asserts the
+//!   incremental index maintenance is allocation-free once bucket
+//!   capacities have settled.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ctlm_data::compaction::collapse;
+use ctlm_sched::engine::{SimConfig, Simulator};
+use ctlm_sched::placement::{best_fit, Placement};
+use ctlm_sched::scheduler::MainOnly;
+use ctlm_sched::{CapacityFit, PendingTask, SchedCluster};
+use ctlm_trace::{AttrValue, ConstraintOp as Op, Machine, TaskConstraint};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn fleet(n: u64) -> SchedCluster {
+    let mut ms = Vec::new();
+    for i in 0..n {
+        let mut m = Machine::new(i, 1.0, 1.0);
+        m.set_attr(0, AttrValue::Int(i as i64));
+        ms.push(m);
+    }
+    SchedCluster::from_machines(ms)
+}
+
+fn task(id: u64, arrival: u64, cpu: f64) -> PendingTask {
+    PendingTask {
+        id,
+        collection: 1,
+        cpu,
+        memory: cpu,
+        priority: 2,
+        reqs: vec![],
+        arrival,
+        truth_group: 25,
+    }
+}
+
+#[test]
+fn steady_state_scheduling_pass_does_not_allocate() {
+    // 4 machines filled by 12 long-running blockers; 40 background tasks
+    // plus 3 pinned (single-suitable-node) tasks then cycle NoCapacity
+    // every pass until the horizon. The cycle period is an exact
+    // multiple of the kernel wheel's slot granularity (16 × 65 536 µs),
+    // so the timer's slot orbit closes after one wheel revolution and
+    // every lane buffer is warm before the measured window.
+    let mut arrivals: Vec<PendingTask> = (0..12u64).map(|k| task(k, 0, 0.32)).collect();
+    for k in 0..40u64 {
+        arrivals.push(task(100 + k, 200_000 * k, 0.4));
+    }
+    for j in 0..3u64 {
+        let reqs = collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(0))))]).unwrap();
+        arrivals.push(PendingTask {
+            id: 900 + j,
+            collection: 2,
+            reqs,
+            truth_group: 0,
+            ..task(900 + j, 3_000_000 + j * 700_000, 0.5)
+        });
+    }
+    arrivals.sort_by_key(|t| t.arrival);
+    let config = SimConfig {
+        cycle: 1_048_576, // 16 wheel slots exactly
+        attempts_per_cycle: 3,
+        mean_runtime: 100_000_000_000, // blockers never finish
+        horizon: 400_000_000,
+        seed: 9,
+    };
+    let simulator = Simulator::new(config);
+    let mut scheduler = MainOnly;
+    let mut harness = simulator.harness(fleet(4), &arrivals, &mut scheduler);
+
+    // Warm-up: all admissions, the blocker placements, and two full
+    // wheel revolutions (2 × 67 s) of timer traffic.
+    harness.sim.run_until(150_000_000);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    harness.sim.run_until(390_000_000);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state scheduling passes allocated {} times",
+        after - before
+    );
+
+    let (_, result) = harness.run();
+    assert_eq!(result.placed.len(), 12, "only the blockers ever place");
+    assert_eq!(result.unplaced, 43, "everything else cycles to the horizon");
+}
+
+#[test]
+fn capacity_index_maintenance_does_not_allocate_in_steady_state() {
+    let mut c = fleet(8);
+    let pin = collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(3))))]).unwrap();
+    let window = collapse(&[
+        TaskConstraint::new(0, Op::GreaterThanEqual(2)),
+        TaskConstraint::new(0, Op::LessThan(6)),
+    ])
+    .unwrap();
+    // Binary-fraction sizes: sums recur exactly, so the set of capacity
+    // buckets ever touched is finite and warms quickly.
+    let sizes = [0.125, 0.25, 0.375];
+
+    let mut churn = |rounds: usize| {
+        for r in 0..rounds {
+            for (k, &s) in sizes.iter().enumerate() {
+                let probe = task(0, 0, s);
+                match best_fit(&c, &probe) {
+                    Placement::Placed(m) => c.place(m, (r % 7 * 3 + k) as u64, s, s, 2),
+                    other => panic!("fleet cannot saturate at these sizes: {other:?}"),
+                }
+            }
+            assert!(matches!(
+                c.tightest_fit(&pin, 0.1, 0.1),
+                CapacityFit::Fit(3) | CapacityFit::NoCapacity
+            ));
+            assert!(!matches!(
+                c.tightest_fit(&window, 0.05, 0.05),
+                CapacityFit::Infeasible
+            ));
+            for (k, _) in sizes.iter().enumerate() {
+                let id = (r % 7 * 3 + k) as u64;
+                // Find and release (machines rotate as load shifts).
+                let mut released = false;
+                for m in 0..8u64 {
+                    if c.release(m, id) {
+                        released = true;
+                        break;
+                    }
+                }
+                assert!(released, "task {id} must be live");
+            }
+        }
+    };
+
+    churn(32); // warm every bucket/alloc-map shape the cycle produces
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    churn(512);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state place/release churn allocated {} times",
+        after - before
+    );
+}

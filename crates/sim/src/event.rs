@@ -56,19 +56,48 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 
-/// The pending-event queue: a binary heap with a stable
-/// `(time, priority, seq)` total order, so two runs that schedule the
-/// same events pop them in the same order — the kernel's reproducibility
-/// guarantee.
+/// Log2 of the timer-wheel slot granularity in µs: one slot covers
+/// 2^16 µs ≈ 65 ms of simulated time.
+const WHEEL_SHIFT: u32 = 16;
+/// Timer-wheel slot count (one revolution covers ≈ 67 s of simulated
+/// time at the 65 ms granularity).
+const WHEEL_SLOTS: usize = 1024;
+
+/// The pending-event queue: a stable `(time, priority, seq)` total
+/// order, so two runs that schedule the same events pop them in the same
+/// order — the kernel's reproducibility guarantee.
 ///
-/// Bulk pre-sorted streams (a replayed trace is one long time-ordered
-/// event list) take a second lane: [`EventQueue::push_sorted_batch`]
-/// appends them to a FIFO that [`EventQueue::pop`] merges with the heap,
-/// so feeding N already-ordered events costs O(N) instead of
-/// O(N log N) heap sifts.
+/// Three lanes hold pending events; the total order is lane-independent
+/// (pop always compares the lane heads by the full key), so lane routing
+/// is pure placement policy:
+///
+/// * **heap** — the general O(log n) lane;
+/// * **sorted** — bulk pre-sorted streams (a replayed trace is one long
+///   time-ordered event list): [`EventQueue::push_sorted_batch`] appends
+///   to a FIFO, so feeding N already-ordered events costs O(N) instead
+///   of O(N log N) heap sifts;
+/// * **wheel** — a timing-wheel lane for the near future (the dominant
+///   `emit_self` cycle-timer and task-completion pattern): events within
+///   one wheel revolution of the clock land in a bucketed slot in O(1)
+///   and are sorted per slot only when the clock reaches it, keeping the
+///   heap small and each slot sort tiny. Slot vectors and the active-run
+///   buffer are reused across revolutions, so the steady-state cycle
+///   pattern allocates nothing.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     sorted: std::collections::VecDeque<Event<E>>,
+    /// Timer-wheel slots; slot `page % WHEEL_SLOTS` holds events of
+    /// exactly one time page (`time >> WHEEL_SHIFT`) at a time.
+    wheel: Vec<Vec<Event<E>>>,
+    /// Events currently resident in wheel slots.
+    wheel_len: usize,
+    /// The page the wheel has been drained through: pushes for this page
+    /// or earlier go to the heap.
+    active_page: u64,
+    /// The drained slot currently being consumed, sorted by
+    /// `(time, priority, seq)` **descending** so the head pops from the
+    /// back in O(1).
+    run: Vec<Event<E>>,
     next_seq: u64,
 }
 
@@ -77,6 +106,10 @@ impl<E> Default for EventQueue<E> {
         Self {
             heap: BinaryHeap::new(),
             sorted: std::collections::VecDeque::new(),
+            wheel: std::iter::repeat_with(Vec::new).take(WHEEL_SLOTS).collect(),
+            wheel_len: 0,
+            active_page: 0,
+            run: Vec::new(),
             next_seq: 0,
         }
     }
@@ -92,14 +125,40 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: Time, priority: u8, src: CompId, dst: CompId, payload: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry(Event {
+        let ev = Event {
             time,
             priority,
             seq,
             src,
             dst,
             payload,
-        }));
+        };
+        let page = time >> WHEEL_SHIFT;
+        if page > self.active_page && page - self.active_page < WHEEL_SLOTS as u64 {
+            self.wheel[(page % WHEEL_SLOTS as u64) as usize].push(ev);
+            self.wheel_len += 1;
+        } else {
+            self.heap.push(Entry(ev));
+        }
+    }
+
+    /// Ensures the wheel's earliest events are visible in the active run:
+    /// advances the wheel page by page until a non-empty slot is drained
+    /// (sorted descending for O(1) pops). Invariant: a slot holds events
+    /// of exactly one page, because pushes land strictly beyond
+    /// `active_page` and never more than one revolution ahead.
+    fn prime(&mut self) {
+        while self.run.is_empty() && self.wheel_len > 0 {
+            self.active_page += 1;
+            let slot = &mut self.wheel[(self.active_page % WHEEL_SLOTS as u64) as usize];
+            if !slot.is_empty() {
+                self.wheel_len -= slot.len();
+                std::mem::swap(&mut self.run, slot);
+                self.run.sort_unstable_by(|a, b| {
+                    (b.time, b.priority, b.seq).cmp(&(a.time, a.priority, a.seq))
+                });
+            }
+        }
     }
 
     /// Appends a time-ordered batch to the sorted lane, assigning
@@ -132,38 +191,58 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Removes and returns the earliest event across both lanes.
+    /// Removes and returns the earliest event across all lanes.
     pub fn pop(&mut self) -> Option<Event<E>> {
-        let take_sorted = match (self.sorted.front(), self.heap.peek()) {
-            (Some(s), Some(h)) => (s.time, s.priority, s.seq) < (h.0.time, h.0.priority, h.0.seq),
-            (Some(_), None) => true,
-            (None, _) => false,
+        self.prime();
+        // Lane heads by (time, priority, seq); the smallest key wins.
+        let key = |e: &Event<E>| (e.time, e.priority, e.seq);
+        let heads = [
+            self.run.last().map(&key),
+            self.sorted.front().map(&key),
+            self.heap.peek().map(|e| key(&e.0)),
+        ];
+        let winner = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(lane, k)| k.map(|k| (k, lane)))
+            .min()?
+            .1;
+        let ev = match winner {
+            0 => self.run.pop(),
+            1 => self.sorted.pop_front(),
+            _ => self.heap.pop().map(|e| e.0),
         };
-        if take_sorted {
-            self.sorted.pop_front()
-        } else {
-            self.heap.pop().map(|e| e.0)
+        if let Some(ev) = &ev {
+            if self.wheel_len == 0 && self.run.is_empty() {
+                // Wheel idle: fast-forward its window to the clock so
+                // near-future pushes use it again.
+                self.active_page = self.active_page.max(ev.time >> WHEEL_SHIFT);
+            }
         }
+        ev
     }
 
     /// Delivery time of the earliest event, if any.
-    pub fn peek_time(&self) -> Option<Time> {
-        let s = self.sorted.front().map(|e| e.time);
-        let h = self.heap.peek().map(|e| e.0.time);
-        match (s, h) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.prime();
+        [
+            self.run.last().map(|e| e.time),
+            self.sorted.front().map(|e| e.time),
+            self.heap.peek().map(|e| e.0.time),
+        ]
+        .into_iter()
+        .flatten()
+        .min()
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len() + self.sorted.len()
+        self.heap.len() + self.sorted.len() + self.wheel_len + self.run.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty() && self.sorted.is_empty()
+        self.len() == 0
     }
 }
 
@@ -199,6 +278,73 @@ mod tests {
         q.push(0, 0, 0, 0, ());
         let seqs: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.seq)).collect();
         assert_eq!(seqs, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn wheel_lane_preserves_total_order_across_lanes() {
+        // Mix near-future events (wheel), far-future events (heap), and
+        // current-page events (heap) in a scrambled push order; pops must
+        // follow the exact (time, priority, seq) total order regardless
+        // of which lane held each event.
+        let mut q = EventQueue::new();
+        let slot = 1u64 << WHEEL_SHIFT;
+        let horizon = slot * WHEEL_SLOTS as u64;
+        let mut expect: Vec<(Time, u8, u64)> = Vec::new();
+        let mut state = 0x9E37_79B9u64;
+        for i in 0..3000u64 {
+            // Deterministic pseudo-random times spanning page 0, the
+            // wheel window, and several revolutions beyond it.
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let time = state % (3 * horizon);
+            let priority = (state >> 32) as u8 % 3;
+            q.push(time, priority, 0, 0, i);
+            expect.push((time, priority, i));
+        }
+        expect.sort_unstable();
+        let got: Vec<(Time, u8, u64)> =
+            std::iter::from_fn(|| q.pop().map(|e| (e.time, e.priority, e.seq))).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn wheel_and_heap_interleave_with_incremental_pushes() {
+        // The cycle-timer pattern: pop one event, push the next wake-up —
+        // exercising prime()/fast-forward across many wheel revolutions.
+        let mut q = EventQueue::new();
+        let period = 700_000u64; // lands in the wheel window
+        q.push(period, 0, 0, 0, 0u32);
+        let mut last = 0u64;
+        for k in 1..200u32 {
+            let ev = q.pop().expect("timer pending");
+            assert!(ev.time > last, "time must advance monotonically");
+            last = ev.time;
+            q.push(ev.time + period, 0, 0, 0, k);
+            // A far-future completion beyond the wheel window each tick.
+            q.push(ev.time + 400_000_000, 1, 0, 0, 10_000 + k);
+        }
+        // Everything still pending pops in time order.
+        let mut prev = 0u64;
+        while let Some(ev) = q.pop() {
+            assert!(ev.time >= prev);
+            prev = ev.time;
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wheel_lane_len_accounts_all_lanes() {
+        let mut q = EventQueue::new();
+        q.push(1 << WHEEL_SHIFT, 0, 0, 0, "wheel");
+        q.push(0, 0, 0, 0, "heap");
+        q.push_sorted_batch(0, 0, 0, [(5u64, "sorted")]);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        assert_eq!(q.peek_time(), Some(0));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["heap", "sorted", "wheel"]);
+        assert!(q.is_empty());
     }
 
     #[test]
