@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Only the gated groups are compared (`matching/`, `training_step/`,
-//! `placement/` by default — override with `--groups a,b,c`); entries
+//! `placement/`, `autoscale/` by default — override with
+//! `--groups a,b,c`); entries
 //! present in just one report are skipped, since CI may run a subset.
 //! The default threshold (current ≤ 1.25 × baseline) is deliberately
 //! tolerant of shared-runner noise; tighten locally with
@@ -17,7 +18,7 @@
 use ctlm_bench::args::ParsedArgs;
 use serde_json::Value;
 
-const DEFAULT_GROUPS: &[&str] = &["matching/", "training_step/", "placement/"];
+const DEFAULT_GROUPS: &[&str] = &["matching/", "training_step/", "placement/", "autoscale/"];
 
 fn medians(doc: &Value) -> Vec<(String, f64)> {
     let Value::Object(pairs) = doc else {

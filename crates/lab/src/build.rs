@@ -20,8 +20,10 @@ use ctlm_trace::{
     TaskConstraint, TraceGenerator,
 };
 
+use ctlm_autoscale::{AutoscaleConfig, MachineTemplate};
+
 use crate::spec::{
-    ArrivalProcess, CellSpec, RetrainSpec, ScenarioSpec, SizeDist, SyntheticWorkload,
+    ArrivalProcess, CellSpec, PolicyParams, RetrainSpec, ScenarioSpec, SizeDist, SyntheticWorkload,
     TraceWorkload, WorkloadSpec,
 };
 use crate::LabError;
@@ -33,6 +35,25 @@ pub const CELL_ID_STRIDE: u64 = 1 << 40;
 /// Pin-attribute (attr 0) value stride between cells, so a restrictive
 /// task pinned in one cell never matches a sibling cell's machine.
 pub const ATTR_VALUE_STRIDE: i64 = 1 << 32;
+
+/// First machine id the autoscaler provisions from — far past any
+/// initial fleet (synthetic ids count from 0, trace ids are small), so
+/// provisioned machines never collide with churn plans over the
+/// original fleet.
+pub const AUTOSCALE_ID_BASE: u64 = 1 << 48;
+
+/// A cell's resolved autoscaler: the policy selection (resolved at run
+/// time through the registry, so sweeps can rewrite its parameters)
+/// plus the fully derived kernel config.
+pub struct BuiltAutoscale {
+    /// Policy registry name.
+    pub policy: String,
+    /// Numeric policy parameters from the spec.
+    pub params: PolicyParams,
+    /// Derived component configuration (seed, id/attr namespaces,
+    /// template already resolved).
+    pub config: AutoscaleConfig,
+}
 
 /// A cell assembled from its spec, ready to attach to a kernel
 /// simulation.
@@ -56,6 +77,8 @@ pub struct BuiltCell {
     pub rollout: Option<(AttrId, Vec<RolloutStage>)>,
     /// Retraining cadence, passed through to the run assembly.
     pub retrain: Option<RetrainSpec>,
+    /// Resolved autoscaler, if the scenario requested one.
+    pub autoscale: Option<BuiltAutoscale>,
 }
 
 /// Builds one cell from its spec. `index` namespaces task ids and seeds
@@ -94,6 +117,51 @@ pub fn build_cell(spec: &CellSpec, sim: &SimConfig, index: usize) -> Result<Buil
             .collect();
         (r.attr, stages)
     });
+    let autoscale = scenario.autoscale.as_ref().map(|a| {
+        // Template default: provision what the cell already runs —
+        // the first synthetic machine group's shape (unit capacity for
+        // trace slices, whose fleets are heterogeneous anyway).
+        let template = a.template.unwrap_or_else(|| match &spec.workload {
+            WorkloadSpec::Synthetic(w) => w
+                .machines
+                .first()
+                .map(|g| MachineTemplate {
+                    cpu: g.cpu,
+                    memory: g.memory,
+                })
+                .unwrap_or_default(),
+            WorkloadSpec::Trace(_) => MachineTemplate::default(),
+        });
+        // Synthetic cells carry the pin attribute (attr 0); provisioned
+        // machines continue the cell's value sequence past the initial
+        // fleet so no restrictive task ever aliases one.
+        let attr_base = match &spec.workload {
+            WorkloadSpec::Synthetic(_) => {
+                Some(index as i64 * ATTR_VALUE_STRIDE + machine_ids.len() as i64)
+            }
+            WorkloadSpec::Trace(_) => None,
+        };
+        BuiltAutoscale {
+            policy: a.policy.clone(),
+            params: a.params,
+            config: AutoscaleConfig {
+                min: a.min,
+                // Parse-time validation rejects min > max, but sweep
+                // points rewrite knobs without re-validating — guard
+                // like `AutoscaleConfig::new` so a swept band can never
+                // panic `clamp` mid-run.
+                max: a.max.max(a.min),
+                cadence: a.cadence.max(1),
+                warm_pool: a.warm_pool,
+                delay: a.delay,
+                template,
+                seed: sim.seed ^ (index as u64).wrapping_mul(0xA5A5_1EAF_0000_0001),
+                horizon: sim.horizon,
+                id_base: AUTOSCALE_ID_BASE,
+                attr_base,
+            },
+        }
+    });
     Ok(BuiltCell {
         name: spec.name.clone(),
         cluster,
@@ -104,6 +172,7 @@ pub fn build_cell(spec: &CellSpec, sim: &SimConfig, index: usize) -> Result<Buil
         gangs,
         rollout,
         retrain: scenario.retrain.clone(),
+        autoscale,
     })
 }
 

@@ -2,21 +2,36 @@
 //!
 //! ```text
 //! ctlm-lab <spec.json> [--out report.json] [--json] [--seed N]
+//! ctlm-lab --diff <a.json> <b.json>
 //! ```
 //!
 //! Prints a human-readable summary (per-point medians) to stdout;
 //! `--out` additionally writes the full structured report as
 //! pretty-printed JSON, `--json` replaces the summary with the report on
 //! stdout, and `--seed` overrides the spec's `sim.seed` (and any sweep seed list).
+//!
+//! `--diff` compares two previously written reports instead of running
+//! anything: per-(point, scheduler, cell) median deltas (`b − a`), so a
+//! knob change or a code change can be judged row by row.
 
 use ctlm_bench::ParsedArgs;
-use ctlm_lab::report::{to_pretty_json, LabReport};
+use ctlm_lab::report::{diff_reports, to_pretty_json, LabReport, SummaryDiff};
 use ctlm_lab::ExperimentSpec;
+use serde::Deserialize;
 
 fn main() {
-    let args = ParsedArgs::from_env(&["--json"], &["--out", "--seed"]);
+    let args = ParsedArgs::from_env(&["--json", "--diff"], &["--out", "--seed"]);
+    if args.flag("--diff") {
+        let [a, b] = args.positionals() else {
+            eprintln!("usage: ctlm-lab --diff <a.json> <b.json>");
+            std::process::exit(2);
+        };
+        print_diff(&load_report(a), &load_report(b));
+        return;
+    }
     let [path] = args.positionals() else {
         eprintln!("usage: ctlm-lab <spec.json> [--out report.json] [--json] [--seed N]");
+        eprintln!("       ctlm-lab --diff <a.json> <b.json>");
         std::process::exit(2);
     };
     let text =
@@ -50,6 +65,90 @@ fn fmt_ms(v: Option<f64>) -> String {
     match v {
         Some(us) => format!("{:.1}", us / 1000.0),
         None => "—".to_string(),
+    }
+}
+
+fn load_report(path: &str) -> LabReport {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read report {path:?}: {e}"));
+    let value: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path:?}: {e}"));
+    Deserialize::from_value(&value)
+        .unwrap_or_else(|e| panic!("{path:?} is not a ctlm-lab report: {e}"))
+}
+
+fn point_label(diff: &SummaryDiff) -> String {
+    if diff.knobs.is_empty() {
+        "-".to_string()
+    } else {
+        diff.knobs
+            .iter()
+            .map(|k| {
+                format!(
+                    "{}={}",
+                    k.path.rsplit('.').next().unwrap_or(&k.path),
+                    k.value
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// `a → b (Δ, ×ratio)` for one latency metric, in milliseconds.
+fn fmt_pair_ms(pair: (Option<f64>, Option<f64>)) -> String {
+    let delta = SummaryDiff::delta(pair);
+    let ratio = SummaryDiff::ratio(pair);
+    match (delta, ratio) {
+        (Some(d), Some(r)) => format!(
+            "{} → {} ({}{:.1}, ×{:.2})",
+            fmt_ms(pair.0),
+            fmt_ms(pair.1),
+            if d >= 0.0 { "+" } else { "−" },
+            d.abs() / 1000.0,
+            r
+        ),
+        _ => format!("{} → {}", fmt_ms(pair.0), fmt_ms(pair.1)),
+    }
+}
+
+fn print_diff(a: &LabReport, b: &LabReport) {
+    println!("diff: {} → {}", a.name, b.name);
+    println!(
+        "{:<34} {:<14} {:<10} {:<34} {:<34} {:>14}",
+        "point", "scheduler", "cell", "g0 mean (ms)", "other (ms)", "unplaced"
+    );
+    println!("{}", "-".repeat(144));
+    for row in diff_reports(a, b) {
+        let marker = match row.present {
+            (true, true) => "",
+            (true, false) => "  [only in a]",
+            (false, true) => "  [only in b]",
+            (false, false) => unreachable!("diff rows come from at least one report"),
+        };
+        let opt = |v: Option<f64>| v.map_or("—".to_string(), |x| x.to_string());
+        let unplaced = format!("{} → {}", opt(row.unplaced.0), opt(row.unplaced.1));
+        println!(
+            "{:<34} {:<14} {:<10} {:<34} {:<34} {:>14}{}",
+            point_label(&row),
+            row.scheduler,
+            row.cell,
+            fmt_pair_ms(row.group0_mean),
+            fmt_pair_ms(row.other_mean),
+            unplaced,
+            marker
+        );
+        if row.fleet_peak.0.is_some() || row.fleet_peak.1.is_some() {
+            let f = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x}"));
+            println!(
+                "{:<34} {:<14} {:<10} fleet peak {} → {}",
+                "",
+                "",
+                "",
+                f(row.fleet_peak.0),
+                f(row.fleet_peak.1)
+            );
+        }
     }
 }
 

@@ -11,14 +11,18 @@
 
 use std::sync::Arc;
 
+use ctlm_autoscale::{AutoscalePolicy, MachineTemplate, Predictive, TargetTracking, ThresholdStep};
 use ctlm_core::{GrowingModel, ModelRegistry, TaskCoAnalyzer, TrainConfig};
+use ctlm_data::compaction::collapse;
 use ctlm_data::dataset::{DatasetBuilder, NUM_GROUPS};
 use ctlm_data::encode::co_vv::CoVvEncoder;
-use ctlm_sched::placement::{BestFit, FirstFit, Placer, PreemptiveBestFit};
+use ctlm_sched::placement::{BestFit, FirstFit, Placer, PreemptiveBestFit, SoftAffinityBestFit};
 use ctlm_sched::scheduler::{Enhanced, LiveRegistry, MainOnly, OracleEnhanced, Scheduler};
+use ctlm_sched::SimConfig;
+use ctlm_trace::{AttrValue, ConstraintOp, TaskConstraint};
 
 use crate::build::BuiltCell;
-use crate::spec::TrainSpec;
+use crate::spec::{PlacerSpec, PolicyParams, SoftAffinitySpec, SoftOpSpec, TrainSpec};
 use crate::LabError;
 
 /// A resolved scheduler plus the model registry backing it (present only
@@ -34,7 +38,15 @@ pub struct SchedulerInstance {
 pub const SCHEDULER_NAMES: &[&str] = &["main_only", "oracle", "enhanced", "live_registry"];
 
 /// Placer registry names, in registration order.
-pub const PLACER_NAMES: &[&str] = &["best_fit", "first_fit", "preemptive_best_fit"];
+pub const PLACER_NAMES: &[&str] = &[
+    "best_fit",
+    "first_fit",
+    "preemptive_best_fit",
+    "best_fit_soft",
+];
+
+/// Autoscaling-policy registry names, in registration order.
+pub const AUTOSCALE_POLICY_NAMES: &[&str] = &["threshold", "target_tracking", "predictive"];
 
 /// Validates a scheduler name without building it.
 pub fn check_scheduler(name: &str) -> Result<(), LabError> {
@@ -57,6 +69,51 @@ pub fn check_placer(name: &str) -> Result<(), LabError> {
             "unknown placer {name:?} (registry: {})",
             PLACER_NAMES.join(", ")
         )))
+    }
+}
+
+/// Validates an autoscaling-policy name without building it.
+pub fn check_autoscale_policy(name: &str) -> Result<(), LabError> {
+    if AUTOSCALE_POLICY_NAMES.contains(&name) {
+        Ok(())
+    } else {
+        Err(LabError::msg(format!(
+            "unknown autoscale policy {name:?} (registry: {})",
+            AUTOSCALE_POLICY_NAMES.join(", ")
+        )))
+    }
+}
+
+/// Builds an autoscaling policy by registry name. Unset [`PolicyParams`]
+/// fields take the documented defaults; the predictive policy derives
+/// its workload estimates from the spec's mean runtime and the
+/// provisioning template's capacity.
+pub fn build_autoscale_policy(
+    name: &str,
+    params: &PolicyParams,
+    sim: &SimConfig,
+    template: &MachineTemplate,
+) -> Result<Box<dyn AutoscalePolicy>, LabError> {
+    check_autoscale_policy(name)?;
+    match name {
+        "threshold" => Ok(Box::new(ThresholdStep {
+            up_pending: params.up_pending.unwrap_or(8) as usize,
+            up_latency: params.up_latency,
+            down_util: params.down_util.unwrap_or(0.3),
+            step: params.step.unwrap_or(2) as usize,
+        })),
+        "target_tracking" => Ok(Box::new(TargetTracking {
+            target_util: params.target_util.unwrap_or(0.6),
+            tolerance: params.tolerance.unwrap_or(0.1),
+        })),
+        "predictive" => Ok(Box::new(Predictive::new(
+            params.window.unwrap_or(6) as usize,
+            params.headroom.unwrap_or(1.2),
+            params.task_cpu.unwrap_or(0.25),
+            sim.mean_runtime,
+            template.cpu,
+        ))),
+        other => Err(LabError::msg(format!("unknown autoscale policy {other:?}"))),
     }
 }
 
@@ -94,14 +151,42 @@ pub fn build_scheduler(
     }
 }
 
-/// Builds a placer by registry name.
-pub fn build_placer(name: &str) -> Result<Box<dyn Placer>, LabError> {
+/// Builds a placer by registry name. The `best_fit_soft` strategy takes
+/// its preference set from the spec's `placers.soft` list instead of a
+/// hard-coded default — soft affinity is experiment data, not code.
+pub fn build_placer(name: &str, spec: &PlacerSpec) -> Result<Box<dyn Placer>, LabError> {
     match name {
         "best_fit" => Ok(Box::new(BestFit)),
         "first_fit" => Ok(Box::new(FirstFit)),
         "preemptive_best_fit" => Ok(Box::new(PreemptiveBestFit)),
+        "best_fit_soft" => Ok(Box::new(SoftAffinityBestFit {
+            soft: soft_requirements(&spec.soft)?,
+        })),
         other => Err(LabError::msg(format!("unknown placer {other:?}"))),
     }
+}
+
+/// Collapses the spec's soft-affinity terms into the requirement form
+/// the placer scores against.
+pub fn soft_requirements(
+    soft: &[SoftAffinitySpec],
+) -> Result<Vec<ctlm_data::compaction::AttrRequirement>, LabError> {
+    let constraints: Vec<TaskConstraint> = soft
+        .iter()
+        .map(|s| {
+            let op = match &s.op {
+                SoftOpSpec::Equal(v) => ConstraintOp::Equal(Some(AttrValue::Int(*v))),
+                SoftOpSpec::EqualStr(v) => ConstraintOp::Equal(Some(AttrValue::Str(v.clone()))),
+                SoftOpSpec::LessThan(v) => ConstraintOp::LessThan(*v),
+                SoftOpSpec::GreaterThan(v) => ConstraintOp::GreaterThan(*v),
+                SoftOpSpec::LessThanEqual(v) => ConstraintOp::LessThanEqual(*v),
+                SoftOpSpec::GreaterThanEqual(v) => ConstraintOp::GreaterThanEqual(*v),
+            };
+            TaskConstraint::new(s.attr, op)
+        })
+        .collect();
+    collapse(&constraints)
+        .map_err(|e| LabError::msg(format!("unsatisfiable soft-affinity set: {e:?}")))
 }
 
 /// Trains a [`TaskCoAnalyzer`] on the cell's own arrival population:

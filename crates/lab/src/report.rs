@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use ctlm_autoscale::AutoscaleStats;
 use ctlm_sched::LatencyStats;
 
 use crate::run::CellOutcome;
@@ -84,6 +85,10 @@ pub struct CellRun {
     pub other: Option<LatencyStats>,
     /// Latency per suitable-node-group band ([`GROUP_BANDS`]).
     pub bands: Vec<BandStats>,
+    /// The cell's autoscaler outcome — fleet-size timeline, lifecycle
+    /// counters — when the scenario ran one.
+    #[serde(default)]
+    pub autoscale: Option<AutoscaleStats>,
 }
 
 /// Latency within one suitable-node-group band.
@@ -120,6 +125,7 @@ impl CellRun {
             group0: o.result.group0_latency(),
             other: o.result.other_latency(),
             bands,
+            autoscale: o.autoscale.clone(),
         }
     }
 }
@@ -145,6 +151,9 @@ pub struct SummaryRow {
     pub median_placed: f64,
     /// Median unplaced count.
     pub median_unplaced: f64,
+    /// Median peak fleet size (autoscaled cells only).
+    #[serde(default)]
+    pub median_fleet_peak: Option<f64>,
 }
 
 /// Median of a sample (mean of the middle pair for even sizes); `None`
@@ -215,6 +224,12 @@ pub fn summarize(runs: &[RunReport]) -> Vec<SummaryRow> {
                 .expect("non-empty group"),
             median_unplaced: median(group.iter().map(|c| c.unplaced as f64).collect())
                 .expect("non-empty group"),
+            median_fleet_peak: median(
+                group
+                    .iter()
+                    .filter_map(|c| c.autoscale.as_ref().map(|a| a.peak_active() as f64))
+                    .collect(),
+            ),
         })
         .collect()
 }
@@ -235,4 +250,81 @@ pub fn knob_settings(knobs: &[KnobSpec], choice: &[usize]) -> Vec<KnobSetting> {
 /// (the shim's `to_string` is compact; reports are meant to be read).
 pub fn to_pretty_json<T: serde::Serialize + ?Sized>(value: &T) -> String {
     serde_json::to_string_pretty(value).expect("report values carry no non-finite numbers")
+}
+
+/// One summary row's change between two reports (`b − a`), keyed by
+/// `(knobs, scheduler, cell)`. Rows present in only one report carry
+/// that side's values and `None` deltas.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SummaryDiff {
+    /// Grid-point knob values.
+    pub knobs: Vec<KnobSetting>,
+    /// Scheduler registry name.
+    pub scheduler: String,
+    /// Cell name.
+    pub cell: String,
+    /// Row presence: `(in a, in b)` — at least one is true.
+    pub present: (bool, bool),
+    /// `(a, b)` median Group-0 mean latency (µs).
+    pub group0_mean: (Option<f64>, Option<f64>),
+    /// `(a, b)` median Group-0 p50 latency (µs).
+    pub group0_p50: (Option<f64>, Option<f64>),
+    /// `(a, b)` median other-task mean latency (µs).
+    pub other_mean: (Option<f64>, Option<f64>),
+    /// `(a, b)` median unplaced count.
+    pub unplaced: (Option<f64>, Option<f64>),
+    /// `(a, b)` median peak fleet (autoscaled cells).
+    pub fleet_peak: (Option<f64>, Option<f64>),
+}
+
+impl SummaryDiff {
+    /// `b − a` for one metric pair; `None` unless both sides exist.
+    pub fn delta(pair: (Option<f64>, Option<f64>)) -> Option<f64> {
+        Some(pair.1? - pair.0?)
+    }
+
+    /// `b / a` for one metric pair; `None` unless both sides exist and
+    /// `a` is non-zero.
+    pub fn ratio(pair: (Option<f64>, Option<f64>)) -> Option<f64> {
+        match pair {
+            (Some(a), Some(b)) if a != 0.0 => Some(b / a),
+            _ => None,
+        }
+    }
+}
+
+/// Pairs two reports' summaries by `(knobs, scheduler, cell)` —
+/// `a`'s row order first, then rows only `b` has. The `ctlm-lab --diff`
+/// command prints these as per-point median deltas.
+pub fn diff_reports(a: &LabReport, b: &LabReport) -> Vec<SummaryDiff> {
+    fn key(r: &SummaryRow) -> (&[KnobSetting], &str, &str) {
+        (&r.knobs, &r.scheduler, &r.cell)
+    }
+    let mut out = Vec::new();
+    for ra in &a.summary {
+        let rb = b.summary.iter().find(|r| key(r) == key(ra));
+        out.push(pair_rows(Some(ra), rb));
+    }
+    for rb in &b.summary {
+        if !a.summary.iter().any(|r| key(r) == key(rb)) {
+            out.push(pair_rows(None, Some(rb)));
+        }
+    }
+    out
+}
+
+fn pair_rows(a: Option<&SummaryRow>, b: Option<&SummaryRow>) -> SummaryDiff {
+    let anchor = a.or(b).expect("at least one side present");
+    let get = |f: fn(&SummaryRow) -> Option<f64>| (a.and_then(f), b.and_then(f));
+    SummaryDiff {
+        knobs: anchor.knobs.clone(),
+        scheduler: anchor.scheduler.clone(),
+        cell: anchor.cell.clone(),
+        present: (a.is_some(), b.is_some()),
+        group0_mean: get(|r| r.median_group0_mean),
+        group0_p50: get(|r| r.median_group0_p50),
+        other_mean: get(|r| r.median_other_mean),
+        unplaced: get(|r| Some(r.median_unplaced)),
+        fleet_peak: get(|r| r.median_fleet_peak),
+    }
 }

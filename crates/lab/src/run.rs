@@ -11,6 +11,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use ctlm_autoscale::{AutoscaleStats, Autoscaler};
 use ctlm_core::ModelRegistry;
 use ctlm_core::{GrowingModel, TaskCoAnalyzer, TrainConfig};
 use ctlm_data::dataset::{DatasetBuilder, NUM_GROUPS};
@@ -18,12 +19,14 @@ use ctlm_data::encode::co_vv::CoVvEncoder;
 use ctlm_data::vocab::ValueVocab;
 use ctlm_sched::engine::{EngineState, PRIO_ADMIT, PRIO_STATE};
 use ctlm_sched::scenario::{ChurnSource, GangSource, RolloutSource};
-use ctlm_sched::{PendingTask, SchedCluster, SchedEvent, SimResult, Simulator};
+use ctlm_sched::{OwnershipGuard, PendingTask, SchedCluster, SchedEvent, SimResult, Simulator};
 use ctlm_sim::{CompId, Component, Ctx, Event, Sim};
 use ctlm_trace::Micros;
 
 use crate::build::{build_cell, BuiltCell};
-use crate::registry::{build_placer, build_scheduler, train_config, SchedulerInstance};
+use crate::registry::{
+    build_autoscale_policy, build_placer, build_scheduler, train_config, SchedulerInstance,
+};
 use crate::spec::{ExperimentSpec, SpilloverPolicy};
 use crate::LabError;
 
@@ -41,6 +44,9 @@ pub struct CellOutcome {
     pub spilled_in: usize,
     /// Tasks whose home was this cell but which were admitted elsewhere.
     pub spilled_out: usize,
+    /// What the cell's autoscaler did (fleet timeline included), when
+    /// the scenario ran one.
+    pub autoscale: Option<AutoscaleStats>,
 }
 
 /// Runs the spec once under the named scheduler, returning per-cell
@@ -64,8 +70,8 @@ pub fn run_scheduler(
     let simulators: Vec<Simulator> = (0..built.len())
         .map(|_| {
             Ok(Simulator::new(spec.sim).with_placers(
-                build_placer(&spec.placers.main)?,
-                build_placer(&spec.placers.hp)?,
+                build_placer(&spec.placers.main, &spec.placers)?,
+                build_placer(&spec.placers.hp, &spec.placers)?,
             ))
         })
         .collect::<Result<_, LabError>>()?;
@@ -78,6 +84,8 @@ pub fn run_scheduler(
 
     let mut sim: Sim<'_, SchedEvent> = Sim::new();
     let mut handles = Vec::with_capacity(built.len());
+    let mut autoscale_stats: Vec<Option<Rc<RefCell<AutoscaleStats>>>> =
+        Vec::with_capacity(built.len());
     for (((cell, simulator), instance), cluster) in built
         .iter()
         .zip(&simulators)
@@ -94,13 +102,31 @@ pub fn run_scheduler(
             arrivals,
             instance.scheduler.as_mut(),
         );
+        // Churn and the autoscaler mutate the same fleet; the shared
+        // guard keeps them off each other's machines.
+        let guard = OwnershipGuard::new();
         if let Some(plan) = &cell.churn {
-            let churn = ChurnSource::new(plan.clone(), handle.engine);
+            let churn = ChurnSource::new(plan.clone(), handle.engine).with_guard(guard.clone());
             let first = churn.first_time();
             let id = sim.add_component(format!("{}/churn", cell.name), churn);
             if let Some(t) = first {
                 sim.schedule_prio(t, PRIO_STATE, id, id, SchedEvent::Wake);
             }
+        }
+        if let Some(auto) = &cell.autoscale {
+            let policy = build_autoscale_policy(
+                &auto.policy,
+                &auto.params,
+                &spec.sim,
+                &auto.config.template,
+            )?;
+            let (scaler, stats) =
+                Autoscaler::new(auto.config.clone(), policy, handle.state(), guard);
+            let id = sim.add_component(format!("{}/autoscaler", cell.name), scaler);
+            sim.schedule_prio(0, PRIO_STATE, id, id, SchedEvent::Wake);
+            autoscale_stats.push(Some(stats));
+        } else {
+            autoscale_stats.push(None);
         }
         if !cell.gangs.is_empty() {
             let gangs = GangSource::new(cell.gangs.clone(), handle.engine);
@@ -185,6 +211,7 @@ pub fn run_scheduler(
                 result,
                 spilled_in: spills[i].0,
                 spilled_out: spills[i].1,
+                autoscale: autoscale_stats[i].as_ref().map(|s| s.borrow().clone()),
             }
         })
         .collect())

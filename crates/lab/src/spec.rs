@@ -15,6 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use ctlm_autoscale::{MachineTemplate, ProvisionDelay};
 use ctlm_sched::SimConfig;
 use ctlm_trace::{AttrId, CellSet, Micros};
 
@@ -124,6 +125,27 @@ impl ExperimentSpec {
         }
         crate::registry::check_placer(&self.placers.main)?;
         crate::registry::check_placer(&self.placers.hp)?;
+        // Contradictory soft-affinity terms fail at parse time, not
+        // mid-sweep.
+        crate::registry::soft_requirements(&self.placers.soft)?;
+        for cell in self.cell_specs() {
+            let Some(auto) = &cell.scenario.autoscale else {
+                continue;
+            };
+            crate::registry::check_autoscale_policy(&auto.policy)?;
+            if auto.min > auto.max {
+                return Err(LabError::msg(format!(
+                    "cell {:?}: autoscale min {} exceeds max {}",
+                    cell.name, auto.min, auto.max
+                )));
+            }
+            if auto.cadence == 0 {
+                return Err(LabError::msg(format!(
+                    "cell {:?}: autoscale cadence must be > 0",
+                    cell.name
+                )));
+            }
+        }
         if let Some(sweep) = &self.sweep {
             for knob in &sweep.knobs {
                 if knob.values.is_empty() {
@@ -241,6 +263,13 @@ pub struct PlacerSpec {
     pub main: String,
     /// High-priority-queue strategy.
     pub hp: String,
+    /// Soft-affinity preferences for the `best_fit_soft` placer:
+    /// machines satisfying more of these rank ahead, but none are
+    /// excluded. Ignored by the other strategies, so a sweep can flip
+    /// `main` between `best_fit` and `best_fit_soft` without touching
+    /// this list.
+    #[serde(default)]
+    pub soft: Vec<SoftAffinitySpec>,
 }
 
 impl Default for PlacerSpec {
@@ -248,8 +277,38 @@ impl Default for PlacerSpec {
         Self {
             main: "best_fit".to_string(),
             hp: "preemptive_best_fit".to_string(),
+            soft: Vec::new(),
         }
     }
+}
+
+/// One soft-affinity preference: an attribute plus the predicate a
+/// preferred machine satisfies (the spec-level form of a Kubernetes
+/// `preferredDuringScheduling` term).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SoftAffinitySpec {
+    /// Machine attribute the preference inspects.
+    pub attr: AttrId,
+    /// The predicate.
+    pub op: SoftOpSpec,
+}
+
+/// Predicates a soft preference can express — the numeric/string subset
+/// of the trace constraint operators.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SoftOpSpec {
+    /// Attribute equals this integer value.
+    Equal(i64),
+    /// Attribute equals this string value.
+    EqualStr(String),
+    /// Attribute present and `< value`.
+    LessThan(i64),
+    /// Attribute present and `> value`.
+    GreaterThan(i64),
+    /// Attribute present and `<= value`.
+    LessThanEqual(i64),
+    /// Attribute present and `>= value`.
+    GreaterThanEqual(i64),
 }
 
 /// Where a cell's cluster and arrivals come from.
@@ -401,6 +460,81 @@ pub struct ScenarioSpec {
     /// Online retraining cadence (drives the `live_registry` scheduler).
     #[serde(default)]
     pub retrain: Option<RetrainSpec>,
+    /// Elastic fleet control: the `ctlm-autoscale` control plane
+    /// watching this cell's signals. Multi-cell specs give each cell
+    /// its own block, so cells autoscale independently (spillover
+    /// included).
+    #[serde(default)]
+    pub autoscale: Option<AutoscaleSpec>,
+}
+
+/// One cell's autoscaler: policy selection by registry name plus the
+/// fleet band, cadence, warm pool and provisioning behaviour.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AutoscaleSpec {
+    /// Policy registry name (`threshold`, `target_tracking`,
+    /// `predictive`).
+    pub policy: String,
+    /// Fleet floor — scale-down never drains below this.
+    pub min: usize,
+    /// Fleet ceiling — scale-up never targets above this.
+    pub max: usize,
+    /// Evaluation cadence (µs).
+    pub cadence: Micros,
+    /// Warm-pool target: provisioned standby machines a scale-up can
+    /// activate without paying the provisioning delay.
+    #[serde(default)]
+    pub warm_pool: usize,
+    /// Provisioning-delay distribution (default: fixed 30 s).
+    #[serde(default)]
+    pub delay: ProvisionDelay,
+    /// Shape of provisioned machines (`null` → the first machine
+    /// group's shape for synthetic workloads, unit capacity for trace
+    /// slices).
+    #[serde(default)]
+    pub template: Option<MachineTemplate>,
+    /// Numeric policy parameters; unset fields take the policy's
+    /// defaults. Every field is sweepable by dotted path.
+    #[serde(default)]
+    pub params: PolicyParams,
+}
+
+/// Optional numeric knobs for the autoscaling policies. Each policy
+/// reads its own subset; unset fields fall back to the registry
+/// defaults (documented per field).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PolicyParams {
+    /// `threshold`: queue pressure triggering a scale-up (default 8).
+    #[serde(default)]
+    pub up_pending: Option<u64>,
+    /// `threshold`: recent mean admission latency (µs) triggering a
+    /// scale-up regardless of queue depth (default: disabled).
+    #[serde(default)]
+    pub up_latency: Option<f64>,
+    /// `threshold`: idle-fleet utilisation below which machines shed
+    /// (default 0.3).
+    #[serde(default)]
+    pub down_util: Option<f64>,
+    /// `threshold`: machines added/removed per decision (default 2).
+    #[serde(default)]
+    pub step: Option<u64>,
+    /// `target_tracking`: the utilisation setpoint (default 0.6).
+    #[serde(default)]
+    pub target_util: Option<f64>,
+    /// `target_tracking`: dead band around the setpoint (default 0.1).
+    #[serde(default)]
+    pub tolerance: Option<f64>,
+    /// `predictive`: sliding-window length in evaluation periods
+    /// (default 6).
+    #[serde(default)]
+    pub window: Option<u64>,
+    /// `predictive`: capacity multiplier over the forecast
+    /// (default 1.2).
+    #[serde(default)]
+    pub headroom: Option<f64>,
+    /// `predictive`: estimated CPU request per task (default 0.25).
+    #[serde(default)]
+    pub task_cpu: Option<f64>,
 }
 
 /// Churn intensity: `failures` distinct machines drain inside `window`,

@@ -6,11 +6,12 @@
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use ctlm_autoscale::ProvisionDelay;
 use ctlm_lab::report::to_pretty_json;
 use ctlm_lab::spec::{
-    ArrivalProcess, ChurnSpec, ExperimentSpec, GangSpec, KnobSpec, MachineGroup, PlacerSpec,
-    RestrictiveSpec, ScenarioSpec, SizeDist, SpilloverPolicy, SweepSpec, SyntheticWorkload,
-    TrainSpec, WorkloadSpec,
+    ArrivalProcess, AutoscaleSpec, ChurnSpec, ExperimentSpec, GangSpec, KnobSpec, MachineGroup,
+    PlacerSpec, PolicyParams, RestrictiveSpec, ScenarioSpec, SizeDist, SpilloverPolicy, SweepSpec,
+    SyntheticWorkload, TrainSpec, WorkloadSpec,
 };
 use ctlm_lab::{run_spec, run_spec_json};
 use ctlm_sched::SimConfig;
@@ -90,7 +91,12 @@ fn oracle_beats_main_only_from_spec_alone() {
 
 #[test]
 fn checked_in_specs_parse_and_spillover_runs_deterministically() {
-    for name in ["fig3_ab", "churn_sweep", "three_cell_spillover"] {
+    for name in [
+        "fig3_ab",
+        "churn_sweep",
+        "three_cell_spillover",
+        "elastic_burst",
+    ] {
         let text = std::fs::read_to_string(format!("../../experiments/{name}.json"))
             .expect("checked-in spec readable");
         ExperimentSpec::from_json(&text).expect("checked-in spec parses");
@@ -247,23 +253,38 @@ fn arb_size() -> impl Strategy<Value = SizeDist> {
 }
 
 fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
-    (0usize..5, 0u64..4, 0usize..3).prop_map(|(failures, seed, gangs)| ScenarioSpec {
-        churn: (failures > 0).then_some(ChurnSpec {
-            failures,
-            window: (5_000_000, 20_000_000),
-            outage: 10_000_000,
-            seed,
-        }),
-        gangs: (gangs > 0).then_some(GangSpec {
-            count: gangs,
-            size: 2,
-            start: 1_000_000,
-            period: 4_000_000,
-            cpu: 0.4,
-            priority: 3,
-        }),
-        rollout: None,
-        retrain: None,
+    (0usize..5, 0u64..4, 0usize..3, 0usize..3).prop_map(|(failures, seed, gangs, autoscale)| {
+        ScenarioSpec {
+            churn: (failures > 0).then_some(ChurnSpec {
+                failures,
+                window: (5_000_000, 20_000_000),
+                outage: 10_000_000,
+                seed,
+            }),
+            gangs: (gangs > 0).then_some(GangSpec {
+                count: gangs,
+                size: 2,
+                start: 1_000_000,
+                period: 4_000_000,
+                cpu: 0.4,
+                priority: 3,
+            }),
+            rollout: None,
+            retrain: None,
+            autoscale: (autoscale > 0).then(|| AutoscaleSpec {
+                policy: ["threshold", "target_tracking", "predictive"][autoscale % 3].to_string(),
+                min: 1,
+                max: 12,
+                cadence: 3_000_000,
+                warm_pool: autoscale,
+                delay: ProvisionDelay::Exponential { mean: 4_000_000 },
+                template: None,
+                params: PolicyParams {
+                    up_pending: Some(6),
+                    ..PolicyParams::default()
+                },
+            }),
+        }
     })
 }
 
@@ -364,6 +385,235 @@ proptest! {
         let b = run_spec(&spec).expect("second");
         prop_assert_eq!(&a, &b);
     }
+}
+
+#[test]
+fn elastic_burst_grows_then_shrinks_deterministically() {
+    // The checked-in elastic spec is the acceptance scenario: a bursty
+    // Pareto arrival process absorbed by scale-up, shrunk back by
+    // drain-based scale-down, bit-identically on every run.
+    let text = std::fs::read_to_string("../../experiments/elastic_burst.json").unwrap();
+    let a = run_spec_json(&text).expect("elastic run");
+    let b = run_spec_json(&text).expect("elastic rerun");
+    assert_eq!(
+        to_pretty_json(&Serialize::to_value(&a)),
+        to_pretty_json(&Serialize::to_value(&b)),
+        "autoscaled runs must be bit-deterministic"
+    );
+    let cell = &a.runs[0].schedulers[0].cells[0];
+    let auto = cell.autoscale.as_ref().expect("autoscale stats recorded");
+    let initial = auto.timeline.first().expect("timeline recorded").active;
+    assert_eq!(initial, 4, "timeline starts at the spec's fleet");
+    let peak = auto.peak_active();
+    assert!(
+        peak > initial,
+        "the burst must grow the fleet (peak {peak})"
+    );
+    assert!(
+        auto.final_active() < peak,
+        "scale-down must shrink the fleet after the burst (final {}, peak {peak})",
+        auto.final_active()
+    );
+    assert!(auto.timeline.iter().all(|s| s.active >= 3), "min respected");
+    assert!(auto.drained > 0, "scale-down goes through the drain path");
+    assert!(auto.warm_activations > 0, "the warm pool served the burst");
+    assert_eq!(cell.unplaced, 0, "the grown fleet absorbs every task");
+}
+
+#[test]
+fn cells_autoscale_independently_alongside_spillover() {
+    // Two cells on one timeline: only the hot cell autoscales; tasks it
+    // cannot admit while the fleet is still provisioning spill to the
+    // static sibling. Each cell's control plane is its own component.
+    let spec = r#"{
+        "name": "elastic-spill",
+        "sim": {"cycle": 500000, "attempts_per_cycle": 8,
+                 "mean_runtime": 8000000, "horizon": 120000000, "seed": 13},
+        "schedulers": ["main_only"],
+        "spillover": "least_loaded",
+        "cells": [
+            {
+                "name": "hot",
+                "workload": {"Synthetic": {
+                    "machines": [{"count": 3, "cpu": 1.0, "memory": 1.0}],
+                    "tasks": 300,
+                    "arrival": {"Exponential": {"mean_gap": 60000}},
+                    "cpu": {"Fixed": 0.3}, "memory": {"Fixed": 0.3},
+                    "priority": 2
+                }},
+                "scenario": {"autoscale": {
+                    "policy": "target_tracking",
+                    "min": 3, "max": 16, "cadence": 2000000, "warm_pool": 1,
+                    "delay": {"Fixed": 5000000},
+                    "params": {"target_util": 0.55}
+                }}
+            },
+            {
+                "name": "static",
+                "workload": {"Synthetic": {
+                    "machines": [{"count": 5, "cpu": 1.0, "memory": 1.0}],
+                    "tasks": 40,
+                    "arrival": {"Uniform": {"gap": 1000000}},
+                    "cpu": {"Fixed": 0.2}, "memory": {"Fixed": 0.2},
+                    "priority": 2
+                }}
+            }
+        ]
+    }"#;
+    let a = run_spec_json(spec).expect("first");
+    let b = run_spec_json(spec).expect("second");
+    assert_eq!(
+        to_pretty_json(&Serialize::to_value(&a)),
+        to_pretty_json(&Serialize::to_value(&b)),
+        "autoscale + spillover on one timeline must stay deterministic"
+    );
+    let cells = &a.runs[0].schedulers[0].cells;
+    let hot = cells.iter().find(|c| c.cell == "hot").unwrap();
+    let stat = cells.iter().find(|c| c.cell == "static").unwrap();
+    let auto = hot.autoscale.as_ref().expect("hot cell autoscales");
+    assert!(
+        auto.peak_active() > 3,
+        "hot cell grew (peak {})",
+        auto.peak_active()
+    );
+    assert!(stat.autoscale.is_none(), "static cell has no control plane");
+    assert!(
+        stat.spilled_in > 0,
+        "overflow while provisioning spills to the sibling"
+    );
+}
+
+#[test]
+fn spec_driven_soft_affinity_placers_run_and_validate() {
+    let spec = r#"{
+        "name": "soft",
+        "sim": {"cycle": 500000, "attempts_per_cycle": 4,
+                 "mean_runtime": 5000000, "horizon": 60000000, "seed": 5},
+        "placers": {"main": "best_fit_soft", "hp": "preemptive_best_fit",
+                     "soft": [{"attr": 0, "op": {"LessThan": 3}}]},
+        "workload": {"Synthetic": {
+            "machines": [{"count": 6, "cpu": 1.0, "memory": 1.0}],
+            "tasks": 120,
+            "arrival": {"Uniform": {"gap": 400000}},
+            "cpu": {"Fixed": 0.5}, "memory": {"Fixed": 0.5}
+        }}
+    }"#;
+    let a = run_spec_json(spec).expect("soft-placer run");
+    let b = run_spec_json(spec).expect("soft-placer rerun");
+    assert_eq!(&a, &b, "soft placement must stay deterministic");
+    let cell = &a.runs[0].schedulers[0].cells[0];
+    assert!(cell.placed > 100, "most tasks place under soft affinity");
+    // The soft list round-trips through the normalized document.
+    let parsed = ExperimentSpec::from_json(spec).unwrap();
+    let doc = parsed.to_value();
+    let back: ExperimentSpec = Deserialize::from_value(&doc).unwrap();
+    assert_eq!(back.placers, parsed.placers);
+    // Contradictory soft terms are rejected at validation time.
+    let err = ExperimentSpec::from_json(&spec.replace(
+        r#"[{"attr": 0, "op": {"LessThan": 3}}]"#,
+        r#"[{"attr": 0, "op": {"Equal": 1}}, {"attr": 0, "op": {"Equal": 2}}]"#,
+    ))
+    .expect_err("contradictory soft set");
+    assert!(err.to_string().contains("soft-affinity"), "got: {err}");
+}
+
+#[test]
+fn autoscale_spec_validation_rejects_bad_blocks() {
+    let base = r#"{
+        "name": "x",
+        "workload": {"Synthetic": {
+            "machines": [{"count": 2, "cpu": 1.0, "memory": 1.0}],
+            "tasks": 5, "arrival": {"Uniform": {"gap": 1000}}}},
+        "scenario": {"autoscale": AUTO}
+    }"#;
+    let bad_policy = base.replace(
+        "AUTO",
+        r#"{"policy": "quantum", "min": 1, "max": 4, "cadence": 1000000}"#,
+    );
+    let err = ExperimentSpec::from_json(&bad_policy).expect_err("unknown policy");
+    assert!(
+        err.to_string().contains("unknown autoscale policy"),
+        "{err}"
+    );
+    let bad_band = base.replace(
+        "AUTO",
+        r#"{"policy": "threshold", "min": 9, "max": 4, "cadence": 1000000}"#,
+    );
+    let err = ExperimentSpec::from_json(&bad_band).expect_err("min > max");
+    assert!(err.to_string().contains("exceeds max"), "{err}");
+    let bad_cadence = base.replace(
+        "AUTO",
+        r#"{"policy": "threshold", "min": 1, "max": 4, "cadence": 0}"#,
+    );
+    let err = ExperimentSpec::from_json(&bad_cadence).expect_err("cadence 0");
+    assert!(err.to_string().contains("cadence"), "{err}");
+}
+
+#[test]
+fn sweeping_the_autoscale_band_below_min_cannot_panic() {
+    // Parse-time validation rejects min > max, but sweep points rewrite
+    // knobs without re-validating: the builder must clamp the band
+    // instead of letting `desired.clamp(min, max)` panic mid-sweep.
+    let spec = r#"{
+        "name": "band-sweep",
+        "sim": {"cycle": 500000, "attempts_per_cycle": 4,
+                 "mean_runtime": 5000000, "horizon": 40000000, "seed": 3},
+        "workload": {"Synthetic": {
+            "machines": [{"count": 4, "cpu": 1.0, "memory": 1.0}],
+            "tasks": 80, "arrival": {"Uniform": {"gap": 300000}},
+            "cpu": {"Fixed": 0.3}, "memory": {"Fixed": 0.3}
+        }},
+        "scenario": {"autoscale": {
+            "policy": "threshold", "min": 4, "max": 8, "cadence": 2000000
+        }},
+        "sweep": {"knobs": [{"path": "scenario.autoscale.max", "values": [2, 8]}]}
+    }"#;
+    let report = run_spec_json(spec).expect("swept band must run, clamped");
+    assert_eq!(report.runs.len(), 2);
+    for run in &report.runs {
+        let auto = run.schedulers[0].cells[0]
+            .autoscale
+            .as_ref()
+            .expect("autoscale stats");
+        assert!(auto.timeline.iter().all(|s| s.active >= 4), "floor holds");
+    }
+}
+
+#[test]
+fn report_diffing_pairs_rows_and_computes_deltas() {
+    use ctlm_lab::report::{diff_reports, SummaryDiff};
+    let a = run_spec_json(&busy_spec()).expect("run a");
+    // Same spec, harder attempt budget: per-point medians move, rows
+    // stay aligned by (knobs, scheduler, cell).
+    let mut spec = ExperimentSpec::from_json(&busy_spec()).unwrap();
+    spec.sim.attempts_per_cycle = 1;
+    let b = run_spec(&spec).expect("run b");
+    let diff = diff_reports(&a, &b);
+    assert_eq!(diff.len(), a.summary.len(), "every row pairs up");
+    assert!(diff.iter().all(|d| d.present == (true, true)));
+    // The tighter budget must slow the main-only group0 medians
+    // somewhere — and the deltas must reflect both sides.
+    let moved = diff
+        .iter()
+        .filter(|d| d.scheduler == "main_only")
+        .filter_map(|d| SummaryDiff::delta(d.group0_mean))
+        .any(|delta| delta > 0.0);
+    assert!(moved, "starving the budget must worsen a group0 median");
+    // Rows present on only one side are kept and marked.
+    let mut b_extra = b.clone();
+    b_extra.summary[0].cell = "renamed".to_string();
+    let diff = diff_reports(&a, &b_extra);
+    assert!(diff.iter().any(|d| d.present == (true, false)));
+    assert!(diff
+        .iter()
+        .any(|d| d.present == (false, true) && d.cell == "renamed"));
+    assert_eq!(
+        SummaryDiff::delta((Some(2.0), Some(5.0))),
+        Some(3.0),
+        "delta is b − a"
+    );
+    assert_eq!(SummaryDiff::ratio((Some(2.0), Some(5.0))), Some(2.5));
+    assert_eq!(SummaryDiff::ratio((None, Some(5.0))), None);
 }
 
 #[test]

@@ -191,6 +191,29 @@ impl SchedCluster {
         Some(evicted)
     }
 
+    /// Takes a *parked* (drained) machine out of the cluster entirely —
+    /// the decommission half of the autoscaler's scale-down path: after
+    /// [`SchedCluster::remove_machine`] requeued its tasks, the owner
+    /// takes the machine value and decides whether it re-enters as warm
+    /// standby or is gone for good. A taken machine is no longer
+    /// restored by [`SchedCluster::reset`]. Returns `None` when the
+    /// machine is not parked.
+    pub fn take_offline(&mut self, id: MachineId) -> Option<Machine> {
+        self.offline.remove(&id)
+    }
+
+    /// Online machine ids ordered by free CPU, emptiest first
+    /// (descending capacity bucket; ascending id within a bucket) —
+    /// answered from the maintained capacity ordering. The autoscaler's
+    /// scale-down victim order: draining the emptiest machine requeues
+    /// the fewest tasks, deterministically.
+    pub fn machines_by_free_cpu_desc(&self, out: &mut Vec<MachineId>) {
+        out.clear();
+        for b in self.cap.buckets.iter().rev() {
+            out.extend_from_slice(b);
+        }
+    }
+
     /// Brings a previously drained machine back online (with no load).
     /// Returns true if it was offline.
     pub fn restore_machine(&mut self, id: MachineId) -> bool {
@@ -609,6 +632,34 @@ mod tests {
         c.reset();
         assert_eq!(c.tightest_fit(&[], 0.2, 0.2), CapacityFit::Fit(0));
         assert_eq!(c.cpu_utilisation(), 0.0);
+    }
+
+    #[test]
+    fn take_offline_removes_the_parked_copy_for_good() {
+        let mut c = cluster3();
+        c.remove_machine(1);
+        let m = c.take_offline(1).expect("parked machine taken");
+        assert_eq!(m.id, 1);
+        assert!(!c.restore_machine(1), "taken machines cannot be restored");
+        c.reset();
+        assert_eq!(c.len(), 2, "reset must not resurrect a taken machine");
+        assert!(
+            c.take_offline(0).is_none(),
+            "online machines are not parked"
+        );
+    }
+
+    #[test]
+    fn machines_by_free_cpu_desc_orders_emptiest_first() {
+        let mut c = cluster3();
+        c.place(0, 10, 0.5, 0.5, 1);
+        c.place(2, 11, 0.2, 0.2, 1);
+        let mut out = Vec::new();
+        c.machines_by_free_cpu_desc(&mut out);
+        assert_eq!(out, vec![1, 2, 0], "emptiest first, id-ordered in ties");
+        assert!(c.release(0, 10));
+        c.machines_by_free_cpu_desc(&mut out);
+        assert_eq!(out, vec![0, 1, 2]);
     }
 
     #[test]

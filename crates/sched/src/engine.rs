@@ -222,6 +222,13 @@ pub struct EngineState<'a> {
     engine_id: CompId,
     /// Reusable placement scratch threaded through every attempt.
     place_ctx: PlaceCtx,
+    /// Cumulative admissions (arrivals + dynamic admits + gang members)
+    /// — the autoscaler's arrival-rate signal.
+    admitted_total: u64,
+    /// Cumulative `NoCapacity` placement outcomes — the queue-pressure
+    /// signal: every count is one cycle slot burned on a task the fleet
+    /// could suit but not hold.
+    no_capacity_total: u64,
 }
 
 impl<'a> EngineState<'a> {
@@ -259,6 +266,8 @@ impl<'a> EngineState<'a> {
             next_epoch: 0,
             engine_id: 0,
             place_ctx: PlaceCtx::new(),
+            admitted_total: 0,
+            no_capacity_total: 0,
         }
     }
 
@@ -281,6 +290,70 @@ impl<'a> EngineState<'a> {
     /// Pending main-queue depth (scenario components may inspect it).
     pub fn main_queue_len(&self) -> usize {
         self.main.len()
+    }
+
+    /// Pending high-priority-queue depth.
+    pub fn hp_queue_len(&self) -> usize {
+        self.hp.len()
+    }
+
+    /// Gang members awaiting an all-or-nothing retry.
+    pub fn pending_gang_members(&self) -> usize {
+        self.pending_gangs.iter().map(|&(_, len)| len).sum()
+    }
+
+    /// Cumulative task admissions (fresh arrivals, dynamic admits and
+    /// gang members; churn requeues are *not* re-counted) — control
+    /// planes diff successive reads for an arrival-rate estimate.
+    pub fn admitted(&self) -> u64 {
+        self.admitted_total
+    }
+
+    /// Cumulative `NoCapacity` placement outcomes — the queue-pressure
+    /// signal an autoscaler watches: suitable machines existed but none
+    /// had room, so the task burned a cycle slot and went back to the
+    /// queue.
+    pub fn no_capacity_events(&self) -> u64 {
+        self.no_capacity_total
+    }
+
+    /// Tasks placed so far (monotone during the run).
+    pub fn placed_count(&self) -> usize {
+        self.result.placed.len()
+    }
+
+    /// Mean scheduling latency over the `last` most recently placed
+    /// tasks (`None` before anything placed) — the admission-latency
+    /// signal, windowed so old history cannot mask a building backlog.
+    pub fn recent_latency_mean(&self, last: usize) -> Option<f64> {
+        if self.result.placed.is_empty() || last == 0 {
+            return None;
+        }
+        let tail = &self.result.placed[self.result.placed.len().saturating_sub(last)..];
+        Some(tail.iter().map(|r| r.latency as f64).sum::<f64>() / tail.len() as f64)
+    }
+
+    /// Drains a machine through the engine's churn path: its running
+    /// tasks re-enter admission (counted as churn reschedules) and the
+    /// machine is parked offline. The autoscaler's scale-down hook —
+    /// identical semantics to a [`SchedEvent::MachineFail`] delivery.
+    /// Returns false for unknown machines.
+    pub fn drain_machine(&mut self, id: MachineId) -> bool {
+        self.machine_fail(id)
+    }
+
+    /// Adds a machine to the live fleet (capacity + attribute indexes
+    /// update incrementally) — the autoscaler's activation hook,
+    /// identical to a [`SchedEvent::MachineJoin`] delivery.
+    pub fn admit_machine(&mut self, m: Machine) {
+        self.cluster.add_machine(m);
+    }
+
+    /// Takes a parked (drained) machine out of the cluster entirely —
+    /// see [`SchedCluster::take_offline`]. The decommission /
+    /// warm-parking hook.
+    pub fn take_offline_machine(&mut self, id: MachineId) -> Option<Machine> {
+        self.cluster.take_offline(id)
     }
 
     /// True when this cell could admit `task` right now: at least one
@@ -392,6 +465,7 @@ impl<'a> EngineState<'a> {
                 self.result.unplaced += 1;
             }
             Placement::NoCapacity => {
+                self.no_capacity_total += 1;
                 if high_priority {
                     self.hp.push_back(idx);
                 } else {
@@ -468,9 +542,10 @@ impl<'a> EngineState<'a> {
 
     /// A machine drains: running tasks re-enter admission (they keep
     /// their first-placement latency record; the reschedule is counted).
-    fn machine_fail(&mut self, id: MachineId) {
+    /// Returns false for unknown machines.
+    fn machine_fail(&mut self, id: MachineId) -> bool {
         let Some(evicted) = self.cluster.remove_machine(id) else {
-            return;
+            return false;
         };
         for (task, ..) in evicted {
             if let Some(r) = self.running.remove(&task) {
@@ -478,12 +553,17 @@ impl<'a> EngineState<'a> {
                 self.admit(r.idx);
             }
         }
+        true
     }
 
     fn handle(&mut self, ev: SchedEvent, ctx: &mut Ctx<'_, SchedEvent>) {
         match ev {
-            SchedEvent::Arrival(idx) => self.admit(idx),
+            SchedEvent::Arrival(idx) => {
+                self.admitted_total += 1;
+                self.admit(idx);
+            }
             SchedEvent::Admit(t) => {
+                self.admitted_total += 1;
                 let idx = self.push_extra(*t);
                 self.admit(idx);
             }
@@ -492,6 +572,7 @@ impl<'a> EngineState<'a> {
                 // just a range — no per-gang index list.
                 let start = self.arrivals.len() + self.extra.len();
                 let len = members.len();
+                self.admitted_total += len as u64;
                 self.extra.extend(members);
                 if !self.try_gang(start, len, ctx) {
                     self.pending_gangs.push((start, len));
@@ -514,7 +595,9 @@ impl<'a> EngineState<'a> {
                     self.cluster.release(machine, task);
                 }
             }
-            SchedEvent::MachineFail(id) => self.machine_fail(id),
+            SchedEvent::MachineFail(id) => {
+                self.machine_fail(id);
+            }
             SchedEvent::MachineRestore(id) => {
                 self.cluster.restore_machine(id);
             }

@@ -45,6 +45,8 @@
 //! * [`engine`] — the kernel-hosted simulation measuring scheduling
 //!   latency per suitable-node group;
 //! * [`scenario`] — churn, gang and rollout event sources;
+//! * [`lifecycle`] — the machine-ownership guard coordinating churn
+//!   with the `ctlm-autoscale` control plane;
 //! * [`updater`] — the background model-update thread (“updating ML model
 //!   runs in parallel and won't block or slow down the main cluster
 //!   scheduler”), feeding [`scheduler::LiveRegistry`] mid-run;
@@ -54,6 +56,7 @@ pub mod cluster;
 pub mod engine;
 pub mod gang;
 pub mod latency;
+pub mod lifecycle;
 pub mod placement;
 pub mod queue;
 pub mod scenario;
@@ -63,6 +66,7 @@ pub mod updater;
 pub use cluster::{CapacityFit, SchedCluster};
 pub use engine::{CellHandle, SchedEvent, SimConfig, SimResult, Simulator};
 pub use latency::LatencyStats;
+pub use lifecycle::{LifecycleOwner, OwnershipGuard};
 pub use placement::{BestFit, PlaceCtx, Placer, PreemptiveBestFit};
 pub use queue::{PendingQueue, PendingTask};
 pub use scheduler::{Enhanced, LiveRegistry, MainOnly, OracleEnhanced, Scheduler};

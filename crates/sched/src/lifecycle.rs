@@ -1,0 +1,103 @@
+//! Machine lifecycle ownership — the guard that keeps independent
+//! fleet-mutating components (churn, the autoscaler) from racing on one
+//! machine.
+//!
+//! Both [`ChurnSource`](crate::scenario::ChurnSource) and the
+//! `ctlm-autoscale` control plane drain and restore machines on the same
+//! timeline. Without coordination, churn could "fail" a machine the
+//! autoscaler is mid-way through provisioning or draining (or restore
+//! one the autoscaler already decommissioned), leaving the two
+//! components with contradictory views of the fleet. The
+//! [`OwnershipGuard`] is the shared claim table: a component claims a
+//! machine before taking it through a lifecycle transition and releases
+//! it when the machine is plainly online (or gone for good). A claim
+//! that fails means *someone else is operating on that machine* — the
+//! caller skips it and moves on.
+//!
+//! The guard is deliberately advisory: components that never share
+//! machines (or single-owner simulations) can skip it entirely, and all
+//! legacy constructors do.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use ctlm_trace::MachineId;
+
+/// Who currently owns a machine's lifecycle transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifecycleOwner {
+    /// A churn source drained it (and will restore it).
+    Churn,
+    /// The autoscaler is provisioning, draining or parking it.
+    Autoscaler,
+}
+
+/// A shared, interior-mutable claim table over machine ids. Clone the
+/// [`Rc`] handle into every component that mutates the fleet.
+#[derive(Clone, Debug, Default)]
+pub struct OwnershipGuard {
+    owners: Rc<RefCell<HashMap<MachineId, LifecycleOwner>>>,
+}
+
+impl OwnershipGuard {
+    /// An empty guard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Claims `id` for `owner`. Returns false — and records nothing —
+    /// when any owner (including `owner` itself) already holds the
+    /// machine: claims are exclusive and never reentrant.
+    pub fn try_claim(&self, id: MachineId, owner: LifecycleOwner) -> bool {
+        let mut owners = self.owners.borrow_mut();
+        if owners.contains_key(&id) {
+            return false;
+        }
+        owners.insert(id, owner);
+        true
+    }
+
+    /// Releases `id` (no-op when unclaimed). Returns the owner that held
+    /// it, if any.
+    pub fn release(&self, id: MachineId) -> Option<LifecycleOwner> {
+        self.owners.borrow_mut().remove(&id)
+    }
+
+    /// The current owner of `id`, if claimed.
+    pub fn owner(&self, id: MachineId) -> Option<LifecycleOwner> {
+        self.owners.borrow().get(&id).copied()
+    }
+
+    /// Number of live claims.
+    pub fn claimed(&self) -> usize {
+        self.owners.borrow().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_are_exclusive_across_and_within_owners() {
+        let g = OwnershipGuard::new();
+        assert!(g.try_claim(7, LifecycleOwner::Churn));
+        assert!(!g.try_claim(7, LifecycleOwner::Autoscaler));
+        assert!(!g.try_claim(7, LifecycleOwner::Churn), "not reentrant");
+        assert_eq!(g.owner(7), Some(LifecycleOwner::Churn));
+        assert_eq!(g.release(7), Some(LifecycleOwner::Churn));
+        assert!(g.try_claim(7, LifecycleOwner::Autoscaler));
+        assert_eq!(g.claimed(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_table() {
+        let g = OwnershipGuard::new();
+        let h = g.clone();
+        assert!(g.try_claim(1, LifecycleOwner::Autoscaler));
+        assert!(!h.try_claim(1, LifecycleOwner::Churn));
+        h.release(1);
+        assert_eq!(g.claimed(), 0);
+    }
+}

@@ -11,10 +11,13 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use std::collections::HashSet;
+
 use ctlm_sim::{CompId, Component, Ctx, Event};
 use ctlm_trace::{AttrId, AttrValue, Machine, MachineId, Micros};
 
 use crate::engine::{SchedEvent, PRIO_ADMIT, PRIO_STATE};
+use crate::lifecycle::{LifecycleOwner, OwnershipGuard};
 
 /// One churn action at a point in time.
 #[derive(Clone, Debug)]
@@ -74,10 +77,22 @@ impl ChurnPlan {
 }
 
 /// Walks a [`ChurnPlan`], emitting machine-state events at the engine.
+///
+/// When built [`ChurnSource::with_guard`], every Fail claims the machine
+/// on the shared [`OwnershipGuard`] first; a failed claim (the
+/// autoscaler is provisioning, draining or parking that machine) skips
+/// the outage — and its paired Restore — instead of racing. Skipped
+/// outages are counted ([`ChurnSource`] exposes no handle after
+/// registration, so the count lives on the guard side of tests via
+/// claims; drivers that need the number can pre-check the plan).
 pub struct ChurnSource {
     plan: ChurnPlan,
     next: usize,
     engine: CompId,
+    guard: Option<OwnershipGuard>,
+    /// Machines this source currently holds drained (claim released and
+    /// membership dropped at Restore). Only populated under a guard.
+    held: HashSet<MachineId>,
 }
 
 impl ChurnSource {
@@ -87,7 +102,17 @@ impl ChurnSource {
             plan,
             next: 0,
             engine,
+            guard: None,
+            held: HashSet::new(),
         }
+    }
+
+    /// Registers this source on a shared lifecycle-ownership guard:
+    /// Fail actions claim the machine (skipping the outage when another
+    /// component holds it), Restore actions release the claim.
+    pub fn with_guard(mut self, guard: OwnershipGuard) -> Self {
+        self.guard = Some(guard);
+        self
     }
 
     /// First action time, if any (the harness seeds the first wake-up
@@ -103,8 +128,34 @@ impl Component<SchedEvent> for ChurnSource {
         while self.next < self.plan.events.len() && self.plan.events[self.next].0 <= now {
             let (_, action) = &self.plan.events[self.next];
             let ev = match action {
-                ChurnAction::Fail(id) => SchedEvent::MachineFail(*id),
-                ChurnAction::Restore(id) => SchedEvent::MachineRestore(*id),
+                ChurnAction::Fail(id) => {
+                    match &self.guard {
+                        Some(g) if !g.try_claim(*id, LifecycleOwner::Churn) => {
+                            // Another owner is operating on this machine
+                            // — skip the outage (and, via `held`, the
+                            // paired restore).
+                            self.next += 1;
+                            continue;
+                        }
+                        Some(_) => {
+                            self.held.insert(*id);
+                        }
+                        None => {}
+                    }
+                    SchedEvent::MachineFail(*id)
+                }
+                ChurnAction::Restore(id) => {
+                    if let Some(g) = &self.guard {
+                        if !self.held.remove(id) {
+                            // The fail was skipped; restoring would
+                            // resurrect a machine we never drained.
+                            self.next += 1;
+                            continue;
+                        }
+                        g.release(*id);
+                    }
+                    SchedEvent::MachineRestore(*id)
+                }
                 ChurnAction::Join(m) => SchedEvent::MachineJoin(m.clone()),
             };
             ctx.emit_prio(0, PRIO_STATE, self.engine, ev);

@@ -16,6 +16,7 @@
 //! | [`baselines`] | `ctlm-baselines` | MLP / Ridge / SGD / Voting baselines |
 //! | [`core`] | `ctlm-core` | **the CTLM growing model and pipeline** |
 //! | [`sched`] | `ctlm-sched` | the Fig. 3 enhanced scheduler (kernel components) |
+//! | [`autoscale`] | `ctlm-autoscale` | elastic fleet control plane (policies, warm pools, drain) |
 //! | [`lab`] | `ctlm-lab` | declarative experiment harness (specs, sweeps, reports) |
 //!
 //! ## Quickstart
@@ -38,6 +39,7 @@
 //! ```
 
 pub use ctlm_agocs as agocs;
+pub use ctlm_autoscale as autoscale;
 pub use ctlm_baselines as baselines;
 pub use ctlm_core as core;
 pub use ctlm_data as data;
