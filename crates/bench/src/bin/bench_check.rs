@@ -18,7 +18,13 @@
 use ctlm_bench::args::ParsedArgs;
 use serde_json::Value;
 
-const DEFAULT_GROUPS: &[&str] = &["matching/", "training_step/", "placement/", "autoscale/"];
+const DEFAULT_GROUPS: &[&str] = &[
+    "matching/",
+    "training_step/",
+    "placement/",
+    "autoscale/",
+    "multicell/",
+];
 
 fn medians(doc: &Value) -> Vec<(String, f64)> {
     let Value::Object(pairs) = doc else {

@@ -1,18 +1,25 @@
 //! The `ctlm-lab` runner: execute a JSON experiment spec and report.
 //!
 //! ```text
-//! ctlm-lab <spec.json> [--out report.json] [--json] [--seed N]
-//! ctlm-lab --diff <a.json> <b.json>
+//! ctlm-lab <spec.json> [--out report.json] [--json] [--seed N] [--threads N]
+//! ctlm-lab --diff <a.json> <b.json> [--tolerance X]
 //! ```
 //!
 //! Prints a human-readable summary (per-point medians) to stdout;
 //! `--out` additionally writes the full structured report as
 //! pretty-printed JSON, `--json` replaces the summary with the report on
-//! stdout, and `--seed` overrides the spec's `sim.seed` (and any sweep seed list).
+//! stdout, `--seed` overrides the spec's `sim.seed` (and any sweep seed
+//! list), and `--threads` overrides `execution.threads` (worker threads
+//! for multi-cell shard execution; results never depend on it).
 //!
 //! `--diff` compares two previously written reports instead of running
 //! anything: per-(point, scheduler, cell) median deltas (`b − a`), so a
-//! knob change or a code change can be judged row by row.
+//! knob change or a code change can be judged row by row. The exit code
+//! gates: it is non-zero when any compared median (group-0 mean, other
+//! mean, or unplaced count) regresses — grows from `a` to `b` by more
+//! than the relative `--tolerance` (default 0, i.e. any increase fails;
+//! a zero baseline regresses on any increase) — so CI can diff two runs
+//! directly.
 
 use ctlm_bench::ParsedArgs;
 use ctlm_lab::report::{diff_reports, to_pretty_json, LabReport, SummaryDiff};
@@ -20,18 +27,40 @@ use ctlm_lab::ExperimentSpec;
 use serde::Deserialize;
 
 fn main() {
-    let args = ParsedArgs::from_env(&["--json", "--diff"], &["--out", "--seed"]);
+    let args = ParsedArgs::from_env(
+        &["--json", "--diff"],
+        &["--out", "--seed", "--threads", "--tolerance"],
+    );
     if args.flag("--diff") {
         let [a, b] = args.positionals() else {
-            eprintln!("usage: ctlm-lab --diff <a.json> <b.json>");
+            eprintln!("usage: ctlm-lab --diff <a.json> <b.json> [--tolerance X]");
             std::process::exit(2);
         };
-        print_diff(&load_report(a), &load_report(b));
+        let tolerance: f64 = args
+            .option("--tolerance")
+            .map(|t| {
+                t.parse()
+                    .unwrap_or_else(|_| panic!("--tolerance needs a number"))
+            })
+            .unwrap_or(0.0);
+        let regressions = print_diff(&load_report(a), &load_report(b), tolerance);
+        if !regressions.is_empty() {
+            eprintln!(
+                "\n{} regression(s) beyond tolerance {tolerance}:",
+                regressions.len()
+            );
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
         return;
     }
     let [path] = args.positionals() else {
-        eprintln!("usage: ctlm-lab <spec.json> [--out report.json] [--json] [--seed N]");
-        eprintln!("       ctlm-lab --diff <a.json> <b.json>");
+        eprintln!(
+            "usage: ctlm-lab <spec.json> [--out report.json] [--json] [--seed N] [--threads N]"
+        );
+        eprintln!("       ctlm-lab --diff <a.json> <b.json> [--tolerance X]");
         std::process::exit(2);
     };
     let text =
@@ -46,6 +75,11 @@ fn main() {
         if let Some(sweep) = spec.sweep.as_mut() {
             sweep.seeds.clear();
         }
+    }
+    if let Some(threads) = args.option("--threads") {
+        spec.execution.threads = threads
+            .parse()
+            .unwrap_or_else(|_| panic!("--threads needs a number"));
     }
     let report = ctlm_lab::run_spec(&spec).unwrap_or_else(|e| panic!("{e}"));
     let json = to_pretty_json(&report);
@@ -112,7 +146,20 @@ fn fmt_pair_ms(pair: (Option<f64>, Option<f64>)) -> String {
     }
 }
 
-fn print_diff(a: &LabReport, b: &LabReport) {
+/// True when `b` exceeds `a` by more than the relative tolerance. A
+/// zero baseline regresses on any increase (there is no meaningful
+/// relative slack from 0).
+fn regressed(pair: (Option<f64>, Option<f64>), tolerance: f64) -> Option<(f64, f64)> {
+    let (Some(a), Some(b)) = pair else {
+        return None;
+    };
+    (b > a * (1.0 + tolerance)).then_some((a, b))
+}
+
+/// Prints the row-by-row diff and returns descriptions of every median
+/// that regressed beyond `tolerance`.
+fn print_diff(a: &LabReport, b: &LabReport, tolerance: f64) -> Vec<String> {
+    let mut regressions = Vec::new();
     println!("diff: {} → {}", a.name, b.name);
     println!(
         "{:<34} {:<14} {:<10} {:<34} {:<34} {:>14}",
@@ -149,7 +196,24 @@ fn print_diff(a: &LabReport, b: &LabReport) {
                 f(row.fleet_peak.1)
             );
         }
+        // Gate on the compared medians (fleet peak is informational:
+        // bigger is not inherently worse).
+        for (metric, pair) in [
+            ("g0 mean", row.group0_mean),
+            ("other mean", row.other_mean),
+            ("unplaced", row.unplaced),
+        ] {
+            if let Some((va, vb)) = regressed(pair, tolerance) {
+                regressions.push(format!(
+                    "{} / {} / {}: {metric} {va} → {vb}",
+                    point_label(&row),
+                    row.scheduler,
+                    row.cell
+                ));
+            }
+        }
     }
+    regressions
 }
 
 fn print_summary(report: &LabReport) {

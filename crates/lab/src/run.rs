@@ -1,12 +1,26 @@
-//! Spec → one assembled kernel run (all cells on one timeline).
+//! Spec → one assembled kernel run.
 //!
-//! For every scheduler name in the spec, this module attaches each built
-//! cell to a shared `ctlm-sim` simulation via
-//! [`Simulator::attach_cell`], joins the scenario components (churn,
-//! gangs, rollouts, retraining) and — for multi-cell specs with
-//! `spillover` — routes every arrival through the spillover router,
-//! which forwards tasks a cell cannot admit to the first sibling that
-//! can. One `run_until(horizon)` then drives everything.
+//! Single-cell specs assemble the classic single-timeline harness: the
+//! cell's components attach to one `ctlm-sim` [`Sim`] and
+//! `run_until(horizon)` drives it. Multi-cell specs run **epoch-sharded**:
+//! every cell becomes its own kernel shard (its own clock and event
+//! queue) hosted on a [`ParallelSim`] coordinator, which advances all
+//! shards epoch by epoch on the rayon pool — `execution.threads` wide —
+//! and exchanges cross-cell traffic only at epoch barriers. The only
+//! cross-cell traffic is spillover: a [`SpilloverForwarder`](ctlm_sched::engine::SpilloverForwarder) emits
+//! [`SchedEvent::SpillRequest`] outbox entries for tasks its home cell
+//! cannot admit, and the barrier hook here routes them (home cell or a
+//! feasible sibling, per the spillover policy) in the coordinator's
+//! deterministic `(time, priority, shard, seq)` merge order. Everything
+//! else — churn, autoscalers with their ownership guards, gang and
+//! rollout sources, in-timeline retraining — is per-cell state and stays
+//! inside its shard, which is what makes dispatching shards to worker
+//! threads sound (see the `ctlm_sim::parallel` island invariant).
+//! Model registries are `Arc`-based and safe to hot-swap from a shard.
+//!
+//! Because multi-cell specs *always* run the epoch-sharded semantics
+//! (thread count only changes which OS thread runs a shard), reports
+//! are bit-identical for any `execution.threads` value.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -17,10 +31,12 @@ use ctlm_core::{GrowingModel, TaskCoAnalyzer, TrainConfig};
 use ctlm_data::dataset::{DatasetBuilder, NUM_GROUPS};
 use ctlm_data::encode::co_vv::CoVvEncoder;
 use ctlm_data::vocab::ValueVocab;
-use ctlm_sched::engine::{EngineState, PRIO_ADMIT, PRIO_STATE};
+use ctlm_sched::engine::{CellHandle, EngineState, PRIO_ADMIT, PRIO_STATE};
 use ctlm_sched::scenario::{ChurnSource, GangSource, RolloutSource};
-use ctlm_sched::{OwnershipGuard, PendingTask, SchedCluster, SchedEvent, SimResult, Simulator};
-use ctlm_sim::{CompId, Component, Ctx, Event, Sim};
+use ctlm_sched::{
+    OwnershipGuard, PendingTask, SchedCluster, SchedEvent, Scheduler, SimResult, Simulator,
+};
+use ctlm_sim::{Component, Ctx, Event, ParallelSim, Sim};
 use ctlm_trace::Micros;
 
 use crate::build::{build_cell, BuiltCell};
@@ -47,6 +63,132 @@ pub struct CellOutcome {
     /// What the cell's autoscaler did (fleet timeline included), when
     /// the scenario ran one.
     pub autoscale: Option<AutoscaleStats>,
+}
+
+/// An attached cell: its engine handle plus the autoscale stats sink
+/// (when the scenario runs an autoscaler).
+type AttachedCell<'a> = (CellHandle<'a>, Option<Rc<RefCell<AutoscaleStats>>>);
+
+/// Attaches one cell — engine, arrival feed, cycle timer, and every
+/// scenario component — to `sim`. With `spillover` the arrival feed is
+/// the admit-or-spill [`SpilloverForwarder`](ctlm_sched::engine::SpilloverForwarder) (its `SpillRequest`s go to
+/// the shard outbox); otherwise the plain arrival source.
+#[allow(clippy::too_many_arguments)]
+fn attach_full_cell<'a>(
+    sim: &mut Sim<'a, SchedEvent>,
+    spec: &ExperimentSpec,
+    cell: &'a BuiltCell,
+    simulator: &'a Simulator,
+    scheduler: &'a mut dyn Scheduler,
+    registry: &Option<ModelRegistry>,
+    cluster: SchedCluster,
+    spillover: bool,
+) -> Result<AttachedCell<'a>, LabError> {
+    let horizon = spec.sim.horizon;
+    let handle = if spillover {
+        simulator.attach_cell_spillover(sim, &cell.name, cluster, &cell.arrivals, scheduler)
+    } else {
+        simulator.attach_cell(sim, &cell.name, cluster, &cell.arrivals, scheduler)
+    };
+    // Churn and the autoscaler mutate the same fleet; the shared
+    // guard keeps them off each other's machines.
+    let guard = OwnershipGuard::new();
+    if let Some(plan) = &cell.churn {
+        let churn = ChurnSource::new(plan.clone(), handle.engine).with_guard(guard.clone());
+        let first = churn.first_time();
+        let id = sim.add_component(format!("{}/churn", cell.name), churn);
+        if let Some(t) = first {
+            sim.schedule_prio(t, PRIO_STATE, id, id, SchedEvent::Wake);
+        }
+    }
+    let mut autoscale_stats = None;
+    if let Some(auto) = &cell.autoscale {
+        let policy =
+            build_autoscale_policy(&auto.policy, &auto.params, &spec.sim, &auto.config.template)?;
+        let (scaler, stats) = Autoscaler::new(auto.config.clone(), policy, handle.state(), guard);
+        let id = sim.add_component(format!("{}/autoscaler", cell.name), scaler);
+        sim.schedule_prio(0, PRIO_STATE, id, id, SchedEvent::Wake);
+        autoscale_stats = Some(stats);
+    }
+    if !cell.gangs.is_empty() {
+        let gangs = GangSource::new(cell.gangs.clone(), handle.engine);
+        let first = gangs.first_time();
+        let id = sim.add_component(format!("{}/gangs", cell.name), gangs);
+        if let Some(t) = first {
+            sim.schedule_prio(t, PRIO_ADMIT, id, id, SchedEvent::Wake);
+        }
+    }
+    if let Some((attr, stages)) = &cell.rollout {
+        let rollout = RolloutSource::new(*attr, stages.clone(), handle.engine);
+        let first = rollout.first_time();
+        let id = sim.add_component(format!("{}/rollout", cell.name), rollout);
+        if let Some(t) = first {
+            sim.schedule_prio(t, PRIO_STATE, id, id, SchedEvent::Wake);
+        }
+    }
+    // In-timeline retraining: only meaningful when the scheduler reads a
+    // registry (`live_registry`); otherwise the cadence is inert.
+    if let (Some(retrain), Some(registry)) = (&cell.retrain, registry) {
+        let source = RetrainSource::new(
+            cell,
+            registry.clone(),
+            train_config(&spec.train),
+            retrain.period,
+            horizon,
+            spec.sim.seed,
+        );
+        let first = if retrain.start > 0 {
+            retrain.start
+        } else {
+            retrain.period
+        };
+        let id = sim.add_component(format!("{}/retrain", cell.name), source);
+        sim.schedule_prio(first, PRIO_STATE, id, id, SchedEvent::Wake);
+    }
+    Ok((handle, autoscale_stats))
+}
+
+/// Picks the cell a spill request lands in: home if it can admit the
+/// task by now (capacity may have freed since the arrival instant),
+/// otherwise the first feasible sibling (scanning forward, wrapping)
+/// under [`SpilloverPolicy::FirstFeasible`], or the feasible sibling
+/// with the lowest CPU utilisation (ties: lowest cell index) under
+/// [`SpilloverPolicy::LeastLoaded`]. Tasks nobody can admit still go to
+/// their home cell's queue.
+fn route_spill(
+    states: &[Rc<RefCell<EngineState<'_>>>],
+    policy: SpilloverPolicy,
+    home: usize,
+    task: &PendingTask,
+) -> usize {
+    if states[home].borrow().can_admit(task) {
+        return home;
+    }
+    match policy {
+        SpilloverPolicy::LeastLoaded => {
+            let mut best: Option<(f64, usize)> = None;
+            for offset in 1..states.len() {
+                let i = (home + offset) % states.len();
+                let state = states[i].borrow();
+                if state.can_admit(task) {
+                    let key = (state.cluster.cpu_utilisation(), i);
+                    if best.is_none_or(|(bl, bi)| key < (bl, bi)) {
+                        best = Some(key);
+                    }
+                }
+            }
+            best.map(|(_, i)| i).unwrap_or(home)
+        }
+        _ => {
+            for offset in 1..states.len() {
+                let i = (home + offset) % states.len();
+                if states[i].borrow().can_admit(task) {
+                    return i;
+                }
+            }
+            home
+        }
+    }
 }
 
 /// Runs the spec once under the named scheduler, returning per-cell
@@ -82,124 +224,107 @@ pub fn run_scheduler(
     let route_all = spec.spillover.enabled() && built.len() > 1;
     let horizon = spec.sim.horizon;
 
-    let mut sim: Sim<'_, SchedEvent> = Sim::new();
     let mut handles = Vec::with_capacity(built.len());
     let mut autoscale_stats: Vec<Option<Rc<RefCell<AutoscaleStats>>>> =
         Vec::with_capacity(built.len());
-    for (((cell, simulator), instance), cluster) in built
-        .iter()
-        .zip(&simulators)
-        .zip(instances.iter_mut())
-        .zip(clusters)
-    {
-        // Spillover mode feeds every arrival through the router instead
-        // of the cell's own arrival source.
-        let arrivals: &[PendingTask] = if route_all { &[] } else { &cell.arrivals };
-        let handle = simulator.attach_cell(
-            &mut sim,
-            &cell.name,
-            cluster,
-            arrivals,
-            instance.scheduler.as_mut(),
-        );
-        // Churn and the autoscaler mutate the same fleet; the shared
-        // guard keeps them off each other's machines.
-        let guard = OwnershipGuard::new();
-        if let Some(plan) = &cell.churn {
-            let churn = ChurnSource::new(plan.clone(), handle.engine).with_guard(guard.clone());
-            let first = churn.first_time();
-            let id = sim.add_component(format!("{}/churn", cell.name), churn);
-            if let Some(t) = first {
-                sim.schedule_prio(t, PRIO_STATE, id, id, SchedEvent::Wake);
-            }
-        }
-        if let Some(auto) = &cell.autoscale {
-            let policy = build_autoscale_policy(
-                &auto.policy,
-                &auto.params,
-                &spec.sim,
-                &auto.config.template,
+    let mut spills = vec![(0usize, 0usize); built.len()];
+
+    if built.len() == 1 {
+        // Single cell: the classic one-timeline harness, no coordination.
+        let mut sim: Sim<'_, SchedEvent> = Sim::new();
+        for (((cell, simulator), instance), cluster) in built
+            .iter()
+            .zip(&simulators)
+            .zip(instances.iter_mut())
+            .zip(clusters)
+        {
+            let (handle, stats) = attach_full_cell(
+                &mut sim,
+                spec,
+                cell,
+                simulator,
+                instance.scheduler.as_mut(),
+                &registries[0],
+                cluster,
+                false,
             )?;
-            let (scaler, stats) =
-                Autoscaler::new(auto.config.clone(), policy, handle.state(), guard);
-            let id = sim.add_component(format!("{}/autoscaler", cell.name), scaler);
-            sim.schedule_prio(0, PRIO_STATE, id, id, SchedEvent::Wake);
-            autoscale_stats.push(Some(stats));
-        } else {
-            autoscale_stats.push(None);
+            handles.push(handle);
+            autoscale_stats.push(stats);
         }
-        if !cell.gangs.is_empty() {
-            let gangs = GangSource::new(cell.gangs.clone(), handle.engine);
-            let first = gangs.first_time();
-            let id = sim.add_component(format!("{}/gangs", cell.name), gangs);
-            if let Some(t) = first {
-                sim.schedule_prio(t, PRIO_ADMIT, id, id, SchedEvent::Wake);
+        sim.run_until(horizon);
+        drop(sim);
+    } else {
+        // Multi-cell: one kernel shard per cell under the epoch-barrier
+        // coordinator. Always — so `execution.threads` can never change
+        // the simulated outcome, only the wall clock.
+        let mut psim: ParallelSim<'_, SchedEvent> =
+            ParallelSim::new(spec.execution.epoch_us, spec.execution.threads);
+        for ((((cell, simulator), instance), registry), cluster) in built
+            .iter()
+            .zip(&simulators)
+            .zip(instances.iter_mut())
+            .zip(&registries)
+            .zip(clusters)
+        {
+            let mut sim: Sim<'_, SchedEvent> = Sim::new();
+            let (handle, stats) = attach_full_cell(
+                &mut sim,
+                spec,
+                cell,
+                simulator,
+                instance.scheduler.as_mut(),
+                registry,
+                cluster,
+                route_all,
+            )?;
+            psim.add_shard(sim);
+            handles.push(handle);
+            autoscale_stats.push(stats);
+        }
+        let engines: Vec<_> = handles.iter().map(|h| h.engine).collect();
+        let states: Vec<_> = handles.iter().map(|h| h.state()).collect();
+        let policy = spec.spillover;
+        psim.run_until(horizon, |bound, msgs, shards| {
+            // Spill requests arrive merged in (time, priority, shard,
+            // seq) order; injections below preserve it as queue order in
+            // each target shard, so delivery is independent of how the
+            // epoch's shards were scheduled onto workers.
+            for msg in msgs {
+                let SchedEvent::SpillRequest(idx) = msg.payload else {
+                    continue;
+                };
+                let home = msg.shard;
+                let task = &built[home].arrivals[idx];
+                let target = route_spill(&states, policy, home, task);
+                // Deliver at the barrier, never before the horizon guard:
+                // near-horizon spills still get admitted so the engine
+                // counts them placed-or-unplaced like any queued task.
+                let at = bound.min(horizon);
+                if target == home {
+                    // Home admission stays an arena index — no clone.
+                    shards[home].schedule_prio(
+                        at,
+                        PRIO_ADMIT,
+                        engines[home],
+                        engines[home],
+                        SchedEvent::Arrival(idx),
+                    );
+                } else {
+                    spills[target].0 += 1;
+                    spills[home].1 += 1;
+                    shards[target].schedule_prio(
+                        at,
+                        PRIO_ADMIT,
+                        engines[target],
+                        engines[target],
+                        SchedEvent::Admit(Box::new(task.clone())),
+                    );
+                }
             }
-        }
-        if let Some((attr, stages)) = &cell.rollout {
-            let rollout = RolloutSource::new(*attr, stages.clone(), handle.engine);
-            let first = rollout.first_time();
-            let id = sim.add_component(format!("{}/rollout", cell.name), rollout);
-            if let Some(t) = first {
-                sim.schedule_prio(t, PRIO_STATE, id, id, SchedEvent::Wake);
-            }
-        }
-        handles.push(handle);
-    }
-    // In-timeline retraining: only meaningful when the scheduler reads a
-    // registry (`live_registry`); otherwise the cadence is inert.
-    for ((cell, registry), _) in built.iter().zip(&registries).zip(&handles) {
-        let (Some(retrain), Some(registry)) = (&cell.retrain, registry) else {
-            continue;
-        };
-        let source = RetrainSource::new(
-            cell,
-            registry.clone(),
-            train_config(&spec.train),
-            retrain.period,
-            horizon,
-            spec.sim.seed,
-        );
-        let first = if retrain.start > 0 {
-            retrain.start
-        } else {
-            retrain.period
-        };
-        let id = sim.add_component(format!("{}/retrain", cell.name), source);
-        sim.schedule_prio(first, PRIO_STATE, id, id, SchedEvent::Wake);
-    }
-    let spills = Rc::new(RefCell::new(vec![(0usize, 0usize); built.len()]));
-    if route_all {
-        // Index-based merge: tasks stay in their cell's arrival list and
-        // are cloned exactly once, at the Admit emit — no O(N) upfront
-        // duplication (the same no-per-task-clone discipline as
-        // `ArrivalSource`).
-        let mut merged: Vec<(Micros, usize, usize)> = Vec::new();
-        for (home, cell) in built.iter().enumerate() {
-            for (idx, t) in cell.arrivals.iter().enumerate() {
-                merged.push((t.arrival, home, idx));
-            }
-        }
-        merged.sort_unstable();
-        let first = merged.first().map(|&(t, ..)| t);
-        let router = SpilloverRouter {
-            tasks: merged,
-            next: 0,
-            arrivals: built.iter().map(|c| c.arrivals.as_slice()).collect(),
-            cells: handles.iter().map(|h| (h.engine, h.state())).collect(),
-            policy: spec.spillover,
-            spills: spills.clone(),
-        };
-        let id = sim.add_component("spillover_router", router);
-        if let Some(t) = first {
-            sim.schedule_prio(t, PRIO_ADMIT, id, id, SchedEvent::Wake);
-        }
+        });
+        drop(psim);
     }
 
-    sim.run_until(horizon);
-    drop(sim);
-
-    let spills = spills.borrow();
     Ok(handles
         .iter()
         .zip(built.iter())
@@ -215,89 +340,6 @@ pub fn run_scheduler(
             }
         })
         .collect())
-}
-
-/// Routes merged arrivals to their home cell when it can admit them,
-/// otherwise to a feasible sibling — the first one found (scanning
-/// forward, wrapping) under [`SpilloverPolicy::FirstFeasible`], or the
-/// one with the lowest CPU utilisation (ties: lowest cell index) under
-/// [`SpilloverPolicy::LeastLoaded`]. Tasks nobody can admit right now
-/// still go to their home cell's queue.
-struct SpilloverRouter<'a> {
-    /// `(time, home cell, arrival index)` sorted ascending.
-    tasks: Vec<(Micros, usize, usize)>,
-    next: usize,
-    /// Each cell's arrival list, borrowed from the built cells.
-    arrivals: Vec<&'a [PendingTask]>,
-    /// `(engine id, engine state)` per cell, in spec order.
-    cells: Vec<(CompId, Rc<RefCell<EngineState<'a>>>)>,
-    /// Sibling-selection policy from the spec.
-    policy: SpilloverPolicy,
-    /// Per-cell `(spilled_in, spilled_out)` counters shared with the
-    /// driver.
-    spills: Rc<RefCell<Vec<(usize, usize)>>>,
-}
-
-impl SpilloverRouter<'_> {
-    fn route(&self, home: usize, task: &PendingTask) -> usize {
-        if self.cells[home].1.borrow().can_admit(task) {
-            return home;
-        }
-        match self.policy {
-            SpilloverPolicy::LeastLoaded => {
-                // Score every feasible sibling by current CPU
-                // utilisation; deterministic tie-break on cell index.
-                let mut best: Option<(f64, usize)> = None;
-                for offset in 1..self.cells.len() {
-                    let i = (home + offset) % self.cells.len();
-                    let state = self.cells[i].1.borrow();
-                    if state.can_admit(task) {
-                        let key = (state.cluster.cpu_utilisation(), i);
-                        if best.is_none_or(|(bl, bi)| key < (bl, bi)) {
-                            best = Some(key);
-                        }
-                    }
-                }
-                best.map(|(_, i)| i).unwrap_or(home)
-            }
-            _ => {
-                for offset in 1..self.cells.len() {
-                    let i = (home + offset) % self.cells.len();
-                    if self.cells[i].1.borrow().can_admit(task) {
-                        return i;
-                    }
-                }
-                home
-            }
-        }
-    }
-}
-
-impl Component<SchedEvent> for SpilloverRouter<'_> {
-    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
-        let now = ctx.now();
-        while self.next < self.tasks.len() && self.tasks[self.next].0 <= now {
-            let (_, home, idx) = self.tasks[self.next];
-            let task = &self.arrivals[home][idx];
-            let target = self.route(home, task);
-            if target != home {
-                let mut s = self.spills.borrow_mut();
-                s[target].0 += 1;
-                s[home].1 += 1;
-            }
-            ctx.emit_prio(
-                0,
-                PRIO_ADMIT,
-                self.cells[target].0,
-                SchedEvent::Admit(Box::new(task.clone())),
-            );
-            self.next += 1;
-        }
-        if self.next < self.tasks.len() {
-            let delay = self.tasks[self.next].0 - now;
-            ctx.emit_self_prio(delay, PRIO_ADMIT, SchedEvent::Wake);
-        }
-    }
 }
 
 /// The online-retraining scenario component: every `period`, retrain on

@@ -60,6 +60,11 @@ pub struct ExperimentSpec {
     /// `live_registry` retraining).
     #[serde(default)]
     pub train: TrainSpec,
+    /// Parallel-execution knobs for multi-cell runs (thread count and
+    /// epoch length). Ignored by single-cell specs, which run on one
+    /// timeline. Results never depend on `threads`.
+    #[serde(default)]
+    pub execution: ExecutionSpec,
     /// Optional sweep grid (knobs × seeds × repeats).
     #[serde(default)]
     pub sweep: Option<SweepSpec>,
@@ -145,6 +150,9 @@ impl ExperimentSpec {
                     cell.name
                 )));
             }
+        }
+        if self.execution.epoch_us == 0 {
+            return Err(LabError::msg("`execution.epoch_us` must be > 0"));
         }
         if let Some(sweep) = &self.sweep {
             for knob in &sweep.knobs {
@@ -614,6 +622,73 @@ impl Default for TrainSpec {
         Self {
             epochs_limit: 40,
             max_attempts: 2,
+        }
+    }
+}
+
+/// Parallel-execution knobs for multi-cell runs. Multi-cell specs
+/// always run the epoch-sharded semantics — one kernel shard per cell,
+/// synchronised at epoch barriers — so these knobs tune *wall-clock*
+/// behaviour only; for a fixed (spec, seed, `epoch_us`), reports are
+/// bit-identical for every `threads` value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecutionSpec {
+    /// Worker threads for shard execution: 0 = the rayon pool's
+    /// configured width, 1 = sequential (no pool dispatch), n = chunk
+    /// the cells over n workers. Overridable with `ctlm-lab --threads`.
+    pub threads: usize,
+    /// Epoch barrier length (µs). Cross-cell spillover crosses shards
+    /// only at epoch boundaries, so this bounds the extra queueing delay
+    /// a spilled task observes; shorter epochs mean more barriers.
+    pub epoch_us: Micros,
+}
+
+impl serde::Serialize for ExecutionSpec {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            (
+                "threads".to_string(),
+                serde_json::Value::Num(self.threads as f64),
+            ),
+            (
+                "epoch_us".to_string(),
+                serde_json::Value::Num(self.epoch_us as f64),
+            ),
+        ])
+    }
+}
+
+// Manual impl so a partial `execution` object keeps the struct defaults
+// for the fields it omits (the derive would fall back to the field
+// type's zero).
+impl serde::Deserialize for ExecutionSpec {
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde::Error> {
+        let serde_json::Value::Object(fields) = v else {
+            return Err(serde::Error::msg(format!(
+                "expected execution object, got {v:?}"
+            )));
+        };
+        let mut out = ExecutionSpec::default();
+        for (key, val) in fields {
+            match key.as_str() {
+                "threads" => out.threads = serde::Deserialize::from_value(val)?,
+                "epoch_us" => out.epoch_us = serde::Deserialize::from_value(val)?,
+                other => {
+                    return Err(serde::Error::msg(format!(
+                        "unknown execution field {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Default for ExecutionSpec {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            epoch_us: 1_000_000, // one barrier per simulated second
         }
     }
 }

@@ -9,9 +9,9 @@ use serde::{Deserialize, Serialize};
 use ctlm_autoscale::ProvisionDelay;
 use ctlm_lab::report::to_pretty_json;
 use ctlm_lab::spec::{
-    ArrivalProcess, AutoscaleSpec, ChurnSpec, ExperimentSpec, GangSpec, KnobSpec, MachineGroup,
-    PlacerSpec, PolicyParams, RestrictiveSpec, ScenarioSpec, SizeDist, SpilloverPolicy, SweepSpec,
-    SyntheticWorkload, TrainSpec, WorkloadSpec,
+    ArrivalProcess, AutoscaleSpec, ChurnSpec, ExecutionSpec, ExperimentSpec, GangSpec, KnobSpec,
+    MachineGroup, PlacerSpec, PolicyParams, RestrictiveSpec, ScenarioSpec, SizeDist,
+    SpilloverPolicy, SweepSpec, SyntheticWorkload, TrainSpec, WorkloadSpec,
 };
 use ctlm_lab::{run_spec, run_spec_json};
 use ctlm_sched::SimConfig;
@@ -332,6 +332,7 @@ proptest! {
             cells: vec![],
             spillover: SpilloverPolicy::Off,
             train: TrainSpec::default(),
+            execution: ExecutionSpec::default(),
             sweep: (!sweep_vals.is_empty()).then_some(SweepSpec {
                 knobs: vec![KnobSpec { path: "sim.attempts_per_cycle".into(), values: sweep_vals }],
                 seeds: vec![seed],
@@ -379,6 +380,7 @@ proptest! {
             cells: vec![],
             spillover: SpilloverPolicy::Off,
             train: TrainSpec::default(),
+            execution: ExecutionSpec::default(),
             sweep: None,
         };
         let a = run_spec(&spec).expect("first");

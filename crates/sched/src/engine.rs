@@ -99,6 +99,13 @@ pub enum SchedEvent {
         /// New value (`None` clears).
         value: Option<AttrValue>,
     },
+    /// A task (index into the **home** cell's arrival arena) its home
+    /// cell could not admit at arrival time. Emitted cross-shard by
+    /// [`SpilloverForwarder`] via the epoch outbox; never delivered to an
+    /// engine — the coordinator's barrier hook resolves it into an
+    /// [`SchedEvent::Arrival`] (home cell) or [`SchedEvent::Admit`]
+    /// (sibling cell) at the epoch boundary.
+    SpillRequest(usize),
 }
 
 /// Simulation parameters.
@@ -357,15 +364,22 @@ impl<'a> EngineState<'a> {
     }
 
     /// True when this cell could admit `task` right now: at least one
-    /// suitable machine exists *and* currently has capacity. Spillover
-    /// routers in multi-cell simulations consult this before forwarding
-    /// a task to another cell; the probe streams the capacity index so
-    /// per-task routing stays allocation-free.
+    /// suitable machine exists *and* currently has capacity, *and* the
+    /// admission queues hold less than one cycle's placement budget.
+    /// The backlog term matters under sustained overload: completions
+    /// drip capacity back between cycle passes, so a pure capacity
+    /// probe stays green at most arrival instants even while the queue
+    /// grows without bound. Spillover routers in multi-cell simulations
+    /// consult this before forwarding a task to another cell; the probe
+    /// streams the capacity index so per-task routing stays
+    /// allocation-free.
     pub fn can_admit(&self, task: &PendingTask) -> bool {
-        matches!(
-            self.cluster.tightest_fit(&task.reqs, task.cpu, task.memory),
-            CapacityFit::Fit(_)
-        )
+        let backlog = self.hp.len() + self.main.len() + self.pending_gang_members();
+        backlog < self.cfg.attempts_per_cycle
+            && matches!(
+                self.cluster.tightest_fit(&task.reqs, task.cpu, task.memory),
+                CapacityFit::Fit(_)
+            )
     }
 
     /// Routes an admitted task into the high-priority or main queue.
@@ -610,6 +624,10 @@ impl<'a> EngineState<'a> {
                 self.cluster.update_attr(machine, attr, value);
             }
             SchedEvent::Wake => {}
+            // Spill requests travel through epoch outboxes to the
+            // coordinator, not to engines; one reaching an engine is a
+            // routing bug upstream, dropped like a stale completion.
+            SchedEvent::SpillRequest(_) => debug_assert!(false, "SpillRequest delivered to engine"),
         }
     }
 
@@ -664,6 +682,42 @@ impl Component<SchedEvent> for ArrivalSource<'_> {
         let now = ctx.now();
         while self.next < self.arrivals.len() && self.arrivals[self.next].arrival <= now {
             ctx.emit_prio(0, PRIO_ADMIT, self.engine, SchedEvent::Arrival(self.next));
+            self.next += 1;
+        }
+        if self.next < self.arrivals.len() {
+            let delay = self.arrivals[self.next].arrival - now;
+            ctx.emit_self_prio(delay, PRIO_ADMIT, SchedEvent::Wake);
+        }
+    }
+}
+
+/// An [`ArrivalSource`] for cells participating in cross-cell spillover
+/// under the epoch-sharded coordinator.
+///
+/// Tasks the home cell can admit at their arrival instant are delivered
+/// locally as [`SchedEvent::Arrival`] — the fast path, identical to
+/// [`ArrivalSource`] and with no task clone. Tasks the home cell has no
+/// feasible machine for are emitted into the shard's epoch outbox as
+/// [`SchedEvent::SpillRequest`]; the coordinator's barrier hook routes
+/// them (home queue or a sibling cell, per the spillover policy) at the
+/// next epoch boundary. Spilled tasks keep their original arrival
+/// stamp, so queue latency honestly includes the barrier wait.
+pub struct SpilloverForwarder<'a> {
+    arrivals: &'a [PendingTask],
+    next: usize,
+    engine: CompId,
+    state: Rc<RefCell<EngineState<'a>>>,
+}
+
+impl Component<SchedEvent> for SpilloverForwarder<'_> {
+    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.now();
+        while self.next < self.arrivals.len() && self.arrivals[self.next].arrival <= now {
+            if self.state.borrow().can_admit(&self.arrivals[self.next]) {
+                ctx.emit_prio(0, PRIO_ADMIT, self.engine, SchedEvent::Arrival(self.next));
+            } else {
+                ctx.emit_remote(PRIO_ADMIT, SchedEvent::SpillRequest(self.next));
+            }
             self.next += 1;
         }
         if self.next < self.arrivals.len() {
@@ -775,6 +829,45 @@ impl Simulator {
         );
         sim.schedule_prio(0, PRIO_PASS, timer, timer, SchedEvent::Wake);
         CellHandle { engine, state }
+    }
+
+    /// [`Simulator::attach_cell`] for a cell whose arrivals go through
+    /// spillover: registers a [`SpilloverForwarder`] (admit-or-spill) in
+    /// place of the plain [`ArrivalSource`]. Meant for per-cell shards
+    /// under a [`ParallelSim`](ctlm_sim::ParallelSim) coordinator whose
+    /// barrier hook resolves the [`SchedEvent::SpillRequest`] outbox
+    /// entries.
+    pub fn attach_cell_spillover<'a>(
+        &'a self,
+        sim: &mut Sim<'a, SchedEvent>,
+        name: &str,
+        cluster: SchedCluster,
+        arrivals: &'a [PendingTask],
+        scheduler: &'a mut dyn Scheduler,
+    ) -> CellHandle<'a> {
+        let cell = self.attach_cell(sim, name, cluster, &[], scheduler);
+        // The engine still needs the arena for Arrival(idx) lookups even
+        // though the forwarder, not an ArrivalSource, walks it.
+        cell.state.borrow_mut().arrivals = arrivals;
+        let forwarder = sim.add_component(
+            format!("{name}/spillover_forwarder"),
+            SpilloverForwarder {
+                arrivals,
+                next: 0,
+                engine: cell.engine,
+                state: cell.state.clone(),
+            },
+        );
+        if let Some(first) = arrivals.first() {
+            sim.schedule_prio(
+                first.arrival,
+                PRIO_ADMIT,
+                forwarder,
+                forwarder,
+                SchedEvent::Wake,
+            );
+        }
+        cell
     }
 
     /// Builds the simulation harness without running it, so scenario

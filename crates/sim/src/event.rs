@@ -161,12 +161,24 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Appends a time-ordered batch to the sorted lane, assigning
-    /// sequence numbers in stream order.
+    /// Schedules a time-ordered bulk stream, assigning sequence numbers
+    /// in stream order.
+    ///
+    /// Each event is routed by the same placement policy as
+    /// [`EventQueue::push`]: events whose time page falls inside the
+    /// wheel window land in a wheel slot in O(1), everything further out
+    /// appends to the sorted FIFO lane. Since sequence numbers follow the
+    /// stream and the `(time, priority, seq)` total order is
+    /// lane-independent, the pop order is identical whichever lane held
+    /// an event — wheel routing just keeps near-future batch spans out of
+    /// the sorted lane, so batches may overlap within the wheel horizon
+    /// (a second replay stream or another cell's arrivals can start
+    /// before the first stream's tail).
     ///
     /// # Panics
-    /// Panics if the batch is not sorted by time, or starts before the
-    /// sorted lane's current tail.
+    /// Panics if the batch is not internally sorted by time, or if an
+    /// event beyond the wheel window starts before the sorted lane's
+    /// current tail.
     pub fn push_sorted_batch(
         &mut self,
         priority: u8,
@@ -174,20 +186,30 @@ impl<E> EventQueue<E> {
         dst: CompId,
         batch: impl IntoIterator<Item = (Time, E)>,
     ) {
-        let mut last = self.sorted.back().map(|e| e.time).unwrap_or(0);
+        let mut tail = self.sorted.back().map(|e| e.time).unwrap_or(0);
+        let mut prev = 0;
         for (time, payload) in batch {
-            assert!(time >= last, "sorted batch out of order");
-            last = time;
+            assert!(time >= prev, "sorted batch out of order");
+            prev = time;
             let seq = self.next_seq;
             self.next_seq += 1;
-            self.sorted.push_back(Event {
+            let ev = Event {
                 time,
                 priority,
                 seq,
                 src,
                 dst,
                 payload,
-            });
+            };
+            let page = time >> WHEEL_SHIFT;
+            if page > self.active_page && page - self.active_page < WHEEL_SLOTS as u64 {
+                self.wheel[(page % WHEEL_SLOTS as u64) as usize].push(ev);
+                self.wheel_len += 1;
+            } else {
+                assert!(time >= tail, "sorted batch out of order");
+                tail = time;
+                self.sorted.push_back(ev);
+            }
         }
     }
 
@@ -345,6 +367,43 @@ mod tests {
         let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
         assert_eq!(order, vec!["heap", "sorted", "wheel"]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sorted_batches_route_through_the_wheel_window() {
+        // Two batches overlapping inside the wheel horizon: the wheel
+        // absorbs the near-future spans, so the second batch may start
+        // before the first one's tail, and pops still follow the global
+        // (time, priority, seq) order.
+        let slot = 1u64 << WHEEL_SHIFT;
+        let horizon = slot * WHEEL_SLOTS as u64;
+        let mut q = EventQueue::new();
+        let batch_a: Vec<(Time, u64)> = (0..400u64)
+            .map(|i| (slot + i * slot / 2, i))
+            .chain((0..50u64).map(|i| (horizon + i * slot, 1000 + i)))
+            .collect();
+        let batch_b: Vec<(Time, u64)> = (0..400u64)
+            .map(|i| (slot * 3 + i * slot / 3, 2000 + i))
+            .collect();
+        let mut expect: Vec<(Time, u8, u64)> = batch_a
+            .iter()
+            .chain(batch_b.iter())
+            .enumerate()
+            .map(|(seq, (t, _))| (*t, 0, seq as u64))
+            .collect();
+        expect.sort_unstable();
+        q.push_sorted_batch(0, 0, 0, batch_a);
+        q.push_sorted_batch(0, 0, 0, batch_b);
+        let got: Vec<(Time, u8, u64)> =
+            std::iter::from_fn(|| q.pop().map(|e| (e.time, e.priority, e.seq))).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted batch out of order")]
+    fn unsorted_batch_panics() {
+        let mut q = EventQueue::new();
+        q.push_sorted_batch(0, 0, 0, [(10u64, "a"), (5, "b")]);
     }
 
     #[test]

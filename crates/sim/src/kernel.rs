@@ -26,6 +26,7 @@ pub struct Ctx<'a, E> {
     now: Time,
     self_id: CompId,
     out: &'a mut Vec<(Time, u8, CompId, E)>,
+    outbox: &'a mut Vec<(Time, u8, CompId, E)>,
 }
 
 impl<E> Ctx<'_, E> {
@@ -74,6 +75,19 @@ impl<E> Ctx<'_, E> {
         let dst = self.self_id;
         self.emit_prio(delay, priority, dst, payload);
     }
+
+    /// Records `payload` in this simulation's **outbox** instead of its
+    /// own queue: cross-shard traffic for a coordinator (see
+    /// [`ParallelSim`](crate::parallel::ParallelSim)) to collect at the
+    /// next epoch barrier. The entry is stamped `(now, priority,
+    /// self_id)`; its position in the outbox is its per-shard sequence,
+    /// so the coordinator can merge outboxes deterministically. In a
+    /// plain single-timeline run the outbox is simply never drained
+    /// unless the driver asks for it.
+    pub fn emit_remote(&mut self, priority: u8, payload: E) {
+        self.outbox
+            .push((self.now, priority, self.self_id, payload));
+    }
 }
 
 /// The simulation: a clock, the event queue, and the registered
@@ -88,6 +102,7 @@ pub struct Sim<'a, E> {
     components: Vec<Option<Box<dyn Component<E> + 'a>>>,
     names: Vec<String>,
     out_buf: Vec<(Time, u8, CompId, E)>,
+    outbox: Vec<(Time, u8, CompId, E)>,
     delivered: u64,
 }
 
@@ -106,6 +121,7 @@ impl<'a, E> Sim<'a, E> {
             components: Vec::new(),
             names: Vec::new(),
             out_buf: Vec::new(),
+            outbox: Vec::new(),
             delivered: 0,
         }
     }
@@ -208,6 +224,7 @@ impl<'a, E> Sim<'a, E> {
             now: self.now,
             self_id: dst,
             out: &mut self.out_buf,
+            outbox: &mut self.outbox,
         };
         handler.on_event(ev, &mut ctx);
         self.components[dst] = Some(handler);
@@ -232,6 +249,35 @@ impl<'a, E> Sim<'a, E> {
             }
             self.step();
         }
+    }
+
+    /// Runs until the queue is empty or the next event lies at or beyond
+    /// `bound` (exclusive — the epoch-barrier counterpart of
+    /// [`Sim::run_until`]): every event strictly before `bound` is
+    /// delivered, events at `bound` stay pending for the next epoch.
+    pub fn run_before(&mut self, bound: Time) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= bound {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Delivery time of the earliest pending event, if any.
+    pub fn next_event_time(&mut self) -> Option<Time> {
+        self.queue.peek_time()
+    }
+
+    /// Drains the cross-shard outbox (entries recorded by
+    /// [`Ctx::emit_remote`] since the last take), in emission order.
+    pub fn take_outbox(&mut self) -> Vec<(Time, u8, CompId, E)> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// True when [`Ctx::emit_remote`] entries are waiting to be taken.
+    pub fn has_outbox(&self) -> bool {
+        !self.outbox.is_empty()
     }
 }
 

@@ -15,6 +15,23 @@
 //! same-timestamp events fire in the order they were scheduled — there is
 //! no iteration over hash maps and no wall-clock anywhere in the kernel.
 //!
+//! The crate splits into two layers:
+//!
+//! * **Shard layer** ([`kernel`], [`event`]) — a sequential [`Sim`]: one
+//!   clock, one `(time, priority, seq)`-ordered queue (heap,
+//!   sorted-batch, and timer-wheel lanes), and the registered
+//!   components. One `Sim` is one *cell kernel*: a self-contained
+//!   simulation island with no shared mutable state outside it.
+//! * **Coordinator layer** ([`parallel`]) — [`ParallelSim`] hosts many
+//!   shards and advances them in epoch-barrier rounds on the worker
+//!   pool. Cross-shard traffic leaves a shard only through
+//!   [`Ctx::emit_remote`] outboxes and re-enters other shards only at
+//!   barriers, merged in a deterministic `(time, priority, shard, seq)`
+//!   order — so results are bit-identical for any thread count.
+//!
+//! Single-timeline users (the replayer, single-cell scenarios) use the
+//! shard layer directly and never pay for coordination.
+//!
 //! ```
 //! use ctlm_sim::{Component, Ctx, Event, Sim};
 //!
@@ -42,6 +59,8 @@
 
 pub mod event;
 pub mod kernel;
+pub mod parallel;
 
 pub use event::{Event, EventQueue, Time};
 pub use kernel::{CompId, Component, Ctx, Sim};
+pub use parallel::{CellKernel, ParallelSim, RemoteEvent};
