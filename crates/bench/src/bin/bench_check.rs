@@ -24,6 +24,7 @@ const DEFAULT_GROUPS: &[&str] = &[
     "placement/",
     "autoscale/",
     "multicell/",
+    "arrivals/",
 ];
 
 fn medians(doc: &Value) -> Vec<(String, f64)> {

@@ -6,18 +6,14 @@
 //! seeded [`StdRng`]s — the property the determinism tests pin down.
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
-use ctlm_data::compaction::collapse;
-use ctlm_data::dataset::group_for_count;
 use ctlm_data::vocab::ValueVocab;
 use ctlm_sched::engine::{arrivals_from_trace, compress_timeline};
 use ctlm_sched::scenario::{ChurnPlan, RolloutStage};
-use ctlm_sched::{PendingTask, SchedCluster, SimConfig};
+use ctlm_sched::{ArrivalStream, PendingTask, SchedCluster, SimConfig};
 use ctlm_trace::pareto::{BoundedPareto, Exponential};
 use ctlm_trace::{
-    AttrId, AttrValue, ConstraintOp, EventPayload, Machine, MachineId, Micros, Scale,
-    TaskConstraint, TraceGenerator,
+    AttrId, AttrValue, EventPayload, Machine, MachineId, Micros, Scale, TraceGenerator,
 };
 
 use ctlm_autoscale::{AutoscaleConfig, MachineTemplate};
@@ -26,6 +22,7 @@ use crate::spec::{
     ArrivalProcess, CellSpec, PolicyParams, RetrainSpec, ScenarioSpec, SizeDist, SyntheticWorkload,
     TraceWorkload, WorkloadSpec,
 };
+use crate::stream::SyntheticStream;
 use crate::LabError;
 
 /// Task-id stride between cells, so ids stay unique when several cells'
@@ -55,15 +52,41 @@ pub struct BuiltAutoscale {
     pub config: AutoscaleConfig,
 }
 
+/// A cell's arrival population: materialised up front, or decoded chunk
+/// by chunk at attach time.
+pub enum BuiltArrivals {
+    /// The full time-sorted list, held in memory. Trace slices and
+    /// model-backed runs (whose training reads the population) use this.
+    Materialised(Vec<PendingTask>),
+    /// Generated on demand through a [`SyntheticStream`] when the cell
+    /// attaches — peak memory O(chunk), bit-identical tasks.
+    Streamed(SyntheticWorkload),
+}
+
+impl BuiltArrivals {
+    /// The materialised list, or `None` for a streamed cell. Consumers
+    /// that must see the whole population at once (training, replay)
+    /// force materialised builds and may `expect` this.
+    pub fn list(&self) -> Option<&[PendingTask]> {
+        match self {
+            BuiltArrivals::Materialised(v) => Some(v),
+            BuiltArrivals::Streamed(_) => None,
+        }
+    }
+}
+
 /// A cell assembled from its spec, ready to attach to a kernel
 /// simulation.
 pub struct BuiltCell {
     /// Cell name (report key).
     pub name: String,
+    /// Cell index in the spec — namespaces ids, seeds and pin-attribute
+    /// values (streamed attaches rebuild the generator from it).
+    pub index: usize,
     /// The cluster (moved into the engine at attach time).
     pub cluster: SchedCluster,
-    /// Time-sorted arrivals.
-    pub arrivals: Vec<PendingTask>,
+    /// Time-sorted arrivals (materialised or streamed).
+    pub arrivals: BuiltArrivals,
     /// Machine ids in declaration order (churn picks from these).
     pub machine_ids: Vec<MachineId>,
     /// Machine-side attribute vocabulary, observed in declaration order
@@ -82,16 +105,39 @@ pub struct BuiltCell {
 }
 
 /// Builds one cell from its spec. `index` namespaces task ids and seeds
-/// so sibling cells never collide.
-pub fn build_cell(spec: &CellSpec, sim: &SimConfig, index: usize) -> Result<BuiltCell, LabError> {
+/// so sibling cells never collide. With `streaming`, synthetic arrivals
+/// are *not* materialised — the cell carries its workload description
+/// and the attach path decodes it chunk by chunk (trace slices always
+/// materialise; callers must not request streaming for cells whose
+/// scheduler trains on the arrival population).
+pub fn build_cell(
+    spec: &CellSpec,
+    sim: &SimConfig,
+    index: usize,
+    streaming: bool,
+) -> Result<BuiltCell, LabError> {
     let id_base = index as u64 * CELL_ID_STRIDE;
-    let (cluster, mut arrivals, machine_ids, vocab) = match &spec.workload {
-        WorkloadSpec::Trace(w) => build_trace_workload(w, sim)?,
-        WorkloadSpec::Synthetic(w) => build_synthetic_workload(w, sim, index)?,
+    let (cluster, arrivals, machine_ids, vocab) = match &spec.workload {
+        WorkloadSpec::Trace(w) => {
+            let (cluster, mut arrivals, ids, vocab) = build_trace_workload(w, sim)?;
+            for t in arrivals.iter_mut() {
+                t.id += id_base;
+            }
+            (cluster, BuiltArrivals::Materialised(arrivals), ids, vocab)
+        }
+        WorkloadSpec::Synthetic(w) => {
+            let (cluster, ids, vocab) = build_synthetic_fleet(w, index)?;
+            let arrivals = if streaming {
+                // Validate the generator parameters now (fail at build,
+                // not mid-attach), but drop the decoded tasks.
+                SyntheticStream::new(w, sim, index, id_base, 1)?;
+                BuiltArrivals::Streamed(w.clone())
+            } else {
+                BuiltArrivals::Materialised(build_synthetic_arrivals(w, sim, index, id_base)?)
+            };
+            (cluster, arrivals, ids, vocab)
+        }
     };
-    for t in arrivals.iter_mut() {
-        t.id += id_base;
-    }
     let scenario = &spec.scenario;
     let churn = scenario.churn.as_ref().map(|c| {
         ChurnPlan::random_drain(
@@ -164,6 +210,7 @@ pub fn build_cell(spec: &CellSpec, sim: &SimConfig, index: usize) -> Result<Buil
     });
     Ok(BuiltCell {
         name: spec.name.clone(),
+        index,
         cluster,
         arrivals,
         machine_ids,
@@ -215,12 +262,13 @@ fn build_trace_workload(w: &TraceWorkload, sim: &SimConfig) -> Result<Workload, 
     Ok((cluster, arrivals, machine_ids, vocab))
 }
 
-/// Cluster + arrivals from an explicit synthetic description.
-fn build_synthetic_workload(
+/// Cluster, machine ids and vocabulary from an explicit synthetic fleet
+/// description (the machine half of the workload — arrivals are built,
+/// or streamed, separately).
+fn build_synthetic_fleet(
     w: &SyntheticWorkload,
-    sim: &SimConfig,
     index: usize,
-) -> Result<Workload, LabError> {
+) -> Result<(SchedCluster, Vec<MachineId>, ValueVocab), LabError> {
     let total: usize = w.machines.iter().map(|g| g.count).sum();
     if total == 0 {
         return Err(LabError::msg(
@@ -244,51 +292,32 @@ fn build_synthetic_workload(
         }
     }
     let machine_ids: Vec<MachineId> = machines.iter().map(|m| m.id).collect();
-    let cluster = SchedCluster::from_machines(machines);
+    Ok((SchedCluster::from_machines(machines), machine_ids, vocab))
+}
 
-    let mut rng =
-        StdRng::seed_from_u64(sim.seed ^ 0xB17D_5EED ^ (index as u64).wrapping_mul(0x0C1E_77A2));
-    // Unconstrained tasks suit the whole fleet; bucket that count the
-    // same way trace workloads do (26 groups across the fleet size).
-    let group_width = (total.div_ceil(26)).max(1);
-    let background_group = group_for_count(total, group_width);
-    let mut arrivals = Vec::with_capacity(w.tasks);
-    let mut now: Micros = 0;
-    for k in 0..w.tasks {
-        now += sample_gap(&w.arrival, &mut rng);
-        arrivals.push(PendingTask {
-            id: k as u64,
-            collection: 1,
-            cpu: sample_size(&w.cpu, &mut rng),
-            memory: sample_size(&w.memory, &mut rng),
-            priority: w.priority,
-            reqs: vec![],
-            arrival: now,
-            truth_group: background_group,
-        });
-    }
-    if let Some(r) = &w.restrictive {
-        for j in 0..r.count {
-            let pin = attr_base + rng.gen_range(0..total) as i64;
-            let reqs = collapse(&[TaskConstraint::new(
-                0,
-                ConstraintOp::Equal(Some(AttrValue::Int(pin))),
-            )])
-            .map_err(|e| LabError::msg(format!("restrictive constraint: {e:?}")))?;
-            arrivals.push(PendingTask {
-                id: 500_000_000 + j as u64,
-                collection: 2,
-                cpu: r.cpu,
-                memory: r.cpu,
-                priority: r.priority,
-                reqs,
-                arrival: r.start + j as Micros * r.period,
-                truth_group: 0,
-            });
-        }
-    }
-    arrivals.sort_by_key(|t| (t.arrival, t.id));
-    Ok((cluster, arrivals, machine_ids, vocab))
+/// The materialised synthetic arrival list — exactly the drained
+/// [`SyntheticStream`]: background and restrictive tasks are each
+/// generated in nondecreasing time, and the stream merges the two
+/// pre-sorted runs by `(arrival, id)` — no O(N log N) re-sort, and the
+/// streamed path is bit-identical by construction. Ids arrive already
+/// offset by `id_base`.
+fn build_synthetic_arrivals(
+    w: &SyntheticWorkload,
+    sim: &SimConfig,
+    index: usize,
+    id_base: u64,
+) -> Result<Vec<PendingTask>, LabError> {
+    let reserve = w.tasks + w.restrictive.as_ref().map_or(0, |r| r.count);
+    let mut arrivals = Vec::with_capacity(reserve);
+    let mut stream = SyntheticStream::new(w, sim, index, id_base, 65_536)?;
+    while stream.refill(&mut arrivals) > 0 {}
+    debug_assert!(
+        arrivals
+            .windows(2)
+            .all(|p| (p[0].arrival, p[0].id) < (p[1].arrival, p[1].id)),
+        "merged arrival runs must be (arrival, id)-sorted"
+    );
+    Ok(arrivals)
 }
 
 /// Gang arrivals from the scenario spec.
@@ -316,7 +345,7 @@ fn build_gangs(scenario: &ScenarioSpec, id_base: u64) -> Vec<(Micros, Vec<Pendin
         .collect()
 }
 
-fn sample_gap(p: &ArrivalProcess, rng: &mut StdRng) -> Micros {
+pub(crate) fn sample_gap(p: &ArrivalProcess, rng: &mut StdRng) -> Micros {
     match p {
         ArrivalProcess::Uniform { gap } => *gap,
         ArrivalProcess::Exponential { mean_gap } => {
@@ -328,7 +357,7 @@ fn sample_gap(p: &ArrivalProcess, rng: &mut StdRng) -> Micros {
     }
 }
 
-fn sample_size(d: &SizeDist, rng: &mut StdRng) -> f64 {
+pub(crate) fn sample_size(d: &SizeDist, rng: &mut StdRng) -> f64 {
     let raw = match d {
         SizeDist::Fixed(v) => *v,
         SizeDist::Pareto { lo, hi, alpha } => BoundedPareto::new(*lo, *hi, *alpha).sample(rng),

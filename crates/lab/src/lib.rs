@@ -50,15 +50,17 @@
 use std::fmt;
 
 pub mod build;
+pub mod memtrack;
 pub mod registry;
 pub mod report;
 pub mod run;
 pub mod spec;
+pub mod stream;
 pub mod sweep;
 
 pub use report::LabReport;
 pub use spec::ExperimentSpec;
-pub use sweep::{run_spec, run_spec_json};
+pub use sweep::{run_spec, run_spec_json, run_spec_materialised};
 
 /// Harness-level failure: a malformed spec, an unknown registry name, a
 /// bad knob path.

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! ctlm-lab <spec.json> [--out report.json] [--json] [--seed N] [--threads N]
+//!          [--materialised] [--no-meta]
 //! ctlm-lab --diff <a.json> <b.json> [--tolerance X]
 //! ```
 //!
@@ -11,24 +12,37 @@
 //! stdout, `--seed` overrides the spec's `sim.seed` (and any sweep seed
 //! list), and `--threads` overrides `execution.threads` (worker threads
 //! for multi-cell shard execution; results never depend on it).
+//! `--materialised` forces the classic materialise-everything arrival
+//! path (the default streams synthetic arrivals; results are
+//! bit-identical, only peak memory differs). Reports carry a `_meta`
+//! block with the run's peak RSS and allocator high-water mark;
+//! `--no-meta` omits it so two reports can be compared byte for byte.
 //!
 //! `--diff` compares two previously written reports instead of running
 //! anything: per-(point, scheduler, cell) median deltas (`b − a`), so a
-//! knob change or a code change can be judged row by row. The exit code
-//! gates: it is non-zero when any compared median (group-0 mean, other
-//! mean, or unplaced count) regresses — grows from `a` to `b` by more
-//! than the relative `--tolerance` (default 0, i.e. any increase fails;
-//! a zero baseline regresses on any increase) — so CI can diff two runs
+//! knob change or a code change can be judged row by row. When both
+//! reports carry `_meta`, the peak-memory delta is shown
+//! informationally (it never gates). The exit code gates: it is
+//! non-zero when any compared median (group-0 mean, other mean, or
+//! unplaced count) regresses — grows from `a` to `b` by more than the
+//! relative `--tolerance` (default 0, i.e. any increase fails; a zero
+//! baseline regresses on any increase) — so CI can diff two runs
 //! directly.
 
 use ctlm_bench::ParsedArgs;
-use ctlm_lab::report::{diff_reports, to_pretty_json, LabReport, SummaryDiff};
+use ctlm_lab::memtrack::{self, TrackingAlloc};
+use ctlm_lab::report::{diff_reports, to_pretty_json, LabReport, ReportMeta, SummaryDiff};
 use ctlm_lab::ExperimentSpec;
 use serde::Deserialize;
 
+/// Counting allocator so `_meta.alloc_peak_bytes` reflects the run (the
+/// library never installs it; only this binary pays the two atomics).
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
 fn main() {
     let args = ParsedArgs::from_env(
-        &["--json", "--diff"],
+        &["--json", "--diff", "--materialised", "--no-meta"],
         &["--out", "--seed", "--threads", "--tolerance"],
     );
     if args.flag("--diff") {
@@ -81,7 +95,18 @@ fn main() {
             .parse()
             .unwrap_or_else(|_| panic!("--threads needs a number"));
     }
-    let report = ctlm_lab::run_spec(&spec).unwrap_or_else(|e| panic!("{e}"));
+    let run = if args.flag("--materialised") {
+        ctlm_lab::run_spec_materialised
+    } else {
+        ctlm_lab::run_spec
+    };
+    let mut report = run(&spec).unwrap_or_else(|e| panic!("{e}"));
+    if !args.flag("--no-meta") {
+        report._meta = Some(ReportMeta {
+            peak_rss_bytes: memtrack::peak_rss_bytes(),
+            alloc_peak_bytes: memtrack::alloc_peak_bytes(),
+        });
+    }
     let json = to_pretty_json(&report);
     if let Some(out) = args.option("--out") {
         std::fs::write(out, format!("{json}\n"))
@@ -156,11 +181,45 @@ fn regressed(pair: (Option<f64>, Option<f64>), tolerance: f64) -> Option<(f64, f
     (b > a * (1.0 + tolerance)).then_some((a, b))
 }
 
+/// `bytes → MiB` with one decimal.
+fn fmt_mib(bytes: u64) -> String {
+    format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Prints the peak-memory delta between two reports' `_meta` blocks.
+/// Purely informational — memory never gates the diff exit code.
+fn print_meta_diff(a: &Option<ReportMeta>, b: &Option<ReportMeta>) {
+    let (Some(ma), Some(mb)) = (a, b) else {
+        return;
+    };
+    if let (Some(ra), Some(rb)) = (ma.peak_rss_bytes, mb.peak_rss_bytes) {
+        println!(
+            "peak RSS:        {} → {} ({}{}) [informational]",
+            fmt_mib(ra),
+            fmt_mib(rb),
+            if rb >= ra { "+" } else { "−" },
+            fmt_mib(rb.abs_diff(ra)),
+        );
+    }
+    println!(
+        "alloc high-water: {} → {} ({}{}) [informational]",
+        fmt_mib(ma.alloc_peak_bytes),
+        fmt_mib(mb.alloc_peak_bytes),
+        if mb.alloc_peak_bytes >= ma.alloc_peak_bytes {
+            "+"
+        } else {
+            "−"
+        },
+        fmt_mib(mb.alloc_peak_bytes.abs_diff(ma.alloc_peak_bytes)),
+    );
+}
+
 /// Prints the row-by-row diff and returns descriptions of every median
 /// that regressed beyond `tolerance`.
 fn print_diff(a: &LabReport, b: &LabReport, tolerance: f64) -> Vec<String> {
     let mut regressions = Vec::new();
     println!("diff: {} → {}", a.name, b.name);
+    print_meta_diff(&a._meta, &b._meta);
     println!(
         "{:<34} {:<14} {:<10} {:<34} {:<34} {:>14}",
         "point", "scheduler", "cell", "g0 mean (ms)", "other (ms)", "unplaced"

@@ -1,0 +1,88 @@
+//! Peak-memory accounting for lab runs.
+//!
+//! Two independent high-water marks, both recorded informationally in a
+//! report's `_meta` block (they never feed back into the simulation, so
+//! reports stay bit-deterministic):
+//!
+//! * **allocator high-water** — a counting wrapper around the system
+//!   allocator. The `ctlm-lab` binary installs [`TrackingAlloc`] as its
+//!   `#[global_allocator]`; library users who don't opt in simply
+//!   report zeros.
+//! * **`VmHWM`** — the kernel's peak-RSS figure from
+//!   `/proc/self/status` (Linux only; `None` elsewhere). This is the
+//!   number that decides whether a million-machine spec fits the
+//!   container.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Bytes currently live through the tracking allocator.
+static CURRENT: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`CURRENT`].
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// Counting global allocator: forwards to [`System`] and maintains a
+/// live-bytes counter plus its high-water mark.
+pub struct TrackingAlloc;
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            let live = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            if new_size >= layout.size() {
+                let grow = new_size - layout.size();
+                let live = CURRENT.fetch_add(grow, Ordering::Relaxed) + grow;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                CURRENT.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// The tracking allocator's high-water mark in bytes (zero when the
+/// binary didn't install [`TrackingAlloc`]).
+pub fn alloc_peak_bytes() -> u64 {
+    PEAK.load(Ordering::Relaxed) as u64
+}
+
+/// The process's peak resident set (`VmHWM`) in bytes, from
+/// `/proc/self/status`. `None` off Linux or if the field is missing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_hwm_parses_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM present on Linux");
+            assert!(rss > 0);
+        }
+    }
+}

@@ -197,7 +197,11 @@ pub fn train_analyzer(cell: &BuiltCell, train: &TrainSpec, seed: u64) -> TaskCoA
     let width = vocab.len();
     let enc = CoVvEncoder;
     let mut b = DatasetBuilder::new(width, NUM_GROUPS);
-    for t in &cell.arrivals {
+    let arrivals = cell
+        .arrivals
+        .list()
+        .expect("model-backed schedulers materialise their arrivals");
+    for t in arrivals {
         b.push(enc.encode_requirements(&t.reqs, &vocab), t.truth_group);
     }
     let ds = b.snapshot(width);

@@ -27,6 +27,23 @@ pub struct LabReport {
     pub runs: Vec<RunReport>,
     /// Per-(point, scheduler, cell) medians across seeds × repeats.
     pub summary: Vec<SummaryRow>,
+    /// Host-side measurements, attached by the `ctlm-lab` binary after
+    /// the run — never by `run_spec` itself, so library-level reports
+    /// stay pure functions of the spec. Informational only: `--diff`
+    /// shows the delta but never gates on it.
+    #[serde(default)]
+    pub _meta: Option<ReportMeta>,
+}
+
+/// Host-side measurement block (see [`LabReport::_meta`]).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReportMeta {
+    /// Peak resident set (`VmHWM`) in bytes, when the platform exposes
+    /// it (Linux).
+    pub peak_rss_bytes: Option<u64>,
+    /// Counting-allocator high-water mark in bytes (zero unless the
+    /// binary installed [`crate::memtrack::TrackingAlloc`]).
+    pub alloc_peak_bytes: u64,
 }
 
 /// One executed run: one grid point under one seed/repeat.

@@ -36,15 +36,29 @@ use ctlm_sched::scenario::{ChurnSource, GangSource, RolloutSource};
 use ctlm_sched::{
     OwnershipGuard, PendingTask, SchedCluster, SchedEvent, Scheduler, SimResult, Simulator,
 };
-use ctlm_sim::{Component, Ctx, Event, ParallelSim, Sim};
+use ctlm_sim::{Component, Ctx, EpochAutotune, Event, ParallelSim, Sim};
 use ctlm_trace::Micros;
 
-use crate::build::{build_cell, BuiltCell};
+use crate::build::{build_cell, BuiltArrivals, BuiltCell, CELL_ID_STRIDE};
 use crate::registry::{
     build_autoscale_policy, build_placer, build_scheduler, train_config, SchedulerInstance,
 };
-use crate::spec::{ExperimentSpec, SpilloverPolicy};
+use crate::spec::{ExperimentSpec, SpilloverPolicy, WorkloadSpec};
+use crate::stream::SyntheticStream;
 use crate::LabError;
+
+/// How a run realises its synthetic arrival populations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalMode {
+    /// Decode synthetic arrivals chunk by chunk at attach time — peak
+    /// memory O(chunk) per cell. Cells that cannot stream (trace
+    /// slices, model-backed schedulers and retraining scenarios, which
+    /// train on the whole population) silently fall back to
+    /// materialising; results are bit-identical either way.
+    Streaming,
+    /// Materialise every arrival list up front (the classic path).
+    Materialised,
+}
 
 /// Minimum observed arrivals before the retraining component bothers
 /// training a model (tiny datasets make the stratified split degenerate).
@@ -85,10 +99,31 @@ fn attach_full_cell<'a>(
     spillover: bool,
 ) -> Result<AttachedCell<'a>, LabError> {
     let horizon = spec.sim.horizon;
-    let handle = if spillover {
-        simulator.attach_cell_spillover(sim, &cell.name, cluster, &cell.arrivals, scheduler)
-    } else {
-        simulator.attach_cell(sim, &cell.name, cluster, &cell.arrivals, scheduler)
+    let handle = match &cell.arrivals {
+        BuiltArrivals::Materialised(arrivals) => {
+            if spillover {
+                simulator.attach_cell_spillover(sim, &cell.name, cluster, arrivals, scheduler)
+            } else {
+                simulator.attach_cell(sim, &cell.name, cluster, arrivals, scheduler)
+            }
+        }
+        BuiltArrivals::Streamed(w) => {
+            let stream = SyntheticStream::new(
+                w,
+                &spec.sim,
+                cell.index,
+                cell.index as u64 * CELL_ID_STRIDE,
+                spec.execution.arrival_chunk,
+            )?;
+            simulator.attach_cell_stream(
+                sim,
+                &cell.name,
+                cluster,
+                Box::new(stream),
+                scheduler,
+                spillover,
+            )
+        }
     };
     // Churn and the autoscaler mutate the same fleet; the shared
     // guard keeps them off each other's machines.
@@ -196,12 +231,23 @@ fn route_spill(
 pub fn run_scheduler(
     spec: &ExperimentSpec,
     sched_name: &str,
+    mode: ArrivalMode,
 ) -> Result<Vec<CellOutcome>, LabError> {
     let cell_specs = spec.cell_specs();
     let mut built: Vec<BuiltCell> = cell_specs
         .iter()
         .enumerate()
-        .map(|(i, cs)| build_cell(cs, &spec.sim, i))
+        .map(|(i, cs)| {
+            // A cell streams only when nothing needs its full arrival
+            // population up front: trace slices replay a list,
+            // model-backed schedulers and the retraining scenario train
+            // on it.
+            let streaming = mode == ArrivalMode::Streaming
+                && matches!(cs.workload, WorkloadSpec::Synthetic(_))
+                && !matches!(sched_name, "enhanced" | "live_registry")
+                && cs.scenario.retrain.is_none();
+            build_cell(cs, &spec.sim, i, streaming)
+        })
         .collect::<Result<_, _>>()?;
     let mut instances: Vec<SchedulerInstance> = built
         .iter()
@@ -258,7 +304,10 @@ pub fn run_scheduler(
         // coordinator. Always — so `execution.threads` can never change
         // the simulated outcome, only the wall clock.
         let mut psim: ParallelSim<'_, SchedEvent> =
-            ParallelSim::new(spec.execution.epoch_us, spec.execution.threads);
+            ParallelSim::new(spec.execution.epoch_us.initial(), spec.execution.threads);
+        if spec.execution.epoch_us.is_auto() {
+            psim.set_autotune(EpochAutotune::default());
+        }
         for ((((cell, simulator), instance), registry), cluster) in built
             .iter()
             .zip(&simulators)
@@ -294,8 +343,12 @@ pub fn run_scheduler(
                     continue;
                 };
                 let home = msg.shard;
-                let task = &built[home].arrivals[idx];
-                let target = route_spill(&states, policy, home, task);
+                // The home engine resolves the index whether the task
+                // lives in its materialised arena or its streaming slab.
+                let target = {
+                    let state = states[home].borrow();
+                    route_spill(&states, policy, home, state.task(idx))
+                };
                 // Deliver at the barrier, never before the horizon guard:
                 // near-horizon spills still get admitted so the engine
                 // counts them placed-or-unplaced like any queued task.
@@ -312,12 +365,16 @@ pub fn run_scheduler(
                 } else {
                     spills[target].0 += 1;
                     spills[home].1 += 1;
+                    let task = states[home].borrow().task(idx).clone();
+                    // The clone is the task's new home; the slab slot
+                    // (no-op for materialised cells) can retire.
+                    states[home].borrow_mut().release_slot(idx);
                     shards[target].schedule_prio(
                         at,
                         PRIO_ADMIT,
                         engines[target],
                         engines[target],
-                        SchedEvent::Admit(Box::new(task.clone())),
+                        SchedEvent::Admit(Box::new(task)),
                     );
                 }
             }
@@ -377,6 +434,8 @@ impl RetrainSource {
         let enc = CoVvEncoder;
         let mut rows: Vec<LabeledRow> = cell
             .arrivals
+            .list()
+            .expect("retraining cells materialise their arrivals")
             .iter()
             .map(|t| {
                 (

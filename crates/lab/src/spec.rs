@@ -151,8 +151,13 @@ impl ExperimentSpec {
                 )));
             }
         }
-        if self.execution.epoch_us == 0 {
-            return Err(LabError::msg("`execution.epoch_us` must be > 0"));
+        if self.execution.epoch_us == EpochSpec::Fixed(0) {
+            return Err(LabError::msg(
+                "`execution.epoch_us` must be > 0 (or \"auto\")",
+            ));
+        }
+        if self.execution.arrival_chunk == 0 {
+            return Err(LabError::msg("`execution.arrival_chunk` must be > 0"));
         }
         if let Some(sweep) = &self.sweep {
             for knob in &sweep.knobs {
@@ -637,22 +642,63 @@ pub struct ExecutionSpec {
     /// configured width, 1 = sequential (no pool dispatch), n = chunk
     /// the cells over n workers. Overridable with `ctlm-lab --threads`.
     pub threads: usize,
-    /// Epoch barrier length (µs). Cross-cell spillover crosses shards
-    /// only at epoch boundaries, so this bounds the extra queueing delay
-    /// a spilled task observes; shorter epochs mean more barriers.
-    pub epoch_us: Micros,
+    /// Epoch barrier length (µs), or `"auto"` for density-based
+    /// autotuning. Cross-cell spillover crosses shards only at epoch
+    /// boundaries, so this bounds the extra queueing delay a spilled
+    /// task observes; shorter epochs mean more barriers.
+    pub epoch_us: EpochSpec,
+    /// Tasks per streamed arrival chunk. Streamed cells decode this many
+    /// tasks ahead of the simulation clock at a time, so it bounds the
+    /// per-cell arena footprint (chunk + in-flight tasks). Never changes
+    /// results — only memory/refill-frequency trade-off.
+    pub arrival_chunk: usize,
+}
+
+/// The epoch-length knob: a fixed barrier length, or `"auto"` to let the
+/// coordinator adapt it to observed per-round event density (sparse
+/// fleets get long epochs, dense bursts short ones). Autotuning keys off
+/// delivered-event counts — simulation state only — so tuned runs stay
+/// bit-identical for every `threads` value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EpochSpec {
+    /// A fixed epoch length (µs).
+    Fixed(Micros),
+    /// Adapt the epoch per round from event density, starting from the
+    /// default length.
+    Auto,
+}
+
+impl EpochSpec {
+    /// The starting epoch length (µs): the fixed value, or the default
+    /// length as the autotuner's initial guess.
+    pub fn initial(self) -> Micros {
+        match self {
+            EpochSpec::Fixed(us) => us,
+            EpochSpec::Auto => 1_000_000,
+        }
+    }
+
+    /// True when the coordinator should autotune the epoch.
+    pub fn is_auto(self) -> bool {
+        self == EpochSpec::Auto
+    }
 }
 
 impl serde::Serialize for ExecutionSpec {
     fn to_value(&self) -> serde_json::Value {
+        let epoch = match self.epoch_us {
+            EpochSpec::Fixed(us) => serde_json::Value::Num(us as f64),
+            EpochSpec::Auto => serde_json::Value::Str("auto".to_string()),
+        };
         serde_json::Value::Object(vec![
             (
                 "threads".to_string(),
                 serde_json::Value::Num(self.threads as f64),
             ),
+            ("epoch_us".to_string(), epoch),
             (
-                "epoch_us".to_string(),
-                serde_json::Value::Num(self.epoch_us as f64),
+                "arrival_chunk".to_string(),
+                serde_json::Value::Num(self.arrival_chunk as f64),
             ),
         ])
     }
@@ -672,7 +718,13 @@ impl serde::Deserialize for ExecutionSpec {
         for (key, val) in fields {
             match key.as_str() {
                 "threads" => out.threads = serde::Deserialize::from_value(val)?,
-                "epoch_us" => out.epoch_us = serde::Deserialize::from_value(val)?,
+                "epoch_us" => {
+                    out.epoch_us = match val {
+                        serde_json::Value::Str(s) if s == "auto" => EpochSpec::Auto,
+                        other => EpochSpec::Fixed(serde::Deserialize::from_value(other)?),
+                    }
+                }
+                "arrival_chunk" => out.arrival_chunk = serde::Deserialize::from_value(val)?,
                 other => {
                     return Err(serde::Error::msg(format!(
                         "unknown execution field {other:?}"
@@ -688,7 +740,8 @@ impl Default for ExecutionSpec {
     fn default() -> Self {
         Self {
             threads: 1,
-            epoch_us: 1_000_000, // one barrier per simulated second
+            epoch_us: EpochSpec::Fixed(1_000_000), // one barrier per simulated second
+            arrival_chunk: 8_192,
         }
     }
 }

@@ -12,7 +12,7 @@ use serde::Deserialize;
 use serde_json::Value;
 
 use crate::report::{knob_settings, summarize, LabReport, RunReport, SchedulerRun};
-use crate::run::run_scheduler;
+use crate::run::{run_scheduler, ArrivalMode};
 use crate::spec::ExperimentSpec;
 use crate::LabError;
 
@@ -31,8 +31,22 @@ pub fn run_spec_json(text: &str) -> Result<LabReport, LabError> {
     run_spec(&spec)
 }
 
-/// Expands and executes a parsed spec.
+/// Expands and executes a parsed spec. Synthetic arrivals stream
+/// (decoded chunk by chunk at attach time) wherever nothing needs the
+/// whole population up front; the report is bit-identical to
+/// [`run_spec_materialised`].
 pub fn run_spec(spec: &ExperimentSpec) -> Result<LabReport, LabError> {
+    run_spec_mode(spec, ArrivalMode::Streaming)
+}
+
+/// [`run_spec`], but with every arrival list materialised up front — the
+/// classic path. Exists so tests (and `ctlm-lab --materialised`) can pin
+/// the streamed report against it.
+pub fn run_spec_materialised(spec: &ExperimentSpec) -> Result<LabReport, LabError> {
+    run_spec_mode(spec, ArrivalMode::Materialised)
+}
+
+fn run_spec_mode(spec: &ExperimentSpec, mode: ArrivalMode) -> Result<LabReport, LabError> {
     spec.validate()?;
     // Normalize: serialize the parsed spec so every defaulted field
     // exists in the document and knob paths always resolve.
@@ -46,7 +60,7 @@ pub fn run_spec(spec: &ExperimentSpec) -> Result<LabReport, LabError> {
                 .scheduler_names()
                 .iter()
                 .map(|name| {
-                    let outcomes = run_scheduler(&p.spec, name)?;
+                    let outcomes = run_scheduler(&p.spec, name, mode)?;
                     Ok(SchedulerRun {
                         scheduler: name.clone(),
                         cells: outcomes
@@ -75,6 +89,7 @@ pub fn run_spec(spec: &ExperimentSpec) -> Result<LabReport, LabError> {
         name: spec.name.clone(),
         runs,
         summary,
+        _meta: None,
     })
 }
 

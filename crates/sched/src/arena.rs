@@ -1,0 +1,257 @@
+//! The engine's owned task arena: index-stable chunk segments with
+//! liveness-based buffer recycling.
+//!
+//! The engine references tasks by `usize` arena index. Indices below the
+//! borrowed arrival list's length resolve into that slice; everything
+//! else — streamed arrival chunks, gang members, dynamic admits — lives
+//! here. The slab hands out **monotonically increasing** indices (never
+//! reused), so an index stays a stable name for its task for the whole
+//! run, while storage is reclaimed the moment a *segment* (one pushed
+//! chunk) has no live tasks left: the engine releases a task's slot when
+//! it finishes, is dropped as infeasible, is evicted by preemption, or
+//! is spilled to a sibling cell, and fully drained front segments give
+//! their buffers back to a small pool for the next chunk refill. That is
+//! what keeps the streaming path's peak memory at O(chunk + in-flight)
+//! instead of O(total tasks).
+
+use std::collections::VecDeque;
+
+use crate::queue::PendingTask;
+
+/// Retired segment buffers kept for reuse. Two is enough to cover the
+/// steady state (one segment draining while the next decodes); more
+/// would just pin memory.
+const POOL_LIMIT: usize = 2;
+
+/// One pushed chunk: a contiguous index range `start..start+tasks.len()`
+/// with a live-slot count.
+struct Segment {
+    start: usize,
+    tasks: Vec<PendingTask>,
+    live: usize,
+    /// Open segments (dynamic single-task admits) may keep growing at
+    /// the slab tail; sealed segments (streamed chunks, gangs) never do.
+    open: bool,
+}
+
+/// Index-stable task storage behind the engine's borrowed arrival list.
+/// All indices here are **relative** (slab-local, from 0); the engine
+/// offsets them by the borrowed list's length.
+#[derive(Default)]
+pub(crate) struct TaskSlab {
+    /// Live segments, ordered by `start`.
+    segments: VecDeque<Segment>,
+    /// Total tasks ever pushed — the next relative index.
+    len: usize,
+    /// Cleared buffers from retired segments, reused for new chunks.
+    pool: Vec<Vec<PendingTask>>,
+    /// Segments retired so far (buffer reclaimed) — observability for
+    /// the recycling tests.
+    retired: u64,
+}
+
+impl TaskSlab {
+    /// Tasks ever pushed (relative indices are `0..len()`).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// A cleared buffer for the next chunk — recycled when available.
+    pub(crate) fn take_buffer(&mut self) -> Vec<PendingTask> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns an unused buffer to the pool.
+    pub(crate) fn recycle_buffer(&mut self, mut buf: Vec<PendingTask>) {
+        if self.pool.len() < POOL_LIMIT {
+            buf.clear();
+            self.pool.push(buf);
+        }
+    }
+
+    /// Pushes a sealed segment (a streamed chunk or a gang), taking
+    /// ownership of the buffer. Returns `(start, len)` of the segment's
+    /// relative index range. Empty buffers push no segment.
+    pub(crate) fn push_sealed(&mut self, tasks: Vec<PendingTask>) -> (usize, usize) {
+        let start = self.len;
+        let n = tasks.len();
+        if n == 0 {
+            self.recycle_buffer(tasks);
+            return (start, 0);
+        }
+        self.len += n;
+        self.segments.push_back(Segment {
+            start,
+            tasks,
+            live: n,
+            open: false,
+        });
+        (start, n)
+    }
+
+    /// Pushes one dynamically admitted task, growing the tail segment
+    /// when it is open (so admit-heavy runs do not fragment into
+    /// single-task segments). Returns the task's relative index.
+    pub(crate) fn push_one(&mut self, t: PendingTask) -> usize {
+        let idx = self.len;
+        self.len += 1;
+        match self.segments.back_mut() {
+            Some(seg) if seg.open && seg.start + seg.tasks.len() == idx => {
+                seg.tasks.push(t);
+                seg.live += 1;
+            }
+            _ => {
+                let mut tasks = self.take_buffer();
+                tasks.push(t);
+                self.segments.push_back(Segment {
+                    start: idx,
+                    tasks,
+                    live: 1,
+                    open: true,
+                });
+            }
+        }
+        idx
+    }
+
+    /// The task behind a relative index.
+    ///
+    /// # Panics
+    /// Panics on indices never pushed or whose segment has been retired
+    /// (a released slot must never be read again).
+    pub(crate) fn get(&self, idx: usize) -> &PendingTask {
+        let seg = self.segment_for(idx);
+        &seg.tasks[idx - seg.start]
+    }
+
+    /// Releases one slot: the task is dead (finished, dropped,
+    /// evicted, or spilled away) and will never be read again. Fully
+    /// drained segments at the slab front retire — their buffers go to
+    /// the pool.
+    pub(crate) fn release(&mut self, idx: usize) {
+        let pos = self.position_for(idx);
+        let seg = &mut self.segments[pos];
+        debug_assert!(seg.live > 0, "slot {idx} double-released");
+        seg.live -= 1;
+        while let Some(front) = self.segments.front() {
+            if front.live > 0 {
+                break;
+            }
+            let seg = self.segments.pop_front().expect("front exists");
+            self.retired += 1;
+            self.recycle_buffer(seg.tasks);
+        }
+    }
+
+    /// Segments retired (buffers reclaimed) so far.
+    #[cfg(test)]
+    pub(crate) fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Live (unretired) segments currently held.
+    #[cfg(test)]
+    pub(crate) fn resident_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn position_for(&self, idx: usize) -> usize {
+        debug_assert!(idx < self.len, "index {idx} never pushed");
+        debug_assert!(
+            self.segments.front().is_some_and(|s| idx >= s.start),
+            "index {idx} reaches into a retired segment"
+        );
+        // Binary search over the (start-ordered) segment deque: the last
+        // segment with `start <= idx`.
+        let mut lo = 0usize;
+        let mut hi = self.segments.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.segments[mid].start <= idx {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        debug_assert!(lo > 0, "index {idx} below every segment");
+        lo - 1
+    }
+
+    fn segment_for(&self, idx: usize) -> &Segment {
+        let seg = &self.segments[self.position_for(idx)];
+        debug_assert!(
+            idx - seg.start < seg.tasks.len(),
+            "index {idx} past its segment"
+        );
+        seg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: u64) -> PendingTask {
+        PendingTask {
+            id,
+            collection: 1,
+            cpu: 0.1,
+            memory: 0.1,
+            priority: 2,
+            reqs: vec![],
+            arrival: id,
+            truth_group: 25,
+        }
+    }
+
+    #[test]
+    fn indices_are_stable_across_segments() {
+        let mut slab = TaskSlab::default();
+        let (s0, n0) = slab.push_sealed((0..4).map(task).collect());
+        let one = slab.push_one(task(100));
+        let (s1, _) = slab.push_sealed((10..13).map(task).collect());
+        assert_eq!((s0, n0), (0, 4));
+        assert_eq!(one, 4);
+        assert_eq!(s1, 5);
+        assert_eq!(slab.get(2).id, 2);
+        assert_eq!(slab.get(4).id, 100);
+        assert_eq!(slab.get(6).id, 11);
+        assert_eq!(slab.len(), 8);
+    }
+
+    #[test]
+    fn front_segments_retire_and_recycle_buffers() {
+        let mut slab = TaskSlab::default();
+        slab.push_sealed((0..4).map(task).collect());
+        slab.push_sealed((4..8).map(task).collect());
+        // Drain the second segment first: nothing retires (front alive).
+        for idx in 4..8 {
+            slab.release(idx);
+        }
+        assert_eq!(slab.retired(), 0);
+        // Drain the front: both retire in one sweep.
+        for idx in 0..4 {
+            slab.release(idx);
+        }
+        assert_eq!(slab.retired(), 2);
+        assert_eq!(slab.resident_segments(), 0);
+        // Their buffers come back out of the pool.
+        let buf = slab.take_buffer();
+        assert!(buf.capacity() >= 4 && buf.is_empty());
+    }
+
+    #[test]
+    fn open_tail_segment_absorbs_single_admits() {
+        let mut slab = TaskSlab::default();
+        slab.push_one(task(0));
+        slab.push_one(task(1));
+        slab.push_one(task(2));
+        assert_eq!(slab.resident_segments(), 1);
+        // A sealed push closes the tail; later singles open a new one.
+        slab.push_sealed((10..12).map(task).collect());
+        slab.push_one(task(3));
+        assert_eq!(slab.resident_segments(), 3);
+        assert_eq!(slab.get(5).id, 3);
+    }
+}

@@ -43,11 +43,13 @@ use ctlm_trace::{
     AttrId, AttrValue, EventPayload, GeneratedTrace, Machine, MachineId, Micros, TaskId,
 };
 
+use crate::arena::TaskSlab;
 use crate::cluster::{CapacityFit, SchedCluster};
 use crate::latency::LatencyStats;
 use crate::placement::{BestFit, PlaceCtx, Placement, Placer, PreemptiveBestFit};
 use crate::queue::PendingTask;
 use crate::scheduler::Scheduler;
+use crate::stream::{ArrivalStream, StreamingSource};
 
 /// Delivery class for completions and machine-state changes — first at a
 /// timestamp.
@@ -204,11 +206,13 @@ struct Running {
 pub struct EngineState<'a> {
     cfg: SimConfig,
     /// The arrival list, borrowed from the driver — admissions reference
-    /// tasks by index instead of cloning them.
+    /// tasks by index instead of cloning them. Streamed cells pass `&[]`
+    /// and feed every task through the slab instead.
     arrivals: &'a [PendingTask],
-    /// Arena for tasks created mid-run (online trace feeds). Indices
-    /// continue past `arrivals.len()`.
-    extra: Vec<PendingTask>,
+    /// Arena for tasks entering mid-run — streamed arrival chunks, gang
+    /// members, dynamic admits. Indices continue past `arrivals.len()`;
+    /// released slots let drained chunk segments reclaim their buffers.
+    slab: TaskSlab,
     /// The cluster under scheduling.
     pub cluster: SchedCluster,
     scheduler: &'a mut dyn Scheduler,
@@ -257,7 +261,7 @@ impl<'a> EngineState<'a> {
         Self {
             cfg,
             arrivals,
-            extra: Vec::new(),
+            slab: TaskSlab::default(),
             cluster,
             scheduler,
             main_placer,
@@ -279,19 +283,54 @@ impl<'a> EngineState<'a> {
     }
 
     /// The task behind an arena index.
+    ///
+    /// # Panics
+    /// Panics for released slots (see [`EngineState::release_slot`]) —
+    /// a released index must never be read again.
     pub fn task(&self, idx: usize) -> &PendingTask {
         if idx < self.arrivals.len() {
             &self.arrivals[idx]
         } else {
-            &self.extra[idx - self.arrivals.len()]
+            self.slab.get(idx - self.arrivals.len())
         }
     }
 
     /// Appends a dynamically created task to the arena, returning its
     /// index.
     pub fn push_extra(&mut self, t: PendingTask) -> usize {
-        self.extra.push(t);
-        self.arrivals.len() + self.extra.len() - 1
+        self.arrivals.len() + self.slab.push_one(t)
+    }
+
+    /// Appends one time-sorted arrival chunk to the arena as an
+    /// index-stable segment, taking ownership of the buffer. Returns the
+    /// segment's `(start, len)` arena index range. The streaming arrival
+    /// path ([`StreamingSource`]) refills through this.
+    pub fn push_chunk(&mut self, buf: Vec<PendingTask>) -> (usize, usize) {
+        let (rel, len) = self.slab.push_sealed(buf);
+        (self.arrivals.len() + rel, len)
+    }
+
+    /// A cleared task buffer for the next arrival chunk — recycled from
+    /// drained chunk segments when one is available, so steady-state
+    /// streaming reuses the same few allocations.
+    pub fn take_slab_buffer(&mut self) -> Vec<PendingTask> {
+        self.slab.take_buffer()
+    }
+
+    /// Returns an unused chunk buffer to the recycle pool.
+    pub fn recycle_slab_buffer(&mut self, buf: Vec<PendingTask>) {
+        self.slab.recycle_buffer(buf);
+    }
+
+    /// Marks an arena slot dead — the task finished, was dropped as
+    /// infeasible, was evicted, or was cloned away to a sibling cell —
+    /// so its chunk segment can reclaim its buffer once fully drained.
+    /// No-op for indices in the borrowed arrival list (nothing to
+    /// reclaim there). The index must never be read again afterwards.
+    pub fn release_slot(&mut self, idx: usize) {
+        if idx >= self.arrivals.len() {
+            self.slab.release(idx - self.arrivals.len());
+        }
     }
 
     /// Pending main-queue depth (scenario components may inspect it).
@@ -387,7 +426,7 @@ impl<'a> EngineState<'a> {
         let t = if idx < self.arrivals.len() {
             &self.arrivals[idx]
         } else {
-            &self.extra[idx - self.arrivals.len()]
+            self.slab.get(idx - self.arrivals.len())
         };
         if self.scheduler.route_high_priority(t) {
             self.hp.push_back(idx);
@@ -441,7 +480,10 @@ impl<'a> EngineState<'a> {
     /// latency experiment).
     fn evict_victim(&mut self, machine: MachineId, victim: TaskId) {
         self.cluster.release(machine, victim);
-        self.running.remove(&victim);
+        if let Some(r) = self.running.remove(&victim) {
+            // The victim never re-enters a queue — its slot is dead.
+            self.release_slot(r.idx);
+        }
         self.result.preemptions += 1;
         self.preempted.insert(victim);
         if let Some(rec) = self.result.placed.iter_mut().find(|r| r.task == victim) {
@@ -463,7 +505,7 @@ impl<'a> EngineState<'a> {
         let t = if idx < self.arrivals.len() {
             &self.arrivals[idx]
         } else {
-            &self.extra[idx - self.arrivals.len()]
+            self.slab.get(idx - self.arrivals.len())
         };
         match placer.place(&self.cluster, t, &mut self.place_ctx) {
             Placement::Placed(m) => self.commit(idx, m, ctx),
@@ -475,8 +517,9 @@ impl<'a> EngineState<'a> {
             }
             Placement::Infeasible => {
                 // No node can ever satisfy the affinity — Kubernetes
-                // would error the pod; we drop it.
+                // would error the pod; we drop it (and free its slot).
                 self.result.unplaced += 1;
+                self.release_slot(idx);
             }
             Placement::NoCapacity => {
                 self.no_capacity_total += 1;
@@ -529,12 +572,12 @@ impl<'a> EngineState<'a> {
     fn try_gang(&mut self, start: usize, len: usize, ctx: &mut Ctx<'_, SchedEvent>) -> bool {
         let mut pairs = std::mem::take(&mut self.place_ctx.gang);
         let placed = {
-            let (arrivals, extra) = (self.arrivals, &self.extra);
+            let (arrivals, slab) = (self.arrivals, &self.slab);
             let members = (start..start + len).map(|i| {
                 if i < arrivals.len() {
                     &arrivals[i]
                 } else {
-                    &extra[i - arrivals.len()]
+                    slab.get(i - arrivals.len())
                 }
             });
             crate::gang::place_gang_into(&mut self.cluster, members, &mut pairs)
@@ -582,12 +625,11 @@ impl<'a> EngineState<'a> {
                 self.admit(idx);
             }
             SchedEvent::GangArrival(members) => {
-                // Members enter the arena contiguously, so the gang is
-                // just a range — no per-gang index list.
-                let start = self.arrivals.len() + self.extra.len();
-                let len = members.len();
+                // Members enter the arena contiguously (one sealed slab
+                // segment), so the gang is just a range — no per-gang
+                // index list.
+                let (start, len) = self.push_chunk(members);
                 self.admitted_total += len as u64;
-                self.extra.extend(members);
                 if !self.try_gang(start, len, ctx) {
                     self.pending_gangs.push((start, len));
                 }
@@ -605,8 +647,9 @@ impl<'a> EngineState<'a> {
                     .get(&task)
                     .is_some_and(|r| r.machine == machine && r.epoch == epoch)
                 {
-                    self.running.remove(&task);
+                    let r = self.running.remove(&task).expect("checked above");
                     self.cluster.release(machine, task);
+                    self.release_slot(r.idx);
                 }
             }
             SchedEvent::MachineFail(id) => {
@@ -866,6 +909,39 @@ impl Simulator {
                 forwarder,
                 SchedEvent::Wake,
             );
+        }
+        cell
+    }
+
+    /// [`Simulator::attach_cell`] for a cell fed by a pull-based
+    /// [`ArrivalStream`] instead of a materialised arrival list: registers
+    /// a [`StreamingSource`] that decodes fixed-size, time-sorted chunks
+    /// into the engine's task slab on demand, always one chunk ahead of
+    /// the simulation clock. Peak arena memory is O(chunk + in-flight
+    /// tasks) instead of O(total tasks), and the event sequence is
+    /// identical to the materialised source's.
+    ///
+    /// With `spill`, the source behaves like a [`SpilloverForwarder`]:
+    /// tasks the cell cannot admit at their arrival instant go to the
+    /// shard outbox as [`SchedEvent::SpillRequest`] for the coordinator's
+    /// barrier hook to route (the hook reads the task via
+    /// [`EngineState::task`] and must call [`EngineState::release_slot`]
+    /// when it clones the task away to a sibling cell).
+    pub fn attach_cell_stream<'a>(
+        &'a self,
+        sim: &mut Sim<'a, SchedEvent>,
+        name: &str,
+        cluster: SchedCluster,
+        stream: Box<dyn ArrivalStream + 'a>,
+        scheduler: &'a mut dyn Scheduler,
+        spill: bool,
+    ) -> CellHandle<'a> {
+        let cell = self.attach_cell(sim, name, cluster, &[], scheduler);
+        let mut source = StreamingSource::new(stream, cell.state.clone(), cell.engine, spill);
+        let first = source.prime();
+        let source_id = sim.add_component(format!("{name}/stream_source"), source);
+        if let Some(at) = first {
+            sim.schedule_prio(at, PRIO_ADMIT, source_id, source_id, SchedEvent::Wake);
         }
         cell
     }
@@ -1191,6 +1267,40 @@ mod tests {
             r.placed.iter().any(|p| p.task == 999),
             "pinned task must place"
         );
+    }
+
+    #[test]
+    fn streaming_source_matches_materialised_run() {
+        // Feeding the identical workload through a chunked SliceStream
+        // (any chunk size) must reproduce the borrowed-slice run exactly
+        // — same placements, latencies, preemptions.
+        use crate::stream::SliceStream;
+        let (mut cluster, arrivals) = contended_setup();
+        let base_main = sim().run(&mut cluster, &arrivals, &mut MainOnly);
+        let base_orac = sim().run(&mut cluster, &arrivals, &mut OracleEnhanced);
+        for chunk in [3usize, 64, 4096] {
+            for (which, base) in [(0, &base_main), (1, &base_orac)] {
+                let (fresh, _) = contended_setup();
+                let mut main = MainOnly;
+                let mut orac = OracleEnhanced;
+                let sched: &mut dyn crate::scheduler::Scheduler =
+                    if which == 0 { &mut main } else { &mut orac };
+                let s = sim();
+                let mut kernel = Sim::new();
+                let cell = s.attach_cell_stream(
+                    &mut kernel,
+                    "cell",
+                    fresh,
+                    Box::new(SliceStream::new(&arrivals, chunk)),
+                    sched,
+                    false,
+                );
+                kernel.run_until(s.config().horizon);
+                drop(kernel);
+                let (_, result) = cell.finish();
+                assert_eq!(&result, base, "chunk {chunk} scheduler {which}");
+            }
+        }
     }
 
     #[test]

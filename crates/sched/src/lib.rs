@@ -44,6 +44,9 @@
 //!   their CO and scheduled together”) and atomic gang placement;
 //! * [`engine`] — the kernel-hosted simulation measuring scheduling
 //!   latency per suitable-node group;
+//! * [`stream`] — pull-based arrival streaming: chunked task decode
+//!   ([`stream::ArrivalStream`]) feeding the engine's task slab without
+//!   materialising the whole workload;
 //! * [`scenario`] — churn, gang and rollout event sources;
 //! * [`lifecycle`] — the machine-ownership guard coordinating churn
 //!   with the `ctlm-autoscale` control plane;
@@ -52,6 +55,7 @@
 //!   scheduler”), feeding [`scheduler::LiveRegistry`] mid-run;
 //! * [`latency`] — latency statistics.
 
+mod arena;
 pub mod cluster;
 pub mod engine;
 pub mod gang;
@@ -61,6 +65,7 @@ pub mod placement;
 pub mod queue;
 pub mod scenario;
 pub mod scheduler;
+pub mod stream;
 pub mod updater;
 
 pub use cluster::{CapacityFit, SchedCluster};
@@ -70,3 +75,4 @@ pub use lifecycle::{LifecycleOwner, OwnershipGuard};
 pub use placement::{BestFit, PlaceCtx, Placer, PreemptiveBestFit};
 pub use queue::{PendingQueue, PendingTask};
 pub use scheduler::{Enhanced, LiveRegistry, MainOnly, OracleEnhanced, Scheduler};
+pub use stream::{ArrivalStream, SliceStream, StreamingSource};

@@ -1,0 +1,245 @@
+//! Pull-based arrival streaming: chunked task decode feeding the engine
+//! without materialising the whole workload.
+//!
+//! The classic path builds every [`PendingTask`] up front and the engine
+//! borrows the slice — simple, but peak memory is O(total tasks), which
+//! is what caps fleet-scale experiments long before CPU does. The
+//! streaming path inverts the flow:
+//!
+//! * an [`ArrivalStream`] produces fixed-size, time-sorted chunks of
+//!   arrivals *on demand* (a generator replaying its RNG lazily, a trace
+//!   slice decoded incrementally, or [`SliceStream`] adapting an
+//!   existing list);
+//! * a [`StreamingSource`] component pulls the next chunk whenever the
+//!   simulation clock catches up with the tasks decoded so far — i.e.
+//!   chunks are always decoded *ahead of* the clock, on whatever worker
+//!   thread is running the cell's shard (the rayon pool in multi-cell
+//!   runs);
+//! * each chunk enters the engine's **task slab** as one index-stable
+//!   segment; tasks are freed as they finish (or are dropped/spilled),
+//!   and fully drained segments return their buffers to a small pool for
+//!   the next refill.
+//!
+//! Peak memory is therefore O(chunk + in-flight tasks) per cell instead
+//! of O(total tasks), while the event sequence is *identical* to the
+//! materialised path: the source wakes at exactly the same arrival
+//! instants and emits exactly the same admissions (the lab's
+//! stream-vs-materialised equivalence tests pin this bit-for-bit).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ctlm_sim::{CompId, Component, Ctx, Event};
+use ctlm_trace::Micros;
+
+use crate::engine::{EngineState, SchedEvent, PRIO_ADMIT};
+use crate::queue::PendingTask;
+
+/// A pull-based producer of time-sorted arrival chunks.
+///
+/// Contract:
+///
+/// * every call appends at most one chunk's worth of tasks to `out` and
+///   returns the number appended — `0` means the stream is exhausted
+///   (and must keep returning `0`);
+/// * arrival times are nondecreasing *within and across* chunks, so the
+///   consumer can treat the concatenation of all refills as one sorted
+///   arrival list;
+/// * `out` is handed in empty (the consumer recycles drained segment
+///   buffers through it) and implementations must only append.
+///
+/// Implementations decide their own chunk size; [`StreamingSource`]
+/// adapts to whatever run length a refill produces.
+pub trait ArrivalStream {
+    /// Appends the next time-sorted run of tasks to `out`; returns how
+    /// many were appended (0 = exhausted).
+    fn refill(&mut self, out: &mut Vec<PendingTask>) -> usize;
+}
+
+/// [`ArrivalStream`] over an existing time-sorted task list, cloning
+/// `chunk` tasks per refill.
+///
+/// This is the compatibility adapter: workloads that must exist in
+/// memory anyway (model training reads them, replayed traces) can still
+/// feed the engine through the one streaming path.
+pub struct SliceStream<'a> {
+    tasks: &'a [PendingTask],
+    pos: usize,
+    chunk: usize,
+}
+
+impl<'a> SliceStream<'a> {
+    /// A stream over `tasks` (must be sorted by arrival time) delivering
+    /// `chunk` tasks per refill.
+    ///
+    /// # Panics
+    /// Panics when `chunk` is 0.
+    pub fn new(tasks: &'a [PendingTask], chunk: usize) -> Self {
+        assert!(chunk > 0, "chunk size must be positive");
+        debug_assert!(
+            tasks.windows(2).all(|w| w[0].arrival <= w[1].arrival),
+            "SliceStream input must be sorted by arrival"
+        );
+        Self {
+            tasks,
+            pos: 0,
+            chunk,
+        }
+    }
+}
+
+impl ArrivalStream for SliceStream<'_> {
+    fn refill(&mut self, out: &mut Vec<PendingTask>) -> usize {
+        let end = (self.pos + self.chunk).min(self.tasks.len());
+        let n = end - self.pos;
+        out.extend_from_slice(&self.tasks[self.pos..end]);
+        self.pos = end;
+        n
+    }
+}
+
+/// The kernel component draining an [`ArrivalStream`] into a cell.
+///
+/// Mirrors [`ArrivalSource`](crate::engine::ArrivalSource) /
+/// [`SpilloverForwarder`](crate::engine::SpilloverForwarder) event
+/// behaviour exactly — one wake per distinct arrival instant, admissions
+/// emitted at [`PRIO_ADMIT`] in arrival order — but reads tasks from the
+/// engine's slab (where each decoded chunk lands as one segment) instead
+/// of a borrowed slice. With `spill`, tasks the home cell cannot admit
+/// at their arrival instant go to the shard outbox as
+/// [`SchedEvent::SpillRequest`], as the forwarder does.
+pub struct StreamingSource<'a> {
+    stream: Box<dyn ArrivalStream + 'a>,
+    state: Rc<RefCell<EngineState<'a>>>,
+    engine: CompId,
+    /// Absolute arena index of the next task to admit.
+    next: usize,
+    /// One past the last decoded task's arena index.
+    end: usize,
+    spill: bool,
+    /// Last emitted arrival stamp — guards the stream's cross-chunk
+    /// sort contract in debug builds.
+    last_arrival: Micros,
+}
+
+impl<'a> StreamingSource<'a> {
+    /// Builds the source; call [`StreamingSource::prime`] before
+    /// registering it to decode the first chunk and learn the first
+    /// arrival time.
+    pub fn new(
+        stream: Box<dyn ArrivalStream + 'a>,
+        state: Rc<RefCell<EngineState<'a>>>,
+        engine: CompId,
+        spill: bool,
+    ) -> Self {
+        Self {
+            stream,
+            state,
+            engine,
+            next: 0,
+            end: 0,
+            spill,
+            last_arrival: 0,
+        }
+    }
+
+    /// Decodes the first chunk; returns the first arrival time (`None`
+    /// for an empty stream — no wake needs scheduling).
+    pub fn prime(&mut self) -> Option<Micros> {
+        if !self.refill() {
+            return None;
+        }
+        Some(self.state.borrow().task(self.next).arrival)
+    }
+
+    /// Pulls the next chunk into a fresh slab segment. Returns false
+    /// when the stream is exhausted.
+    fn refill(&mut self) -> bool {
+        let mut buf = self.state.borrow_mut().take_slab_buffer();
+        let n = self.stream.refill(&mut buf);
+        let mut state = self.state.borrow_mut();
+        if n == 0 {
+            state.recycle_slab_buffer(buf);
+            return false;
+        }
+        debug_assert!(
+            buf.windows(2).all(|w| w[0].arrival <= w[1].arrival)
+                && buf[0].arrival >= self.last_arrival,
+            "ArrivalStream chunks must be sorted across refills"
+        );
+        let (start, len) = state.push_chunk(buf);
+        debug_assert!(self.next == self.end, "refill only when drained");
+        self.next = start;
+        self.end = start + len;
+        true
+    }
+}
+
+impl Component<SchedEvent> for StreamingSource<'_> {
+    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.now();
+        loop {
+            if self.next == self.end && !self.refill() {
+                return; // exhausted — no further wakes
+            }
+            let (arrival, admit_home) = {
+                let state = self.state.borrow();
+                let task = state.task(self.next);
+                let local = !self.spill || task.arrival > now || state.can_admit(task);
+                (task.arrival, local)
+            };
+            if arrival > now {
+                ctx.emit_self_prio(arrival - now, PRIO_ADMIT, SchedEvent::Wake);
+                return;
+            }
+            self.last_arrival = arrival;
+            if admit_home {
+                ctx.emit_prio(0, PRIO_ADMIT, self.engine, SchedEvent::Arrival(self.next));
+            } else {
+                ctx.emit_remote(PRIO_ADMIT, SchedEvent::SpillRequest(self.next));
+            }
+            self.next += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(id: u64, arrival: Micros) -> PendingTask {
+        PendingTask {
+            id,
+            collection: 1,
+            cpu: 0.1,
+            memory: 0.1,
+            priority: 2,
+            reqs: vec![],
+            arrival,
+            truth_group: 25,
+        }
+    }
+
+    #[test]
+    fn slice_stream_chunks_cover_the_list() {
+        let tasks: Vec<PendingTask> = (0..10).map(|k| task(k, k * 100)).collect();
+        let mut stream = SliceStream::new(&tasks, 4);
+        let mut seen = Vec::new();
+        let mut buf = Vec::new();
+        let mut sizes = Vec::new();
+        loop {
+            buf.clear();
+            let n = stream.refill(&mut buf);
+            if n == 0 {
+                break;
+            }
+            sizes.push(n);
+            seen.extend(buf.iter().map(|t| t.id));
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+        assert_eq!(seen, (0..10).collect::<Vec<u64>>());
+        // Exhausted streams stay exhausted.
+        buf.clear();
+        assert_eq!(stream.refill(&mut buf), 0);
+    }
+}

@@ -63,4 +63,4 @@ pub mod parallel;
 
 pub use event::{Event, EventQueue, Time};
 pub use kernel::{CompId, Component, Ctx, Sim};
-pub use parallel::{CellKernel, ParallelSim, RemoteEvent};
+pub use parallel::{CellKernel, EpochAutotune, ParallelSim, RemoteEvent};

@@ -98,6 +98,37 @@ impl<'a, E> std::ops::DerefMut for CellKernel<'a, E> {
     }
 }
 
+/// Bounds and setpoint for epoch-length autotuning — see
+/// [`ParallelSim::set_autotune`].
+///
+/// A hand-picked epoch length is wrong somewhere: sparse fleets (1M
+/// mostly-idle machines) want long epochs so rounds aren't dominated by
+/// barrier overhead, dense bursts want short epochs so cross-shard
+/// traffic isn't delayed and per-round work stays balanced. The
+/// controller watches per-round event density and doubles or halves the
+/// epoch toward `target` delivered events per round, clamped to
+/// `[min, max]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EpochAutotune {
+    /// Shortest epoch the controller may pick (µs).
+    pub min: Time,
+    /// Longest epoch the controller may pick (µs).
+    pub max: Time,
+    /// Desired events delivered per round; the epoch halves above
+    /// `2 × target` and doubles below `target / 2`.
+    pub target: u64,
+}
+
+impl Default for EpochAutotune {
+    fn default() -> Self {
+        Self {
+            min: 1_000,       // 1 ms
+            max: 600_000_000, // 10 min
+            target: 4_096,
+        }
+    }
+}
+
 /// The epoch-barrier coordinator: owns the shards, advances them epoch
 /// by epoch (in parallel when `threads > 1`), and merges cross-shard
 /// outboxes deterministically at each barrier.
@@ -106,6 +137,11 @@ pub struct ParallelSim<'a, E> {
     epoch: Time,
     threads: usize,
     barriers: u64,
+    /// Epoch-length controller; `None` keeps the configured epoch fixed.
+    autotune: Option<EpochAutotune>,
+    /// `events_delivered()` at the previous barrier — the controller's
+    /// per-round density signal.
+    last_delivered: u64,
     /// Test-only override of the sequential execution order — see
     /// [`ParallelSim::set_sequential_order`].
     exec_order: Option<Vec<usize>>,
@@ -127,8 +163,27 @@ impl<'a, E: Send> ParallelSim<'a, E> {
             epoch,
             threads,
             barriers: 0,
+            autotune: None,
+            last_delivered: 0,
             exec_order: None,
         }
+    }
+
+    /// Enables epoch-length autotuning: after every barrier the epoch
+    /// halves when the round delivered more than `2 × target` events and
+    /// doubles when it delivered fewer than `target / 2`, clamped to
+    /// `[min, max]`. The signal (events delivered per round) depends only
+    /// on simulation state, so tuned runs remain bit-identical for any
+    /// thread count. The current epoch is clamped into the bounds
+    /// immediately.
+    ///
+    /// # Panics
+    /// Panics when `min` is 0 or `min > max`.
+    pub fn set_autotune(&mut self, tune: EpochAutotune) {
+        assert!(tune.min > 0, "autotune min epoch must be positive");
+        assert!(tune.min <= tune.max, "autotune min must not exceed max");
+        self.epoch = self.epoch.clamp(tune.min, tune.max);
+        self.autotune = Some(tune);
     }
 
     /// Adds a shard, returning its index.
@@ -260,6 +315,16 @@ impl<'a, E: Send> ParallelSim<'a, E> {
             }
             msgs.sort_by_key(|m| (m.time, m.priority, m.shard, m.seq));
             hook(bound, msgs, &mut self.shards);
+            if let Some(tune) = self.autotune {
+                let delivered = self.events_delivered();
+                let delta = delivered - self.last_delivered;
+                self.last_delivered = delivered;
+                if delta > tune.target.saturating_mul(2) {
+                    self.epoch = (self.epoch / 2).max(tune.min);
+                } else if delta < tune.target / 2 {
+                    self.epoch = self.epoch.saturating_mul(2).min(tune.max);
+                }
+            }
         }
     }
 }
@@ -421,6 +486,147 @@ mod tests {
         psim.run_until(1_000_000, |_, _, _| {});
         assert_eq!(psim.barriers(), 2, "only busy epochs cross a barrier");
         assert_eq!(psim.events_delivered(), 4);
+    }
+
+    /// A fixed-step self-event chain: `hops` deliveries spaced `step` µs
+    /// apart — event density is exactly `1/step`, so the autotune
+    /// controller's trajectory is easy to predict.
+    fn chain_sim(hops: u64, step: Time) -> Sim<'static, u64> {
+        struct Chain {
+            remaining: u64,
+            step: Time,
+        }
+        impl Component<u64> for Chain {
+            fn on_event(&mut self, _ev: Event<u64>, ctx: &mut Ctx<'_, u64>) {
+                if self.remaining > 0 {
+                    self.remaining -= 1;
+                    ctx.emit_self(self.step, 0);
+                }
+            }
+        }
+        let mut sim = Sim::new();
+        let id = sim.add_component(
+            "chain",
+            Chain {
+                remaining: hops,
+                step,
+            },
+        );
+        sim.schedule(0, id, id, 0);
+        sim
+    }
+
+    #[test]
+    fn autotune_shrinks_epoch_when_density_is_high() {
+        // 100 µs steps under a 1 s epoch = 10k events per round against a
+        // target of 128: the controller must halve its way down (and stay
+        // above the floor).
+        let mut psim: ParallelSim<'_, u64> = ParallelSim::new(1_000_000, 1);
+        psim.add_shard(chain_sim(30_000, 100));
+        psim.set_autotune(EpochAutotune {
+            min: 1_000,
+            max: 600_000_000,
+            target: 128,
+        });
+        psim.run_until(3_000_000, |_, _, _| {});
+        assert!(
+            psim.epoch() < 1_000_000,
+            "dense traffic should shrink the epoch, got {}",
+            psim.epoch()
+        );
+        assert!(psim.epoch() >= 1_000, "epoch must respect the floor");
+    }
+
+    #[test]
+    fn autotune_grows_epoch_when_density_is_low_and_clamps_at_max() {
+        // One event per second under a 10 ms epoch: every round delivers
+        // a single event, far below target/2, so the epoch doubles each
+        // barrier until the ceiling.
+        let mut psim: ParallelSim<'_, u64> = ParallelSim::new(10_000, 1);
+        psim.add_shard(chain_sim(20, 1_000_000));
+        psim.set_autotune(EpochAutotune {
+            min: 1_000,
+            max: 200_000,
+            target: 128,
+        });
+        psim.run_until(25_000_000, |_, _, _| {});
+        assert_eq!(
+            psim.epoch(),
+            200_000,
+            "sparse traffic should hit the ceiling"
+        );
+    }
+
+    #[test]
+    fn autotune_clamps_at_min() {
+        let mut psim: ParallelSim<'_, u64> = ParallelSim::new(1_000_000, 1);
+        psim.add_shard(chain_sim(30_000, 100));
+        psim.set_autotune(EpochAutotune {
+            min: 100_000,
+            max: 600_000_000,
+            target: 1,
+        });
+        psim.run_until(3_000_000, |_, _, _| {});
+        assert_eq!(
+            psim.epoch(),
+            100_000,
+            "every round over-target: floor holds"
+        );
+    }
+
+    /// `run_ring` with autotune enabled — returns the logs plus the final
+    /// (adapted) epoch so thread-independence covers the controller too.
+    fn run_ring_tuned(threads: usize) -> (Vec<Vec<(Time, u64)>>, Time) {
+        const SHARDS: usize = 4;
+        let logs: Vec<DeliveryLog> = (0..SHARDS)
+            .map(|_| Rc::new(RefCell::new(Vec::new())))
+            .collect();
+        let mut psim: ParallelSim<'_, u64> = ParallelSim::new(EPOCH, threads);
+        // target 1 pushes every round over 2×target, so the controller
+        // keeps halving — the run exercises adapted (changing) epochs
+        // rather than settling in the dead band.
+        psim.set_autotune(EpochAutotune {
+            min: 1 << 10,
+            max: 1 << 22,
+            target: 1,
+        });
+        let mut relays = Vec::new();
+        for log in &logs {
+            let mut sim = Sim::new();
+            let id = sim.add_component("relay", Relay { log: log.clone() });
+            sim.schedule(1000 * (relays.len() as u64 + 1), id, id, 0);
+            relays.push(id);
+            psim.add_shard(sim);
+        }
+        psim.run_until(HORIZON, |bound, msgs, shards| {
+            for m in msgs {
+                let target = (m.shard + 1) % SHARDS;
+                let at = bound.min(HORIZON);
+                shards[target].schedule_prio(
+                    at,
+                    m.priority,
+                    relays[target],
+                    relays[target],
+                    m.payload,
+                );
+            }
+        });
+        let epoch = psim.epoch();
+        (logs.iter().map(|l| l.borrow().clone()).collect(), epoch)
+    }
+
+    #[test]
+    fn autotuned_runs_are_thread_independent() {
+        let (base, base_epoch) = run_ring_tuned(1);
+        assert_ne!(
+            base_epoch, EPOCH,
+            "the controller should have moved the epoch"
+        );
+        for threads in [2, 4] {
+            let (logs, epoch) = run_ring_tuned(threads);
+            assert_eq!(logs, base, "threads={threads}");
+            assert_eq!(epoch, base_epoch, "threads={threads}");
+        }
     }
 
     #[test]
