@@ -177,6 +177,29 @@ impl AutoscaleStats {
     pub fn final_active(&self) -> usize {
         self.timeline.last().map(|s| s.active).unwrap_or(0)
     }
+
+    /// Folds the lifecycle counters and fleet-size extremes into a
+    /// telemetry registry under `prefix` (e.g. `"oracle.hot.autoscale"`).
+    /// Everything recorded is sim-plane state — a pure function of the
+    /// deterministic event sequence — so the export stays byte-identical
+    /// across thread counts.
+    pub fn record_into(&self, metrics: &mut ctlm_telemetry::Metrics, prefix: &str) {
+        let c = |name: &str, v: usize| (format!("{prefix}.{name}"), v as u64);
+        for (name, v) in [
+            c("scale_ups", self.scale_ups),
+            c("scale_downs", self.scale_downs),
+            c("provisioned", self.provisioned),
+            c("warm_activations", self.warm_activations),
+            c("drained", self.drained),
+            c("decommissioned", self.decommissioned),
+            c("cancelled", self.cancelled),
+            c("conflicts_skipped", self.conflicts_skipped),
+        ] {
+            metrics.counter(&name, v);
+        }
+        metrics.gauge(format!("{prefix}.peak_active"), self.peak_active() as f64);
+        metrics.gauge(format!("{prefix}.final_active"), self.final_active() as f64);
+    }
 }
 
 /// Where a provisioning machine is headed once ready.

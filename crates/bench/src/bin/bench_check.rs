@@ -14,8 +14,18 @@
 //! The default threshold (current ≤ 1.25 × baseline) is deliberately
 //! tolerant of shared-runner noise; tighten locally with
 //! `--threshold 1.1`.
+//!
+//! Every compared entry prints its measured/baseline ratio, pass or
+//! fail. A baseline entry annotated `"host_sensitive": true` downgrades
+//! a regression to a warning (printed, but exit stays 0) — for benches
+//! whose medians swing with cache topology or core count. When both
+//! reports carry a `_meta.host` fingerprint (the criterion shim records
+//! one) and the hosts differ, a warning notes that ratios are
+//! indicative only.
 
 use ctlm_bench::args::ParsedArgs;
+use ctlm_telemetry::HostFingerprint;
+use serde::Deserialize;
 use serde_json::Value;
 
 const DEFAULT_GROUPS: &[&str] = &[
@@ -35,6 +45,21 @@ fn medians(doc: &Value) -> Vec<(String, f64)> {
         .iter()
         .filter_map(|(k, v)| v.get_field("median_ns").as_f64().map(|m| (k.clone(), m)))
         .collect()
+}
+
+/// The report's recorded host fingerprint, when present (`_meta.host`).
+/// Older baselines predate the field; `None` skips the comparison.
+fn host_of(doc: &Value) -> Option<HostFingerprint> {
+    HostFingerprint::from_value(doc.get_field("_meta").get_field("host")).ok()
+}
+
+/// Whether the baseline marks `id` as host-sensitive: regressions on such
+/// entries warn instead of failing the gate.
+fn host_sensitive(doc: &Value, id: &str) -> bool {
+    matches!(
+        doc.get_field(id).get_field("host_sensitive"),
+        Value::Bool(true)
+    )
 }
 
 fn load(path: &str) -> Value {
@@ -68,10 +93,23 @@ fn main() {
         None => DEFAULT_GROUPS.to_vec(),
     };
 
-    let current = medians(&load(current_path));
-    let baseline = medians(&load(baseline_path));
+    let current_doc = load(current_path);
+    let baseline_doc = load(baseline_path);
+    if let (Some(ch), Some(bh)) = (host_of(&current_doc), host_of(&baseline_doc)) {
+        if !ch.same_host(&bh) {
+            eprintln!(
+                "bench_check: WARNING: hosts differ — current on {}, baseline on {}; \
+                 ratios are indicative only",
+                ch.label(),
+                bh.label()
+            );
+        }
+    }
+    let current = medians(&current_doc);
+    let baseline = medians(&baseline_doc);
     let mut compared = 0usize;
     let mut regressions = Vec::new();
+    let mut warned = 0usize;
     for (id, cur) in &current {
         if !groups.iter().any(|g| id.starts_with(g)) {
             continue;
@@ -81,12 +119,22 @@ fn main() {
         };
         compared += 1;
         let ratio = cur / base;
-        let verdict = if ratio > threshold { "REGRESSED" } else { "ok" };
+        let regressed = ratio > threshold;
+        let sensitive = host_sensitive(&baseline_doc, id);
+        let verdict = match (regressed, sensitive) {
+            (true, true) => "WARN (host-sensitive)",
+            (true, false) => "REGRESSED",
+            (false, _) => "ok",
+        };
         println!(
             "{id:<45} current {cur:>14.0} ns  baseline {base:>14.0} ns  ratio {ratio:>5.2}  {verdict}"
         );
-        if ratio > threshold {
-            regressions.push((id.clone(), ratio));
+        if regressed {
+            if sensitive {
+                warned += 1;
+            } else {
+                regressions.push((id.clone(), ratio));
+            }
         }
     }
     if compared == 0 {
@@ -95,6 +143,12 @@ fn main() {
              did the bench run write {current_path}?"
         );
         std::process::exit(2);
+    }
+    if warned > 0 {
+        println!(
+            "bench_check: {warned} host-sensitive entr{} exceeded {threshold}× (warning only)",
+            if warned == 1 { "y" } else { "ies" }
+        );
     }
     if regressions.is_empty() {
         println!("bench_check: {compared} medians within {threshold}× of baseline");

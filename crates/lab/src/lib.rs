@@ -51,6 +51,7 @@ use std::fmt;
 
 pub mod build;
 pub mod memtrack;
+pub mod observe;
 pub mod registry;
 pub mod report;
 pub mod run;
@@ -58,9 +59,10 @@ pub mod spec;
 pub mod stream;
 pub mod sweep;
 
+pub use observe::Observations;
 pub use report::LabReport;
 pub use spec::ExperimentSpec;
-pub use sweep::{run_spec, run_spec_json, run_spec_materialised};
+pub use sweep::{run_spec, run_spec_json, run_spec_materialised, run_spec_observed};
 
 /// Harness-level failure: a malformed spec, an unknown registry name, a
 /// bad knob path.

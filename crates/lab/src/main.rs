@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ctlm-lab <spec.json> [--out report.json] [--json] [--seed N] [--threads N]
-//!          [--materialised] [--no-meta]
+//!          [--materialised] [--no-meta] [--metrics metrics.json] [--trace]
 //! ctlm-lab --diff <a.json> <b.json> [--tolerance X]
 //! ```
 //!
@@ -15,14 +15,26 @@
 //! `--materialised` forces the classic materialise-everything arrival
 //! path (the default streams synthetic arrivals; results are
 //! bit-identical, only peak memory differs). Reports carry a `_meta`
-//! block with the run's peak RSS and allocator high-water mark;
-//! `--no-meta` omits it so two reports can be compared byte for byte.
+//! block with the run's peak RSS, allocator high-water mark, host
+//! fingerprint, and (multi-cell runs) the `_perf` per-shard wall-clock
+//! profile; `--no-meta` omits all of it so two reports can be compared
+//! byte for byte.
+//!
+//! `--metrics <path>` writes the deterministic sim-plane telemetry
+//! registry (engine placement/admission counters, queue-depth
+//! histograms, kernel lane stats, slab recycle stats, autoscale
+//! lifecycle counters) as JSON — byte-identical for every `--threads`
+//! value. `--trace` additionally keeps a bounded per-cell ring of the
+//! last delivered engine events and embeds it in the metrics file.
 //!
 //! `--diff` compares two previously written reports instead of running
 //! anything: per-(point, scheduler, cell) median deltas (`b − a`), so a
 //! knob change or a code change can be judged row by row. When both
-//! reports carry `_meta`, the peak-memory delta is shown
-//! informationally (it never gates). The exit code gates: it is
+//! reports carry `_meta`, the peak-memory, host, and `_perf`
+//! shard-timing deltas are shown informationally (they never gate;
+//! reports missing `_meta` or `_perf` — older snapshots — are fine).
+//! Given two `--metrics` files instead, it prints counter deltas and
+//! exits zero. The exit code gates: it is
 //! non-zero when any compared median (group-0 mean, other mean, or
 //! unplaced count) regresses — grows from `a` to `b` by more than the
 //! relative `--tolerance` (default 0, i.e. any increase fails; a zero
@@ -31,8 +43,11 @@
 
 use ctlm_bench::ParsedArgs;
 use ctlm_lab::memtrack::{self, TrackingAlloc};
+use ctlm_lab::observe::Observations;
 use ctlm_lab::report::{diff_reports, to_pretty_json, LabReport, ReportMeta, SummaryDiff};
+use ctlm_lab::run::ArrivalMode;
 use ctlm_lab::ExperimentSpec;
+use ctlm_telemetry::{HostFingerprint, Metrics, PerfReport};
 use serde::Deserialize;
 
 /// Counting allocator so `_meta.alloc_peak_bytes` reflects the run (the
@@ -42,8 +57,8 @@ static ALLOC: TrackingAlloc = TrackingAlloc;
 
 fn main() {
     let args = ParsedArgs::from_env(
-        &["--json", "--diff", "--materialised", "--no-meta"],
-        &["--out", "--seed", "--threads", "--tolerance"],
+        &["--json", "--diff", "--materialised", "--no-meta", "--trace"],
+        &["--out", "--seed", "--threads", "--tolerance", "--metrics"],
     );
     if args.flag("--diff") {
         let [a, b] = args.positionals() else {
@@ -57,7 +72,14 @@ fn main() {
                     .unwrap_or_else(|_| panic!("--tolerance needs a number"))
             })
             .unwrap_or(0.0);
-        let regressions = print_diff(&load_report(a), &load_report(b), tolerance);
+        let (va, vb) = (load_json(a), load_json(b));
+        // Two metrics files (written by `--metrics`) diff as counter
+        // deltas — informational, never gating.
+        if let (Some(ma), Some(mb)) = (parse_metrics(&va), parse_metrics(&vb)) {
+            print_metrics_diff(&ma, &mb);
+            return;
+        }
+        let regressions = print_diff(&parse_report(a, &va), &parse_report(b, &vb), tolerance);
         if !regressions.is_empty() {
             eprintln!(
                 "\n{} regression(s) beyond tolerance {tolerance}:",
@@ -95,17 +117,43 @@ fn main() {
             .parse()
             .unwrap_or_else(|_| panic!("--threads needs a number"));
     }
-    let run = if args.flag("--materialised") {
-        ctlm_lab::run_spec_materialised
-    } else {
-        ctlm_lab::run_spec
-    };
-    let mut report = run(&spec).unwrap_or_else(|e| panic!("{e}"));
+    let metrics_out = args.option("--metrics");
+    if metrics_out.is_some() {
+        spec.observability.metrics = true;
+    }
+    if args.flag("--trace") && spec.observability.trace_events == 0 {
+        spec.observability.trace_events = 4096;
+    }
+    // Profiling feeds `_meta._perf` only, so it is pointless (and pure
+    // overhead) when `--no-meta` drops the block.
     if !args.flag("--no-meta") {
+        spec.observability.profile = true;
+    }
+    let mode = if args.flag("--materialised") {
+        ArrivalMode::Materialised
+    } else {
+        ArrivalMode::Streaming
+    };
+    let (mut report, obs) =
+        ctlm_lab::run_spec_observed(&spec, mode).unwrap_or_else(|e| panic!("{e}"));
+    if !args.flag("--no-meta") {
+        let host = HostFingerprint::detect();
+        let perf = obs.perf.clone().map(|mut p| {
+            p.host = Some(host.clone());
+            p
+        });
         report._meta = Some(ReportMeta {
             peak_rss_bytes: memtrack::peak_rss_bytes(),
             alloc_peak_bytes: memtrack::alloc_peak_bytes(),
+            host: Some(host),
+            _perf: perf,
         });
+    }
+    if let Some(path) = metrics_out {
+        let json = to_pretty_json(&metrics_document(&obs));
+        std::fs::write(path, format!("{json}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+        eprintln!("metrics written to {path}");
     }
     let json = to_pretty_json(&report);
     if let Some(out) = args.option("--out") {
@@ -127,13 +175,78 @@ fn fmt_ms(v: Option<f64>) -> String {
     }
 }
 
-fn load_report(path: &str) -> LabReport {
+fn load_json(path: &str) -> serde_json::Value {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read report {path:?}: {e}"));
-    let value: serde_json::Value =
-        serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path:?}: {e}"));
-    Deserialize::from_value(&value)
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path:?}: {e}"))
+}
+
+fn parse_report(path: &str, value: &serde_json::Value) -> LabReport {
+    Deserialize::from_value(value)
         .unwrap_or_else(|e| panic!("{path:?} is not a ctlm-lab report: {e}"))
+}
+
+/// A metrics file (written by `--metrics`) is an object with a
+/// `metrics` block; anything else is not one.
+fn parse_metrics(value: &serde_json::Value) -> Option<Metrics> {
+    let serde_json::Value::Object(fields) = value else {
+        return None;
+    };
+    let (_, m) = fields.iter().find(|(k, _)| k == "metrics")?;
+    Deserialize::from_value(m).ok()
+}
+
+/// The document `--metrics <path>` writes: the registry, plus the event
+/// traces (sorted by key) when tracing ran. Everything inside is
+/// sim-plane state, so the file is byte-identical for every
+/// `execution.threads` value.
+fn metrics_document(obs: &Observations) -> serde_json::Value {
+    let mut fields = vec![(
+        "metrics".to_string(),
+        serde::Serialize::to_value(&obs.metrics),
+    )];
+    if !obs.traces.is_empty() {
+        let mut traces: Vec<_> = obs.traces.iter().collect();
+        traces.sort_by(|(a, _), (b, _)| a.cmp(b));
+        fields.push((
+            "traces".to_string(),
+            serde_json::Value::Object(
+                traces
+                    .into_iter()
+                    .map(|(k, ring)| (k.clone(), serde::Serialize::to_value(ring)))
+                    .collect(),
+            ),
+        ));
+    }
+    serde_json::Value::Object(fields)
+}
+
+/// Counter deltas between two metrics files: every name present on
+/// either side, skipping unchanged values. Informational only.
+fn print_metrics_diff(a: &Metrics, b: &Metrics) {
+    println!("metrics diff (b − a):");
+    println!("{:<56} {:>14} {:>14} {:>12}", "counter", "a", "b", "Δ");
+    println!("{}", "-".repeat(100));
+    let mut names: Vec<&str> = a
+        .counters_sorted()
+        .iter()
+        .map(|&(n, _)| n)
+        .chain(b.counters_sorted().iter().map(|&(n, _)| n))
+        .collect();
+    names.sort_unstable();
+    names.dedup();
+    let mut unchanged = 0usize;
+    for name in names {
+        let va = a.counter_value(name).unwrap_or(0);
+        let vb = b.counter_value(name).unwrap_or(0);
+        if va == vb {
+            unchanged += 1;
+            continue;
+        }
+        let delta = vb as i128 - va as i128;
+        println!("{name:<56} {va:>14} {vb:>14} {delta:>+12}");
+    }
+    println!("({unchanged} unchanged counter(s) not shown)");
 }
 
 fn point_label(diff: &SummaryDiff) -> String {
@@ -211,6 +324,37 @@ fn print_meta_diff(a: &Option<ReportMeta>, b: &Option<ReportMeta>) {
             "−"
         },
         fmt_mib(mb.alloc_peak_bytes.abs_diff(ma.alloc_peak_bytes)),
+    );
+    match (&ma.host, &mb.host) {
+        (Some(ha), Some(hb)) if !ha.same_host(hb) => {
+            println!(
+                "note: reports come from different hosts ({} vs {}) — wall-clock \
+                 comparisons are apples to oranges",
+                ha.label(),
+                hb.label()
+            );
+        }
+        _ => {}
+    }
+    print_perf_diff(&ma._perf, &mb._perf);
+}
+
+/// Prints the shard-timing delta between two `_perf` blocks. Purely
+/// informational (wall-clock numbers never gate); either side may be
+/// missing — older snapshots and unprofiled runs carry no `_perf`.
+fn print_perf_diff(a: &Option<PerfReport>, b: &Option<PerfReport>) {
+    let (Some(pa), Some(pb)) = (a, b) else {
+        return;
+    };
+    println!(
+        "shard critical path: {:.1} µs/round → {:.1} µs/round over {} → {} round(s), \
+         {} → {} thread(s) [informational]",
+        pa.critical_path_us_per_round(),
+        pb.critical_path_us_per_round(),
+        pa.rounds,
+        pb.rounds,
+        pa.threads,
+        pb.threads,
     );
 }
 

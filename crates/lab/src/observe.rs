@@ -1,0 +1,140 @@
+//! Sim-plane telemetry collection: folding per-cell run outcomes into
+//! one [`Metrics`] registry (plus the per-cell event traces) and the
+//! host-plane shard profile into a [`PerfReport`].
+//!
+//! Everything the metrics side records is read from simulation state —
+//! counters, histograms and traces are pure functions of the
+//! deterministic event sequence — and the fold happens sequentially in
+//! spec order, so the registry's JSON export is byte-identical for
+//! every `execution.threads` value. The perf side is wall-clock and
+//! host-dependent; it never enters the registry and surfaces only in
+//! the report's `_meta._perf` block.
+
+use ctlm_sim::ParallelPerf;
+use ctlm_telemetry::{Metrics, PerfReport, ShardPerf, TraceRing};
+
+use crate::run::CellOutcome;
+
+/// Sim-plane observations accumulated over a spec's runs: the metrics
+/// registry and, when tracing was enabled, the per-cell event traces
+/// keyed `scheduler.cell` (later runs of the same key replace earlier
+/// ones — with sweeps the last grid point's trace wins, deterministically).
+#[derive(Clone, Debug, Default)]
+pub struct Observations {
+    /// The deterministic metrics registry.
+    pub metrics: Metrics,
+    /// `(key, ring)` event traces in first-appearance key order.
+    pub traces: Vec<(String, TraceRing)>,
+    /// Merged wall-clock shard profile (host plane), when profiling ran.
+    pub perf: Option<PerfReport>,
+}
+
+impl Observations {
+    /// Folds one scheduler run's per-cell outcomes (and optional shard
+    /// profile) into the accumulated observations.
+    pub fn record_run(
+        &mut self,
+        scheduler: &str,
+        outcomes: &[CellOutcome],
+        perf: Option<&ParallelPerf>,
+        threads: usize,
+    ) {
+        for o in outcomes {
+            record_cell(&mut self.metrics, scheduler, o);
+            if let Some(ring) = &o.telemetry.trace {
+                let key = format!("{scheduler}.{}", o.cell);
+                match self.traces.iter_mut().find(|(k, _)| *k == key) {
+                    Some(slot) => slot.1 = ring.clone(),
+                    None => self.traces.push((key, ring.clone())),
+                }
+            }
+        }
+        if let Some(p) = perf {
+            let report = perf_report(p, threads);
+            match &mut self.perf {
+                Some(acc) => acc.merge(&report),
+                None => self.perf = Some(report),
+            }
+        }
+    }
+
+    /// Merges another accumulation into this one (counters add, gauges
+    /// and same-key traces take `other`'s value, perf accumulates).
+    /// Callers merge per-point observations in grid order, keeping the
+    /// result independent of how the points were scheduled onto workers.
+    pub fn merge(&mut self, other: &Observations) {
+        self.metrics.merge(&other.metrics);
+        for (key, ring) in &other.traces {
+            match self.traces.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = ring.clone(),
+                None => self.traces.push((key.clone(), ring.clone())),
+            }
+        }
+        if let Some(p) = &other.perf {
+            match &mut self.perf {
+                Some(acc) => acc.merge(p),
+                None => self.perf = Some(p.clone()),
+            }
+        }
+    }
+}
+
+/// Converts the coordinator's raw nanosecond accumulators into the
+/// serializable per-shard profile.
+pub fn perf_report(p: &ParallelPerf, threads: usize) -> PerfReport {
+    PerfReport {
+        rounds: p.rounds,
+        drain_ns: p.drain_ns,
+        threads,
+        shards: p
+            .shard_run_ns
+            .iter()
+            .zip(&p.shard_barrier_ns)
+            .map(|(&run_ns, &barrier_ns)| ShardPerf { run_ns, barrier_ns })
+            .collect(),
+        host: None,
+    }
+}
+
+/// Records one cell's telemetry under `scheduler.cell.*` names. Counter
+/// deltas accumulate across runs (sweep points, seeds, repeats); gauges
+/// keep the last run's value in fold order.
+fn record_cell(m: &mut Metrics, scheduler: &str, o: &CellOutcome) {
+    let p = format!("{scheduler}.{}", o.cell);
+    let t = &o.telemetry;
+    let s = &t.stats;
+    for (name, v) in [
+        ("placed", s.placed),
+        ("placed_with_preemption", s.placed_with_preemption),
+        ("infeasible", s.infeasible),
+        ("no_capacity", s.no_capacity),
+        ("admitted_arrivals", s.admitted_arrivals),
+        ("admitted_dynamic", s.admitted_dynamic),
+        ("admitted_gang_members", s.admitted_gang_members),
+        ("spill_requests", s.spill_requests),
+        ("cycles", s.cycles),
+    ] {
+        m.counter(format!("{p}.engine.{name}"), v);
+    }
+    m.histogram(format!("{p}.engine.hp_depth"), &s.hp_depth);
+    m.histogram(format!("{p}.engine.main_depth"), &s.main_depth);
+    let l = &t.lanes;
+    for (name, v) in [
+        ("push_wheel", l.push_wheel),
+        ("push_heap", l.push_heap),
+        ("batch_wheel", l.batch_wheel),
+        ("batch_sorted", l.batch_sorted),
+        ("pop_wheel", l.pop_wheel),
+        ("pop_sorted", l.pop_sorted),
+        ("pop_heap", l.pop_heap),
+    ] {
+        m.counter(format!("{p}.kernel.{name}"), v);
+    }
+    m.counter(format!("{p}.slab.retired"), t.slab_retired);
+    m.gauge(format!("{p}.slab.resident"), t.slab_resident as f64);
+    m.counter(format!("{p}.spill.in"), o.spilled_in as u64);
+    m.counter(format!("{p}.spill.out"), o.spilled_out as u64);
+    if let Some(auto) = &o.autoscale {
+        auto.record_into(m, &format!("{p}.autoscale"));
+    }
+}

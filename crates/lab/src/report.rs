@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use ctlm_autoscale::AutoscaleStats;
 use ctlm_sched::LatencyStats;
+use ctlm_telemetry::{HostFingerprint, PerfReport};
 
 use crate::run::CellOutcome;
 use crate::spec::KnobSpec;
@@ -44,6 +45,17 @@ pub struct ReportMeta {
     /// Counting-allocator high-water mark in bytes (zero unless the
     /// binary installed [`crate::memtrack::TrackingAlloc`]).
     pub alloc_peak_bytes: u64,
+    /// Fingerprint of the host that produced the report (cpu model,
+    /// core count). Lets `--diff` flag cross-host comparisons. Absent
+    /// in reports from older snapshots — readers must tolerate that.
+    #[serde(default)]
+    pub host: Option<HostFingerprint>,
+    /// Wall-clock shard profile (per-shard run/barrier time and
+    /// coordinator drain time per epoch round), when the run profiled.
+    /// Host-dependent and informational only; like the rest of `_meta`
+    /// it is dropped by `--no-meta` and excluded from byte-compares.
+    #[serde(default)]
+    pub _perf: Option<PerfReport>,
 }
 
 /// One executed run: one grid point under one seed/repeat.

@@ -34,9 +34,11 @@ use ctlm_data::vocab::ValueVocab;
 use ctlm_sched::engine::{CellHandle, EngineState, PRIO_ADMIT, PRIO_STATE};
 use ctlm_sched::scenario::{ChurnSource, GangSource, RolloutSource};
 use ctlm_sched::{
-    OwnershipGuard, PendingTask, SchedCluster, SchedEvent, Scheduler, SimResult, Simulator,
+    EngineStats, OwnershipGuard, PendingTask, SchedCluster, SchedEvent, Scheduler, SimResult,
+    Simulator,
 };
-use ctlm_sim::{Component, Ctx, EpochAutotune, Event, ParallelSim, Sim};
+use ctlm_sim::{Component, Ctx, EpochAutotune, Event, LaneStats, ParallelPerf, ParallelSim, Sim};
+use ctlm_telemetry::TraceRing;
 use ctlm_trace::Micros;
 
 use crate::build::{build_cell, BuiltArrivals, BuiltCell, CELL_ID_STRIDE};
@@ -77,6 +79,29 @@ pub struct CellOutcome {
     /// What the cell's autoscaler did (fleet timeline included), when
     /// the scenario ran one.
     pub autoscale: Option<AutoscaleStats>,
+    /// Sim-plane telemetry snapshotted at the end of the run.
+    pub telemetry: CellTelemetry,
+}
+
+/// One cell's sim-plane telemetry: engine counters/histograms, kernel
+/// event-lane statistics, task-slab recycle stats, and (when enabled)
+/// the bounded event trace. All of it is a pure function of the
+/// deterministic event sequence — identical for every
+/// `execution.threads` value.
+#[derive(Clone, Debug, Default)]
+pub struct CellTelemetry {
+    /// Engine placement/admission counters and queue-depth histograms.
+    pub stats: EngineStats,
+    /// Kernel event-queue lane statistics (wheel/heap/sorted routing and
+    /// pops) for the cell's shard.
+    pub lanes: LaneStats,
+    /// Task-slab segments retired (drained and recycled).
+    pub slab_retired: u64,
+    /// Task-slab segments still resident at the end of the run.
+    pub slab_resident: usize,
+    /// The last-N delivered engine events, when the spec (or `--trace`)
+    /// enabled tracing.
+    pub trace: Option<TraceRing>,
 }
 
 /// An attached cell: its engine handle plus the autoscale stats sink
@@ -233,6 +258,17 @@ pub fn run_scheduler(
     sched_name: &str,
     mode: ArrivalMode,
 ) -> Result<Vec<CellOutcome>, LabError> {
+    run_scheduler_observed(spec, sched_name, mode).map(|(outcomes, _)| outcomes)
+}
+
+/// [`run_scheduler`], also returning the wall-clock shard profile when
+/// the spec's `observability.profile` knob is on (multi-cell runs only —
+/// single-timeline runs have no shards or barriers to time).
+pub fn run_scheduler_observed(
+    spec: &ExperimentSpec,
+    sched_name: &str,
+    mode: ArrivalMode,
+) -> Result<(Vec<CellOutcome>, Option<ParallelPerf>), LabError> {
     let cell_specs = spec.cell_specs();
     let mut built: Vec<BuiltCell> = cell_specs
         .iter()
@@ -274,6 +310,9 @@ pub fn run_scheduler(
     let mut autoscale_stats: Vec<Option<Rc<RefCell<AutoscaleStats>>>> =
         Vec::with_capacity(built.len());
     let mut spills = vec![(0usize, 0usize); built.len()];
+    let trace_capacity = spec.observability.trace_events;
+    let mut lanes = vec![LaneStats::default(); built.len()];
+    let mut perf: Option<ParallelPerf> = None;
 
     if built.len() == 1 {
         // Single cell: the classic one-timeline harness, no coordination.
@@ -297,7 +336,11 @@ pub fn run_scheduler(
             handles.push(handle);
             autoscale_stats.push(stats);
         }
+        if trace_capacity > 0 {
+            handles[0].state().borrow_mut().enable_trace(trace_capacity);
+        }
         sim.run_until(horizon);
+        lanes[0] = sim.lane_stats();
         drop(sim);
     } else {
         // Multi-cell: one kernel shard per cell under the epoch-barrier
@@ -307,6 +350,9 @@ pub fn run_scheduler(
             ParallelSim::new(spec.execution.epoch_us.initial(), spec.execution.threads);
         if spec.execution.epoch_us.is_auto() {
             psim.set_autotune(EpochAutotune::default());
+        }
+        if spec.observability.profile {
+            psim.enable_profiling();
         }
         for ((((cell, simulator), instance), registry), cluster) in built
             .iter()
@@ -332,6 +378,11 @@ pub fn run_scheduler(
         }
         let engines: Vec<_> = handles.iter().map(|h| h.engine).collect();
         let states: Vec<_> = handles.iter().map(|h| h.state()).collect();
+        if trace_capacity > 0 {
+            for state in &states {
+                state.borrow_mut().enable_trace(trace_capacity);
+            }
+        }
         let policy = spec.spillover;
         psim.run_until(horizon, |bound, msgs, shards| {
             // Spill requests arrive merged in (time, priority, shard,
@@ -379,24 +430,39 @@ pub fn run_scheduler(
                 }
             }
         });
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = psim.shard(i).lane_stats();
+        }
+        perf = psim.perf().cloned();
         drop(psim);
     }
 
-    Ok(handles
+    let outcomes = handles
         .iter()
         .zip(built.iter())
         .enumerate()
         .map(|(i, (handle, cell))| {
             let (_, result) = handle.finish();
+            let state = handle.state();
+            let state = state.borrow();
+            let telemetry = CellTelemetry {
+                stats: state.stats().clone(),
+                lanes: lanes[i],
+                slab_retired: state.slab_retired(),
+                slab_resident: state.slab_resident_segments(),
+                trace: state.trace().cloned(),
+            };
             CellOutcome {
                 cell: cell.name.clone(),
                 result,
                 spilled_in: spills[i].0,
                 spilled_out: spills[i].1,
                 autoscale: autoscale_stats[i].as_ref().map(|s| s.borrow().clone()),
+                telemetry,
             }
         })
-        .collect())
+        .collect();
+    Ok((outcomes, perf))
 }
 
 /// The online-retraining scenario component: every `period`, retrain on

@@ -65,6 +65,12 @@ pub struct ExperimentSpec {
     /// timeline. Results never depend on `threads`.
     #[serde(default)]
     pub execution: ExecutionSpec,
+    /// Observability knobs: deterministic metrics collection, bounded
+    /// event tracing, and wall-clock shard profiling. None of them ever
+    /// changes the report body. Overridable with `ctlm-lab
+    /// --metrics <path>` / `--trace`.
+    #[serde(default)]
+    pub observability: ObservabilitySpec,
     /// Optional sweep grid (knobs × seeds × repeats).
     #[serde(default)]
     pub sweep: Option<SweepSpec>,
@@ -743,6 +749,73 @@ impl Default for ExecutionSpec {
             epoch_us: EpochSpec::Fixed(1_000_000), // one barrier per simulated second
             arrival_chunk: 8_192,
         }
+    }
+}
+
+/// Observability knobs. Two strictly separated planes:
+///
+/// * the **sim plane** (`metrics`, `trace_events`) reads simulation
+///   state only — counters, histograms and event traces are pure
+///   functions of the deterministic event sequence, so their JSON
+///   export is byte-identical for every `execution.threads` value and
+///   collecting them never changes the report body;
+/// * the **host plane** (`profile`) reads the wall clock — per-shard
+///   run/barrier/drain timings land exclusively in the report's
+///   `_meta._perf` block, which `--no-meta` (and byte-compares) drop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObservabilitySpec {
+    /// Collect the deterministic metrics registry (engine counters,
+    /// queue-depth histograms, kernel lane stats, slab recycle stats,
+    /// autoscale lifecycle counters). The `ctlm-lab --metrics <path>`
+    /// flag switches this on and writes the registry as JSON.
+    pub metrics: bool,
+    /// Per-cell bounded event-trace capacity (last-N delivered engine
+    /// events); 0 disables tracing. The ring preallocates and
+    /// overwrites in place, so tracing keeps the zero-allocation pass
+    /// contract. `ctlm-lab --trace` enables it at a default capacity.
+    pub trace_events: usize,
+    /// Profile multi-cell runs on the wall clock: per-shard `run_before`
+    /// time, derived barrier wait, and coordinator outbox-drain time per
+    /// epoch round. Host-dependent — emitted only into `_meta._perf`.
+    pub profile: bool,
+}
+
+impl serde::Serialize for ObservabilitySpec {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            ("metrics".to_string(), serde_json::Value::Bool(self.metrics)),
+            (
+                "trace_events".to_string(),
+                serde_json::Value::Num(self.trace_events as f64),
+            ),
+            ("profile".to_string(), serde_json::Value::Bool(self.profile)),
+        ])
+    }
+}
+
+// Manual impl so a partial `observability` object keeps the struct
+// defaults for the fields it omits (mirrors [`ExecutionSpec`]).
+impl serde::Deserialize for ObservabilitySpec {
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde::Error> {
+        let serde_json::Value::Object(fields) = v else {
+            return Err(serde::Error::msg(format!(
+                "expected observability object, got {v:?}"
+            )));
+        };
+        let mut out = ObservabilitySpec::default();
+        for (key, val) in fields {
+            match key.as_str() {
+                "metrics" => out.metrics = serde::Deserialize::from_value(val)?,
+                "trace_events" => out.trace_events = serde::Deserialize::from_value(val)?,
+                "profile" => out.profile = serde::Deserialize::from_value(val)?,
+                other => {
+                    return Err(serde::Error::msg(format!(
+                        "unknown observability field {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
     }
 }
 

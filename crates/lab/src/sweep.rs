@@ -11,8 +11,9 @@ use rayon::prelude::*;
 use serde::Deserialize;
 use serde_json::Value;
 
+use crate::observe::Observations;
 use crate::report::{knob_settings, summarize, LabReport, RunReport, SchedulerRun};
-use crate::run::{run_scheduler, ArrivalMode};
+use crate::run::{run_scheduler_observed, ArrivalMode};
 use crate::spec::ExperimentSpec;
 use crate::LabError;
 
@@ -36,31 +37,49 @@ pub fn run_spec_json(text: &str) -> Result<LabReport, LabError> {
 /// whole population up front; the report is bit-identical to
 /// [`run_spec_materialised`].
 pub fn run_spec(spec: &ExperimentSpec) -> Result<LabReport, LabError> {
-    run_spec_mode(spec, ArrivalMode::Streaming)
+    run_spec_observed(spec, ArrivalMode::Streaming).map(|(report, _)| report)
 }
 
 /// [`run_spec`], but with every arrival list materialised up front — the
 /// classic path. Exists so tests (and `ctlm-lab --materialised`) can pin
 /// the streamed report against it.
 pub fn run_spec_materialised(spec: &ExperimentSpec) -> Result<LabReport, LabError> {
-    run_spec_mode(spec, ArrivalMode::Materialised)
+    run_spec_observed(spec, ArrivalMode::Materialised).map(|(report, _)| report)
 }
 
-fn run_spec_mode(spec: &ExperimentSpec, mode: ArrivalMode) -> Result<LabReport, LabError> {
+/// Expands and executes a spec, also returning the accumulated
+/// observations: the deterministic metrics registry (and traces, when
+/// the spec enabled them) plus the wall-clock shard profile when
+/// `observability.profile` is on. Per-point observations are merged in
+/// grid order, so the metrics side is byte-identical however the points
+/// were scheduled onto workers — and for every `execution.threads`.
+pub fn run_spec_observed(
+    spec: &ExperimentSpec,
+    mode: ArrivalMode,
+) -> Result<(LabReport, Observations), LabError> {
     spec.validate()?;
     // Normalize: serialize the parsed spec so every defaulted field
     // exists in the document and knob paths always resolve.
     let base = spec.to_value();
     let points = expand(spec, &base)?;
-    let runs: Vec<Result<RunReport, LabError>> = points
+    let runs: Vec<Result<(RunReport, Observations), LabError>> = points
         .par_iter()
         .map(|p| {
+            let mut obs = Observations::default();
             let schedulers = p
                 .spec
                 .scheduler_names()
                 .iter()
                 .map(|name| {
-                    let outcomes = run_scheduler(&p.spec, name, mode)?;
+                    let (outcomes, perf) = run_scheduler_observed(&p.spec, name, mode)?;
+                    // `threads == 0` means "pool width" (the ParallelSim
+                    // convention); record the width that actually ran so
+                    // `_perf.threads` is meaningful.
+                    let threads = match p.spec.execution.threads {
+                        0 => rayon::current_num_threads().max(1),
+                        n => n,
+                    };
+                    obs.record_run(name, &outcomes, perf.as_ref(), threads);
                     Ok(SchedulerRun {
                         scheduler: name.clone(),
                         cells: outcomes
@@ -70,27 +89,41 @@ fn run_spec_mode(spec: &ExperimentSpec, mode: ArrivalMode) -> Result<LabReport, 
                     })
                 })
                 .collect::<Result<Vec<_>, LabError>>()?;
-            Ok(RunReport {
-                knobs: p
-                    .spec
-                    .sweep
-                    .as_ref()
-                    .map(|s| knob_settings(&s.knobs, &p.knob_choice))
-                    .unwrap_or_default(),
-                seed: p.seed,
-                repeat: p.repeat,
-                schedulers,
-            })
+            Ok((
+                RunReport {
+                    knobs: p
+                        .spec
+                        .sweep
+                        .as_ref()
+                        .map(|s| knob_settings(&s.knobs, &p.knob_choice))
+                        .unwrap_or_default(),
+                    seed: p.seed,
+                    repeat: p.repeat,
+                    schedulers,
+                },
+                obs,
+            ))
         })
         .collect();
-    let runs: Vec<RunReport> = runs.into_iter().collect::<Result<_, _>>()?;
-    let summary = summarize(&runs);
-    Ok(LabReport {
-        name: spec.name.clone(),
-        runs,
-        summary,
-        _meta: None,
-    })
+    // `collect` preserved point order, so this fold is deterministic no
+    // matter which workers ran which points.
+    let mut runs_out = Vec::with_capacity(runs.len());
+    let mut obs = Observations::default();
+    for r in runs {
+        let (run, o) = r?;
+        runs_out.push(run);
+        obs.merge(&o);
+    }
+    let summary = summarize(&runs_out);
+    Ok((
+        LabReport {
+            name: spec.name.clone(),
+            runs: runs_out,
+            summary,
+            _meta: None,
+        },
+        obs,
+    ))
 }
 
 impl ExperimentSpec {

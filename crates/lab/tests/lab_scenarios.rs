@@ -10,8 +10,8 @@ use ctlm_autoscale::ProvisionDelay;
 use ctlm_lab::report::to_pretty_json;
 use ctlm_lab::spec::{
     ArrivalProcess, AutoscaleSpec, ChurnSpec, ExecutionSpec, ExperimentSpec, GangSpec, KnobSpec,
-    MachineGroup, PlacerSpec, PolicyParams, RestrictiveSpec, ScenarioSpec, SizeDist,
-    SpilloverPolicy, SweepSpec, SyntheticWorkload, TrainSpec, WorkloadSpec,
+    MachineGroup, ObservabilitySpec, PlacerSpec, PolicyParams, RestrictiveSpec, ScenarioSpec,
+    SizeDist, SpilloverPolicy, SweepSpec, SyntheticWorkload, TrainSpec, WorkloadSpec,
 };
 use ctlm_lab::{run_spec, run_spec_json};
 use ctlm_sched::SimConfig;
@@ -333,6 +333,7 @@ proptest! {
             spillover: SpilloverPolicy::Off,
             train: TrainSpec::default(),
             execution: ExecutionSpec::default(),
+            observability: ObservabilitySpec::default(),
             sweep: (!sweep_vals.is_empty()).then_some(SweepSpec {
                 knobs: vec![KnobSpec { path: "sim.attempts_per_cycle".into(), values: sweep_vals }],
                 seeds: vec![seed],
@@ -381,6 +382,7 @@ proptest! {
             spillover: SpilloverPolicy::Off,
             train: TrainSpec::default(),
             execution: ExecutionSpec::default(),
+            observability: ObservabilitySpec::default(),
             sweep: None,
         };
         let a = run_spec(&spec).expect("first");

@@ -52,7 +52,6 @@ pub(crate) struct TaskSlab {
 
 impl TaskSlab {
     /// Tasks ever pushed (relative indices are `0..len()`).
-    #[cfg(test)]
     pub(crate) fn len(&self) -> usize {
         self.len
     }
@@ -145,13 +144,11 @@ impl TaskSlab {
     }
 
     /// Segments retired (buffers reclaimed) so far.
-    #[cfg(test)]
     pub(crate) fn retired(&self) -> u64 {
         self.retired
     }
 
     /// Live (unretired) segments currently held.
-    #[cfg(test)]
     pub(crate) fn resident_segments(&self) -> usize {
         self.segments.len()
     }

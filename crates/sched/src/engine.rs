@@ -39,6 +39,7 @@ use serde::{Deserialize, Serialize};
 
 use ctlm_data::compaction::collapse;
 use ctlm_sim::{CompId, Component, Ctx, Event, Sim};
+use ctlm_telemetry::{Histogram, TraceEvent, TraceRing};
 use ctlm_trace::{
     AttrId, AttrValue, EventPayload, GeneratedTrace, Machine, MachineId, Micros, TaskId,
 };
@@ -190,6 +191,44 @@ impl SimResult {
     }
 }
 
+/// Sim-plane engine telemetry: always-on placement-outcome and admission
+/// counters plus queue-depth histograms.
+///
+/// Everything here is a pure function of the (deterministic) event
+/// sequence — identical across thread counts and with/without metrics
+/// export — and maintaining it is a few integer increments per event
+/// with zero allocation (the histograms are fixed arrays), so it stays
+/// inside the zero-allocation scheduling-pass contract.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Tasks placed without preemption.
+    pub placed: u64,
+    /// Tasks placed after evicting preemption victims.
+    pub placed_with_preemption: u64,
+    /// Tasks dropped as infeasible (no machine can ever suit them).
+    pub infeasible: u64,
+    /// `NoCapacity` outcomes — suitable machines existed but none had
+    /// room; the task burned a cycle slot and went back to its queue.
+    pub no_capacity: u64,
+    /// Admissions from the arrival list or stream
+    /// ([`SchedEvent::Arrival`]).
+    pub admitted_arrivals: u64,
+    /// Dynamic admissions ([`SchedEvent::Admit`] — spill-ins, online
+    /// feeds).
+    pub admitted_dynamic: u64,
+    /// Gang members admitted ([`SchedEvent::GangArrival`]).
+    pub admitted_gang_members: u64,
+    /// Tasks this cell declined at arrival time and emitted to the epoch
+    /// outbox as [`SchedEvent::SpillRequest`].
+    pub spill_requests: u64,
+    /// Scheduler passes executed.
+    pub cycles: u64,
+    /// High-priority-queue depth, sampled at the start of every pass.
+    pub hp_depth: Histogram,
+    /// Main-queue depth, sampled at the start of every pass.
+    pub main_depth: Histogram,
+}
+
 /// A running task's bookkeeping entry.
 #[derive(Clone, Copy, Debug)]
 struct Running {
@@ -233,13 +272,11 @@ pub struct EngineState<'a> {
     engine_id: CompId,
     /// Reusable placement scratch threaded through every attempt.
     place_ctx: PlaceCtx,
-    /// Cumulative admissions (arrivals + dynamic admits + gang members)
-    /// — the autoscaler's arrival-rate signal.
-    admitted_total: u64,
-    /// Cumulative `NoCapacity` placement outcomes — the queue-pressure
-    /// signal: every count is one cycle slot burned on a task the fleet
-    /// could suit but not hold.
-    no_capacity_total: u64,
+    /// Always-on sim-plane counters/histograms (see [`EngineStats`]).
+    stats: EngineStats,
+    /// Bounded structured event trace; `None` (the default) records
+    /// nothing. See [`EngineState::enable_trace`].
+    trace: Option<TraceRing>,
 }
 
 impl<'a> EngineState<'a> {
@@ -277,8 +314,8 @@ impl<'a> EngineState<'a> {
             next_epoch: 0,
             engine_id: 0,
             place_ctx: PlaceCtx::new(),
-            admitted_total: 0,
-            no_capacity_total: 0,
+            stats: EngineStats::default(),
+            trace: None,
         }
     }
 
@@ -352,7 +389,9 @@ impl<'a> EngineState<'a> {
     /// gang members; churn requeues are *not* re-counted) — control
     /// planes diff successive reads for an arrival-rate estimate.
     pub fn admitted(&self) -> u64 {
-        self.admitted_total
+        self.stats.admitted_arrivals
+            + self.stats.admitted_dynamic
+            + self.stats.admitted_gang_members
     }
 
     /// Cumulative `NoCapacity` placement outcomes — the queue-pressure
@@ -360,7 +399,55 @@ impl<'a> EngineState<'a> {
     /// had room, so the task burned a cycle slot and went back to the
     /// queue.
     pub fn no_capacity_events(&self) -> u64 {
-        self.no_capacity_total
+        self.stats.no_capacity
+    }
+
+    /// The sim-plane telemetry counters and histograms accumulated so
+    /// far. Always maintained (the cost is a handful of integer adds per
+    /// event); exporters snapshot this after the run.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Switches on the bounded structured event trace: the last
+    /// `capacity` delivered events are kept in a preallocated ring (a
+    /// `capacity` of 0 turns tracing back off). Recording into a full
+    /// ring overwrites the oldest entry and never allocates, so tracing
+    /// is compatible with the zero-allocation scheduling-pass contract
+    /// once the ring exists.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = if capacity == 0 {
+            None
+        } else {
+            Some(TraceRing::new(capacity))
+        };
+    }
+
+    /// The event trace ring, when [`EngineState::enable_trace`] switched
+    /// it on.
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.trace.as_ref()
+    }
+
+    /// Tasks currently resident in the dynamic-admission slab.
+    pub fn slab_len(&self) -> usize {
+        self.slab.len()
+    }
+
+    /// Slab segments retired (fully drained and recycled) so far.
+    pub fn slab_retired(&self) -> u64 {
+        self.slab.retired()
+    }
+
+    /// Slab segments currently resident in memory.
+    pub fn slab_resident_segments(&self) -> usize {
+        self.slab.resident_segments()
+    }
+
+    /// Counts one task spilled out of this cell at arrival time (bumped
+    /// by the spillover forwarders, which own the emit site).
+    pub(crate) fn note_spill_request(&mut self) {
+        self.stats.spill_requests += 1;
     }
 
     /// Tasks placed so far (monotone during the run).
@@ -508,8 +595,12 @@ impl<'a> EngineState<'a> {
             self.slab.get(idx - self.arrivals.len())
         };
         match placer.place(&self.cluster, t, &mut self.place_ctx) {
-            Placement::Placed(m) => self.commit(idx, m, ctx),
+            Placement::Placed(m) => {
+                self.stats.placed += 1;
+                self.commit(idx, m, ctx);
+            }
             Placement::PlacedWithPreemption(m, victims) => {
+                self.stats.placed_with_preemption += 1;
                 for v in victims {
                     self.evict_victim(m, v);
                 }
@@ -518,11 +609,12 @@ impl<'a> EngineState<'a> {
             Placement::Infeasible => {
                 // No node can ever satisfy the affinity — Kubernetes
                 // would error the pod; we drop it (and free its slot).
+                self.stats.infeasible += 1;
                 self.result.unplaced += 1;
                 self.release_slot(idx);
             }
             Placement::NoCapacity => {
-                self.no_capacity_total += 1;
+                self.stats.no_capacity += 1;
                 if high_priority {
                     self.hp.push_back(idx);
                 } else {
@@ -535,6 +627,9 @@ impl<'a> EngineState<'a> {
     /// The scheduler pass: retry gangs, serve the whole HP queue, then a
     /// bounded number of main-queue heads.
     fn cycle(&mut self, ctx: &mut Ctx<'_, SchedEvent>) {
+        self.stats.cycles += 1;
+        self.stats.hp_depth.record(self.hp.len() as u64);
+        self.stats.main_depth.record(self.main.len() as u64);
         // Gangs retry all-or-nothing ahead of individual placements —
         // compacted in place (FIFO retry order preserved, no take/realloc
         // churn on the pending list).
@@ -614,13 +709,38 @@ impl<'a> EngineState<'a> {
     }
 
     fn handle(&mut self, ev: SchedEvent, ctx: &mut Ctx<'_, SchedEvent>) {
+        if let Some(ring) = &mut self.trace {
+            // One fixed-shape record per delivered event: a static kind
+            // tag plus two payload words — no formatting, no allocation.
+            let (kind, a, b) = match &ev {
+                SchedEvent::Wake => ("wake", 0, 0),
+                SchedEvent::Arrival(idx) => ("arrival", *idx as u64, 0),
+                SchedEvent::Admit(t) => ("admit", t.id, 0),
+                SchedEvent::GangArrival(members) => ("gang_arrival", members.len() as u64, 0),
+                SchedEvent::Cycle => ("cycle", 0, 0),
+                SchedEvent::Finish { task, machine, .. } => ("finish", *task, *machine),
+                SchedEvent::MachineFail(id) => ("machine_fail", *id, 0),
+                SchedEvent::MachineRestore(id) => ("machine_restore", *id, 0),
+                SchedEvent::MachineJoin(m) => ("machine_join", m.id, 0),
+                SchedEvent::AttrUpdate { machine, attr, .. } => {
+                    ("attr_update", *machine, u64::from(*attr))
+                }
+                SchedEvent::SpillRequest(idx) => ("spill_request", *idx as u64, 0),
+            };
+            ring.push(TraceEvent {
+                time: ctx.now(),
+                kind,
+                a,
+                b,
+            });
+        }
         match ev {
             SchedEvent::Arrival(idx) => {
-                self.admitted_total += 1;
+                self.stats.admitted_arrivals += 1;
                 self.admit(idx);
             }
             SchedEvent::Admit(t) => {
-                self.admitted_total += 1;
+                self.stats.admitted_dynamic += 1;
                 let idx = self.push_extra(*t);
                 self.admit(idx);
             }
@@ -629,7 +749,7 @@ impl<'a> EngineState<'a> {
                 // segment), so the gang is just a range — no per-gang
                 // index list.
                 let (start, len) = self.push_chunk(members);
-                self.admitted_total += len as u64;
+                self.stats.admitted_gang_members += len as u64;
                 if !self.try_gang(start, len, ctx) {
                     self.pending_gangs.push((start, len));
                 }
@@ -759,6 +879,7 @@ impl Component<SchedEvent> for SpilloverForwarder<'_> {
             if self.state.borrow().can_admit(&self.arrivals[self.next]) {
                 ctx.emit_prio(0, PRIO_ADMIT, self.engine, SchedEvent::Arrival(self.next));
             } else {
+                self.state.borrow_mut().note_spill_request();
                 ctx.emit_remote(PRIO_ADMIT, SchedEvent::SpillRequest(self.next));
             }
             self.next += 1;

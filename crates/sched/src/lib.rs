@@ -69,7 +69,7 @@ pub mod stream;
 pub mod updater;
 
 pub use cluster::{CapacityFit, SchedCluster};
-pub use engine::{CellHandle, SchedEvent, SimConfig, SimResult, Simulator};
+pub use engine::{CellHandle, EngineStats, SchedEvent, SimConfig, SimResult, Simulator};
 pub use latency::LatencyStats;
 pub use lifecycle::{LifecycleOwner, OwnershipGuard};
 pub use placement::{BestFit, PlaceCtx, Placer, PreemptiveBestFit};

@@ -196,6 +196,7 @@ impl Component<SchedEvent> for StreamingSource<'_> {
             if admit_home {
                 ctx.emit_prio(0, PRIO_ADMIT, self.engine, SchedEvent::Arrival(self.next));
             } else {
+                self.state.borrow_mut().note_spill_request();
                 ctx.emit_remote(PRIO_ADMIT, SchedEvent::SpillRequest(self.next));
             }
             self.next += 1;

@@ -125,6 +125,68 @@ fn steady_state_scheduling_pass_does_not_allocate() {
 }
 
 #[test]
+fn scheduling_pass_with_telemetry_enabled_does_not_allocate() {
+    // The engine scenario again, but with every observability feature
+    // switched on: the always-on `EngineStats` counters/histograms are
+    // maintained throughout, and a bounded trace ring records every
+    // delivered event. The ring preallocates at `enable_trace` and
+    // overwrites in place once full, and `Histogram::record` is a fixed
+    // array increment — so the steady-state window must still show zero
+    // heap allocations.
+    let mut arrivals: Vec<PendingTask> = (0..12u64).map(|k| task(k, 0, 0.32)).collect();
+    for k in 0..40u64 {
+        arrivals.push(task(100 + k, 200_000 * k, 0.4));
+    }
+    arrivals.sort_by_key(|t| t.arrival);
+    let config = SimConfig {
+        cycle: 1_048_576,
+        attempts_per_cycle: 3,
+        mean_runtime: 100_000_000_000,
+        horizon: 400_000_000,
+        seed: 9,
+    };
+    let simulator = Simulator::new(config);
+    let mut scheduler = MainOnly;
+    let mut harness = simulator.harness(fleet(4), &arrivals, &mut scheduler);
+    let state = harness.state();
+    state.borrow_mut().enable_trace(256);
+
+    harness.sim.run_until(150_000_000);
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    harness.sim.run_until(390_000_000);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "telemetry-enabled scheduling passes allocated {} times",
+        after - before
+    );
+
+    {
+        let s = state.borrow();
+        let stats = s.stats();
+        assert_eq!(stats.admitted_arrivals, 52, "every task admitted once");
+        assert_eq!(stats.placed, 12, "only the blockers place");
+        assert!(stats.no_capacity > 0, "background tasks must churn");
+        assert!(stats.cycles > 0);
+        assert_eq!(
+            stats.main_depth.count(),
+            stats.cycles,
+            "one depth sample per pass"
+        );
+        let trace = s.trace().expect("tracing was enabled");
+        assert_eq!(trace.len(), 256, "ring fills to capacity and stays there");
+        assert!(
+            trace.recorded() > 256,
+            "long run must have wrapped the ring"
+        );
+    }
+    let (_, result) = harness.run();
+    assert_eq!(result.placed.len(), 12);
+}
+
+#[test]
 fn capacity_index_maintenance_does_not_allocate_in_steady_state() {
     let mut c = fleet(8);
     let pin = collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(3))))]).unwrap();

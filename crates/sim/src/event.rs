@@ -56,6 +56,33 @@ impl<E> PartialOrd for Entry<E> {
     }
 }
 
+/// Always-on per-lane routing and pop counters — sim-plane telemetry.
+///
+/// Each field is a plain `u64` bumped on the corresponding branch of
+/// [`EventQueue::push`] / [`EventQueue::push_sorted_batch`] /
+/// [`EventQueue::pop`]; maintaining them is a handful of increments per
+/// event and never allocates, so they are unconditionally on. The values
+/// are a pure function of the (deterministic) event sequence — identical
+/// across thread counts for a given shard — which makes them safe to
+/// export into byte-compared metrics files.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// `push` calls routed into a timer-wheel slot.
+    pub push_wheel: u64,
+    /// `push` calls routed to the binary heap.
+    pub push_heap: u64,
+    /// Batch events routed into a timer-wheel slot.
+    pub batch_wheel: u64,
+    /// Batch events appended to the sorted FIFO lane.
+    pub batch_sorted: u64,
+    /// Events popped out of a drained wheel slot.
+    pub pop_wheel: u64,
+    /// Events popped from the sorted FIFO lane.
+    pub pop_sorted: u64,
+    /// Events popped from the binary heap.
+    pub pop_heap: u64,
+}
+
 /// Log2 of the timer-wheel slot granularity in µs: one slot covers
 /// 2^16 µs ≈ 65 ms of simulated time.
 const WHEEL_SHIFT: u32 = 16;
@@ -99,6 +126,8 @@ pub struct EventQueue<E> {
     /// back in O(1).
     run: Vec<Event<E>>,
     next_seq: u64,
+    /// Per-lane routing/pop counters (always on; see [`LaneStats`]).
+    stats: LaneStats,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -111,6 +140,7 @@ impl<E> Default for EventQueue<E> {
             active_page: 0,
             run: Vec::new(),
             next_seq: 0,
+            stats: LaneStats::default(),
         }
     }
 }
@@ -137,8 +167,10 @@ impl<E> EventQueue<E> {
         if page > self.active_page && page - self.active_page < WHEEL_SLOTS as u64 {
             self.wheel[(page % WHEEL_SLOTS as u64) as usize].push(ev);
             self.wheel_len += 1;
+            self.stats.push_wheel += 1;
         } else {
             self.heap.push(Entry(ev));
+            self.stats.push_heap += 1;
         }
     }
 
@@ -205,10 +237,12 @@ impl<E> EventQueue<E> {
             if page > self.active_page && page - self.active_page < WHEEL_SLOTS as u64 {
                 self.wheel[(page % WHEEL_SLOTS as u64) as usize].push(ev);
                 self.wheel_len += 1;
+                self.stats.batch_wheel += 1;
             } else {
                 assert!(time >= tail, "sorted batch out of order");
                 tail = time;
                 self.sorted.push_back(ev);
+                self.stats.batch_sorted += 1;
             }
         }
     }
@@ -230,9 +264,18 @@ impl<E> EventQueue<E> {
             .min()?
             .1;
         let ev = match winner {
-            0 => self.run.pop(),
-            1 => self.sorted.pop_front(),
-            _ => self.heap.pop().map(|e| e.0),
+            0 => {
+                self.stats.pop_wheel += 1;
+                self.run.pop()
+            }
+            1 => {
+                self.stats.pop_sorted += 1;
+                self.sorted.pop_front()
+            }
+            _ => {
+                self.stats.pop_heap += 1;
+                self.heap.pop().map(|e| e.0)
+            }
         };
         if let Some(ev) = &ev {
             if self.wheel_len == 0 && self.run.is_empty() {
@@ -265,6 +308,11 @@ impl<E> EventQueue<E> {
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Snapshot of the per-lane routing/pop counters.
+    pub fn lane_stats(&self) -> LaneStats {
+        self.stats
     }
 }
 
@@ -397,6 +445,20 @@ mod tests {
         let got: Vec<(Time, u8, u64)> =
             std::iter::from_fn(|| q.pop().map(|e| (e.time, e.priority, e.seq))).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn lane_stats_track_routing_and_pops() {
+        let mut q = EventQueue::new();
+        q.push(1 << WHEEL_SHIFT, 0, 0, 0, "wheel");
+        q.push(0, 0, 0, 0, "heap");
+        q.push_sorted_batch(0, 0, 0, [(5u64, "sorted")]);
+        let s = q.lane_stats();
+        assert_eq!((s.push_wheel, s.push_heap), (1, 1));
+        assert_eq!((s.batch_wheel, s.batch_sorted), (0, 1));
+        while q.pop().is_some() {}
+        let s = q.lane_stats();
+        assert_eq!((s.pop_wheel, s.pop_sorted, s.pop_heap), (1, 1, 1));
     }
 
     #[test]

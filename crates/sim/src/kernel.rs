@@ -1,6 +1,6 @@
 //! The simulation kernel: components, contexts, and the run loop.
 
-use crate::event::{Event, EventQueue, Time};
+use crate::event::{Event, EventQueue, LaneStats, Time};
 
 /// Component identifier, assigned sequentially at registration.
 pub type CompId = usize;
@@ -147,6 +147,12 @@ impl<'a, E> Sim<'a, E> {
     /// Total events delivered so far.
     pub fn events_delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// Per-lane queue routing/pop counters — sim-plane telemetry, a pure
+    /// function of the event sequence (see [`LaneStats`]).
+    pub fn lane_stats(&self) -> LaneStats {
+        self.queue.lane_stats()
     }
 
     /// Pending events.

@@ -61,6 +61,6 @@ pub mod event;
 pub mod kernel;
 pub mod parallel;
 
-pub use event::{Event, EventQueue, Time};
+pub use event::{Event, EventQueue, LaneStats, Time};
 pub use kernel::{CompId, Component, Ctx, Sim};
-pub use parallel::{CellKernel, EpochAutotune, ParallelSim, RemoteEvent};
+pub use parallel::{CellKernel, EpochAutotune, ParallelPerf, ParallelSim, RemoteEvent};

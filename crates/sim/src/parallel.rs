@@ -70,6 +70,11 @@ pub struct RemoteEvent<E> {
 pub struct CellKernel<'a, E> {
     sim: Sim<'a, E>,
     shard: usize,
+    /// Wall-clock ns the shard's last `run_before` took — written by
+    /// whichever worker ran the shard this round (exactly one per round,
+    /// so no race), read by the coordinator after the barrier. Only
+    /// maintained when profiling is enabled.
+    last_run_ns: u64,
 }
 
 // SAFETY: see the module docs ("Why `CellKernel` is `Send`"). The inner
@@ -129,6 +134,25 @@ impl Default for EpochAutotune {
     }
 }
 
+/// Host-plane wall-clock totals for one parallel run — where epoch time
+/// went, per shard. Only maintained when
+/// [`ParallelSim::enable_profiling`] was called; the numbers are
+/// host-dependent and must never feed deterministic output (keep them in
+/// `_perf`-style sections that byte-compares exclude).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ParallelPerf {
+    /// Rounds (epoch barriers) profiled.
+    pub rounds: u64,
+    /// Total coordinator time draining and merge-sorting outboxes (ns).
+    pub drain_ns: u64,
+    /// Per-shard total time inside `run_before` (ns).
+    pub shard_run_ns: Vec<u64>,
+    /// Per-shard total derived barrier wait (ns): per round, the slowest
+    /// shard's run time minus this shard's. The spread across shards is
+    /// the load-imbalance signal.
+    pub shard_barrier_ns: Vec<u64>,
+}
+
 /// The epoch-barrier coordinator: owns the shards, advances them epoch
 /// by epoch (in parallel when `threads > 1`), and merges cross-shard
 /// outboxes deterministically at each barrier.
@@ -145,6 +169,9 @@ pub struct ParallelSim<'a, E> {
     /// Test-only override of the sequential execution order — see
     /// [`ParallelSim::set_sequential_order`].
     exec_order: Option<Vec<usize>>,
+    /// Wall-clock profile accumulator; `None` (the default) keeps the
+    /// run loop free of any timing calls.
+    perf: Option<ParallelPerf>,
 }
 
 impl<'a, E: Send> ParallelSim<'a, E> {
@@ -166,7 +193,24 @@ impl<'a, E: Send> ParallelSim<'a, E> {
             autotune: None,
             last_delivered: 0,
             exec_order: None,
+            perf: None,
         }
+    }
+
+    /// Turns on host-plane profiling: subsequent [`ParallelSim::run_until`]
+    /// rounds record per-shard `run_before` time, derived barrier wait,
+    /// and coordinator drain time into a [`ParallelPerf`] readable via
+    /// [`ParallelSim::perf`]. Off by default — the run loop then makes no
+    /// clock calls at all, preserving the zero-overhead contract.
+    pub fn enable_profiling(&mut self) {
+        if self.perf.is_none() {
+            self.perf = Some(ParallelPerf::default());
+        }
+    }
+
+    /// The accumulated wall-clock profile, when profiling is enabled.
+    pub fn perf(&self) -> Option<&ParallelPerf> {
+        self.perf.as_ref()
     }
 
     /// Enables epoch-length autotuning: after every barrier the epoch
@@ -189,7 +233,11 @@ impl<'a, E: Send> ParallelSim<'a, E> {
     /// Adds a shard, returning its index.
     pub fn add_shard(&mut self, sim: Sim<'a, E>) -> usize {
         let shard = self.shards.len();
-        self.shards.push(CellKernel { sim, shard });
+        self.shards.push(CellKernel {
+            sim,
+            shard,
+            last_run_ns: 0,
+        });
         shard
     }
 
@@ -274,27 +322,64 @@ impl<'a, E: Send> ParallelSim<'a, E> {
                 .saturating_mul(self.epoch)
                 .min(horizon.saturating_add(1));
             self.barriers += 1;
+            let profile = self.perf.is_some();
             if effective > 1 && self.shards.len() > 1 {
                 let chunk = self.shards.len().div_ceil(effective);
                 self.shards.par_chunks_mut(chunk).for_each(|shards| {
                     for shard in shards {
-                        shard.sim.run_before(bound);
+                        if profile {
+                            let t0 = std::time::Instant::now();
+                            shard.sim.run_before(bound);
+                            shard.last_run_ns = t0.elapsed().as_nanos() as u64;
+                        } else {
+                            shard.sim.run_before(bound);
+                        }
                     }
                 });
             } else {
                 match &self.exec_order {
                     Some(order) => {
                         for &i in order {
-                            self.shards[i].sim.run_before(bound);
+                            let shard = &mut self.shards[i];
+                            if profile {
+                                let t0 = std::time::Instant::now();
+                                shard.sim.run_before(bound);
+                                shard.last_run_ns = t0.elapsed().as_nanos() as u64;
+                            } else {
+                                shard.sim.run_before(bound);
+                            }
                         }
                     }
                     None => {
                         for shard in &mut self.shards {
-                            shard.sim.run_before(bound);
+                            if profile {
+                                let t0 = std::time::Instant::now();
+                                shard.sim.run_before(bound);
+                                shard.last_run_ns = t0.elapsed().as_nanos() as u64;
+                            } else {
+                                shard.sim.run_before(bound);
+                            }
                         }
                     }
                 }
             }
+            if let Some(perf) = &mut self.perf {
+                perf.rounds += 1;
+                perf.shard_run_ns.resize(self.shards.len(), 0);
+                perf.shard_barrier_ns.resize(self.shards.len(), 0);
+                // Barrier wait is derived: a worker that finished early
+                // sat at the barrier for (slowest shard − its own) time.
+                // With threads < shards this over-approximates (shards
+                // sharing a worker run back to back), but the spread
+                // remains the imbalance signal and the derivation keeps
+                // the hot path free of any synchronised clocks.
+                let round_max = self.shards.iter().map(|s| s.last_run_ns).max().unwrap_or(0);
+                for (i, shard) in self.shards.iter().enumerate() {
+                    perf.shard_run_ns[i] += shard.last_run_ns;
+                    perf.shard_barrier_ns[i] += round_max - shard.last_run_ns;
+                }
+            }
+            let drain_t0 = self.perf.is_some().then(std::time::Instant::now);
             let mut msgs: Vec<RemoteEvent<E>> = Vec::new();
             for (i, shard) in self.shards.iter_mut().enumerate() {
                 if !shard.sim.has_outbox() {
@@ -314,6 +399,9 @@ impl<'a, E: Send> ParallelSim<'a, E> {
                 }
             }
             msgs.sort_by_key(|m| (m.time, m.priority, m.shard, m.seq));
+            if let (Some(perf), Some(t0)) = (&mut self.perf, drain_t0) {
+                perf.drain_ns += t0.elapsed().as_nanos() as u64;
+            }
             hook(bound, msgs, &mut self.shards);
             if let Some(tune) = self.autotune {
                 let delivered = self.events_delivered();
@@ -627,6 +715,55 @@ mod tests {
             assert_eq!(logs, base, "threads={threads}");
             assert_eq!(epoch, base_epoch, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn profiling_accumulates_per_shard_and_keeps_results_identical() {
+        let baseline = run_ring(2, None);
+        // Same ring with profiling on: deliveries must not change, and
+        // the profile must cover every shard and round.
+        const SHARDS: usize = 4;
+        let logs: Vec<DeliveryLog> = (0..SHARDS)
+            .map(|_| Rc::new(RefCell::new(Vec::new())))
+            .collect();
+        let mut psim: ParallelSim<'_, u64> = ParallelSim::new(EPOCH, 2);
+        psim.enable_profiling();
+        let mut relays = Vec::new();
+        for log in &logs {
+            let mut sim = Sim::new();
+            let id = sim.add_component("relay", Relay { log: log.clone() });
+            sim.schedule(1000 * (relays.len() as u64 + 1), id, id, 0);
+            relays.push(id);
+            psim.add_shard(sim);
+        }
+        psim.run_until(HORIZON, |bound, msgs, shards| {
+            for m in msgs {
+                let target = (m.shard + 1) % SHARDS;
+                let at = bound.min(HORIZON);
+                shards[target].schedule_prio(
+                    at,
+                    m.priority,
+                    relays[target],
+                    relays[target],
+                    m.payload,
+                );
+            }
+        });
+        let got: Vec<Vec<(Time, u64)>> = logs.iter().map(|l| l.borrow().clone()).collect();
+        assert_eq!(got, baseline, "profiling must not perturb the simulation");
+        let perf = psim.perf().expect("profiling enabled");
+        assert_eq!(perf.rounds, psim.barriers());
+        assert_eq!(perf.shard_run_ns.len(), SHARDS);
+        assert_eq!(perf.shard_barrier_ns.len(), SHARDS);
+        assert!(perf.shard_run_ns.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn profiling_disabled_reports_no_perf() {
+        let mut psim: ParallelSim<'_, u64> = ParallelSim::new(1_000, 1);
+        psim.add_shard(chain_sim(5, 100));
+        psim.run_until(10_000, |_, _, _| {});
+        assert!(psim.perf().is_none());
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! # ctlm-telemetry — deterministic metrics, tracing, and perf attribution
+//!
+//! Observability for the workspace, split into two strictly separated
+//! planes:
+//!
+//! - **Sim plane** (deterministic): a [`Metrics`] registry of counters,
+//!   gauges, and fixed log-bucket [`Histogram`]s keyed by names, fed from
+//!   sim-time state only. Enabling it never changes report bytes, and its
+//!   own JSON export is byte-identical for any `execution.threads` —
+//!   every value is a function of the (deterministic) simulation, not of
+//!   the host. The bounded [`TraceRing`] lives on this plane too: it
+//!   records the last-N structured engine/kernel events for debugging
+//!   divergences.
+//! - **Host plane** (wall-clock): [`PerfReport`] carries per-shard
+//!   `run_before` / barrier-wait / outbox-drain timings from the parallel
+//!   coordinator plus a [`HostFingerprint`] (cpu model, core count). It is
+//!   emitted only into a `_perf` section that `--no-meta` and byte-compare
+//!   gates exclude, so host noise can never leak into gated output.
+//!
+//! The subsystems themselves (`ctlm-sim`, `ctlm-sched`) stay free of any
+//! dependency on this crate: they keep plain `u64` counters inline (cheap
+//! enough to be always-on and allocation-free), and the lab harness
+//! snapshots those into a `Metrics` registry at end of run. That is what
+//! keeps the zero-allocation scheduling-pass invariant intact with
+//! metrics enabled.
+
+mod histogram;
+mod host;
+mod metrics;
+mod perf;
+mod trace;
+
+pub use histogram::Histogram;
+pub use host::HostFingerprint;
+pub use metrics::Metrics;
+pub use perf::{PerfReport, ShardPerf};
+pub use trace::{TraceEvent, TraceRing};

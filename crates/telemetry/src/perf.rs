@@ -1,0 +1,202 @@
+//! Host-plane perf attribution for the parallel coordinator: where each
+//! epoch round's wall-clock time went.
+
+use serde::{Deserialize, Error, Serialize, Value};
+
+use crate::host::HostFingerprint;
+
+/// Wall-clock totals for one shard across a whole run.
+///
+/// `barrier_ns` is the derived wait: for each round, the slowest shard's
+/// run time minus this shard's — i.e. how long this shard's worker sat
+/// at the epoch barrier. A large spread across shards is the imbalance
+/// signal the ROADMAP's multi-core-speedup item needs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardPerf {
+    /// Total time inside `run_before` (ns).
+    pub run_ns: u64,
+    /// Total derived barrier wait (ns).
+    pub barrier_ns: u64,
+}
+
+impl Serialize for ShardPerf {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("run_us".to_string(), Value::Num(self.run_ns as f64 / 1e3)),
+            (
+                "barrier_us".to_string(),
+                Value::Num(self.barrier_ns as f64 / 1e3),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for ShardPerf {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let run_us = f64::from_value(v.get_field("run_us")).unwrap_or(0.0);
+        let barrier_us = f64::from_value(v.get_field("barrier_us")).unwrap_or(0.0);
+        Ok(Self {
+            run_ns: (run_us * 1e3) as u64,
+            barrier_ns: (barrier_us * 1e3) as u64,
+        })
+    }
+}
+
+/// A whole parallel run's host-plane profile: per-shard run/barrier
+/// totals, coordinator outbox-drain time, round count, and the host it
+/// was measured on. Lives only in the `_perf` section of report `_meta`
+/// — never in gated report bytes.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PerfReport {
+    /// Epoch rounds executed.
+    pub rounds: u64,
+    /// Total coordinator time draining/sorting outboxes (ns).
+    pub drain_ns: u64,
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Per-shard totals, indexed by shard.
+    pub shards: Vec<ShardPerf>,
+    /// The host the numbers were measured on.
+    pub host: Option<HostFingerprint>,
+}
+
+impl PerfReport {
+    /// Mean per-round run time of the slowest-loaded shard (µs) — the
+    /// parallel critical path per round.
+    pub fn critical_path_us_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        let max_run = self.shards.iter().map(|s| s.run_ns).max().unwrap_or(0);
+        max_run as f64 / 1e3 / self.rounds as f64
+    }
+
+    /// Folds another run's profile into this one (shard-wise add; used
+    /// when a sweep executes several runs).
+    pub fn merge(&mut self, other: &PerfReport) {
+        self.rounds += other.rounds;
+        self.drain_ns += other.drain_ns;
+        self.threads = self.threads.max(other.threads);
+        if self.shards.len() < other.shards.len() {
+            self.shards.resize(other.shards.len(), ShardPerf::default());
+        }
+        for (a, b) in self.shards.iter_mut().zip(other.shards.iter()) {
+            a.run_ns += b.run_ns;
+            a.barrier_ns += b.barrier_ns;
+        }
+        if self.host.is_none() {
+            self.host = other.host.clone();
+        }
+    }
+}
+
+impl Serialize for PerfReport {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("rounds".to_string(), Value::Num(self.rounds as f64)),
+            ("threads".to_string(), Value::Num(self.threads as f64)),
+            (
+                "drain_us".to_string(),
+                Value::Num(self.drain_ns as f64 / 1e3),
+            ),
+            (
+                "shards".to_string(),
+                Value::Array(self.shards.iter().map(Serialize::to_value).collect()),
+            ),
+            ("host".to_string(), self.host.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PerfReport {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Self {
+            rounds: u64::from_value(v.get_field("rounds")).unwrap_or(0),
+            threads: usize::from_value(v.get_field("threads")).unwrap_or(0),
+            drain_ns: (f64::from_value(v.get_field("drain_us")).unwrap_or(0.0) * 1e3) as u64,
+            shards: Vec::from_value(v.get_field("shards")).unwrap_or_default(),
+            host: Option::from_value(v.get_field("host")).unwrap_or(None),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_path_uses_the_slowest_shard() {
+        let p = PerfReport {
+            rounds: 10,
+            drain_ns: 5_000,
+            threads: 2,
+            shards: vec![
+                ShardPerf {
+                    run_ns: 100_000,
+                    barrier_ns: 900_000,
+                },
+                ShardPerf {
+                    run_ns: 1_000_000,
+                    barrier_ns: 0,
+                },
+            ],
+            host: None,
+        };
+        assert_eq!(p.critical_path_us_per_round(), 100.0);
+    }
+
+    #[test]
+    fn merge_accumulates_shardwise() {
+        let mut a = PerfReport {
+            rounds: 1,
+            drain_ns: 10,
+            threads: 1,
+            shards: vec![ShardPerf {
+                run_ns: 5,
+                barrier_ns: 1,
+            }],
+            host: None,
+        };
+        let b = PerfReport {
+            rounds: 2,
+            drain_ns: 20,
+            threads: 4,
+            shards: vec![
+                ShardPerf {
+                    run_ns: 7,
+                    barrier_ns: 2,
+                },
+                ShardPerf {
+                    run_ns: 3,
+                    barrier_ns: 0,
+                },
+            ],
+            host: None,
+        };
+        a.merge(&b);
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.threads, 4);
+        assert_eq!(a.shards.len(), 2);
+        assert_eq!(a.shards[0].run_ns, 12);
+        assert_eq!(a.shards[1].run_ns, 3);
+    }
+
+    #[test]
+    fn roundtrips_through_value() {
+        let p = PerfReport {
+            rounds: 3,
+            drain_ns: 2_500,
+            threads: 2,
+            shards: vec![ShardPerf {
+                run_ns: 1_000,
+                barrier_ns: 500,
+            }],
+            host: Some(HostFingerprint {
+                cpu_model: "Fake CPU".into(),
+                cores: 2,
+            }),
+        };
+        let back = PerfReport::from_value(&p.to_value()).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -9,7 +9,10 @@
 //!
 //! When the `CTLM_BENCH_JSON` environment variable names a file, results
 //! are merged into it as `{"group/bench": {"median_ns": ..}}` — the
-//! mechanism the repo uses to produce `BENCH_PR1.json`.
+//! mechanism the repo uses to produce `BENCH_PR1.json`. A merge refreshes
+//! each entry's median while preserving other annotations (such as
+//! `"host_sensitive": true`) and records the machine's fingerprint under
+//! a `"_meta"` entry so `bench_check` can flag cross-host comparisons.
 
 use std::time::Instant;
 
@@ -105,16 +108,58 @@ impl Criterion {
             })
             .unwrap_or_default();
         for (id, median) in &self.results {
-            let entry = Value::Object(vec![("median_ns".to_string(), Value::Num(*median))]);
+            let mut fields = vec![("median_ns".to_string(), Value::Num(*median))];
+            // Refresh the median but keep any other annotations the
+            // checked-in report carries (e.g. `"host_sensitive": true`,
+            // which downgrades `bench_check` regressions to warnings).
+            if let Some((_, Value::Object(old))) = doc.iter().find(|(k, _)| k == id) {
+                for (k, v) in old {
+                    if k != "median_ns" {
+                        fields.push((k.clone(), v.clone()));
+                    }
+                }
+            }
+            let entry = Value::Object(fields);
             if let Some(slot) = doc.iter_mut().find(|(k, _)| k == id) {
                 slot.1 = entry;
             } else {
                 doc.push((id.clone(), entry));
             }
         }
+        // Bench medians are only comparable within one machine, so record
+        // where this run happened. The entry has no `median_ns` field and
+        // is therefore invisible to the median comparison itself.
+        let meta = Value::Object(vec![("host".to_string(), host_fingerprint())]);
+        if let Some(slot) = doc.iter_mut().find(|(k, _)| k == "_meta") {
+            slot.1 = meta;
+        } else {
+            doc.push(("_meta".to_string(), meta));
+        }
         let rendered = serde_json::to_string(&Value::Object(doc)).expect("render bench report");
         std::fs::write(&path, pretty(&rendered)).expect("write bench report");
     }
+}
+
+/// Best-effort host fingerprint for the report's `_meta` entry. Field
+/// shape mirrors `ctlm-telemetry`'s `HostFingerprint` so `bench_check`
+/// can deserialize it directly (the shim stays dependency-free).
+fn host_fingerprint() -> Value {
+    let cpu_model = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    Value::Object(vec![
+        ("cpu_model".to_string(), Value::Str(cpu_model)),
+        ("cores".to_string(), Value::Num(cores as f64)),
+    ])
 }
 
 /// Inserts line breaks after object commas so the checked-in report diffs
@@ -376,6 +421,36 @@ mod tests {
         let ids: Vec<&str> = results.iter().map(|(id, _)| id.as_str()).collect();
         assert_eq!(ids, vec!["g/sum", "g/param/7"]);
         assert!(results.iter().all(|&(_, ns)| ns > 0.0));
+    }
+
+    #[test]
+    fn summary_merge_keeps_annotations_and_records_host() {
+        let path = std::env::temp_dir().join("ctlm_criterion_shim_merge_test.json");
+        std::fs::write(
+            &path,
+            r#"{"g/sum": {"median_ns": 10.0, "host_sensitive": true}}"#,
+        )
+        .unwrap();
+        std::env::set_var("CTLM_BENCH_JSON", &path);
+        let c = Criterion {
+            test_mode: false,
+            filter: None,
+            sample_size: 3,
+            results: vec![("g/sum".to_string(), 42.0)],
+        };
+        c.final_summary();
+        std::env::remove_var("CTLM_BENCH_JSON");
+        let doc: Value = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        let entry = doc.get_field("g/sum");
+        assert_eq!(entry.get_field("median_ns").as_f64(), Some(42.0));
+        assert!(matches!(
+            entry.get_field("host_sensitive"),
+            Value::Bool(true)
+        ));
+        let host = doc.get_field("_meta").get_field("host");
+        assert!(host.get_field("cpu_model").as_str().is_some());
+        assert!(host.get_field("cores").as_f64().unwrap_or(0.0) >= 1.0);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`core`] | `ctlm-core` | **the CTLM growing model and pipeline** |
 //! | [`sched`] | `ctlm-sched` | the Fig. 3 enhanced scheduler (kernel components) |
 //! | [`autoscale`] | `ctlm-autoscale` | elastic fleet control plane (policies, warm pools, drain) |
+//! | [`telemetry`] | `ctlm-telemetry` | deterministic metrics, bounded tracing, host/perf attribution |
 //! | [`lab`] | `ctlm-lab` | declarative experiment harness (specs, sweeps, reports) |
 //!
 //! ## Quickstart
@@ -47,6 +48,7 @@ pub use ctlm_lab as lab;
 pub use ctlm_nn as nn;
 pub use ctlm_sched as sched;
 pub use ctlm_sim as sim;
+pub use ctlm_telemetry as telemetry;
 pub use ctlm_tensor as tensor;
 pub use ctlm_trace as trace;
 
