@@ -235,6 +235,7 @@ pub struct Autoscaler<'a> {
     next_eval: Micros,
     last_admitted: u64,
     last_no_capacity: u64,
+    last_crashed: u64,
     next_id: MachineId,
     next_attr: i64,
     /// Victim-selection scratch.
@@ -272,6 +273,7 @@ impl<'a> Autoscaler<'a> {
                 next_eval,
                 last_admitted: 0,
                 last_no_capacity: 0,
+                last_crashed: 0,
                 next_id,
                 next_attr,
                 scratch: Vec::new(),
@@ -311,15 +313,25 @@ impl<'a> Autoscaler<'a> {
     }
 
     /// Brings every due provisioning order online (or into the warm
-    /// pool), in `(ready_at, id)` order.
+    /// pool), in `(ready_at, id)` order. An order whose claim was
+    /// displaced mid-provision (a crash overrode it) never comes online:
+    /// the machine is dropped and the new owner keeps the claim.
     fn complete_due(&mut self, now: Micros) {
         while self.provisioning.first().is_some_and(|p| p.ready_at <= now) {
             let p = self.provisioning.remove(0);
             let id = p.machine.id;
+            if self.guard.owner(id) != Some(LifecycleOwner::Autoscaler) {
+                self.stats.borrow_mut().conflicts_skipped += 1;
+                continue;
+            }
             match p.dest {
                 Destination::Active => {
+                    // Admit while still holding the claim, then release:
+                    // there is no instant where the machine is headed
+                    // online but unclaimed — the ordering a same-instant
+                    // drain could previously race.
                     self.engine.borrow_mut().admit_machine(p.machine);
-                    self.guard.release(id);
+                    self.guard.release_owned(id, LifecycleOwner::Autoscaler);
                 }
                 Destination::Warm => self.warm.push(p.machine),
             }
@@ -345,16 +357,30 @@ impl<'a> Autoscaler<'a> {
     }
 
     /// Grows the live fleet by `need` machines: warm pool first, then
-    /// fresh provisioning orders.
+    /// fresh provisioning orders. A warm machine whose claim was
+    /// displaced (it crashed while parked) is dropped, not activated.
     fn scale_up(&mut self, now: Micros, need: usize) {
-        for _ in 0..need {
-            if let Some(m) = (!self.warm.is_empty()).then(|| self.warm.remove(0)) {
-                self.guard.release(m.id);
-                self.engine.borrow_mut().admit_machine(m);
-                self.stats.borrow_mut().warm_activations += 1;
-            } else {
+        let mut remaining = need;
+        while remaining > 0 {
+            if self.warm.is_empty() {
                 self.order_machine(now, Destination::Active);
+                remaining -= 1;
+                continue;
             }
+            let m = self.warm.remove(0);
+            let id = m.id;
+            if self.guard.owner(id) != Some(LifecycleOwner::Autoscaler) {
+                self.stats.borrow_mut().conflicts_skipped += 1;
+                continue;
+            }
+            // Admit first, release second — the reverse order left an
+            // instant where the machine was unclaimed but not yet in the
+            // cluster, so a same-instant drain or crash claim could take
+            // it and the late admit would resurrect it.
+            self.engine.borrow_mut().admit_machine(m);
+            self.guard.release_owned(id, LifecycleOwner::Autoscaler);
+            self.stats.borrow_mut().warm_activations += 1;
+            remaining -= 1;
         }
     }
 
@@ -380,7 +406,7 @@ impl<'a> Autoscaler<'a> {
             let mut engine = self.engine.borrow_mut();
             if !engine.drain_machine(id) {
                 drop(engine);
-                self.guard.release(id);
+                self.guard.release_owned(id, LifecycleOwner::Autoscaler);
                 continue;
             }
             let m = engine
@@ -391,7 +417,7 @@ impl<'a> Autoscaler<'a> {
             if self.warm_supply() < self.cfg.warm_pool {
                 self.warm.push(m); // keeps its claim while parked
             } else {
-                self.guard.release(id);
+                self.guard.release_owned(id, LifecycleOwner::Autoscaler);
                 self.stats.borrow_mut().decommissioned += 1;
             }
             taken += 1;
@@ -413,7 +439,11 @@ impl<'a> Autoscaler<'a> {
                 self.provisioning[i].dest = Destination::Warm;
             } else {
                 let p = self.provisioning.remove(i);
-                self.guard.release(p.machine.id);
+                // If a crash displaced the provision claim, the fault
+                // plane owns the id now — cancelling must not release a
+                // claim that is no longer ours.
+                self.guard
+                    .release_owned(p.machine.id, LifecycleOwner::Autoscaler);
                 self.stats.borrow_mut().cancelled += 1;
             }
             excess -= 1;
@@ -422,10 +452,11 @@ impl<'a> Autoscaler<'a> {
 
     /// One policy evaluation: sample signals, size, act.
     fn evaluate(&mut self, now: Micros) {
-        let signals = {
+        let (signals, crash_lost) = {
             let engine = self.engine.borrow();
             let admitted = engine.admitted();
             let no_capacity = engine.no_capacity_events();
+            let crashed = engine.crashed_machines();
             let s = Signals {
                 now,
                 fleet: engine.cluster.len(),
@@ -439,17 +470,30 @@ impl<'a> Autoscaler<'a> {
             };
             self.last_admitted = admitted;
             self.last_no_capacity = no_capacity;
-            s
+            let lost = crashed - self.last_crashed;
+            self.last_crashed = crashed;
+            (s, lost as usize)
         };
-        let desired = self
+        let mut desired = self
             .policy
             .desired_fleet(&signals)
             .clamp(self.cfg.min, self.cfg.max);
+        // Crash-induced capacity loss is a scale-up signal regardless of
+        // policy: the fleet just shrank abruptly, so target at least the
+        // pre-crash size (ceiling permitting) and order replacements
+        // through the normal provisioning lifecycle.
+        if crash_lost > 0 {
+            desired = desired.max((signals.fleet + crash_lost).min(self.cfg.max));
+        }
         // In-flight Active orders count toward the target, so a slow
         // provisioning delay does not compound into over-ordering.
         let committed = signals.fleet + self.inflight_active();
         if desired > committed {
             self.stats.borrow_mut().scale_ups += 1;
+            if crash_lost > 0 {
+                let replacements = crash_lost.min(desired - committed) as u64;
+                self.engine.borrow_mut().note_replacements(replacements);
+            }
             self.scale_up(now, desired - committed);
         } else if desired < signals.fleet {
             self.stats.borrow_mut().scale_downs += 1;

@@ -35,6 +35,7 @@ const DEFAULT_GROUPS: &[&str] = &[
     "autoscale/",
     "multicell/",
     "arrivals/",
+    "faults/",
 ];
 
 fn medians(doc: &Value) -> Vec<(String, f64)> {

@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use ctlm_data::vocab::ValueVocab;
 use ctlm_sched::engine::{arrivals_from_trace, compress_timeline};
 use ctlm_sched::scenario::{ChurnPlan, RolloutStage};
-use ctlm_sched::{ArrivalStream, PendingTask, SchedCluster, SimConfig};
+use ctlm_sched::{ArrivalStream, FaultPlan, PendingTask, SchedCluster, SimConfig};
 use ctlm_trace::pareto::{BoundedPareto, Exponential};
 use ctlm_trace::{
     AttrId, AttrValue, EventPayload, Machine, MachineId, Micros, Scale, TraceGenerator,
@@ -19,8 +19,8 @@ use ctlm_trace::{
 use ctlm_autoscale::{AutoscaleConfig, MachineTemplate};
 
 use crate::spec::{
-    ArrivalProcess, CellSpec, PolicyParams, RetrainSpec, ScenarioSpec, SizeDist, SyntheticWorkload,
-    TraceWorkload, WorkloadSpec,
+    ArrivalProcess, CellSpec, PolicyParams, RetrainSpec, RetrySpec, ScenarioSpec, SizeDist,
+    SyntheticWorkload, TraceWorkload, WorkloadSpec,
 };
 use crate::stream::SyntheticStream;
 use crate::LabError;
@@ -50,6 +50,21 @@ pub struct BuiltAutoscale {
     /// Derived component configuration (seed, id/attr namespaces,
     /// template already resolved).
     pub config: AutoscaleConfig,
+}
+
+/// A cell's resolved fault plane: the seeded event plan plus the retry
+/// policy and spillover-outage windows the run assembly wires in.
+pub struct BuiltFaults {
+    /// Seeded crash/recover (and registry-degradation) timeline.
+    pub plan: FaultPlan,
+    /// Retry policy for crash-lost tasks.
+    pub retry: RetrySpec,
+    /// Outbound spillover link-outage windows `[start, end)`, merged
+    /// and time-sorted.
+    pub outages: Vec<(Micros, Micros)>,
+    /// Planned machine-downtime integral over the horizon (µs·machine),
+    /// reported as per-cell unavailability.
+    pub downtime_us: u64,
 }
 
 /// A cell's arrival population: materialised up front, or decoded chunk
@@ -102,6 +117,8 @@ pub struct BuiltCell {
     pub retrain: Option<RetrainSpec>,
     /// Resolved autoscaler, if the scenario requested one.
     pub autoscale: Option<BuiltAutoscale>,
+    /// Resolved fault plane, if the scenario requested one.
+    pub faults: Option<BuiltFaults>,
 }
 
 /// Builds one cell from its spec. `index` namespaces task ids and seeds
@@ -208,6 +225,49 @@ pub fn build_cell(
             },
         }
     });
+    let faults = scenario.faults.as_ref().map(|f| {
+        let mut plan = match &f.crashes {
+            Some(c) => FaultPlan::zone_crashes(
+                // Churn-style seed mix, so sibling cells (and a churn
+                // plan over the same fleet) draw independent schedules.
+                sim.seed ^ c.seed ^ (index as u64).wrapping_mul(0x9E37_79B9),
+                &machine_ids,
+                // Spec `zones: 0` means uncorrelated — every machine
+                // its own failure domain.
+                if c.zones == 0 {
+                    machine_ids.len()
+                } else {
+                    c.zones
+                },
+                c.count,
+                c.window,
+                c.mttr,
+            ),
+            None => FaultPlan::default(),
+        };
+        if let Some(d) = &f.degraded_registry {
+            plan = plan.and_registry_outage(d.start, d.duration);
+        }
+        let downtime_us = plan.downtime_us(sim.horizon);
+        let outages = f
+            .link_outage
+            .as_ref()
+            .map(|l| {
+                (0..l.count.max(1))
+                    .map(|k| {
+                        let start = l.start + k as Micros * l.period;
+                        (start, start.saturating_add(l.duration))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        BuiltFaults {
+            plan,
+            retry: f.retry.clone(),
+            outages,
+            downtime_us,
+        }
+    });
     Ok(BuiltCell {
         name: spec.name.clone(),
         index,
@@ -220,6 +280,7 @@ pub fn build_cell(
         rollout,
         retrain: scenario.retrain.clone(),
         autoscale,
+        faults,
     })
 }
 

@@ -399,12 +399,26 @@ fn print_diff(a: &LabReport, b: &LabReport, tolerance: f64) -> Vec<String> {
                 f(row.fleet_peak.1)
             );
         }
+        if row.dead_lettered.0.is_some() || row.dead_lettered.1.is_some() {
+            let f = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x}"));
+            println!(
+                "{:<34} {:<14} {:<10} dead-lettered {} → {}",
+                "",
+                "",
+                "",
+                f(row.dead_lettered.0),
+                f(row.dead_lettered.1)
+            );
+        }
         // Gate on the compared medians (fleet peak is informational:
         // bigger is not inherently worse).
         for (metric, pair) in [
             ("g0 mean", row.group0_mean),
             ("other mean", row.other_mean),
             ("unplaced", row.unplaced),
+            // Compared only when both reports ran a fault plane —
+            // more dead-lettered work is a recovery regression.
+            ("dead-lettered", row.dead_lettered),
         ] {
             if let Some((va, vb)) = regressed(pair, tolerance) {
                 regressions.push(format!(

@@ -137,4 +137,25 @@ fn record_cell(m: &mut Metrics, scheduler: &str, o: &CellOutcome) {
     if let Some(auto) = &o.autoscale {
         auto.record_into(m, &format!("{p}.autoscale"));
     }
+    if let Some(f) = &t.faults {
+        for (name, v) in [
+            ("crashed_machines", f.crashed_machines),
+            ("tasks_lost", f.tasks_lost),
+            ("retries_scheduled", f.retries_scheduled),
+            ("dead_lettered", f.dead_lettered),
+            ("lost_work_us", f.lost_work_us),
+            ("replacements_ordered", f.replacements_ordered),
+        ] {
+            m.counter(format!("{p}.faults.{name}"), v);
+        }
+        m.histogram(format!("{p}.faults.reschedule_us"), &f.reschedule);
+        m.histogram(format!("{p}.faults.backoff_us"), &f.backoff);
+    }
+    if let Some(r) = &o.recovery {
+        m.counter(format!("{p}.faults.link_timeouts"), r.link_timeouts);
+        m.counter(
+            format!("{p}.faults.unavailable_machine_us"),
+            r.unavailable_machine_us,
+        );
+    }
 }

@@ -90,7 +90,7 @@ pub struct SchedulerRun {
 }
 
 /// One cell's structured result.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CellRun {
     /// Cell name.
     pub cell: String,
@@ -116,8 +116,86 @@ pub struct CellRun {
     pub bands: Vec<BandStats>,
     /// The cell's autoscaler outcome — fleet-size timeline, lifecycle
     /// counters — when the scenario ran one.
-    #[serde(default)]
     pub autoscale: Option<AutoscaleStats>,
+    /// Recovery accounting — lost/retried/dead-lettered tasks, lost
+    /// work, link timeouts — when the scenario ran a fault plane.
+    /// Serialized only when present, so fault-free reports stay
+    /// byte-identical to earlier snapshots.
+    pub recovery: Option<RecoveryReport>,
+}
+
+/// Fault-plane recovery accounting for one cell.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Crash events that removed an online machine.
+    pub machines_crashed: u64,
+    /// Running tasks severed by crashes.
+    pub tasks_lost: u64,
+    /// Retries scheduled under the policy's budget.
+    pub retries: u64,
+    /// Tasks whose retry budget ran out (the engine's
+    /// `failed_permanently` terminal state).
+    pub dead_lettered: u64,
+    /// Run time severed by crashes (µs of lost work).
+    pub lost_work_us: u64,
+    /// Mean time from task loss to successful re-placement (µs), when
+    /// any lost task was re-placed.
+    pub reschedule_mean_us: Option<f64>,
+    /// Outbound spill requests that timed out in a link-outage window
+    /// and bounced back to the home queue.
+    pub link_timeouts: u64,
+    /// Planned machine downtime over the horizon (µs·machine).
+    pub unavailable_machine_us: u64,
+}
+
+// Manual impls: the `recovery` field is appended only when present, so
+// reports from fault-free specs keep the exact byte layout of earlier
+// snapshots (the derive would emit `"recovery": null`).
+impl serde::Serialize for CellRun {
+    fn to_value(&self) -> serde_json::Value {
+        let mut fields = vec![
+            ("cell".to_string(), self.cell.to_value()),
+            ("placed".to_string(), self.placed.to_value()),
+            ("unplaced".to_string(), self.unplaced.to_value()),
+            ("preemptions".to_string(), self.preemptions.to_value()),
+            (
+                "churn_rescheduled".to_string(),
+                self.churn_rescheduled.to_value(),
+            ),
+            ("gangs_placed".to_string(), self.gangs_placed.to_value()),
+            ("spilled_in".to_string(), self.spilled_in.to_value()),
+            ("spilled_out".to_string(), self.spilled_out.to_value()),
+            ("group0".to_string(), self.group0.to_value()),
+            ("other".to_string(), self.other.to_value()),
+            ("bands".to_string(), self.bands.to_value()),
+            ("autoscale".to_string(), self.autoscale.to_value()),
+        ];
+        if let Some(r) = &self.recovery {
+            fields.push(("recovery".to_string(), r.to_value()));
+        }
+        serde_json::Value::Object(fields)
+    }
+}
+
+impl serde::Deserialize for CellRun {
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            cell: serde::Deserialize::from_value(v.get_field("cell"))?,
+            placed: serde::Deserialize::from_value(v.get_field("placed"))?,
+            unplaced: serde::Deserialize::from_value(v.get_field("unplaced"))?,
+            preemptions: serde::Deserialize::from_value(v.get_field("preemptions"))?,
+            churn_rescheduled: serde::Deserialize::from_value(v.get_field("churn_rescheduled"))?,
+            gangs_placed: serde::Deserialize::from_value(v.get_field("gangs_placed"))?,
+            spilled_in: serde::Deserialize::from_value(v.get_field("spilled_in"))?,
+            spilled_out: serde::Deserialize::from_value(v.get_field("spilled_out"))?,
+            group0: serde::Deserialize::from_value(v.get_field("group0"))?,
+            other: serde::Deserialize::from_value(v.get_field("other"))?,
+            bands: serde::Deserialize::from_value(v.get_field("bands"))?,
+            autoscale: serde::Deserialize::from_value(v.get_field("autoscale"))?,
+            // Missing in fault-free and pre-fault reports → None.
+            recovery: serde::Deserialize::from_value(v.get_field("recovery"))?,
+        })
+    }
 }
 
 /// Latency within one suitable-node-group band.
@@ -155,12 +233,13 @@ impl CellRun {
             other: o.result.other_latency(),
             bands,
             autoscale: o.autoscale.clone(),
+            recovery: o.recovery.clone(),
         }
     }
 }
 
 /// Medians for one (grid point, scheduler, cell) across seeds × repeats.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SummaryRow {
     /// The grid point's knob values.
     pub knobs: Vec<KnobSetting>,
@@ -181,8 +260,70 @@ pub struct SummaryRow {
     /// Median unplaced count.
     pub median_unplaced: f64,
     /// Median peak fleet size (autoscaled cells only).
-    #[serde(default)]
     pub median_fleet_peak: Option<f64>,
+    /// Median dead-lettered task count (fault-plane cells only;
+    /// serialized only when present, keeping fault-free reports
+    /// byte-identical to earlier snapshots).
+    pub median_dead_lettered: Option<f64>,
+}
+
+impl serde::Serialize for SummaryRow {
+    fn to_value(&self) -> serde_json::Value {
+        let mut fields = vec![
+            ("knobs".to_string(), self.knobs.to_value()),
+            ("scheduler".to_string(), self.scheduler.to_value()),
+            ("cell".to_string(), self.cell.to_value()),
+            ("runs".to_string(), self.runs.to_value()),
+            (
+                "median_group0_mean".to_string(),
+                self.median_group0_mean.to_value(),
+            ),
+            (
+                "median_group0_p50".to_string(),
+                self.median_group0_p50.to_value(),
+            ),
+            (
+                "median_other_mean".to_string(),
+                self.median_other_mean.to_value(),
+            ),
+            ("median_placed".to_string(), self.median_placed.to_value()),
+            (
+                "median_unplaced".to_string(),
+                self.median_unplaced.to_value(),
+            ),
+            (
+                "median_fleet_peak".to_string(),
+                self.median_fleet_peak.to_value(),
+            ),
+        ];
+        if self.median_dead_lettered.is_some() {
+            fields.push((
+                "median_dead_lettered".to_string(),
+                self.median_dead_lettered.to_value(),
+            ));
+        }
+        serde_json::Value::Object(fields)
+    }
+}
+
+impl serde::Deserialize for SummaryRow {
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            knobs: serde::Deserialize::from_value(v.get_field("knobs"))?,
+            scheduler: serde::Deserialize::from_value(v.get_field("scheduler"))?,
+            cell: serde::Deserialize::from_value(v.get_field("cell"))?,
+            runs: serde::Deserialize::from_value(v.get_field("runs"))?,
+            median_group0_mean: serde::Deserialize::from_value(v.get_field("median_group0_mean"))?,
+            median_group0_p50: serde::Deserialize::from_value(v.get_field("median_group0_p50"))?,
+            median_other_mean: serde::Deserialize::from_value(v.get_field("median_other_mean"))?,
+            median_placed: serde::Deserialize::from_value(v.get_field("median_placed"))?,
+            median_unplaced: serde::Deserialize::from_value(v.get_field("median_unplaced"))?,
+            median_fleet_peak: serde::Deserialize::from_value(v.get_field("median_fleet_peak"))?,
+            median_dead_lettered: serde::Deserialize::from_value(
+                v.get_field("median_dead_lettered"),
+            )?,
+        })
+    }
 }
 
 /// Median of a sample (mean of the middle pair for even sizes); `None`
@@ -259,6 +400,12 @@ pub fn summarize(runs: &[RunReport]) -> Vec<SummaryRow> {
                     .filter_map(|c| c.autoscale.as_ref().map(|a| a.peak_active() as f64))
                     .collect(),
             ),
+            median_dead_lettered: median(
+                group
+                    .iter()
+                    .filter_map(|c| c.recovery.as_ref().map(|r| r.dead_lettered as f64))
+                    .collect(),
+            ),
         })
         .collect()
 }
@@ -304,6 +451,8 @@ pub struct SummaryDiff {
     pub unplaced: (Option<f64>, Option<f64>),
     /// `(a, b)` median peak fleet (autoscaled cells).
     pub fleet_peak: (Option<f64>, Option<f64>),
+    /// `(a, b)` median dead-lettered tasks (fault-plane cells).
+    pub dead_lettered: (Option<f64>, Option<f64>),
 }
 
 impl SummaryDiff {
@@ -355,5 +504,6 @@ fn pair_rows(a: Option<&SummaryRow>, b: Option<&SummaryRow>) -> SummaryDiff {
         other_mean: get(|r| r.median_other_mean),
         unplaced: get(|r| Some(r.median_unplaced)),
         fleet_peak: get(|r| r.median_fleet_peak),
+        dead_lettered: get(|r| r.median_dead_lettered),
     }
 }

@@ -34,8 +34,8 @@ use ctlm_data::vocab::ValueVocab;
 use ctlm_sched::engine::{CellHandle, EngineState, PRIO_ADMIT, PRIO_STATE};
 use ctlm_sched::scenario::{ChurnSource, GangSource, RolloutSource};
 use ctlm_sched::{
-    EngineStats, OwnershipGuard, PendingTask, SchedCluster, SchedEvent, Scheduler, SimResult,
-    Simulator,
+    EngineStats, ExponentialBackoff, FaultPlane, FaultStats, FixedRetry, OwnershipGuard,
+    PendingTask, RetryPolicy, SchedCluster, SchedEvent, Scheduler, SimResult, Simulator,
 };
 use ctlm_sim::{Component, Ctx, EpochAutotune, Event, LaneStats, ParallelPerf, ParallelSim, Sim};
 use ctlm_telemetry::TraceRing;
@@ -79,6 +79,8 @@ pub struct CellOutcome {
     /// What the cell's autoscaler did (fleet timeline included), when
     /// the scenario ran one.
     pub autoscale: Option<AutoscaleStats>,
+    /// Recovery accounting, when the scenario ran a fault plane.
+    pub recovery: Option<crate::report::RecoveryReport>,
     /// Sim-plane telemetry snapshotted at the end of the run.
     pub telemetry: CellTelemetry,
 }
@@ -102,6 +104,9 @@ pub struct CellTelemetry {
     /// The last-N delivered engine events, when the spec (or `--trace`)
     /// enabled tracing.
     pub trace: Option<TraceRing>,
+    /// Fault-runtime counters and retry/reschedule histograms, when the
+    /// cell ran a fault plane.
+    pub faults: Option<FaultStats>,
 }
 
 /// An attached cell: its engine handle plus the autoscale stats sink
@@ -157,6 +162,36 @@ fn attach_full_cell<'a>(
         let churn = ChurnSource::new(plan.clone(), handle.engine).with_guard(guard.clone());
         let first = churn.first_time();
         let id = sim.add_component(format!("{}/churn", cell.name), churn);
+        if let Some(t) = first {
+            sim.schedule_prio(t, PRIO_STATE, id, id, SchedEvent::Wake);
+        }
+    }
+    // The fault plane shares the guard too: a crash override-claims the
+    // machine, voiding any in-flight drain or provision claim.
+    if let Some(bf) = &cell.faults {
+        let retry = &bf.retry;
+        let policy: Box<dyn RetryPolicy> = match retry.policy.as_str() {
+            "fixed" => Box::new(FixedRetry {
+                delay: retry.base,
+                budget: retry.budget,
+            }),
+            _ => Box::new(ExponentialBackoff {
+                base: retry.base,
+                cap: retry.cap.max(retry.base),
+                budget: retry.budget,
+                jitter: retry.jitter,
+            }),
+        };
+        handle.state().borrow_mut().enable_faults(
+            policy,
+            spec.sim.seed ^ (cell.index as u64).wrapping_mul(0x9E37_79B9),
+        );
+        let mut plane = FaultPlane::new(bf.plan.clone(), handle.engine).with_guard(guard.clone());
+        if let Some(reg) = registry {
+            plane = plane.with_registry(reg.clone());
+        }
+        let first = plane.first_time();
+        let id = sim.add_component(format!("{}/faults", cell.name), plane);
         if let Some(t) = first {
             sim.schedule_prio(t, PRIO_STATE, id, id, SchedEvent::Wake);
         }
@@ -310,6 +345,7 @@ pub fn run_scheduler_observed(
     let mut autoscale_stats: Vec<Option<Rc<RefCell<AutoscaleStats>>>> =
         Vec::with_capacity(built.len());
     let mut spills = vec![(0usize, 0usize); built.len()];
+    let mut link_timeouts = vec![0u64; built.len()];
     let trace_capacity = spec.observability.trace_events;
     let mut lanes = vec![LaneStats::default(); built.len()];
     let mut perf: Option<ParallelPerf> = None;
@@ -384,6 +420,17 @@ pub fn run_scheduler_observed(
             }
         }
         let policy = spec.spillover;
+        // Per-cell outbound link-outage windows from the fault plane —
+        // pure spec data, so timeout decisions are thread-count-free.
+        let outages: Vec<&[(Micros, Micros)]> = built
+            .iter()
+            .map(|c| {
+                c.faults
+                    .as_ref()
+                    .map(|f| f.outages.as_slice())
+                    .unwrap_or(&[])
+            })
+            .collect();
         psim.run_until(horizon, |bound, msgs, shards| {
             // Spill requests arrive merged in (time, priority, shard,
             // seq) order; injections below preserve it as queue order in
@@ -394,6 +441,25 @@ pub fn run_scheduler_observed(
                     continue;
                 };
                 let home = msg.shard;
+                // A spill emitted inside one of its cell's link-outage
+                // windows times out at the barrier: it never reaches a
+                // sibling, bouncing back to the home queue once the
+                // outage clears (re-admission behind the backlog).
+                if let Some(&(_, end)) = outages[home]
+                    .iter()
+                    .find(|&&(s, e)| msg.time >= s && msg.time < e)
+                {
+                    link_timeouts[home] += 1;
+                    let at = end.clamp(bound.min(horizon), horizon);
+                    shards[home].schedule_prio(
+                        at,
+                        PRIO_ADMIT,
+                        engines[home],
+                        engines[home],
+                        SchedEvent::Arrival(idx),
+                    );
+                    continue;
+                }
                 // The home engine resolves the index whether the task
                 // lives in its materialised arena or its streaming slab.
                 let target = {
@@ -445,12 +511,47 @@ pub fn run_scheduler_observed(
             let (_, result) = handle.finish();
             let state = handle.state();
             let state = state.borrow();
+            let fstats = state.fault_stats().cloned();
+            if let Some(fs) = &fstats {
+                // Task conservation: every loss event scheduled a retry
+                // or dead-lettered, and every dead-letter reached the
+                // result's terminal counter — no silently hung tasks.
+                assert_eq!(
+                    fs.dead_lettered as usize, result.failed_permanently,
+                    "cell {:?}: dead-letter stats and result disagree",
+                    cell.name
+                );
+                assert!(
+                    fs.retries_scheduled + fs.dead_lettered >= fs.tasks_lost,
+                    "cell {:?}: lost tasks unaccounted for \
+                     (lost {} > retried {} + dead-lettered {})",
+                    cell.name,
+                    fs.tasks_lost,
+                    fs.retries_scheduled,
+                    fs.dead_lettered
+                );
+            }
+            let recovery = cell.faults.as_ref().map(|bf| {
+                let fs = fstats.clone().unwrap_or_default();
+                crate::report::RecoveryReport {
+                    machines_crashed: fs.crashed_machines,
+                    tasks_lost: fs.tasks_lost,
+                    retries: fs.retries_scheduled,
+                    dead_lettered: fs.dead_lettered,
+                    lost_work_us: fs.lost_work_us,
+                    reschedule_mean_us: (fs.reschedule.count() > 0)
+                        .then(|| fs.reschedule.sum() as f64 / fs.reschedule.count() as f64),
+                    link_timeouts: link_timeouts[i],
+                    unavailable_machine_us: bf.downtime_us,
+                }
+            });
             let telemetry = CellTelemetry {
                 stats: state.stats().clone(),
                 lanes: lanes[i],
                 slab_retired: state.slab_retired(),
                 slab_resident: state.slab_resident_segments(),
                 trace: state.trace().cloned(),
+                faults: fstats,
             };
             CellOutcome {
                 cell: cell.name.clone(),
@@ -458,6 +559,7 @@ pub fn run_scheduler_observed(
                 spilled_in: spills[i].0,
                 spilled_out: spills[i].1,
                 autoscale: autoscale_stats[i].as_ref().map(|s| s.borrow().clone()),
+                recovery,
                 telemetry,
             }
         })

@@ -157,6 +157,70 @@ impl ExperimentSpec {
                 )));
             }
         }
+        for cell in self.cell_specs() {
+            let Some(faults) = &cell.scenario.faults else {
+                continue;
+            };
+            if let Some(c) = &faults.crashes {
+                if c.window.0 > c.window.1 {
+                    return Err(LabError::msg(format!(
+                        "cell {:?}: crash window start {} exceeds end {}",
+                        cell.name, c.window.0, c.window.1
+                    )));
+                }
+                if c.count > 0 && c.mttr == 0 {
+                    return Err(LabError::msg(format!(
+                        "cell {:?}: crash mttr must be > 0",
+                        cell.name
+                    )));
+                }
+            }
+            if let Some(l) = &faults.link_outage {
+                if l.duration == 0 {
+                    return Err(LabError::msg(format!(
+                        "cell {:?}: link_outage duration must be > 0",
+                        cell.name
+                    )));
+                }
+                if l.count > 1 && l.period == 0 {
+                    return Err(LabError::msg(format!(
+                        "cell {:?}: repeated link_outage needs period > 0",
+                        cell.name
+                    )));
+                }
+                if !self.spillover.enabled() {
+                    return Err(LabError::msg(format!(
+                        "cell {:?}: link_outage needs spillover enabled \
+                         (there is no link to fail otherwise)",
+                        cell.name
+                    )));
+                }
+            }
+            if let Some(d) = &faults.degraded_registry {
+                if d.duration == 0 {
+                    return Err(LabError::msg(format!(
+                        "cell {:?}: degraded_registry duration must be > 0",
+                        cell.name
+                    )));
+                }
+            }
+            match faults.retry.policy.as_str() {
+                "fixed" | "exponential" => {}
+                other => {
+                    return Err(LabError::msg(format!(
+                        "cell {:?}: unknown retry policy {other:?} \
+                         (expected \"fixed\" or \"exponential\")",
+                        cell.name
+                    )))
+                }
+            }
+            if faults.retry.base == 0 {
+                return Err(LabError::msg(format!(
+                    "cell {:?}: retry base delay must be > 0",
+                    cell.name
+                )));
+            }
+        }
         if self.execution.epoch_us == EpochSpec::Fixed(0) {
             return Err(LabError::msg(
                 "`execution.epoch_us` must be > 0 (or \"auto\")",
@@ -485,6 +549,12 @@ pub struct ScenarioSpec {
     /// included).
     #[serde(default)]
     pub autoscale: Option<AutoscaleSpec>,
+    /// Fault-plane injection: abrupt correlated machine crashes (lost
+    /// work, MTTR recovery), spillover link outages, registry
+    /// degradation windows, and the retry policy deciding between
+    /// rescheduling and dead-lettering lost tasks.
+    #[serde(default)]
+    pub faults: Option<FaultsSpec>,
 }
 
 /// One cell's autoscaler: policy selection by registry name plus the
@@ -569,6 +639,150 @@ pub struct ChurnSpec {
     /// Extra seed entropy (combined with the spec's `sim.seed`).
     #[serde(default)]
     pub seed: u64,
+}
+
+/// Fault-plane intensities for one cell. Unlike [`ChurnSpec`]'s
+/// graceful drains (running tasks requeue), crashes *lose* work: the
+/// engine charges each lost task against the retry budget and either
+/// reschedules it after a backoff delay or dead-letters it.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultsSpec {
+    /// Correlated failure-domain crashes with seeded MTTR recovery.
+    #[serde(default)]
+    pub crashes: Option<CrashSpec>,
+    /// Transient spillover link outages: windows during which this
+    /// cell's outbound spill requests time out at the epoch barrier and
+    /// bounce back to the home queue.
+    #[serde(default)]
+    pub link_outage: Option<LinkOutageSpec>,
+    /// A degraded model-registry window: `live_registry` cells fall
+    /// back to main-queue routing until the registry heals.
+    #[serde(default)]
+    pub degraded_registry: Option<DegradedRegistrySpec>,
+    /// Retry policy for crash-lost tasks (default: exponential backoff,
+    /// budget 3).
+    #[serde(default)]
+    pub retry: RetrySpec,
+}
+
+/// Correlated crash process: `count` crash events inside `window`, each
+/// taking a whole failure domain (zone) down at once. Machines recover
+/// after a seeded exponential outage with mean `mttr`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// Number of crash events (each downs one whole zone).
+    pub count: usize,
+    /// `[start, end]` of the crash window (µs).
+    pub window: (Micros, Micros),
+    /// Mean time to recovery per crash (µs, exponential).
+    pub mttr: Micros,
+    /// Failure domains the fleet splits into (contiguous machine-id
+    /// chunks); 0 = every machine is its own domain (uncorrelated).
+    #[serde(default)]
+    pub zones: usize,
+    /// Extra seed entropy (combined with the spec's `sim.seed`).
+    #[serde(default)]
+    pub seed: u64,
+}
+
+/// Spillover link outage windows: `count` outages of `duration` µs,
+/// starting at `start` and repeating every `period`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkOutageSpec {
+    /// First outage start (µs).
+    pub start: Micros,
+    /// Length of each outage (µs).
+    pub duration: Micros,
+    /// Number of outage windows (0 or 1 → a single window).
+    #[serde(default)]
+    pub count: usize,
+    /// Gap between successive window *starts* (µs); required when
+    /// `count > 1`.
+    #[serde(default)]
+    pub period: Micros,
+}
+
+/// A degraded model-registry window: the registry reports unhealthy
+/// from `start` for `duration` µs, then heals.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DegradedRegistrySpec {
+    /// Degradation start (µs).
+    pub start: Micros,
+    /// Degradation length (µs).
+    pub duration: Micros,
+}
+
+/// Retry policy for crash-lost tasks. `fixed` waits `base` µs between
+/// attempts; `exponential` doubles from `base` up to `cap` with seeded
+/// jitter. A task exceeding `budget` attempts dead-letters
+/// (`failed_permanently` in the report — never a silently hung task).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetrySpec {
+    /// Policy name: `fixed` or `exponential`.
+    pub policy: String,
+    /// Base delay (µs): the fixed delay, or the exponential first step.
+    pub base: Micros,
+    /// Delay ceiling for `exponential` (µs).
+    pub cap: Micros,
+    /// Retry attempts before dead-lettering.
+    pub budget: u32,
+    /// `exponential` jitter fraction: each delay is scaled by a seeded
+    /// uniform factor in `[1 − jitter, 1 + jitter]`.
+    pub jitter: f64,
+}
+
+impl Default for RetrySpec {
+    fn default() -> Self {
+        Self {
+            policy: "exponential".to_string(),
+            base: 2_000_000,
+            cap: 60_000_000,
+            budget: 3,
+            jitter: 0.5,
+        }
+    }
+}
+
+impl serde::Serialize for RetrySpec {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::Value::Object(vec![
+            (
+                "policy".to_string(),
+                serde_json::Value::Str(self.policy.clone()),
+            ),
+            ("base".to_string(), serde_json::Value::Num(self.base as f64)),
+            ("cap".to_string(), serde_json::Value::Num(self.cap as f64)),
+            (
+                "budget".to_string(),
+                serde_json::Value::Num(self.budget as f64),
+            ),
+            ("jitter".to_string(), serde_json::Value::Num(self.jitter)),
+        ])
+    }
+}
+
+// Manual impl so a partial `retry` object keeps the struct defaults for
+// the fields it omits (mirrors [`ExecutionSpec`]).
+impl serde::Deserialize for RetrySpec {
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde::Error> {
+        let serde_json::Value::Object(fields) = v else {
+            return Err(serde::Error::msg(format!(
+                "expected retry object, got {v:?}"
+            )));
+        };
+        let mut out = RetrySpec::default();
+        for (key, val) in fields {
+            match key.as_str() {
+                "policy" => out.policy = serde::Deserialize::from_value(val)?,
+                "base" => out.base = serde::Deserialize::from_value(val)?,
+                "cap" => out.cap = serde::Deserialize::from_value(val)?,
+                "budget" => out.budget = serde::Deserialize::from_value(val)?,
+                "jitter" => out.jitter = serde::Deserialize::from_value(val)?,
+                other => return Err(serde::Error::msg(format!("unknown retry field {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Gang arrival process: `count` gangs of `size` members each.

@@ -284,6 +284,7 @@ fn arb_scenario() -> impl Strategy<Value = ScenarioSpec> {
                     ..PolicyParams::default()
                 },
             }),
+            faults: None,
         }
     })
 }

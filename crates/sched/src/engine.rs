@@ -88,6 +88,13 @@ pub enum SchedEvent {
     },
     /// A machine drains (churn / failure): its tasks re-enter the queue.
     MachineFail(MachineId),
+    /// A machine *crashes* (fault plane): capacity leaves the index
+    /// atomically and running tasks are **lost** — each is charged
+    /// against the retry budget and either rescheduled after a backoff
+    /// delay ([`SchedEvent::TaskRetry`]) or dead-lettered. Contrast with
+    /// [`SchedEvent::MachineFail`], whose graceful drain requeues tasks
+    /// immediately.
+    MachineCrash(MachineId),
     /// A previously drained machine rejoins empty.
     MachineRestore(MachineId),
     /// A new machine joins the fleet.
@@ -109,6 +116,10 @@ pub enum SchedEvent {
     /// [`SchedEvent::Arrival`] (home cell) or [`SchedEvent::Admit`]
     /// (sibling cell) at the epoch boundary.
     SpillRequest(usize),
+    /// A crash-lost task's backoff delay elapsed: the task (arena index)
+    /// re-enters its queue behind the existing backlog. Admission
+    /// counters are *not* re-bumped — the task was admitted exactly once.
+    TaskRetry(usize),
 }
 
 /// Simulation parameters.
@@ -165,6 +176,13 @@ pub struct SimResult {
     pub churn_rescheduled: usize,
     /// Gangs placed atomically.
     pub gangs_placed: usize,
+    /// Crash-lost tasks whose retry budget ran out — the dead-letter
+    /// terminal state. Always 0 without the fault plane. These tasks hold
+    /// a placed record (they were running when lost), so the conservation
+    /// identity stays `admitted == placed + unplaced` with
+    /// `failed_permanently ≤ placed`.
+    #[serde(default)]
+    pub failed_permanently: usize,
 }
 
 impl SimResult {
@@ -238,6 +256,35 @@ struct Running {
     machine: MachineId,
     /// Placement epoch (monotone per placement).
     epoch: u64,
+    /// When this placement started — a crash severing the task charges
+    /// `now − started` to the lost-work account.
+    started: Micros,
+}
+
+/// Per-task retry bookkeeping under the fault plane, keyed by arena
+/// index (entries are dropped when the task finishes or dead-letters, so
+/// recycled slab slots never inherit stale budgets).
+#[derive(Clone, Copy, Debug, Default)]
+struct RetryState {
+    /// Losses charged against the policy budget so far.
+    attempts: u32,
+    /// When the task was last lost.
+    lost_at: Micros,
+    /// True while a retry is scheduled but the task has not re-placed.
+    pending: bool,
+}
+
+/// The engine's optional fault runtime: the retry policy, its dedicated
+/// seeded jitter RNG, per-task budgets and the fault telemetry. Boxed
+/// behind `Option` so fault-free simulations carry one null-pointer-sized
+/// field and take none of these code paths — the zero-allocation
+/// scheduling-pass contract and report bytes are unchanged when no
+/// `faults` block is configured.
+struct FaultRuntime {
+    policy: Box<dyn crate::faults::RetryPolicy>,
+    rng: StdRng,
+    attempts: HashMap<usize, RetryState>,
+    stats: crate::faults::FaultStats,
 }
 
 /// The engine's mutable state, shared between the engine component and
@@ -277,6 +324,10 @@ pub struct EngineState<'a> {
     /// Bounded structured event trace; `None` (the default) records
     /// nothing. See [`EngineState::enable_trace`].
     trace: Option<TraceRing>,
+    /// Fault-plane runtime; `None` (the default) means crashes
+    /// dead-letter immediately and no fault bookkeeping runs. See
+    /// [`EngineState::enable_faults`].
+    faults: Option<Box<FaultRuntime>>,
 }
 
 impl<'a> EngineState<'a> {
@@ -316,6 +367,7 @@ impl<'a> EngineState<'a> {
             place_ctx: PlaceCtx::new(),
             stats: EngineStats::default(),
             trace: None,
+            faults: None,
         }
     }
 
@@ -429,6 +481,43 @@ impl<'a> EngineState<'a> {
         self.trace.as_ref()
     }
 
+    /// Switches on the fault-plane runtime: crash-lost tasks consult
+    /// `policy` (jitter drawn from a dedicated RNG seeded with `seed`)
+    /// and are rescheduled or dead-lettered. Without this, a delivered
+    /// [`SchedEvent::MachineCrash`] dead-letters every lost task
+    /// immediately.
+    pub fn enable_faults(&mut self, policy: Box<dyn crate::faults::RetryPolicy>, seed: u64) {
+        self.faults = Some(Box::new(FaultRuntime {
+            policy,
+            rng: StdRng::seed_from_u64(seed ^ 0xFA17_4E77),
+            attempts: HashMap::new(),
+            stats: crate::faults::FaultStats::default(),
+        }));
+    }
+
+    /// The fault runtime's counters and histograms, when
+    /// [`EngineState::enable_faults`] switched it on.
+    pub fn fault_stats(&self) -> Option<&crate::faults::FaultStats> {
+        self.faults.as_deref().map(|f| &f.stats)
+    }
+
+    /// Crash events that removed an online machine so far — control
+    /// planes diff successive reads to detect crash-induced capacity
+    /// loss (always 0 without the fault runtime).
+    pub fn crashed_machines(&self) -> u64 {
+        self.faults
+            .as_deref()
+            .map_or(0, |f| f.stats.crashed_machines)
+    }
+
+    /// Counts replacement machines the control plane ordered against
+    /// crash-induced capacity loss (no-op when the fault plane is off).
+    pub fn note_replacements(&mut self, n: u64) {
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.stats.replacements_ordered += n;
+        }
+    }
+
     /// Tasks currently resident in the dynamic-admission slab.
     pub fn slab_len(&self) -> usize {
         self.slab.len()
@@ -540,8 +629,17 @@ impl<'a> EngineState<'a> {
                 idx,
                 machine,
                 epoch,
+                started: now,
             },
         );
+        if let Some(f) = self.faults.as_deref_mut() {
+            if let Some(st) = f.attempts.get_mut(&idx) {
+                if st.pending {
+                    st.pending = false;
+                    f.stats.reschedule.record(now.saturating_sub(st.lost_at));
+                }
+            }
+        }
         ctx.emit_prio(
             runtime,
             PRIO_STATE,
@@ -594,6 +692,7 @@ impl<'a> EngineState<'a> {
         } else {
             self.slab.get(idx - self.arrivals.len())
         };
+        let task_id = t.id;
         match placer.place(&self.cluster, t, &mut self.place_ctx) {
             Placement::Placed(m) => {
                 self.stats.placed += 1;
@@ -610,7 +709,19 @@ impl<'a> EngineState<'a> {
                 // No node can ever satisfy the affinity — Kubernetes
                 // would error the pod; we drop it (and free its slot).
                 self.stats.infeasible += 1;
-                self.result.unplaced += 1;
+                if self.faults.is_some() && self.placed_once.contains(&task_id) {
+                    // A crash-retried task whose every suitable machine
+                    // is down: it already holds a placed record, so
+                    // counting it unplaced would break task conservation
+                    // — it dead-letters instead.
+                    self.result.failed_permanently += 1;
+                    if let Some(f) = self.faults.as_deref_mut() {
+                        f.stats.dead_lettered += 1;
+                        f.attempts.remove(&idx);
+                    }
+                } else {
+                    self.result.unplaced += 1;
+                }
                 self.release_slot(idx);
             }
             Placement::NoCapacity => {
@@ -708,6 +819,67 @@ impl<'a> EngineState<'a> {
         true
     }
 
+    /// A machine *crashes* — the abrupt sibling of [`Self::machine_fail`]:
+    /// capacity leaves atomically (the same offline parking, so a later
+    /// [`SchedEvent::MachineRestore`] revives it empty), but running
+    /// tasks are lost, not requeued. Each loss is charged against the
+    /// retry policy: within budget, a [`SchedEvent::TaskRetry`] is
+    /// scheduled after the backoff delay; over budget (or with no fault
+    /// runtime at all) the task dead-letters as `failed_permanently`.
+    /// Crashing an already-offline machine is capacity-inert.
+    fn machine_crash(&mut self, id: MachineId, ctx: &mut Ctx<'_, SchedEvent>) {
+        let Some(evicted) = self.cluster.remove_machine(id) else {
+            return;
+        };
+        let now = ctx.now();
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.stats.crashed_machines += 1;
+        }
+        // Evicted tasks arrive sorted by task id, so RNG draws (backoff
+        // jitter) consume in a deterministic order.
+        for (task, ..) in evicted {
+            let Some(r) = self.running.remove(&task) else {
+                continue;
+            };
+            let retry_after = match self.faults.as_deref_mut() {
+                Some(f) => {
+                    let st = f.attempts.entry(r.idx).or_default();
+                    st.attempts += 1;
+                    st.lost_at = now;
+                    f.stats.tasks_lost += 1;
+                    f.stats.lost_work_us += now.saturating_sub(r.started);
+                    let delay = f.policy.delay(st.attempts, &mut f.rng);
+                    match delay {
+                        Some(d) => {
+                            st.pending = true;
+                            f.stats.retries_scheduled += 1;
+                            f.stats.backoff.record(d);
+                        }
+                        None => {
+                            f.stats.dead_lettered += 1;
+                            f.attempts.remove(&r.idx);
+                        }
+                    }
+                    delay
+                }
+                // No retry runtime: lost work dead-letters immediately.
+                None => None,
+            };
+            match retry_after {
+                Some(delay) => ctx.emit_prio(
+                    delay,
+                    PRIO_ADMIT,
+                    self.engine_id,
+                    SchedEvent::TaskRetry(r.idx),
+                ),
+                None => {
+                    self.result.failed_permanently += 1;
+                    self.release_slot(r.idx);
+                }
+            }
+        }
+    }
+
     fn handle(&mut self, ev: SchedEvent, ctx: &mut Ctx<'_, SchedEvent>) {
         if let Some(ring) = &mut self.trace {
             // One fixed-shape record per delivered event: a static kind
@@ -720,12 +892,14 @@ impl<'a> EngineState<'a> {
                 SchedEvent::Cycle => ("cycle", 0, 0),
                 SchedEvent::Finish { task, machine, .. } => ("finish", *task, *machine),
                 SchedEvent::MachineFail(id) => ("machine_fail", *id, 0),
+                SchedEvent::MachineCrash(id) => ("machine_crash", *id, 0),
                 SchedEvent::MachineRestore(id) => ("machine_restore", *id, 0),
                 SchedEvent::MachineJoin(m) => ("machine_join", m.id, 0),
                 SchedEvent::AttrUpdate { machine, attr, .. } => {
                     ("attr_update", *machine, u64::from(*attr))
                 }
                 SchedEvent::SpillRequest(idx) => ("spill_request", *idx as u64, 0),
+                SchedEvent::TaskRetry(idx) => ("task_retry", *idx as u64, 0),
             };
             ring.push(TraceEvent {
                 time: ctx.now(),
@@ -770,11 +944,18 @@ impl<'a> EngineState<'a> {
                     let r = self.running.remove(&task).expect("checked above");
                     self.cluster.release(machine, task);
                     self.release_slot(r.idx);
+                    // The task terminated: drop its retry budget so a
+                    // recycled arena slot never inherits it.
+                    if let Some(f) = self.faults.as_deref_mut() {
+                        f.attempts.remove(&r.idx);
+                    }
                 }
             }
             SchedEvent::MachineFail(id) => {
                 self.machine_fail(id);
             }
+            SchedEvent::MachineCrash(id) => self.machine_crash(id, ctx),
+            SchedEvent::TaskRetry(idx) => self.admit(idx),
             SchedEvent::MachineRestore(id) => {
                 self.cluster.restore_machine(id);
             }

@@ -1,0 +1,492 @@
+//! Fault plane — seeded failure injection with policy-driven recovery.
+//!
+//! Everything the scenario layer could express before this module was
+//! *graceful*: drains requeue their tasks, spillover always reaches a
+//! healthy sibling, model hot-swaps always succeed. The fault plane adds
+//! the abrupt versions as first-class, deterministic timeline events:
+//!
+//! * **Machine crashes** ([`FaultAction::Crash`]) — the machine leaves
+//!   the capacity index atomically and its *running tasks are lost*, in
+//!   contrast to [`SchedEvent::MachineFail`](crate::engine::SchedEvent)
+//!   whose drain requeues them. Crashes are injected per failure domain:
+//!   [`FaultPlan::zone_crashes`] partitions the fleet into zones and
+//!   takes whole zones down together, with seeded MTTR-based recovery.
+//! * **Degraded dependencies** ([`FaultAction::DegradeRegistry`]) — a
+//!   stale or failed model swap poisons the shared
+//!   [`ModelRegistry`](ctlm_core::ModelRegistry); `live_registry`
+//!   schedulers observe the version bump, drop their cached analyzer and
+//!   fall back to baseline routing until a healthy version appears.
+//! * **Link outages** between cells are spec-level windows enforced at
+//!   the epoch barrier by the lab runner (spill requests time out and
+//!   fall back to their home cell) — they need no kernel component, so
+//!   this module only defines the taxonomy.
+//!
+//! Recovery is policy-driven: every lost task is charged against a
+//! [`RetryPolicy`] budget and either rescheduled after a (possibly
+//! jittered, but always seeded) backoff delay or dead-lettered as
+//! `failed_permanently` — never silently hung. All randomness flows
+//! through seeded [`StdRng`]s, so a fault schedule is a pure function of
+//! the spec plus the seed and reports stay byte-identical at any
+//! `execution.threads`.
+//!
+//! ## Crash vs. drain
+//!
+//! | | drain ([`MachineFail`](crate::engine::SchedEvent::MachineFail)) | crash ([`MachineCrash`](crate::engine::SchedEvent::MachineCrash)) |
+//! |---|---|---|
+//! | running tasks | requeued immediately (`churn_rescheduled`) | lost; retried after backoff or dead-lettered |
+//! | lifecycle claim | cooperative [`try_claim`](OwnershipGuard::try_claim) — skipped when contended | forcible [`override_claim`](OwnershipGuard::override_claim) — displaces in-flight drain/provision claims |
+//! | recovery | paired restore after the outage | seeded MTTR per failure domain |
+//! | work accounting | no work lost | `lost_work_us` accumulates the severed run time |
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use std::collections::HashMap;
+
+use ctlm_sim::{CompId, Component, Ctx, Event};
+use ctlm_telemetry::Histogram;
+use ctlm_trace::{MachineId, Micros};
+
+use crate::engine::{SchedEvent, PRIO_STATE};
+use crate::lifecycle::{LifecycleOwner, OwnershipGuard};
+
+/// Seed mix for fault plans, keeping the fault RNG stream disjoint from
+/// churn (`^ 0xC4012`) and the engine (`^ 0x5C4E_D111`).
+const PLAN_SEED_MIX: u64 = 0xFA17_70B5;
+
+/// Decides when (and whether) a lost task is rescheduled.
+///
+/// `attempt` is 1-based: the first loss of a task consults the policy
+/// with `attempt == 1`. `None` means the budget is exhausted and the
+/// task dead-letters (`failed_permanently`). Implementations draw any
+/// jitter from the *caller's* seeded RNG so retry schedules stay
+/// deterministic.
+pub trait RetryPolicy {
+    /// Backoff delay before retry `attempt`, or `None` to dead-letter.
+    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Option<Micros>;
+
+    /// Registry name, surfaced in docs and reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Retries after a fixed delay, up to `budget` attempts.
+#[derive(Clone, Copy, Debug)]
+pub struct FixedRetry {
+    /// Delay before every retry.
+    pub delay: Micros,
+    /// Maximum retry attempts before dead-lettering.
+    pub budget: u32,
+}
+
+impl RetryPolicy for FixedRetry {
+    fn delay(&self, attempt: u32, _rng: &mut StdRng) -> Option<Micros> {
+        (attempt <= self.budget).then_some(self.delay.max(1))
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Exponential backoff with seeded jitter: attempt `k` waits
+/// `min(cap, base · 2^(k−1))`, scaled by a uniform factor in
+/// `[1 − jitter, 1 + jitter]`, up to `budget` attempts.
+#[derive(Clone, Copy, Debug)]
+pub struct ExponentialBackoff {
+    /// First-attempt delay.
+    pub base: Micros,
+    /// Upper bound on the un-jittered delay.
+    pub cap: Micros,
+    /// Maximum retry attempts before dead-lettering.
+    pub budget: u32,
+    /// Jitter half-width as a fraction of the delay, clamped to `[0, 1)`.
+    pub jitter: f64,
+}
+
+impl RetryPolicy for ExponentialBackoff {
+    fn delay(&self, attempt: u32, rng: &mut StdRng) -> Option<Micros> {
+        if attempt > self.budget {
+            return None;
+        }
+        let shift = (attempt - 1).min(62);
+        let raw = self.base.saturating_mul(1u64 << shift).min(self.cap.max(1));
+        let jitter = self.jitter.clamp(0.0, 0.999);
+        let factor = if jitter > 0.0 {
+            1.0 - jitter + rng.gen_range(0.0..(2.0 * jitter))
+        } else {
+            1.0
+        };
+        Some(((raw as f64 * factor) as Micros).max(1))
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+/// One fault event on the timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// A machine crashes: capacity leaves atomically, running tasks are
+    /// lost (retry/dead-letter, not requeue).
+    Crash(MachineId),
+    /// A crashed machine comes back (empty) after its MTTR elapses.
+    Recover(MachineId),
+    /// The shared model registry degrades: readers fall back to baseline
+    /// routing until it heals or a fresh model is installed.
+    DegradeRegistry,
+    /// The registry's degradation clears.
+    HealRegistry,
+}
+
+/// A deterministic fault schedule: `(time, action)` pairs sorted by
+/// time (same-time order preserved).
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    /// The schedule, sorted by time.
+    pub events: Vec<(Micros, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// A plan from explicit pairs (sorted internally, stable).
+    pub fn new(mut events: Vec<(Micros, FaultAction)>) -> Self {
+        events.sort_by_key(|&(t, _)| t);
+        Self { events }
+    }
+
+    /// Seeded correlated crashes: the fleet is partitioned into `zones`
+    /// contiguous failure domains (declaration order, like rollout
+    /// stages); each of `crashes` events picks a zone uniformly, crashes
+    /// *every* machine in it at a time uniform in `window`, and recovers
+    /// the whole zone after an exponentially distributed outage with
+    /// mean `mttr`. Overlapping outages of one machine nest: it stays
+    /// down until its last outstanding recovery.
+    pub fn zone_crashes(
+        seed: u64,
+        fleet: &[MachineId],
+        zones: usize,
+        crashes: usize,
+        window: (Micros, Micros),
+        mttr: Micros,
+    ) -> Self {
+        if fleet.is_empty() || crashes == 0 {
+            return Self::default();
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ PLAN_SEED_MIX);
+        let zones = zones.clamp(1, fleet.len());
+        let chunk = fleet.len().div_ceil(zones);
+        let domains: Vec<&[MachineId]> = fleet.chunks(chunk.max(1)).collect();
+        let span = window.1.saturating_sub(window.0).max(1);
+        let mut events = Vec::with_capacity(crashes * 2 * chunk);
+        for _ in 0..crashes {
+            let zone = domains[rng.gen_range(0..domains.len())];
+            let t = window.0 + rng.gen_range(0..span);
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            let outage = (((-u.ln()) * mttr as f64) as Micros).max(1);
+            for &m in zone {
+                events.push((t, FaultAction::Crash(m)));
+                events.push((t + outage, FaultAction::Recover(m)));
+            }
+        }
+        Self::new(events)
+    }
+
+    /// Adds a registry-degradation window `[start, start + duration)` to
+    /// the plan.
+    pub fn and_registry_outage(self, start: Micros, duration: Micros) -> Self {
+        let mut events = self.events;
+        events.push((start, FaultAction::DegradeRegistry));
+        events.push((
+            start.saturating_add(duration.max(1)),
+            FaultAction::HealRegistry,
+        ));
+        Self::new(events)
+    }
+
+    /// True when no faults are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total machine-downtime (machine·µs) the plan implies within
+    /// `[0, horizon]` — nested outages of one machine count once, and
+    /// machines still down at the horizon accrue up to it. This is the
+    /// per-cell unavailability a report quotes without replaying the run.
+    pub fn downtime_us(&self, horizon: Micros) -> u64 {
+        let mut down: HashMap<MachineId, (Micros, u32)> = HashMap::new();
+        let mut total = 0u64;
+        for &(t, ref action) in &self.events {
+            match action {
+                FaultAction::Crash(id) => {
+                    let entry = down.entry(*id).or_insert((t, 0));
+                    entry.1 += 1;
+                }
+                FaultAction::Recover(id) => {
+                    if let Some(entry) = down.get_mut(id) {
+                        entry.1 -= 1;
+                        if entry.1 == 0 {
+                            let (start, _) = down.remove(id).expect("entry present");
+                            total += t.min(horizon).saturating_sub(start.min(horizon));
+                        }
+                    }
+                }
+                FaultAction::DegradeRegistry | FaultAction::HealRegistry => {}
+            }
+        }
+        for (_, (start, _)) in down {
+            total += horizon.saturating_sub(start.min(horizon));
+        }
+        total
+    }
+}
+
+/// Counters and histograms the engine's fault runtime maintains; folded
+/// into reports and `--metrics` output when the fault plane is active.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Crash events that removed an online machine from the capacity
+    /// index (crashes of already-offline machines are capacity-inert).
+    pub crashed_machines: u64,
+    /// Running tasks severed by crashes.
+    pub tasks_lost: u64,
+    /// Retries scheduled under the policy's budget.
+    pub retries_scheduled: u64,
+    /// Tasks whose retry budget ran out — `failed_permanently` in the
+    /// result.
+    pub dead_lettered: u64,
+    /// Run time severed by crashes (µs of lost work).
+    pub lost_work_us: u64,
+    /// Replacement machines the autoscaler ordered against crash-induced
+    /// capacity loss.
+    pub replacements_ordered: u64,
+    /// Time from task loss to successful re-placement (µs).
+    pub reschedule: Histogram,
+    /// Backoff delays handed out by the retry policy (µs).
+    pub backoff: Histogram,
+}
+
+/// Walks a [`FaultPlan`], injecting fault events at the engine — the
+/// abrupt sibling of [`ChurnSource`](crate::scenario::ChurnSource).
+///
+/// Crashes do not negotiate: where churn's drain skips a machine someone
+/// else holds, a crash [`override_claim`](OwnershipGuard::override_claim)s
+/// it, voiding any in-flight drain or provision claim (the displaced
+/// owner discovers this through
+/// [`release_owned`](OwnershipGuard::release_owned) and must abandon the
+/// machine). Recovery releases the fault claim and restores the machine
+/// empty. Registry faults poison/heal the shared model registry.
+pub struct FaultPlane {
+    plan: FaultPlan,
+    next: usize,
+    engine: CompId,
+    guard: Option<OwnershipGuard>,
+    registry: Option<ctlm_core::ModelRegistry>,
+    /// Outstanding outage depth per machine: a machine recovers only
+    /// when its last overlapping outage ends.
+    down: HashMap<MachineId, u32>,
+}
+
+impl FaultPlane {
+    /// A fault plane over `plan`, targeting the engine component.
+    pub fn new(plan: FaultPlan, engine: CompId) -> Self {
+        Self {
+            plan,
+            next: 0,
+            engine,
+            guard: None,
+            registry: None,
+            down: HashMap::new(),
+        }
+    }
+
+    /// Registers the shared lifecycle guard: crashes override existing
+    /// claims, recoveries release the fault claim.
+    pub fn with_guard(mut self, guard: OwnershipGuard) -> Self {
+        self.guard = Some(guard);
+        self
+    }
+
+    /// Registers the model registry that degradation faults poison.
+    pub fn with_registry(mut self, registry: ctlm_core::ModelRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// First fault time, if any (the harness seeds the first wake-up
+    /// there).
+    pub fn first_time(&self) -> Option<Micros> {
+        self.plan.events.first().map(|&(t, _)| t)
+    }
+
+    /// The seeded plan-seed mix, exposed so drivers derive fault seeds
+    /// the same way everywhere.
+    pub fn plan_seed(base: u64) -> u64 {
+        base ^ PLAN_SEED_MIX
+    }
+}
+
+impl Component<SchedEvent> for FaultPlane {
+    fn on_event(&mut self, _event: Event<SchedEvent>, ctx: &mut Ctx<'_, SchedEvent>) {
+        let now = ctx.now();
+        while self.next < self.plan.events.len() && self.plan.events[self.next].0 <= now {
+            let (_, action) = &self.plan.events[self.next];
+            match action {
+                FaultAction::Crash(id) => {
+                    let depth = self.down.entry(*id).or_insert(0);
+                    *depth += 1;
+                    if *depth == 1 {
+                        if let Some(g) = &self.guard {
+                            // A crash is not a negotiation: displace any
+                            // in-flight drain/provision claim.
+                            g.override_claim(*id, LifecycleOwner::Fault);
+                        }
+                    }
+                    ctx.emit_prio(0, PRIO_STATE, self.engine, SchedEvent::MachineCrash(*id));
+                }
+                FaultAction::Recover(id) => {
+                    // Recover only when the last overlapping outage ends;
+                    // unmatched recoveries (plan artifacts) are ignored.
+                    if let Some(depth) = self.down.get_mut(id) {
+                        *depth -= 1;
+                        if *depth == 0 {
+                            self.down.remove(id);
+                            if let Some(g) = &self.guard {
+                                g.release_owned(*id, LifecycleOwner::Fault);
+                            }
+                            ctx.emit_prio(
+                                0,
+                                PRIO_STATE,
+                                self.engine,
+                                SchedEvent::MachineRestore(*id),
+                            );
+                        }
+                    }
+                }
+                FaultAction::DegradeRegistry => {
+                    if let Some(r) = &self.registry {
+                        r.poison();
+                    }
+                }
+                FaultAction::HealRegistry => {
+                    if let Some(r) = &self.registry {
+                        r.heal();
+                    }
+                }
+            }
+            self.next += 1;
+        }
+        if self.next < self.plan.events.len() {
+            let delay = self.plan.events[self.next].0 - now;
+            ctx.emit_self_prio(delay, PRIO_STATE, SchedEvent::Wake);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_retry_exhausts_its_budget() {
+        let p = FixedRetry {
+            delay: 500,
+            budget: 2,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(p.delay(1, &mut rng), Some(500));
+        assert_eq!(p.delay(2, &mut rng), Some(500));
+        assert_eq!(p.delay(3, &mut rng), None);
+    }
+
+    #[test]
+    fn exponential_backoff_grows_caps_and_jitters_within_bounds() {
+        let p = ExponentialBackoff {
+            base: 1_000,
+            cap: 6_000,
+            budget: 10,
+            jitter: 0.5,
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        for attempt in 1..=10u32 {
+            let d = p.delay(attempt, &mut rng).unwrap();
+            let raw = 1_000u64.saturating_mul(1 << (attempt - 1)).min(6_000);
+            let lo = (raw as f64 * 0.5) as u64;
+            let hi = (raw as f64 * 1.5) as u64 + 1;
+            assert!(
+                (lo..=hi).contains(&d),
+                "attempt {attempt}: {d} outside [{lo}, {hi}]"
+            );
+        }
+        assert_eq!(p.delay(11, &mut rng), None);
+    }
+
+    #[test]
+    fn exponential_backoff_is_deterministic_per_seed() {
+        let p = ExponentialBackoff {
+            base: 2_000,
+            cap: 60_000,
+            budget: 5,
+            jitter: 0.5,
+        };
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (1..=5).map(|a| p.delay(a, &mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42));
+        assert_ne!(draw(42), draw(43));
+    }
+
+    #[test]
+    fn zone_crashes_take_whole_domains_down_together() {
+        let fleet: Vec<MachineId> = (0..12).collect();
+        let plan = FaultPlan::zone_crashes(9, &fleet, 3, 2, (1_000, 2_000), 5_000);
+        // 2 crash events × 4 machines per zone, each with a paired
+        // recovery.
+        let crashes: Vec<_> = plan
+            .events
+            .iter()
+            .filter(|(_, a)| matches!(a, FaultAction::Crash(_)))
+            .collect();
+        assert_eq!(crashes.len(), 8);
+        // All members of one event share a crash instant.
+        let mut by_time: HashMap<Micros, usize> = HashMap::new();
+        for (t, _) in &crashes {
+            *by_time.entry(*t).or_insert(0) += 1;
+        }
+        for (_, n) in by_time {
+            assert_eq!(n % 4, 0, "crash instants cover whole zones");
+        }
+        // Deterministic per seed.
+        assert_eq!(
+            plan.events,
+            FaultPlan::zone_crashes(9, &fleet, 3, 2, (1_000, 2_000), 5_000).events
+        );
+    }
+
+    #[test]
+    fn downtime_clamps_to_horizon_and_merges_nested_outages() {
+        let plan = FaultPlan::new(vec![
+            (100, FaultAction::Crash(1)),
+            (150, FaultAction::Crash(1)), // nested: same machine again
+            (200, FaultAction::Recover(1)),
+            (300, FaultAction::Recover(1)), // last recovery ends the outage
+            (400, FaultAction::Crash(2)),   // never recovers
+        ]);
+        // Machine 1: down 100..300 (200 µs). Machine 2: 400..horizon.
+        assert_eq!(plan.downtime_us(1_000), 200 + 600);
+        // Horizon inside machine 1's outage.
+        assert_eq!(plan.downtime_us(250), 150);
+    }
+
+    #[test]
+    fn registry_outage_brackets_the_window() {
+        let plan = FaultPlan::default().and_registry_outage(500, 1_000);
+        assert_eq!(
+            plan.events,
+            vec![
+                (500, FaultAction::DegradeRegistry),
+                (1_500, FaultAction::HealRegistry),
+            ]
+        );
+    }
+}

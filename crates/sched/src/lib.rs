@@ -48,6 +48,11 @@
 //!   ([`stream::ArrivalStream`]) feeding the engine's task slab without
 //!   materialising the whole workload;
 //! * [`scenario`] — churn, gang and rollout event sources;
+//! * [`faults`] — the fault plane: seeded machine crashes (abrupt, task
+//!   losing — distinct from [`scenario`]'s graceful drains, which
+//!   requeue), correlated failure-domain outages with MTTR recovery,
+//!   degraded-dependency injection, and the retry/backoff policies that
+//!   decide between rescheduling and dead-lettering lost work;
 //! * [`lifecycle`] — the machine-ownership guard coordinating churn
 //!   with the `ctlm-autoscale` control plane;
 //! * [`updater`] — the background model-update thread (“updating ML model
@@ -58,6 +63,7 @@
 mod arena;
 pub mod cluster;
 pub mod engine;
+pub mod faults;
 pub mod gang;
 pub mod latency;
 pub mod lifecycle;
@@ -70,6 +76,9 @@ pub mod updater;
 
 pub use cluster::{CapacityFit, SchedCluster};
 pub use engine::{CellHandle, EngineStats, SchedEvent, SimConfig, SimResult, Simulator};
+pub use faults::{
+    ExponentialBackoff, FaultAction, FaultPlan, FaultPlane, FaultStats, FixedRetry, RetryPolicy,
+};
 pub use latency::LatencyStats;
 pub use lifecycle::{LifecycleOwner, OwnershipGuard};
 pub use placement::{BestFit, PlaceCtx, Placer, PreemptiveBestFit};

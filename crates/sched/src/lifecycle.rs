@@ -31,6 +31,10 @@ pub enum LifecycleOwner {
     Churn,
     /// The autoscaler is provisioning, draining or parking it.
     Autoscaler,
+    /// The fault plane crashed it (and will recover it). Crashes are not
+    /// polite: they take the machine through [`OwnershipGuard::override_claim`]
+    /// even when another owner holds it mid-transition.
+    Fault,
 }
 
 /// A shared, interior-mutable claim table over machine ids. Clone the
@@ -64,6 +68,30 @@ impl OwnershipGuard {
         self.owners.borrow_mut().remove(&id)
     }
 
+    /// Forcibly claims `id` for `owner`, displacing whatever claim was in
+    /// place, and returns the displaced owner (if any). This is the crash
+    /// path: a machine that abruptly dies mid-drain or mid-provision now
+    /// belongs to the fault plane, and the displaced component must treat
+    /// its in-flight transition as void — [`Self::release_owned`] is how
+    /// it discovers the displacement without leaking the claim.
+    pub fn override_claim(&self, id: MachineId, owner: LifecycleOwner) -> Option<LifecycleOwner> {
+        self.owners.borrow_mut().insert(id, owner)
+    }
+
+    /// Releases `id` only if `owner` still holds it. Returns true when
+    /// the release happened; false means the claim was displaced (or
+    /// never existed) and the caller must not touch the machine — its
+    /// new owner is responsible for the rest of the lifecycle.
+    pub fn release_owned(&self, id: MachineId, owner: LifecycleOwner) -> bool {
+        let mut owners = self.owners.borrow_mut();
+        if owners.get(&id) == Some(&owner) {
+            owners.remove(&id);
+            true
+        } else {
+            false
+        }
+    }
+
     /// The current owner of `id`, if claimed.
     pub fn owner(&self, id: MachineId) -> Option<LifecycleOwner> {
         self.owners.borrow().get(&id).copied()
@@ -89,6 +117,36 @@ mod tests {
         assert_eq!(g.release(7), Some(LifecycleOwner::Churn));
         assert!(g.try_claim(7, LifecycleOwner::Autoscaler));
         assert_eq!(g.claimed(), 1);
+    }
+
+    #[test]
+    fn override_claim_displaces_and_owned_release_refuses_stale_claims() {
+        let g = OwnershipGuard::new();
+        // A crash lands while the autoscaler is mid-provision: the
+        // override wins and reports whom it displaced.
+        assert!(g.try_claim(3, LifecycleOwner::Autoscaler));
+        assert_eq!(
+            g.override_claim(3, LifecycleOwner::Fault),
+            Some(LifecycleOwner::Autoscaler)
+        );
+        assert_eq!(g.owner(3), Some(LifecycleOwner::Fault));
+        // The displaced owner's release is refused — the claim must not
+        // leak back into "unclaimed" while the fault plane owns it.
+        assert!(!g.release_owned(3, LifecycleOwner::Autoscaler));
+        assert_eq!(g.owner(3), Some(LifecycleOwner::Fault));
+        // The current owner's release succeeds exactly once.
+        assert!(g.release_owned(3, LifecycleOwner::Fault));
+        assert!(!g.release_owned(3, LifecycleOwner::Fault));
+        assert_eq!(g.claimed(), 0);
+    }
+
+    #[test]
+    fn override_claim_on_unclaimed_machine_acts_like_a_claim() {
+        let g = OwnershipGuard::new();
+        assert_eq!(g.override_claim(9, LifecycleOwner::Fault), None);
+        assert_eq!(g.owner(9), Some(LifecycleOwner::Fault));
+        assert!(!g.try_claim(9, LifecycleOwner::Churn));
+        assert!(g.release_owned(9, LifecycleOwner::Fault));
     }
 
     #[test]

@@ -152,7 +152,14 @@ impl Component<SchedEvent> for ChurnSource {
                             self.next += 1;
                             continue;
                         }
-                        g.release(*id);
+                        if !g.release_owned(*id, LifecycleOwner::Churn) {
+                            // Our drain claim was displaced mid-outage (a
+                            // crash took the machine); recovery belongs
+                            // to the new owner — restoring here would
+                            // resurrect a crashed machine early.
+                            self.next += 1;
+                            continue;
+                        }
                     }
                     SchedEvent::MachineRestore(*id)
                 }

@@ -19,11 +19,14 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ctlm_data::compaction::collapse;
-use ctlm_sched::engine::{SimConfig, Simulator};
+use ctlm_sched::engine::{SimConfig, SimResult, Simulator};
+use ctlm_sched::faults::{FaultPlan, FaultPlane};
 use ctlm_sched::placement::{best_fit, Placement};
+use ctlm_sched::scenario::attach_source;
 use ctlm_sched::scheduler::MainOnly;
 use ctlm_sched::{CapacityFit, PendingTask, SchedCluster};
 use ctlm_trace::{AttrValue, ConstraintOp as Op, Machine, TaskConstraint};
+use serde::Serialize;
 
 struct CountingAlloc;
 
@@ -184,6 +187,63 @@ fn scheduling_pass_with_telemetry_enabled_does_not_allocate() {
     }
     let (_, result) = harness.run();
     assert_eq!(result.placed.len(), 12);
+}
+
+#[test]
+fn fault_free_run_adds_zero_allocations_and_identical_report_bytes() {
+    // A spec with no `faults` block must cost nothing: the engine's
+    // fault hooks (the `Option<Box<FaultRuntime>>` checks on crash,
+    // completion, and infeasible paths) stay on the None branch, an
+    // attached-but-empty fault plane wakes never, and the serialized
+    // result is byte-for-byte the result of a run with no fault plane
+    // at all (dead-letter fields only appear once faults engage).
+    let run = |with_empty_plane: bool| -> SimResult {
+        let mut arrivals: Vec<PendingTask> = (0..12u64).map(|k| task(k, 0, 0.32)).collect();
+        for k in 0..40u64 {
+            arrivals.push(task(100 + k, 200_000 * k, 0.4));
+        }
+        arrivals.sort_by_key(|t| t.arrival);
+        let config = SimConfig {
+            cycle: 1_048_576,
+            attempts_per_cycle: 3,
+            mean_runtime: 100_000_000_000,
+            horizon: 400_000_000,
+            seed: 9,
+        };
+        let simulator = Simulator::new(config);
+        let mut scheduler = MainOnly;
+        let mut harness = simulator.harness(fleet(4), &arrivals, &mut scheduler);
+        if with_empty_plane {
+            let plan = FaultPlan::default();
+            assert!(plan.is_empty());
+            let plane = FaultPlane::new(plan, harness.engine);
+            let first = plane.first_time();
+            assert!(first.is_none(), "empty plan must never wake");
+            attach_source(&mut harness, "faults", plane, first, 0);
+        }
+
+        harness.sim.run_until(150_000_000);
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        harness.sim.run_until(390_000_000);
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "fault-free steady state allocated {} times (empty plane: {with_empty_plane})",
+            after - before
+        );
+        let (_, result) = harness.run();
+        result
+    };
+
+    let plain = run(false);
+    let with_plane = run(true);
+    assert_eq!(plain.failed_permanently, 0);
+    assert_eq!(
+        plain.to_value(),
+        with_plane.to_value(),
+        "an inert fault plane must not change a single report byte"
+    );
 }
 
 #[test]
