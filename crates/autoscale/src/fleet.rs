@@ -41,6 +41,7 @@ use ctlm_sched::engine::EngineState;
 use ctlm_sched::lifecycle::{LifecycleOwner, OwnershipGuard};
 use ctlm_sched::{SchedEvent, SimConfig};
 use ctlm_sim::{Component, Ctx, Event};
+use ctlm_telemetry::SpanLog;
 use ctlm_trace::{AttrValue, Machine, MachineId, Micros};
 
 use crate::delay::ProvisionDelay;
@@ -241,6 +242,9 @@ pub struct Autoscaler<'a> {
     /// Victim-selection scratch.
     scratch: Vec<MachineId>,
     stats: Rc<RefCell<AutoscaleStats>>,
+    /// Cell span log for control-plane decision spans (scale-up/down
+    /// verdicts with the policy that made them).
+    spans: Option<Rc<RefCell<SpanLog>>>,
 }
 
 impl<'a> Autoscaler<'a> {
@@ -278,9 +282,20 @@ impl<'a> Autoscaler<'a> {
                 next_attr,
                 scratch: Vec::new(),
                 stats: stats.clone(),
+                spans: None,
             },
             stats,
         )
+    }
+
+    /// Registers the cell's flight-recorder handle (from
+    /// [`EngineState::enable_spans`]): every scale decision records a
+    /// control span carrying the policy name, the machine delta and the
+    /// crash-replacement count — the audit trail that answers "why was
+    /// the autoscaler late".
+    pub fn with_spans(mut self, spans: Rc<RefCell<SpanLog>>) -> Self {
+        self.spans = Some(spans);
+        self
     }
 
     /// Orders one machine from the template; it comes online (or joins
@@ -388,7 +403,7 @@ impl<'a> Autoscaler<'a> {
     /// first: drain (tasks requeue through the engine's churn path),
     /// then park warm or decommission. Machines another owner holds are
     /// skipped, not contested.
-    fn scale_down(&mut self, excess: usize) {
+    fn scale_down(&mut self, now: Micros, excess: usize) {
         let mut scratch = std::mem::take(&mut self.scratch);
         self.engine
             .borrow()
@@ -404,7 +419,7 @@ impl<'a> Autoscaler<'a> {
                 continue;
             }
             let mut engine = self.engine.borrow_mut();
-            if !engine.drain_machine(id) {
+            if !engine.drain_machine(id, now) {
                 drop(engine);
                 self.guard.release_owned(id, LifecycleOwner::Autoscaler);
                 continue;
@@ -490,15 +505,46 @@ impl<'a> Autoscaler<'a> {
         let committed = signals.fleet + self.inflight_active();
         if desired > committed {
             self.stats.borrow_mut().scale_ups += 1;
+            let ordered = desired - committed;
+            let replacements = crash_lost.min(ordered) as u64;
             if crash_lost > 0 {
-                let replacements = crash_lost.min(desired - committed) as u64;
                 self.engine.borrow_mut().note_replacements(replacements);
             }
-            self.scale_up(now, desired - committed);
+            if let Some(spans) = &self.spans {
+                let cause = if crash_lost > 0 {
+                    "crash_loss"
+                } else {
+                    "demand"
+                };
+                spans.borrow_mut().instant_ctrl(
+                    0,
+                    "scale_up",
+                    now,
+                    cause,
+                    self.policy.name(),
+                    "",
+                    ordered as u64,
+                    replacements,
+                );
+            }
+            self.scale_up(now, ordered);
         } else if desired < signals.fleet {
             self.stats.borrow_mut().scale_downs += 1;
+            let released = signals.fleet - desired;
+            if let Some(spans) = &self.spans {
+                spans.borrow_mut().instant_ctrl(
+                    0,
+                    "scale_down",
+                    now,
+                    "surplus",
+                    self.policy.name(),
+                    "",
+                    released as u64,
+                    0,
+                );
+            }
             self.cancel_active_orders(self.inflight_active());
-            self.scale_down(signals.fleet - desired);
+            self.scale_down(now, released);
         } else if desired < committed {
             // Fleet is right-sized but orders are still in flight.
             self.cancel_active_orders(committed - desired);

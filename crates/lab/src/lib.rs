@@ -50,6 +50,7 @@
 use std::fmt;
 
 pub mod build;
+pub mod flight;
 pub mod memtrack;
 pub mod observe;
 pub mod registry;

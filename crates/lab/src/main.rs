@@ -3,7 +3,9 @@
 //! ```text
 //! ctlm-lab <spec.json> [--out report.json] [--json] [--seed N] [--threads N]
 //!          [--materialised] [--no-meta] [--metrics metrics.json] [--trace]
+//!          [--spans spans.json]
 //! ctlm-lab --diff <a.json> <b.json> [--tolerance X]
+//! ctlm-lab explain <spans.json> [--task N] [--machine M] [--worst-latency K]
 //! ```
 //!
 //! Prints a human-readable summary (per-point medians) to stdout;
@@ -26,6 +28,16 @@
 //! lifecycle counters) as JSON — byte-identical for every `--threads`
 //! value. `--trace` additionally keeps a bounded per-cell ring of the
 //! last delivered engine events and embeds it in the metrics file.
+//!
+//! `--spans <path>` turns on the causal flight recorder and writes the
+//! per-task lifecycle spans (with their decision records) as
+//! Chrome/Perfetto trace-event JSON — load it at `ui.perfetto.dev` or
+//! `chrome://tracing`. The document is byte-identical for every
+//! `--threads` value except the host-plane `_perf` track group, which
+//! `--no-meta` drops. `ctlm-lab explain <spans.json>` narrates a
+//! written recording: `--task N` one task's causal chain, `--machine M`
+//! one machine's availability and placements, `--worst-latency K` the K
+//! slowest queue-to-run tasks with their full chains.
 //!
 //! `--diff` compares two previously written reports instead of running
 //! anything: per-(point, scheduler, cell) median deltas (`b − a`), so a
@@ -58,8 +70,22 @@ static ALLOC: TrackingAlloc = TrackingAlloc;
 fn main() {
     let args = ParsedArgs::from_env(
         &["--json", "--diff", "--materialised", "--no-meta", "--trace"],
-        &["--out", "--seed", "--threads", "--tolerance", "--metrics"],
+        &[
+            "--out",
+            "--seed",
+            "--threads",
+            "--tolerance",
+            "--metrics",
+            "--spans",
+            "--task",
+            "--machine",
+            "--worst-latency",
+        ],
     );
+    if args.positionals().first().map(String::as_str) == Some("explain") {
+        run_explain(&args);
+        return;
+    }
     if args.flag("--diff") {
         let [a, b] = args.positionals() else {
             eprintln!("usage: ctlm-lab --diff <a.json> <b.json> [--tolerance X]");
@@ -73,6 +99,7 @@ fn main() {
             })
             .unwrap_or(0.0);
         let (va, vb) = (load_json(a), load_json(b));
+        warn_schema_mismatch(&va, &vb);
         // Two metrics files (written by `--metrics`) diff as counter
         // deltas — informational, never gating.
         if let (Some(ma), Some(mb)) = (parse_metrics(&va), parse_metrics(&vb)) {
@@ -121,6 +148,10 @@ fn main() {
     if metrics_out.is_some() {
         spec.observability.metrics = true;
     }
+    let spans_out = args.option("--spans");
+    if spans_out.is_some() {
+        spec.observability.spans = true;
+    }
     if args.flag("--trace") && spec.observability.trace_events == 0 {
         spec.observability.trace_events = 4096;
     }
@@ -155,6 +186,13 @@ fn main() {
             .unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
         eprintln!("metrics written to {path}");
     }
+    if let Some(path) = spans_out {
+        let doc = ctlm_lab::flight::trace_document(&obs, !args.flag("--no-meta"));
+        let json = to_pretty_json(&doc);
+        std::fs::write(path, format!("{json}\n"))
+            .unwrap_or_else(|e| panic!("cannot write {path:?}: {e}"));
+        eprintln!("spans written to {path}");
+    }
     let json = to_pretty_json(&report);
     if let Some(out) = args.option("--out") {
         std::fs::write(out, format!("{json}\n"))
@@ -165,6 +203,63 @@ fn main() {
         println!("{json}");
     } else {
         print_summary(&report);
+    }
+}
+
+/// The `explain` subcommand: parse a written spans file and print the
+/// requested narrative(s). With no selector, prints a recording
+/// summary.
+fn run_explain(args: &ParsedArgs) {
+    let positionals = args.positionals();
+    let Some(path) = positionals.get(1) else {
+        eprintln!(
+            "usage: ctlm-lab explain <spans.json> [--task N] [--machine M] [--worst-latency K]"
+        );
+        std::process::exit(2);
+    };
+    let doc = load_json(path);
+    let rec = ctlm_lab::flight::parse_trace(&doc).unwrap_or_else(|e| panic!("{e}"));
+    if rec.schema_version != ctlm_telemetry::SCHEMA_VERSION as f64 as u64 {
+        eprintln!(
+            "warning: spans file has schema_version {}, this binary writes {}",
+            rec.schema_version,
+            ctlm_telemetry::SCHEMA_VERSION
+        );
+    }
+    let parse_id = |name: &str| -> Option<u64> {
+        args.option(name).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name} needs a number"))
+        })
+    };
+    let mut printed = false;
+    if let Some(task) = parse_id("--task") {
+        print!("{}", ctlm_lab::flight::explain_task(&rec, task));
+        printed = true;
+    }
+    if let Some(machine) = parse_id("--machine") {
+        print!("{}", ctlm_lab::flight::explain_machine(&rec, machine));
+        printed = true;
+    }
+    if let Some(k) = parse_id("--worst-latency") {
+        print!("{}", ctlm_lab::flight::explain_worst(&rec, k as usize));
+        printed = true;
+    }
+    if !printed {
+        let tasks = rec
+            .spans
+            .iter()
+            .filter(|s| s.group == "task")
+            .map(|s| s.subject)
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+        println!(
+            "{} span(s) across {} task(s) (schema_version {})",
+            rec.spans.len(),
+            tasks,
+            rec.schema_version
+        );
+        println!("select with --task N, --machine M, or --worst-latency K");
     }
 }
 
@@ -196,15 +291,21 @@ fn parse_metrics(value: &serde_json::Value) -> Option<Metrics> {
     Deserialize::from_value(m).ok()
 }
 
-/// The document `--metrics <path>` writes: the registry, plus the event
-/// traces (sorted by key) when tracing ran. Everything inside is
-/// sim-plane state, so the file is byte-identical for every
-/// `execution.threads` value.
+/// The document `--metrics <path>` writes: a `schema_version` stamp,
+/// the registry, plus the event traces (sorted by key) when tracing
+/// ran. Everything inside is sim-plane state, so the file is
+/// byte-identical for every `execution.threads` value.
 fn metrics_document(obs: &Observations) -> serde_json::Value {
-    let mut fields = vec![(
-        "metrics".to_string(),
-        serde::Serialize::to_value(&obs.metrics),
-    )];
+    let mut fields = vec![
+        (
+            "schema_version".to_string(),
+            serde_json::Value::Num(ctlm_telemetry::SCHEMA_VERSION as f64),
+        ),
+        (
+            "metrics".to_string(),
+            serde::Serialize::to_value(&obs.metrics),
+        ),
+    ];
     if !obs.traces.is_empty() {
         let mut traces: Vec<_> = obs.traces.iter().collect();
         traces.sort_by(|(a, _), (b, _)| a.cmp(b));
@@ -219,6 +320,23 @@ fn metrics_document(obs: &Observations) -> serde_json::Value {
         ));
     }
     serde_json::Value::Object(fields)
+}
+
+/// Warns when the two compared documents carry different
+/// `schema_version` stamps (a missing stamp — reports, older snapshots
+/// — reads as version 0 and is only flagged against a stamped file
+/// when the other side is stamped too). Deltas across schema versions
+/// can reflect format drift rather than behaviour change.
+fn warn_schema_mismatch(a: &serde_json::Value, b: &serde_json::Value) {
+    let stamp = |v: &serde_json::Value| v.get_field("schema_version").as_f64();
+    if let (Some(sa), Some(sb)) = (stamp(a), stamp(b)) {
+        if sa != sb {
+            eprintln!(
+                "warning: schema_version mismatch ({sa} vs {sb}) — deltas may reflect \
+                 format drift, not behaviour"
+            );
+        }
+    }
 }
 
 /// Counter deltas between two metrics files: every name present on

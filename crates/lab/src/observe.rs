@@ -11,7 +11,7 @@
 //! the report's `_meta._perf` block.
 
 use ctlm_sim::ParallelPerf;
-use ctlm_telemetry::{Metrics, PerfReport, ShardPerf, TraceRing};
+use ctlm_telemetry::{Metrics, PerfReport, ShardPerf, SpanLog, TraceRing};
 
 use crate::run::CellOutcome;
 
@@ -25,8 +25,15 @@ pub struct Observations {
     pub metrics: Metrics,
     /// `(key, ring)` event traces in first-appearance key order.
     pub traces: Vec<(String, TraceRing)>,
+    /// `(key, log)` flight-recorder span logs keyed `scheduler.cell`,
+    /// first-appearance order; same-key reruns replace (like traces).
+    pub spans: Vec<(String, SpanLog)>,
     /// Merged wall-clock shard profile (host plane), when profiling ran.
     pub perf: Option<PerfReport>,
+    /// `(scheduler, profile)` raw per-round shard profiles — the host
+    /// track of the spans export. Same-key reruns replace; never
+    /// serialized into `_meta._perf` (that block carries totals only).
+    pub host_rounds: Vec<(String, ParallelPerf)>,
 }
 
 impl Observations {
@@ -48,12 +55,23 @@ impl Observations {
                     None => self.traces.push((key, ring.clone())),
                 }
             }
+            if let Some(log) = &o.telemetry.spans {
+                let key = format!("{scheduler}.{}", o.cell);
+                match self.spans.iter_mut().find(|(k, _)| *k == key) {
+                    Some(slot) => slot.1 = log.clone(),
+                    None => self.spans.push((key, log.clone())),
+                }
+            }
         }
         if let Some(p) = perf {
             let report = perf_report(p, threads);
             match &mut self.perf {
                 Some(acc) => acc.merge(&report),
                 None => self.perf = Some(report),
+            }
+            match self.host_rounds.iter_mut().find(|(k, _)| k == scheduler) {
+                Some(slot) => slot.1 = p.clone(),
+                None => self.host_rounds.push((scheduler.to_string(), p.clone())),
             }
         }
     }
@@ -70,10 +88,22 @@ impl Observations {
                 None => self.traces.push((key.clone(), ring.clone())),
             }
         }
+        for (key, log) in &other.spans {
+            match self.spans.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = log.clone(),
+                None => self.spans.push((key.clone(), log.clone())),
+            }
+        }
         if let Some(p) = &other.perf {
             match &mut self.perf {
                 Some(acc) => acc.merge(p),
                 None => self.perf = Some(p.clone()),
+            }
+        }
+        for (key, p) in &other.host_rounds {
+            match self.host_rounds.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = p.clone(),
+                None => self.host_rounds.push((key.clone(), p.clone())),
             }
         }
     }

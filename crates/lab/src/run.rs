@@ -38,7 +38,7 @@ use ctlm_sched::{
     PendingTask, RetryPolicy, SchedCluster, SchedEvent, Scheduler, SimResult, Simulator,
 };
 use ctlm_sim::{Component, Ctx, EpochAutotune, Event, LaneStats, ParallelPerf, ParallelSim, Sim};
-use ctlm_telemetry::TraceRing;
+use ctlm_telemetry::{SpanLog, TraceRing};
 use ctlm_trace::Micros;
 
 use crate::build::{build_cell, BuiltArrivals, BuiltCell, CELL_ID_STRIDE};
@@ -107,6 +107,11 @@ pub struct CellTelemetry {
     /// Fault-runtime counters and retry/reschedule histograms, when the
     /// cell ran a fault plane.
     pub faults: Option<FaultStats>,
+    /// The causal flight recorder — per-task lifecycle spans with
+    /// decision records — when `observability.spans` (or `--spans`)
+    /// enabled it. Horizon-closed before harvest, so every span has an
+    /// end time.
+    pub spans: Option<SpanLog>,
 }
 
 /// An attached cell: its engine handle plus the autoscale stats sink
@@ -155,6 +160,13 @@ fn attach_full_cell<'a>(
             )
         }
     };
+    // The flight recorder is per-cell state behind the engine handle;
+    // faults and the autoscaler share the same log so control-plane
+    // decisions land next to the task lifecycle they explain.
+    let spans = spec
+        .observability
+        .spans
+        .then(|| handle.state().borrow_mut().enable_spans());
     // Churn and the autoscaler mutate the same fleet; the shared
     // guard keeps them off each other's machines.
     let guard = OwnershipGuard::new();
@@ -190,6 +202,9 @@ fn attach_full_cell<'a>(
         if let Some(reg) = registry {
             plane = plane.with_registry(reg.clone());
         }
+        if let Some(s) = &spans {
+            plane = plane.with_spans(s.clone());
+        }
         let first = plane.first_time();
         let id = sim.add_component(format!("{}/faults", cell.name), plane);
         if let Some(t) = first {
@@ -200,7 +215,11 @@ fn attach_full_cell<'a>(
     if let Some(auto) = &cell.autoscale {
         let policy =
             build_autoscale_policy(&auto.policy, &auto.params, &spec.sim, &auto.config.template)?;
-        let (scaler, stats) = Autoscaler::new(auto.config.clone(), policy, handle.state(), guard);
+        let (mut scaler, stats) =
+            Autoscaler::new(auto.config.clone(), policy, handle.state(), guard);
+        if let Some(s) = &spans {
+            scaler = scaler.with_spans(s.clone());
+        }
         let id = sim.add_component(format!("{}/autoscaler", cell.name), scaler);
         sim.schedule_prio(0, PRIO_STATE, id, id, SchedEvent::Wake);
         autoscale_stats = Some(stats);
@@ -451,6 +470,12 @@ pub fn run_scheduler_observed(
                 {
                     link_timeouts[home] += 1;
                     let at = end.clamp(bound.min(horizon), horizon);
+                    states[home].borrow_mut().span_spill_resolve(
+                        idx,
+                        at,
+                        "link_timeout",
+                        home as u64,
+                    );
                     shards[home].schedule_prio(
                         at,
                         PRIO_ADMIT,
@@ -472,6 +497,12 @@ pub fn run_scheduler_observed(
                 let at = bound.min(horizon);
                 if target == home {
                     // Home admission stays an arena index — no clone.
+                    states[home].borrow_mut().span_spill_resolve(
+                        idx,
+                        at,
+                        "routed_home",
+                        home as u64,
+                    );
                     shards[home].schedule_prio(
                         at,
                         PRIO_ADMIT,
@@ -483,6 +514,11 @@ pub fn run_scheduler_observed(
                     spills[target].0 += 1;
                     spills[home].1 += 1;
                     let task = states[home].borrow().task(idx).clone();
+                    // Resolve the transit span before the slot retires —
+                    // the span needs the task id the slot still holds.
+                    states[home]
+                        .borrow_mut()
+                        .span_spill_resolve(idx, at, "routed", target as u64);
                     // The clone is the task's new home; the slab slot
                     // (no-op for materialised cells) can retire.
                     states[home].borrow_mut().release_slot(idx);
@@ -509,6 +545,9 @@ pub fn run_scheduler_observed(
         .enumerate()
         .map(|(i, (handle, cell))| {
             let (_, result) = handle.finish();
+            // `finish` horizon-closed every open span; harvest the log
+            // before the long immutable borrow below.
+            let spans = handle.state().borrow_mut().take_spans();
             let state = handle.state();
             let state = state.borrow();
             let fstats = state.fault_stats().cloned();
@@ -552,6 +591,7 @@ pub fn run_scheduler_observed(
                 slab_resident: state.slab_resident_segments(),
                 trace: state.trace().cloned(),
                 faults: fstats,
+                spans,
             };
             CellOutcome {
                 cell: cell.name.clone(),

@@ -968,7 +968,7 @@ impl Default for ExecutionSpec {
 
 /// Observability knobs. Two strictly separated planes:
 ///
-/// * the **sim plane** (`metrics`, `trace_events`) reads simulation
+/// * the **sim plane** (`metrics`, `trace_events`, `spans`) reads simulation
 ///   state only — counters, histograms and event traces are pure
 ///   functions of the deterministic event sequence, so their JSON
 ///   export is byte-identical for every `execution.threads` value and
@@ -992,6 +992,15 @@ pub struct ObservabilitySpec {
     /// time, derived barrier wait, and coordinator outbox-drain time per
     /// epoch round. Host-dependent — emitted only into `_meta._perf`.
     pub profile: bool,
+    /// Record the causal flight recorder: per-task lifecycle spans
+    /// (queued/running/retry_wait/spill_transit/dead_letter), machine
+    /// down/drain windows, and control-plane decision spans, each
+    /// carrying the decision record that produced it. Sim-plane —
+    /// recorded at lifecycle transitions only (no per-event cost), into
+    /// a recycling segment arena, and exported solely through
+    /// `ctlm-lab --spans <path>` (report bytes never change). The
+    /// `--spans` flag switches this on.
+    pub spans: bool,
 }
 
 impl serde::Serialize for ObservabilitySpec {
@@ -1003,6 +1012,7 @@ impl serde::Serialize for ObservabilitySpec {
                 serde_json::Value::Num(self.trace_events as f64),
             ),
             ("profile".to_string(), serde_json::Value::Bool(self.profile)),
+            ("spans".to_string(), serde_json::Value::Bool(self.spans)),
         ])
     }
 }
@@ -1022,6 +1032,7 @@ impl serde::Deserialize for ObservabilitySpec {
                 "metrics" => out.metrics = serde::Deserialize::from_value(val)?,
                 "trace_events" => out.trace_events = serde::Deserialize::from_value(val)?,
                 "profile" => out.profile = serde::Deserialize::from_value(val)?,
+                "spans" => out.spans = serde::Deserialize::from_value(val)?,
                 other => {
                     return Err(serde::Error::msg(format!(
                         "unknown observability field {other:?}"

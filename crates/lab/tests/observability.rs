@@ -2,14 +2,16 @@
 //!
 //! Two invariants anchor the observability design:
 //!
-//! 1. **Enabling telemetry never changes the report.** Metrics, traces
-//!    and shard profiling are read-only observers of the simulation;
-//!    with all three switched on, every checked-in spec must produce a
-//!    report body byte-identical to the unobserved run.
-//! 2. **The metrics export is thread-count independent.** Counters,
-//!    histograms and traces are pure functions of the deterministic
-//!    event sequence, folded in grid order — so the serialized registry
-//!    must not change between `execution.threads` 1, 2 and 4.
+//! 1. **Enabling telemetry never changes the report.** Metrics, traces,
+//!    the flight recorder and shard profiling are read-only observers
+//!    of the simulation; with all four switched on, every checked-in
+//!    spec must produce a report body byte-identical to the unobserved
+//!    run.
+//! 2. **The metrics and spans exports are thread-count independent.**
+//!    Counters, histograms, traces and span logs are pure functions of
+//!    the deterministic event sequence, folded in grid order — so the
+//!    serialized registry and the trace-event document must not change
+//!    between `execution.threads` 1, 2 and 4.
 
 use std::path::{Path, PathBuf};
 
@@ -53,6 +55,7 @@ fn observability_never_changes_report_bytes() {
         spec.observability.metrics = true;
         spec.observability.trace_events = 1024;
         spec.observability.profile = true;
+        spec.observability.spans = true;
         let (observed, obs) = run_spec_observed(&spec, ArrivalMode::Streaming)
             .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert_eq!(
@@ -71,6 +74,11 @@ fn observability_never_changes_report_bytes() {
             "no traces recorded for {}",
             path.display()
         );
+        assert!(
+            obs.spans.iter().any(|(_, log)| !log.is_empty()),
+            "no spans recorded for {}",
+            path.display()
+        );
     }
 }
 
@@ -80,7 +88,8 @@ fn metrics_export_identical_across_thread_counts() {
         let mut spec = load_spec(&experiments_dir().join(name));
         spec.observability.metrics = true;
         spec.observability.trace_events = 512;
-        let mut exports: Vec<(String, Vec<String>)> = Vec::new();
+        spec.observability.spans = true;
+        let mut exports: Vec<(String, Vec<String>, String)> = Vec::new();
         for threads in [1usize, 2, 4] {
             spec.execution.threads = threads;
             let (_, obs) = run_spec_observed(&spec, ArrivalMode::Streaming)
@@ -93,6 +102,9 @@ fn metrics_export_identical_across_thread_counts() {
                     .iter()
                     .map(|(k, ring)| format!("{k}: {}", to_pretty_json(ring)))
                     .collect(),
+                // The sim-plane spans document (no host track) must be
+                // byte-identical across thread counts.
+                to_pretty_json(&ctlm_lab::flight::trace_document(&obs, false)),
             ));
         }
         assert_eq!(

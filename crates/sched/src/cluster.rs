@@ -375,6 +375,33 @@ impl SchedCluster {
         }
     }
 
+    /// The attribute index's candidate-count estimate for a constraint
+    /// set — the upper bound on suitable machines the placer's
+    /// candidate-driven arm would stream (fleet size for unconstrained
+    /// tasks). Cheap and deterministic; the flight recorder stamps it
+    /// into placement decision records.
+    pub fn candidate_estimate(&self, reqs: &[AttrRequirement]) -> usize {
+        if reqs.is_empty() {
+            self.machines.len()
+        } else {
+            self.index.selectivity_hint(reqs).min(self.machines.len())
+        }
+    }
+
+    /// Which [`SchedCluster::tightest_fit`] arm the selectivity estimate
+    /// picks for this constraint set — the plan tag recorded in
+    /// placement decision audits.
+    pub fn plan_hint(&self, reqs: &[AttrRequirement]) -> &'static str {
+        if !reqs.is_empty()
+            && self.index.selectivity_hint(reqs) * Self::CANDIDATE_DRIVEN_SHARE
+                <= self.machines.len()
+        {
+            "candidate_driven"
+        } else {
+            "capacity_driven"
+        }
+    }
+
     /// Candidate-driven arm of [`SchedCluster::tightest_fit`].
     fn tightest_fit_candidates(&self, reqs: &[AttrRequirement], cpu: f64, mem: f64) -> CapacityFit {
         let mut best: Option<(usize, MachineId)> = None;

@@ -39,7 +39,7 @@ use serde::{Deserialize, Serialize};
 
 use ctlm_data::compaction::collapse;
 use ctlm_sim::{CompId, Component, Ctx, Event, Sim};
-use ctlm_telemetry::{Histogram, TraceEvent, TraceRing};
+use ctlm_telemetry::{Histogram, SpanLog, TraceEvent, TraceRing};
 use ctlm_trace::{
     AttrId, AttrValue, EventPayload, GeneratedTrace, Machine, MachineId, Micros, TaskId,
 };
@@ -328,6 +328,11 @@ pub struct EngineState<'a> {
     /// dead-letter immediately and no fault bookkeeping runs. See
     /// [`EngineState::enable_faults`].
     faults: Option<Box<FaultRuntime>>,
+    /// Causal flight recorder; `None` (the default) records nothing and
+    /// takes none of the span code paths. Shared (`Rc`) so control-plane
+    /// components (fault plane, autoscaler) can record into the same
+    /// per-cell log. See [`EngineState::enable_spans`].
+    spans: Option<Rc<RefCell<SpanLog>>>,
 }
 
 impl<'a> EngineState<'a> {
@@ -368,6 +373,7 @@ impl<'a> EngineState<'a> {
             stats: EngineStats::default(),
             trace: None,
             faults: None,
+            spans: None,
         }
     }
 
@@ -501,6 +507,37 @@ impl<'a> EngineState<'a> {
         self.faults.as_deref().map(|f| &f.stats)
     }
 
+    /// Switches on the causal flight recorder and returns a handle to
+    /// the cell's span log (idempotent — repeated calls share one log).
+    /// Control-plane components (fault plane, autoscaler) clone the
+    /// handle to record their decision spans into the same timeline.
+    ///
+    /// Recording is sim-plane only, so the log is byte-identical across
+    /// `execution.threads`, and span storage grows only on lifecycle
+    /// *transitions* — steady-state scheduling passes update open spans
+    /// in place without allocating.
+    pub fn enable_spans(&mut self) -> Rc<RefCell<SpanLog>> {
+        if self.spans.is_none() {
+            self.spans = Some(Rc::new(RefCell::new(SpanLog::new())));
+        }
+        self.spans.as_ref().expect("just set").clone()
+    }
+
+    /// The span-log handle, when [`EngineState::enable_spans`] switched
+    /// the recorder on.
+    pub fn spans_handle(&self) -> Option<Rc<RefCell<SpanLog>>> {
+        self.spans.clone()
+    }
+
+    /// Takes the recorded span log out of the engine (after the run),
+    /// leaving the recorder disabled. Finish the run first (e.g.
+    /// [`CellHandle::finish`]) so open spans are closed at the horizon.
+    pub fn take_spans(&mut self) -> Option<SpanLog> {
+        self.spans
+            .take()
+            .map(|rc| std::mem::take(&mut *rc.borrow_mut()))
+    }
+
     /// Crash events that removed an online machine so far — control
     /// planes diff successive reads to detect crash-induced capacity
     /// loss (always 0 without the fault runtime).
@@ -559,9 +596,10 @@ impl<'a> EngineState<'a> {
     /// tasks re-enter admission (counted as churn reschedules) and the
     /// machine is parked offline. The autoscaler's scale-down hook —
     /// identical semantics to a [`SchedEvent::MachineFail`] delivery.
-    /// Returns false for unknown machines.
-    pub fn drain_machine(&mut self, id: MachineId) -> bool {
-        self.machine_fail(id)
+    /// `now` is the caller's sim time (span timestamps and requeue
+    /// records are stamped with it). Returns false for unknown machines.
+    pub fn drain_machine(&mut self, id: MachineId, now: Micros) -> bool {
+        self.machine_fail(id, now)
     }
 
     /// Adds a machine to the live fleet (capacity + attribute indexes
@@ -597,14 +635,76 @@ impl<'a> EngineState<'a> {
             )
     }
 
-    /// Routes an admitted task into the high-priority or main queue.
-    fn admit(&mut self, idx: usize) {
+    /// Why [`EngineState::can_admit`] says no right now — the rejection
+    /// reason stamped into spill decision records. `"admittable"` when
+    /// the cell would in fact admit the task.
+    pub fn admit_rejection(&self, task: &PendingTask) -> &'static str {
+        let backlog = self.hp.len() + self.main.len() + self.pending_gang_members();
+        if backlog >= self.cfg.attempts_per_cycle {
+            return "backlog_full";
+        }
+        match self.cluster.tightest_fit(&task.reqs, task.cpu, task.memory) {
+            CapacityFit::Fit(_) => "admittable",
+            CapacityFit::NoCapacity => "no_capacity",
+            CapacityFit::Infeasible => "infeasible",
+        }
+    }
+
+    /// Opens a `spill_transit` span for a task this cell just emitted to
+    /// the epoch outbox, recording the admission-rejection reason. No-op
+    /// without the flight recorder.
+    pub(crate) fn span_spill_open(&mut self, idx: usize, now: Micros) {
+        if self.spans.is_none() {
+            return;
+        }
+        let (id, reason) = {
+            let t = self.task(idx);
+            (t.id, self.admit_rejection(t))
+        };
+        if let Some(s) = &self.spans {
+            s.borrow_mut().open_task(id, "spill_transit", now, reason);
+        }
+    }
+
+    /// Closes the task's pending `spill_transit` span with the route the
+    /// coordinator chose (`"routed"` + target cell, `"routed_home"`, or
+    /// `"link_timeout"`). The multi-cell barrier hook calls this when it
+    /// resolves a [`SchedEvent::SpillRequest`]; no-op without the flight
+    /// recorder. Call before releasing the task's arena slot.
+    pub fn span_spill_resolve(
+        &mut self,
+        idx: usize,
+        at: Micros,
+        outcome: &'static str,
+        target: u64,
+    ) {
+        if self.spans.is_none() {
+            return;
+        }
+        let id = self.task(idx).id;
+        if let Some(s) = &self.spans {
+            let mut log = s.borrow_mut();
+            if log.open_task_kind(id) == Some("spill_transit") {
+                log.close_task_with(id, at, outcome, "", "", target, 0);
+            }
+        }
+    }
+
+    /// Routes an admitted task into the high-priority or main queue,
+    /// opening its `queued` span (`cause` says how it got here:
+    /// `"arrival"`, `"dynamic"`, `"retry"`, `"churn_requeue"`).
+    fn admit(&mut self, idx: usize, now: Micros, cause: &'static str) {
         let t = if idx < self.arrivals.len() {
             &self.arrivals[idx]
         } else {
             self.slab.get(idx - self.arrivals.len())
         };
-        if self.scheduler.route_high_priority(t) {
+        let id = t.id;
+        let high_priority = self.scheduler.route_high_priority(t);
+        if let Some(s) = &self.spans {
+            s.borrow_mut().open_task(id, "queued", now, cause);
+        }
+        if high_priority {
             self.hp.push_back(idx);
         } else {
             self.main.push_back(idx);
@@ -612,12 +712,36 @@ impl<'a> EngineState<'a> {
     }
 
     /// Reserves the task on the machine and emits its completion event.
-    fn commit(&mut self, idx: usize, machine: MachineId, ctx: &mut Ctx<'_, SchedEvent>) {
+    /// `plan` is the placer plan that made the decision (recorded in the
+    /// span audit; the placement itself is already made).
+    fn commit(
+        &mut self,
+        idx: usize,
+        machine: MachineId,
+        plan: &'static str,
+        ctx: &mut Ctx<'_, SchedEvent>,
+    ) {
         let now = ctx.now();
         let (id, cpu, memory, priority, arrival, truth_group) = {
             let t = self.task(idx);
             (t.id, t.cpu, t.memory, t.priority, t.arrival, t.truth_group)
         };
+        if self.spans.is_some() {
+            // Decision record: chosen machine, the capacity index's
+            // candidate estimate, and which index arm the placer walked.
+            let (cand, arm) = {
+                let reqs = &self.task(idx).reqs;
+                (
+                    self.cluster.candidate_estimate(reqs) as u64,
+                    self.cluster.plan_hint(reqs),
+                )
+            };
+            if let Some(s) = &self.spans {
+                let mut log = s.borrow_mut();
+                log.close_task_with(id, now, "placed", plan, arm, machine, cand);
+                log.open_task_full(id, "running", now, "placed", plan, arm, 0, machine, cand);
+            }
+        }
         self.cluster.place(machine, id, cpu, memory, priority);
         let u: f64 = self.rng.gen_range(1e-9..1.0);
         let runtime = (((-u.ln()) * self.cfg.mean_runtime as f64) as Micros).max(1);
@@ -662,8 +786,13 @@ impl<'a> EngineState<'a> {
 
     /// Evicts a preemption victim (Kubernetes-style: the victim loses its
     /// slot; rescheduling checkpointed work is out of scope for the
-    /// latency experiment).
-    fn evict_victim(&mut self, machine: MachineId, victim: TaskId) {
+    /// latency experiment). `preemptor` is the task that claimed the
+    /// room — the span audit's answer to "why was I preempted".
+    fn evict_victim(&mut self, machine: MachineId, victim: TaskId, now: Micros, preemptor: TaskId) {
+        if let Some(s) = &self.spans {
+            s.borrow_mut()
+                .close_task_with(victim, now, "preempted", "", "", machine, preemptor);
+        }
         self.cluster.release(machine, victim);
         if let Some(r) = self.running.remove(&victim) {
             // The victim never re-enters a queue — its slot is dead.
@@ -696,28 +825,53 @@ impl<'a> EngineState<'a> {
         match placer.place(&self.cluster, t, &mut self.place_ctx) {
             Placement::Placed(m) => {
                 self.stats.placed += 1;
-                self.commit(idx, m, ctx);
+                self.commit(idx, m, placer.name(), ctx);
             }
             Placement::PlacedWithPreemption(m, victims) => {
                 self.stats.placed_with_preemption += 1;
+                let now = ctx.now();
                 for v in victims {
-                    self.evict_victim(m, v);
+                    self.evict_victim(m, v, now, task_id);
                 }
-                self.commit(idx, m, ctx);
+                self.commit(idx, m, placer.name(), ctx);
             }
             Placement::Infeasible => {
                 // No node can ever satisfy the affinity — Kubernetes
                 // would error the pod; we drop it (and free its slot).
                 self.stats.infeasible += 1;
+                if let Some(s) = &self.spans {
+                    s.borrow_mut().close_task_with(
+                        task_id,
+                        ctx.now(),
+                        "infeasible",
+                        placer.name(),
+                        "",
+                        0,
+                        0,
+                    );
+                }
                 if self.faults.is_some() && self.placed_once.contains(&task_id) {
                     // A crash-retried task whose every suitable machine
                     // is down: it already holds a placed record, so
                     // counting it unplaced would break task conservation
                     // — it dead-letters instead.
                     self.result.failed_permanently += 1;
+                    let mut attempts = 0;
                     if let Some(f) = self.faults.as_deref_mut() {
                         f.stats.dead_lettered += 1;
-                        f.attempts.remove(&idx);
+                        attempts = f.attempts.remove(&idx).map_or(0, |st| st.attempts as u64);
+                    }
+                    if let Some(s) = &self.spans {
+                        s.borrow_mut().instant_task(
+                            task_id,
+                            "dead_letter",
+                            ctx.now(),
+                            "infeasible",
+                            placer.name(),
+                            "",
+                            attempts,
+                            0,
+                        );
                     }
                 } else {
                     self.result.unplaced += 1;
@@ -726,6 +880,14 @@ impl<'a> EngineState<'a> {
             }
             Placement::NoCapacity => {
                 self.stats.no_capacity += 1;
+                if self.spans.is_some() {
+                    // In-place attempt bump on the open `queued` span —
+                    // the steady-state path stays allocation-free.
+                    let cand = self.cluster.candidate_estimate(&self.task(idx).reqs) as u64;
+                    if let Some(s) = &self.spans {
+                        s.borrow_mut().note_attempt(task_id, cand);
+                    }
+                }
                 if high_priority {
                     self.hp.push_back(idx);
                 } else {
@@ -796,7 +958,7 @@ impl<'a> EngineState<'a> {
                 // and re-commit so runtime draw, completion event and
                 // record go through the one bookkeeping path.
                 self.cluster.release(machine, task);
-                self.commit(idx, machine, ctx);
+                self.commit(idx, machine, "gang", ctx);
             }
         }
         self.place_ctx.gang = pairs;
@@ -806,14 +968,21 @@ impl<'a> EngineState<'a> {
     /// A machine drains: running tasks re-enter admission (they keep
     /// their first-placement latency record; the reschedule is counted).
     /// Returns false for unknown machines.
-    fn machine_fail(&mut self, id: MachineId) -> bool {
+    fn machine_fail(&mut self, id: MachineId, now: Micros) -> bool {
         let Some(evicted) = self.cluster.remove_machine(id) else {
             return false;
         };
+        if let Some(s) = &self.spans {
+            s.borrow_mut()
+                .open_machine(id, "machine_drain", now, "drain", "");
+        }
         for (task, ..) in evicted {
             if let Some(r) = self.running.remove(&task) {
                 self.result.churn_rescheduled += 1;
-                self.admit(r.idx);
+                if let Some(s) = &self.spans {
+                    s.borrow_mut().close_task(task, now, "machine_drain");
+                }
+                self.admit(r.idx, now, "churn_requeue");
             }
         }
         true
@@ -835,17 +1004,22 @@ impl<'a> EngineState<'a> {
         if let Some(f) = self.faults.as_deref_mut() {
             f.stats.crashed_machines += 1;
         }
+        if let Some(s) = &self.spans {
+            s.borrow_mut()
+                .open_machine(id, "machine_down", now, "crash", "");
+        }
         // Evicted tasks arrive sorted by task id, so RNG draws (backoff
         // jitter) consume in a deterministic order.
         for (task, ..) in evicted {
             let Some(r) = self.running.remove(&task) else {
                 continue;
             };
-            let retry_after = match self.faults.as_deref_mut() {
+            let (retry_after, attempt_no, policy_name) = match self.faults.as_deref_mut() {
                 Some(f) => {
                     let st = f.attempts.entry(r.idx).or_default();
                     st.attempts += 1;
                     st.lost_at = now;
+                    let attempt_no = st.attempts as u64;
                     f.stats.tasks_lost += 1;
                     f.stats.lost_work_us += now.saturating_sub(r.started);
                     let delay = f.policy.delay(st.attempts, &mut f.rng);
@@ -860,11 +1034,41 @@ impl<'a> EngineState<'a> {
                             f.attempts.remove(&r.idx);
                         }
                     }
-                    delay
+                    (delay, attempt_no, f.policy.name())
                 }
                 // No retry runtime: lost work dead-letters immediately.
-                None => None,
+                None => (None, 0, "none"),
             };
+            if let Some(s) = &self.spans {
+                // The causal crash chain: running closes on the crash,
+                // then either a retry_wait span carries the policy draw
+                // or the dead-letter terminal records the spent budget.
+                let mut log = s.borrow_mut();
+                log.close_task(task, now, "machine_crash");
+                match retry_after {
+                    Some(d) => log.open_task_full(
+                        task,
+                        "retry_wait",
+                        now,
+                        "machine_crash",
+                        policy_name,
+                        "",
+                        attempt_no,
+                        d,
+                        id,
+                    ),
+                    None => log.instant_task(
+                        task,
+                        "dead_letter",
+                        now,
+                        "budget_exhausted",
+                        policy_name,
+                        "",
+                        attempt_no,
+                        id,
+                    ),
+                }
+            }
             match retry_after {
                 Some(delay) => ctx.emit_prio(
                     delay,
@@ -911,12 +1115,12 @@ impl<'a> EngineState<'a> {
         match ev {
             SchedEvent::Arrival(idx) => {
                 self.stats.admitted_arrivals += 1;
-                self.admit(idx);
+                self.admit(idx, ctx.now(), "arrival");
             }
             SchedEvent::Admit(t) => {
                 self.stats.admitted_dynamic += 1;
                 let idx = self.push_extra(*t);
-                self.admit(idx);
+                self.admit(idx, ctx.now(), "dynamic");
             }
             SchedEvent::GangArrival(members) => {
                 // Members enter the arena contiguously (one sealed slab
@@ -924,6 +1128,15 @@ impl<'a> EngineState<'a> {
                 // index list.
                 let (start, len) = self.push_chunk(members);
                 self.stats.admitted_gang_members += len as u64;
+                if self.spans.is_some() {
+                    let now = ctx.now();
+                    for i in start..start + len {
+                        let id = self.task(i).id;
+                        if let Some(s) = &self.spans {
+                            s.borrow_mut().open_task(id, "queued", now, "gang");
+                        }
+                    }
+                }
                 if !self.try_gang(start, len, ctx) {
                     self.pending_gangs.push((start, len));
                 }
@@ -942,6 +1155,9 @@ impl<'a> EngineState<'a> {
                     .is_some_and(|r| r.machine == machine && r.epoch == epoch)
                 {
                     let r = self.running.remove(&task).expect("checked above");
+                    if let Some(s) = &self.spans {
+                        s.borrow_mut().close_task(task, ctx.now(), "finished");
+                    }
                     self.cluster.release(machine, task);
                     self.release_slot(r.idx);
                     // The task terminated: drop its retry budget so a
@@ -952,14 +1168,40 @@ impl<'a> EngineState<'a> {
                 }
             }
             SchedEvent::MachineFail(id) => {
-                self.machine_fail(id);
+                self.machine_fail(id, ctx.now());
             }
             SchedEvent::MachineCrash(id) => self.machine_crash(id, ctx),
-            SchedEvent::TaskRetry(idx) => self.admit(idx),
+            SchedEvent::TaskRetry(idx) => {
+                let now = ctx.now();
+                if self.spans.is_some() {
+                    let id = self.task(idx).id;
+                    if let Some(s) = &self.spans {
+                        s.borrow_mut().close_task(id, now, "backoff_elapsed");
+                    }
+                }
+                self.admit(idx, now, "retry");
+            }
             SchedEvent::MachineRestore(id) => {
+                if let Some(s) = &self.spans {
+                    s.borrow_mut().close_machine(id, ctx.now(), "restored");
+                }
                 self.cluster.restore_machine(id);
             }
-            SchedEvent::MachineJoin(m) => self.cluster.add_machine(*m),
+            SchedEvent::MachineJoin(m) => {
+                if let Some(s) = &self.spans {
+                    s.borrow_mut().instant_ctrl(
+                        m.id,
+                        "machine_join",
+                        ctx.now(),
+                        "join",
+                        "",
+                        "",
+                        0,
+                        0,
+                    );
+                }
+                self.cluster.add_machine(*m);
+            }
             SchedEvent::AttrUpdate {
                 machine,
                 attr,
@@ -980,6 +1222,11 @@ impl<'a> EngineState<'a> {
     /// already hold a placed record (they were placed once; counting
     /// them again would make placed + unplaced exceed the task count).
     fn finish(&mut self) -> (SchedCluster, SimResult) {
+        // Spans still open at the horizon (queued, running, retry_wait,
+        // machine_down, …) close deterministically at `end = horizon`.
+        if let Some(s) = &self.spans {
+            s.borrow_mut().close_all(self.cfg.horizon);
+        }
         let hp = std::mem::take(&mut self.hp);
         let main = std::mem::take(&mut self.main);
         let gangs = std::mem::take(&mut self.pending_gangs);
@@ -1060,7 +1307,10 @@ impl Component<SchedEvent> for SpilloverForwarder<'_> {
             if self.state.borrow().can_admit(&self.arrivals[self.next]) {
                 ctx.emit_prio(0, PRIO_ADMIT, self.engine, SchedEvent::Arrival(self.next));
             } else {
-                self.state.borrow_mut().note_spill_request();
+                let mut st = self.state.borrow_mut();
+                st.note_spill_request();
+                st.span_spill_open(self.next, now);
+                drop(st);
                 ctx.emit_remote(PRIO_ADMIT, SchedEvent::SpillRequest(self.next));
             }
             self.next += 1;

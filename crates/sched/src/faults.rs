@@ -41,10 +41,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use ctlm_sim::{CompId, Component, Ctx, Event};
-use ctlm_telemetry::Histogram;
+use ctlm_telemetry::{Histogram, SpanLog};
 use ctlm_trace::{MachineId, Micros};
 
 use crate::engine::{SchedEvent, PRIO_STATE};
@@ -284,6 +286,9 @@ pub struct FaultPlane {
     /// Outstanding outage depth per machine: a machine recovers only
     /// when its last overlapping outage ends.
     down: HashMap<MachineId, u32>,
+    /// Cell span log for control-plane decision spans (crash provenance:
+    /// whose lifecycle claim the override displaced).
+    spans: Option<Rc<RefCell<SpanLog>>>,
 }
 
 impl FaultPlane {
@@ -296,6 +301,7 @@ impl FaultPlane {
             guard: None,
             registry: None,
             down: HashMap::new(),
+            spans: None,
         }
     }
 
@@ -303,6 +309,17 @@ impl FaultPlane {
     /// claims, recoveries release the fault claim.
     pub fn with_guard(mut self, guard: OwnershipGuard) -> Self {
         self.guard = Some(guard);
+        self
+    }
+
+    /// Registers the cell's flight-recorder handle (from
+    /// [`EngineState::enable_spans`](crate::engine::EngineState::enable_spans)):
+    /// each crash records a `claim_override` control span carrying the
+    /// displaced owner — the crash provenance a post-mortem needs to
+    /// tell "the fault plane stole this machine from the autoscaler"
+    /// from a plain crash.
+    pub fn with_spans(mut self, spans: Rc<RefCell<SpanLog>>) -> Self {
+        self.spans = Some(spans);
         self
     }
 
@@ -335,10 +352,24 @@ impl Component<SchedEvent> for FaultPlane {
                     let depth = self.down.entry(*id).or_insert(0);
                     *depth += 1;
                     if *depth == 1 {
+                        let mut displaced = None;
                         if let Some(g) = &self.guard {
                             // A crash is not a negotiation: displace any
                             // in-flight drain/provision claim.
-                            g.override_claim(*id, LifecycleOwner::Fault);
+                            displaced = g.override_claim(*id, LifecycleOwner::Fault);
+                        }
+                        if let Some(s) = &self.spans {
+                            let provenance = displaced.map_or("unclaimed", LifecycleOwner::name);
+                            s.borrow_mut().instant_ctrl(
+                                *id,
+                                "claim_override",
+                                now,
+                                "crash",
+                                "fault",
+                                provenance,
+                                0,
+                                0,
+                            );
                         }
                     }
                     ctx.emit_prio(0, PRIO_STATE, self.engine, SchedEvent::MachineCrash(*id));

@@ -37,6 +37,17 @@ pub enum LifecycleOwner {
     Fault,
 }
 
+impl LifecycleOwner {
+    /// Static tag for decision records (crash/override provenance).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Churn => "churn",
+            Self::Autoscaler => "autoscaler",
+            Self::Fault => "fault",
+        }
+    }
+}
+
 /// A shared, interior-mutable claim table over machine ids. Clone the
 /// [`Rc`] handle into every component that mutates the fleet.
 #[derive(Clone, Debug, Default)]

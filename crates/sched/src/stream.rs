@@ -196,7 +196,10 @@ impl Component<SchedEvent> for StreamingSource<'_> {
             if admit_home {
                 ctx.emit_prio(0, PRIO_ADMIT, self.engine, SchedEvent::Arrival(self.next));
             } else {
-                self.state.borrow_mut().note_spill_request();
+                let mut st = self.state.borrow_mut();
+                st.note_spill_request();
+                st.span_spill_open(self.next, now);
+                drop(st);
                 ctx.emit_remote(PRIO_ADMIT, SchedEvent::SpillRequest(self.next));
             }
             self.next += 1;

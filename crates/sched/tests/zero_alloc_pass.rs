@@ -247,6 +247,65 @@ fn fault_free_run_adds_zero_allocations_and_identical_report_bytes() {
 }
 
 #[test]
+fn span_recorder_disabled_is_free_and_enabled_changes_no_report_byte() {
+    // The flight recorder's contract, from both sides:
+    //
+    // * **off** (the default — no `observability.spans` in a spec): the
+    //   engine's span hooks are `Option` checks on the `None` branch, so
+    //   the steady-state window still allocates zero times and the
+    //   serialized result is the baseline result;
+    // * **on**: spans observe but never steer — the result must stay
+    //   byte-for-byte identical — and the steady-state window is *still*
+    //   allocation-free, because a `NoCapacity` churn pass only bumps
+    //   the open `queued` span's attempt counter in place (the open
+    //   tables and segment arena were sized during warm-up).
+    let run = |with_spans: bool| -> SimResult {
+        let mut arrivals: Vec<PendingTask> = (0..12u64).map(|k| task(k, 0, 0.32)).collect();
+        for k in 0..40u64 {
+            arrivals.push(task(100 + k, 200_000 * k, 0.4));
+        }
+        arrivals.sort_by_key(|t| t.arrival);
+        let config = SimConfig {
+            cycle: 1_048_576,
+            attempts_per_cycle: 3,
+            mean_runtime: 100_000_000_000,
+            horizon: 400_000_000,
+            seed: 9,
+        };
+        let simulator = Simulator::new(config);
+        let mut scheduler = MainOnly;
+        let mut harness = simulator.harness(fleet(4), &arrivals, &mut scheduler);
+        let spans = with_spans.then(|| harness.state().borrow_mut().enable_spans());
+
+        harness.sim.run_until(150_000_000);
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        harness.sim.run_until(390_000_000);
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        assert_eq!(
+            after - before,
+            0,
+            "steady state allocated {} times (spans: {with_spans})",
+            after - before
+        );
+        let (_, result) = harness.run();
+        if let Some(spans) = spans {
+            let log = spans.borrow();
+            assert!(!log.is_empty(), "recorder on but no spans closed");
+            assert_eq!(log.open_count(), 0, "horizon close must drain opens");
+        }
+        result
+    };
+
+    let plain = run(false);
+    let recorded = run(true);
+    assert_eq!(
+        plain.to_value(),
+        recorded.to_value(),
+        "the flight recorder must not change a single report byte"
+    );
+}
+
+#[test]
 fn capacity_index_maintenance_does_not_allocate_in_steady_state() {
     let mut c = fleet(8);
     let pin = collapse(&[TaskConstraint::new(0, Op::Equal(Some(AttrValue::Int(3))))]).unwrap();

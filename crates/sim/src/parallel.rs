@@ -151,6 +151,15 @@ pub struct ParallelPerf {
     /// shard's run time minus this shard's. The spread across shards is
     /// the load-imbalance signal.
     pub shard_barrier_ns: Vec<u64>,
+    /// Per-round epoch bounds (µs sim time), one entry per profiled
+    /// round. Together with [`ParallelPerf::round_shard_run_ns`] this is
+    /// the flight-recorder host track: where each shard's wall time went,
+    /// round by round. In-memory only — the `_perf` report serialization
+    /// carries totals, never these samples.
+    pub round_bounds: Vec<Time>,
+    /// Per-round per-shard `run_before` wall time (ns), row-major:
+    /// `round_shard_run_ns[round * shards + shard]`.
+    pub round_shard_run_ns: Vec<u64>,
 }
 
 /// The epoch-barrier coordinator: owns the shards, advances them epoch
@@ -374,9 +383,11 @@ impl<'a, E: Send> ParallelSim<'a, E> {
                 // remains the imbalance signal and the derivation keeps
                 // the hot path free of any synchronised clocks.
                 let round_max = self.shards.iter().map(|s| s.last_run_ns).max().unwrap_or(0);
+                perf.round_bounds.push(bound);
                 for (i, shard) in self.shards.iter().enumerate() {
                     perf.shard_run_ns[i] += shard.last_run_ns;
                     perf.shard_barrier_ns[i] += round_max - shard.last_run_ns;
+                    perf.round_shard_run_ns.push(shard.last_run_ns);
                 }
             }
             let drain_t0 = self.perf.is_some().then(std::time::Instant::now);
@@ -756,6 +767,16 @@ mod tests {
         assert_eq!(perf.shard_run_ns.len(), SHARDS);
         assert_eq!(perf.shard_barrier_ns.len(), SHARDS);
         assert!(perf.shard_run_ns.iter().sum::<u64>() > 0);
+        assert_eq!(perf.round_bounds.len() as u64, perf.rounds);
+        assert_eq!(
+            perf.round_shard_run_ns.len() as u64,
+            perf.rounds * SHARDS as u64,
+            "one run sample per shard per round"
+        );
+        assert!(
+            perf.round_bounds.windows(2).all(|w| w[0] < w[1]),
+            "round bounds advance monotonically"
+        );
     }
 
     #[test]

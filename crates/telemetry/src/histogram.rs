@@ -96,6 +96,48 @@ impl Histogram {
         self.count += other.count;
         self.sum = self.sum.saturating_add(other.sum);
     }
+
+    /// Estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded samples.
+    ///
+    /// Estimator: find the bucket where the cumulative count first
+    /// reaches `ceil(q · count)`, then interpolate linearly between the
+    /// bucket's inclusive bounds by the target rank's position within
+    /// the bucket, taking the floor. The result depends only on the
+    /// bucket counts — not on `sum` or the original samples — so a
+    /// histogram reconstructed from its JSON export yields identical
+    /// quantiles, and the export is byte-deterministic. Error is bounded
+    /// by the log₂ bucket width (< 2× the true value).
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= rank {
+                if i == 0 {
+                    return 0;
+                }
+                let lo = 1u64 << (i - 1);
+                // The open-ended last bucket interpolates over its
+                // nominal [2^38, 2^39 - 1] width.
+                let hi = if i == BUCKETS - 1 {
+                    (1u64 << (BUCKETS - 1)) - 1
+                } else {
+                    Self::bucket_bound(i)
+                };
+                let within = (rank - seen) as f64 / c as f64;
+                return lo + ((hi - lo) as f64 * within).floor() as u64;
+            }
+            seen += c;
+        }
+        Self::bucket_bound(BUCKETS - 1)
+    }
 }
 
 impl Serialize for Histogram {
@@ -124,6 +166,15 @@ impl Serialize for Histogram {
         Value::Object(vec![
             ("count".to_string(), Value::Num(self.count as f64)),
             ("sum".to_string(), Value::Num(self.sum as f64)),
+            (
+                "quantiles".to_string(),
+                Value::Object(
+                    [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)]
+                        .iter()
+                        .map(|&(name, q)| (name.to_string(), Value::Num(self.quantile(q) as f64)))
+                        .collect(),
+                ),
+            ),
             ("buckets".to_string(), Value::Array(buckets)),
         ])
     }
@@ -212,6 +263,48 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.sum(), 106);
         assert_eq!(a.bucket_counts()[2], 2);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(100); // bucket 7: [64, 127]
+        }
+        // All mass in one bucket: p50 lands mid-bucket, p99 near the top.
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        assert!((64..=127).contains(&p50), "p50 = {p50}");
+        assert!((64..=127).contains(&p99), "p99 = {p99}");
+        assert!(p50 < p99);
+        // Quantiles are monotone in q and bounded by the bucket.
+        assert!(h.quantile(0.0) <= h.quantile(1.0));
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn quantiles_survive_serialization_roundtrip() {
+        let mut h = Histogram::new();
+        for v in [1u64, 3, 3, 80, 80, 80, 5_000, 1 << 20] {
+            h.record(v);
+        }
+        let back = Histogram::from_value(&h.to_value()).unwrap();
+        for q in [0.5, 0.95, 0.99] {
+            assert_eq!(h.quantile(q), back.quantile(q));
+        }
+    }
+
+    #[test]
+    fn export_carries_p50_p95_p99() {
+        let mut h = Histogram::new();
+        h.record(10);
+        let v = h.to_value();
+        for name in ["p50", "p95", "p99"] {
+            assert!(
+                u64::from_value(v.get_field("quantiles").get_field(name)).is_ok(),
+                "missing quantile {name}"
+            );
+        }
     }
 
     #[test]

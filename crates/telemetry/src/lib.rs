@@ -10,7 +10,8 @@
 //!   every value is a function of the (deterministic) simulation, not of
 //!   the host. The bounded [`TraceRing`] lives on this plane too: it
 //!   records the last-N structured engine/kernel events for debugging
-//!   divergences.
+//!   divergences. The [`SpanLog`] flight recorder extends the plane with
+//!   causal lifecycle spans and decision audits per task/machine.
 //! - **Host plane** (wall-clock): [`PerfReport`] carries per-shard
 //!   `run_before` / barrier-wait / outbox-drain timings from the parallel
 //!   coordinator plus a [`HostFingerprint`] (cpu model, core count). It is
@@ -28,10 +29,12 @@ mod histogram;
 mod host;
 mod metrics;
 mod perf;
+mod spans;
 mod trace;
 
 pub use histogram::Histogram;
 pub use host::HostFingerprint;
 pub use metrics::Metrics;
 pub use perf::{PerfReport, ShardPerf};
+pub use spans::{SpanLog, SpanRecord, SCHEMA_VERSION};
 pub use trace::{TraceEvent, TraceRing};

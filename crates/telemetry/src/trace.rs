@@ -150,6 +150,29 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_overwrites_oldest_across_many_cycles() {
+        let mut r = TraceRing::new(4);
+        // 3 full wrap cycles plus a partial one: survivors must always
+        // be the most recent `capacity` events, oldest first, with the
+        // head wrapping cleanly past the buffer end each cycle.
+        for t in 0..15 {
+            r.push(ev(t));
+            let times: Vec<u64> = r.iter().map(|e| e.time).collect();
+            let expect: Vec<u64> = (t.saturating_sub(3)..=t).collect();
+            assert_eq!(times, expect, "after pushing {t}");
+        }
+        assert_eq!(r.recorded(), 15);
+        assert_eq!(r.len(), 4);
+        // The serialized dump reflects the same survivor window.
+        let v = r.to_value();
+        if let Value::Array(events) = v.get_field("events") {
+            assert_eq!(events.len(), 4);
+        } else {
+            panic!("events not an array");
+        }
+    }
+
+    #[test]
     fn push_never_reallocates() {
         let mut r = TraceRing::new(8);
         let cap_before = r.buf.capacity();
